@@ -1,0 +1,359 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section at reduced measurement scale. Each benchmark reports the headline
+// numbers of its experiment as custom metrics (saturation throughput in
+// %capacity, latency in cycles), so `go test -bench=.` reproduces the shape
+// of the paper's results; cmd/paperfigs -scale full produces the full-scale
+// series. The ns/op numbers are simulator performance, not network metrics.
+package frfc_test
+
+import (
+	"testing"
+
+	"frfc"
+)
+
+// benchScale keeps per-iteration simulation cost modest so the benchmarks
+// finish in seconds while still reproducing each experiment's shape.
+func benchScale(s frfc.Spec) frfc.Spec { return s.WithSampling(1200, 1500) }
+
+// satResolution trades search precision for benchmark runtime.
+const satResolution = 0.05
+
+// BenchmarkTable1StorageOverhead regenerates Table 1 (storage per node).
+// Metrics: bits/node for the storage-matched pair FR6 and VC8.
+func BenchmarkTable1StorageOverhead(b *testing.B) {
+	var rows []frfc.StorageRow
+	for i := 0; i < b.N; i++ {
+		rows = frfc.StorageTable()
+	}
+	byName := map[string]frfc.StorageRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	b.ReportMetric(float64(byName["FR6"].BitsPerNode), "FR6-bits/node")
+	b.ReportMetric(float64(byName["VC8"].BitsPerNode), "VC8-bits/node")
+	b.ReportMetric(float64(byName["FR13"].BitsPerNode), "FR13-bits/node")
+	b.ReportMetric(float64(byName["VC16"].BitsPerNode), "VC16-bits/node")
+}
+
+// BenchmarkTable2BandwidthOverhead regenerates Table 2 (bandwidth per data
+// flit). Metrics: overhead bits per flit for both methods and the FR debit.
+func BenchmarkTable2BandwidthOverhead(b *testing.B) {
+	var rows []frfc.BandwidthRow
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		rows, penalty = frfc.BandwidthTable()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.BitsPerFlit, r.Name+"-bits/flit")
+	}
+	b.ReportMetric(penalty*100, "FR-penalty-%")
+}
+
+// BenchmarkFigure5FastControl5Flit regenerates Figure 5's comparison: with
+// fast control wires and 5-flit packets, FR6 saturates well beyond VC8
+// (paper: 77% vs 63%) at equal storage, and FR13 beyond VC16 (85% vs 80%).
+func BenchmarkFigure5FastControl5Flit(b *testing.B) {
+	var fr6, vc8 float64
+	for i := 0; i < b.N; i++ {
+		fr6 = frfc.SaturationThroughput(benchScale(frfc.FR6(frfc.FastControl, 5)), satResolution)
+		vc8 = frfc.SaturationThroughput(benchScale(frfc.VC8(frfc.FastControl, 5)), satResolution)
+	}
+	b.ReportMetric(fr6*100, "FR6-sat-%cap")
+	b.ReportMetric(vc8*100, "VC8-sat-%cap")
+	if fr6 <= vc8 {
+		b.Fatalf("Figure 5 shape violated: FR6 saturation %.0f%% <= VC8 %.0f%%", fr6*100, vc8*100)
+	}
+}
+
+// BenchmarkFigure6FastControl21Flit regenerates Figure 6: with 21-flit
+// packets FR13 still beats the much larger VC32 (paper: 75% vs 65%), while
+// FR6's small pool tempers its advantage (60% vs 55%).
+func BenchmarkFigure6FastControl21Flit(b *testing.B) {
+	var fr13, vc32, fr6 float64
+	for i := 0; i < b.N; i++ {
+		fr13 = frfc.SaturationThroughput(benchScale(frfc.FR13(frfc.FastControl, 21)), satResolution)
+		vc32 = frfc.SaturationThroughput(benchScale(frfc.VC32(frfc.FastControl, 21)), satResolution)
+		fr6 = frfc.SaturationThroughput(benchScale(frfc.FR6(frfc.FastControl, 21)), satResolution)
+	}
+	b.ReportMetric(fr13*100, "FR13-sat-%cap")
+	b.ReportMetric(vc32*100, "VC32-sat-%cap")
+	b.ReportMetric(fr6*100, "FR6-sat-%cap")
+}
+
+// BenchmarkFigure7HorizonSweep regenerates Figure 7: FR6 throughput is
+// insensitive to the scheduling horizon; 16 cycles lands within ~10% of the
+// optimum and gains flatten beyond 32.
+func BenchmarkFigure7HorizonSweep(b *testing.B) {
+	horizons := []int{16, 32, 64, 128}
+	sats := make([]float64, len(horizons))
+	for i := 0; i < b.N; i++ {
+		for h, horizon := range horizons {
+			spec, err := frfc.Custom("FR6-horizon", frfc.Options{
+				FlitReservation: true, DataBuffers: 6, CtrlVCs: 2,
+				Horizon: horizon, Wiring: frfc.FastControl,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sats[h] = frfc.SaturationThroughput(benchScale(spec), satResolution)
+		}
+	}
+	b.ReportMetric(sats[0]*100, "s16-sat-%cap")
+	b.ReportMetric(sats[1]*100, "s32-sat-%cap")
+	b.ReportMetric(sats[3]*100, "s128-sat-%cap")
+	if sats[0] < sats[3]*0.85 {
+		b.Fatalf("Figure 7 shape violated: horizon 16 (%.0f%%) more than 15%% below horizon 128 (%.0f%%)",
+			sats[0]*100, sats[3]*100)
+	}
+}
+
+// BenchmarkFigure8LeadingControlLead regenerates Figure 8: with 1-cycle
+// wires, FR6 throughput is independent of whether control leads data by 1, 2
+// or 4 cycles.
+func BenchmarkFigure8LeadingControlLead(b *testing.B) {
+	leads := []int{1, 2, 4}
+	sats := make([]float64, len(leads))
+	for i := 0; i < b.N; i++ {
+		for j, lead := range leads {
+			sats[j] = frfc.SaturationThroughput(benchScale(frfc.FRLead(lead, 5)), satResolution)
+		}
+	}
+	b.ReportMetric(sats[0]*100, "lead1-sat-%cap")
+	b.ReportMetric(sats[1]*100, "lead2-sat-%cap")
+	b.ReportMetric(sats[2]*100, "lead4-sat-%cap")
+	spread := sats[2] - sats[0]
+	if spread < 0 {
+		spread = -spread
+	}
+	if spread > 0.10 {
+		b.Fatalf("Figure 8 shape violated: saturation varies %.0f points across leads", spread*100)
+	}
+}
+
+// BenchmarkFigure9LeadingVsVC regenerates Figure 9: on identical 1-cycle
+// wires with a 1-cycle control lead, FR6 matches VC's base latency and has
+// lower latency under load (paper: 19 vs 21 cycles at 50% capacity).
+func BenchmarkFigure9LeadingVsVC(b *testing.B) {
+	var frBase, vcBase, fr50, vc50 float64
+	for i := 0; i < b.N; i++ {
+		fr := benchScale(frfc.FRLead(1, 5))
+		vc := benchScale(frfc.VC8(frfc.LeadingControl, 5))
+		frBase = frfc.BaseLatency(fr)
+		vcBase = frfc.BaseLatency(vc)
+		fr50 = frfc.Run(fr, 0.50).AvgLatency
+		vc50 = frfc.Run(vc, 0.50).AvgLatency
+	}
+	b.ReportMetric(frBase, "FR6-base-cycles")
+	b.ReportMetric(vcBase, "VC8-base-cycles")
+	b.ReportMetric(fr50, "FR6-lat50-cycles")
+	b.ReportMetric(vc50, "VC8-lat50-cycles")
+	if fr50 >= vc50 {
+		b.Fatalf("Figure 9 shape violated: FR latency at 50%% (%.1f) >= VC (%.1f)", fr50, vc50)
+	}
+}
+
+// BenchmarkTable3Summary regenerates one group of Table 3 (fast control,
+// 5-flit packets): base latency and saturation for the storage-matched pair.
+func BenchmarkTable3Summary(b *testing.B) {
+	var fr, vc frfc.SummaryRow
+	for i := 0; i < b.N; i++ {
+		fr = frfc.Summarize(benchScale(frfc.FR6(frfc.FastControl, 5)))
+		vc = frfc.Summarize(benchScale(frfc.VC8(frfc.FastControl, 5)))
+	}
+	b.ReportMetric(fr.BaseLatency, "FR6-base-cycles")
+	b.ReportMetric(vc.BaseLatency, "VC8-base-cycles")
+	b.ReportMetric(fr.LatencyAt50, "FR6-lat50-cycles")
+	b.ReportMetric(vc.LatencyAt50, "VC8-lat50-cycles")
+	b.ReportMetric(fr.EffectiveThroughput*100, "FR6-effsat-%cap")
+	b.ReportMetric(vc.EffectiveThroughput*100, "VC8-effsat-%cap")
+	if fr.BaseLatency >= vc.BaseLatency {
+		b.Fatalf("Table 3 shape violated: FR base latency %.1f >= VC %.1f", fr.BaseLatency, vc.BaseLatency)
+	}
+}
+
+// BenchmarkBufferOccupancyNearSaturation regenerates the Section 4.2
+// observation: near saturation with long packets, FR6's pools run full a
+// large fraction of the time (paper ~40%) while VC saturates with pools full
+// under 5% of the time — FR's throughput comes from using the buffers, not
+// from having more of them.
+func BenchmarkBufferOccupancyNearSaturation(b *testing.B) {
+	var frFull, vcFull float64
+	for i := 0; i < b.N; i++ {
+		frFull = frfc.Run(benchScale(frfc.FR6(frfc.FastControl, 21)), 0.60).PoolFullFraction
+		vcFull = frfc.Run(benchScale(frfc.VC8(frfc.FastControl, 21)), 0.52).PoolFullFraction
+	}
+	b.ReportMetric(frFull*100, "FR6-poolfull-%")
+	b.ReportMetric(vcFull*100, "VC8-poolfull-%")
+}
+
+// BenchmarkAblationAllOrNothing regenerates the Section 5 scheduling-policy
+// ablation with wide control flits (d=4, where the policies differ).
+// Per-flit scheduling releases each data flit the moment it is individually
+// scheduled, freeing current-node buffers earlier; all-or-nothing holds the
+// whole group until every lead is schedulable. In this implementation
+// per-flit mode pre-claims the group's downstream buffers (strand-free
+// admission, required for deadlock freedom — see internal/core), which
+// equalizes the buffer side, so the two policies measure within noise of
+// each other here — the paper's qualitative per-flit advantage presumes the
+// unrestricted release policy, which deadlocks when implemented literally.
+// EXPERIMENTS.md discusses the difference.
+func BenchmarkAblationAllOrNothing(b *testing.B) {
+	mk := func(aon bool) frfc.Spec {
+		spec, err := frfc.Custom("FR6-d4", frfc.Options{
+			FlitReservation: true, DataBuffers: 6, CtrlVCs: 2,
+			LeadsPerCtrl: 4, AllOrNothing: aon, Wiring: frfc.FastControl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return benchScale(spec)
+	}
+	var perFlit, aon frfc.Result
+	for i := 0; i < b.N; i++ {
+		perFlit = frfc.Run(mk(false), 0.70)
+		aon = frfc.Run(mk(true), 0.70)
+	}
+	b.ReportMetric(perFlit.AvgLatency, "perflit-lat70-cycles")
+	b.ReportMetric(aon.AvgLatency, "allornothing-lat70-cycles")
+	if perFlit.Saturated || aon.Saturated {
+		b.Fatalf("ablation point saturated unexpectedly (perflit=%v aon=%v)", perFlit.Saturated, aon.Saturated)
+	}
+}
+
+// BenchmarkAblationVCSharedPool regenerates the Section 5 control: pooling a
+// VC router's buffers across its virtual channels ([TamFra92]) does NOT
+// reproduce flit reservation's gain — the win comes from advance scheduling,
+// not from pooled buffering.
+func BenchmarkAblationVCSharedPool(b *testing.B) {
+	mk := func(pooled bool) frfc.Spec {
+		spec, err := frfc.Custom("VC8", frfc.Options{
+			FlitReservation: false, VCs: 2, BufPerVC: 4,
+			SharedPool: pooled, Wiring: frfc.FastControl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return benchScale(spec)
+	}
+	var queued, pooled float64
+	for i := 0; i < b.N; i++ {
+		queued = frfc.SaturationThroughput(mk(false), satResolution)
+		pooled = frfc.SaturationThroughput(mk(true), satResolution)
+	}
+	b.ReportMetric(queued*100, "VC8-queued-sat-%cap")
+	b.ReportMetric(pooled*100, "VC8-pooled-sat-%cap")
+}
+
+// BenchmarkAblationWideControlFlit measures flit reservation with one
+// control flit leading d=4 data flits (Section 5): control bandwidth drops,
+// at the cost of data flits more often overtaking their control flit.
+func BenchmarkAblationWideControlFlit(b *testing.B) {
+	mk := func(d int) frfc.Spec {
+		spec, err := frfc.Custom("FR6", frfc.Options{
+			FlitReservation: true, DataBuffers: 6, CtrlVCs: 2,
+			LeadsPerCtrl: d, Wiring: frfc.FastControl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return benchScale(spec)
+	}
+	var d1, d4 float64
+	for i := 0; i < b.N; i++ {
+		d1 = frfc.SaturationThroughput(mk(1), satResolution)
+		d4 = frfc.SaturationThroughput(mk(4), satResolution)
+	}
+	b.ReportMetric(d1*100, "d1-sat-%cap")
+	b.ReportMetric(d4*100, "d4-sat-%cap")
+}
+
+// BenchmarkAblationEagerAllocation regenerates the Figure 10 comparison of
+// buffer-allocation policies. The executed (deferred) policy binds a buffer
+// only when the flit arrives and provably never needs a transfer; a shadow
+// ledger replays the same schedule under allocate-at-reservation-time and
+// counts the buffer-to-buffer transfers that policy would force.
+func BenchmarkAblationEagerAllocation(b *testing.B) {
+	spec, err := frfc.Custom("FR6-eager", frfc.Options{
+		FlitReservation: true, DataBuffers: 6, CtrlVCs: 2,
+		TrackEagerTransfers: true, Wiring: frfc.FastControl,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = benchScale(spec)
+	var r frfc.Result
+	for i := 0; i < b.N; i++ {
+		r = frfc.Run(spec, 0.70)
+	}
+	b.ReportMetric(float64(r.EagerTransfers), "eager-transfers")
+	perK := 0.0
+	if r.EagerResidencies > 0 {
+		perK = 1000 * float64(r.EagerTransfers) / float64(r.EagerResidencies)
+	}
+	b.ReportMetric(perK, "transfers/1k-residencies")
+	if r.EagerResidencies == 0 {
+		b.Fatal("eager ledger replayed no residencies — tracking is broken")
+	}
+}
+
+// BenchmarkRelatedWorkLineage measures the Section 2 lineage on one workload
+// (5-flit packets, fast-control-era wiring): store-and-forward, virtual
+// cut-through, wormhole, virtual channels, and flit reservation. The
+// historical progression shows in the base latencies — packet-serialized
+// store-and-forward worst, flit reservation best — which the benchmark
+// asserts.
+func BenchmarkRelatedWorkLineage(b *testing.B) {
+	specs := []frfc.Spec{
+		frfc.StoreAndForwardSpec(frfc.FastControl, 2, 5),
+		frfc.CutThroughSpec(frfc.FastControl, 2, 5),
+		frfc.WormholeSpec(frfc.FastControl, 8, 5),
+		frfc.VC8(frfc.FastControl, 5),
+		frfc.FR6(frfc.FastControl, 5),
+	}
+	base := make([]float64, len(specs))
+	for i := 0; i < b.N; i++ {
+		for j, s := range specs {
+			base[j] = frfc.BaseLatency(s.WithSampling(400, 800))
+		}
+	}
+	for j, s := range specs {
+		b.ReportMetric(base[j], s.Name()+"-base-cycles")
+	}
+	saf, vct, fr := base[0], base[1], base[4]
+	if !(saf > vct) {
+		b.Fatalf("lineage shape violated: store-and-forward base %.1f not above cut-through %.1f", saf, vct)
+	}
+	for j := 1; j < len(specs)-1; j++ {
+		if fr >= base[j] {
+			b.Fatalf("lineage shape violated: FR base %.1f not below %s's %.1f", fr, specs[j].Name(), base[j])
+		}
+	}
+}
+
+// BenchmarkCircuitAmortization measures the Section 2 observation about
+// circuit switching (the substrate of wave switching): its gains are "only
+// realizable if the circuit setup time can be amortized over many message
+// deliveries". For short messages flit reservation wins easily; for very
+// long messages the unbuffered circuit catches up.
+func BenchmarkCircuitAmortization(b *testing.B) {
+	var csShort, frShort, csLong, frLong float64
+	for i := 0; i < b.N; i++ {
+		csShort = frfc.BaseLatency(frfc.CircuitSpec(frfc.FastControl, 5).WithSampling(300, 600))
+		frShort = frfc.BaseLatency(frfc.FR6(frfc.FastControl, 5).WithSampling(300, 600))
+		csLong = frfc.BaseLatency(frfc.CircuitSpec(frfc.FastControl, 64).WithSampling(150, 600))
+		frLong = frfc.BaseLatency(frfc.FR6(frfc.FastControl, 64).WithSampling(150, 600))
+	}
+	b.ReportMetric(csShort, "CS-5flit-cycles")
+	b.ReportMetric(frShort, "FR6-5flit-cycles")
+	b.ReportMetric(csLong, "CS-64flit-cycles")
+	b.ReportMetric(frLong, "FR6-64flit-cycles")
+	if csShort <= frShort {
+		b.Fatalf("circuit switching (%.1f) beat FR (%.1f) on short messages; setup cost is missing", csShort, frShort)
+	}
+	// Relative setup overhead must shrink with message length.
+	if (csLong-frLong)/frLong >= (csShort-frShort)/frShort {
+		b.Fatalf("circuit setup did not amortize: short gap %.0f%%, long gap %.0f%%",
+			(csShort-frShort)/frShort*100, (csLong-frLong)/frLong*100)
+	}
+}

@@ -1,0 +1,48 @@
+// Command overhead prints the storage and bandwidth cost models of the
+// paper's Tables 1 and 2.
+package main
+
+import (
+	"fmt"
+
+	"frfc"
+)
+
+func main() {
+	fmt.Println("Table 1: storage overhead (bits per node; f=256, t=2, d=1, s=32, 5 ports)")
+	fmt.Printf("%-22s %8s %8s %8s %8s %8s\n", "", "VC8", "VC16", "VC32", "FR6", "FR13")
+	rows := frfc.StorageTable()
+	byName := map[string]frfc.StorageRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	order := []string{"VC8", "VC16", "VC32", "FR6", "FR13"}
+	line := func(label string, f func(frfc.StorageRow) string) {
+		fmt.Printf("%-22s", label)
+		for _, n := range order {
+			fmt.Printf(" %8s", f(byName[n]))
+		}
+		fmt.Println()
+	}
+	i := func(v int) string {
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	line("data buffers", func(r frfc.StorageRow) string { return i(r.DataBuffers) })
+	line("control buffers", func(r frfc.StorageRow) string { return i(r.CtrlBuffers) })
+	line("queue pointers", func(r frfc.StorageRow) string { return i(r.QueuePointers) })
+	line("output res. table", func(r frfc.StorageRow) string { return i(r.OutputResTable) })
+	line("input res. table", func(r frfc.StorageRow) string { return i(r.InputResTable) })
+	line("bits per node", func(r frfc.StorageRow) string { return i(r.BitsPerNode) })
+	line("flits per channel", func(r frfc.StorageRow) string { return fmt.Sprintf("%.2f", r.FlitsPerChannel) })
+
+	fmt.Println()
+	fmt.Println("Table 2: bandwidth overhead per data flit (bits; n=6, L=5, v=2, d=1, s=32)")
+	bw, penalty := frfc.BandwidthTable()
+	for _, r := range bw {
+		fmt.Printf("%-22s %8.2f\n", r.Name, r.BitsPerFlit)
+	}
+	fmt.Printf("%-22s %7.2f%% of a 256-bit flit\n", "FR penalty", penalty*100)
+}

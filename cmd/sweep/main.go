@@ -1,0 +1,135 @@
+// Command sweep produces latency-versus-offered-traffic series — the raw
+// data behind the paper's Figures 5, 6, 8 and 9 — for one or more named
+// configurations, as aligned text columns suitable for plotting.
+//
+// Usage:
+//
+//	sweep -configs FR6,FR13,VC8,VC16 -wiring fast -pktlen 5
+//	sweep -configs FR6,VC32 -pktlen 21 -from 0.1 -to 0.9 -step 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"frfc"
+)
+
+func main() {
+	var (
+		configs = flag.String("configs", "FR6,VC8", "comma-separated configs: FR6, FR13, VC8, VC16, VC32, FR6-leadN")
+		wiring  = flag.String("wiring", "fast", "fast or leading")
+		pktLen  = flag.Int("pktlen", 5, "packet length in data flits")
+		from    = flag.Float64("from", 0.10, "first offered load (fraction of capacity)")
+		to      = flag.Float64("to", 0.90, "last offered load")
+		step    = flag.Float64("step", 0.10, "load step")
+		sample  = flag.Int("sample", 5000, "packets sampled per point")
+		warmup  = flag.Int("warmup", 3000, "minimum warm-up cycles")
+		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
+		csv     = flag.Bool("csv", false, "emit comma-separated values (load%, then avg latency per config; empty cell = saturated)")
+	)
+	flag.Parse()
+
+	w := frfc.FastControl
+	if *wiring == "leading" {
+		w = frfc.LeadingControl
+	} else if *wiring != "fast" {
+		fmt.Fprintf(os.Stderr, "sweep: unknown wiring %q\n", *wiring)
+		os.Exit(2)
+	}
+
+	var loads []float64
+	for l := *from; l <= *to+1e-9; l += *step {
+		loads = append(loads, l)
+	}
+
+	names := strings.Split(*configs, ",")
+	series := make(map[string][]frfc.Result, len(names))
+	for _, name := range names {
+		spec, err := specFor(strings.TrimSpace(name), w, *pktLen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
+		spec = spec.WithSampling(*sample, *warmup)
+		if *seed != 0 {
+			spec = spec.WithSeed(*seed)
+		}
+		series[name] = frfc.Sweep(spec, loads)
+	}
+
+	if *csv {
+		fmt.Printf("load")
+		for _, name := range names {
+			fmt.Printf(",%s", name)
+		}
+		fmt.Println()
+		for i, l := range loads {
+			fmt.Printf("%.1f", l*100)
+			for _, name := range names {
+				r := series[name][i]
+				if r.Saturated {
+					fmt.Printf(",")
+				} else {
+					fmt.Printf(",%.2f", r.AvgLatency)
+				}
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	fmt.Printf("# latency (cycles) vs offered traffic (%% capacity); %s wiring, %d-flit packets\n", *wiring, *pktLen)
+	fmt.Printf("%-8s", "load%")
+	for _, name := range names {
+		fmt.Printf(" %14s", name)
+	}
+	fmt.Println()
+	for i, l := range loads {
+		fmt.Printf("%-8.1f", l*100)
+		for _, name := range names {
+			r := series[name][i]
+			if r.Saturated {
+				fmt.Printf(" %14s", "saturated")
+			} else {
+				fmt.Printf(" %14.2f", r.AvgLatency)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func specFor(name string, w frfc.Wiring, pktLen int) (frfc.Spec, error) {
+	if lead, ok := strings.CutPrefix(name, "FR6-lead"); ok {
+		var n int
+		if _, err := fmt.Sscanf(lead, "%d", &n); err != nil {
+			return frfc.Spec{}, fmt.Errorf("bad lead suffix in %q", name)
+		}
+		return frfc.FRLead(n, pktLen), nil
+	}
+	switch name {
+	case "FR6":
+		if w == frfc.LeadingControl {
+			return frfc.FRLead(1, pktLen), nil
+		}
+		return frfc.FR6(w, pktLen), nil
+	case "FR13":
+		return frfc.FR13(w, pktLen), nil
+	case "VC8":
+		return frfc.VC8(w, pktLen), nil
+	case "VC16":
+		return frfc.VC16(w, pktLen), nil
+	case "VC32":
+		return frfc.VC32(w, pktLen), nil
+	case "WH":
+		return frfc.WormholeSpec(w, 8, pktLen), nil
+	case "SAF":
+		return frfc.StoreAndForwardSpec(w, 2, pktLen), nil
+	case "VCT":
+		return frfc.CutThroughSpec(w, 2, pktLen), nil
+	default:
+		return frfc.Spec{}, fmt.Errorf("unknown config %q (FR6, FR13, VC8, VC16, VC32, WH, SAF, VCT, FR6-leadN)", name)
+	}
+}

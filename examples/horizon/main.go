@@ -1,0 +1,51 @@
+// Horizon tuning study: how far ahead should a flit-reservation router be
+// able to reserve? The scheduling horizon s sets the output and input
+// reservation tables' size (storage grows linearly in s, Table 1) and the
+// width of the arrival-time stamps (bandwidth grows as log2 s, Table 2), so
+// shorter is cheaper — and Figure 7 shows throughput is remarkably
+// insensitive above s=32. This example reproduces that sweep on a custom
+// configuration and prints the storage cost alongside, the trade a designer
+// actually faces.
+package main
+
+import (
+	"fmt"
+
+	"frfc"
+)
+
+func main() {
+	fmt.Println("FR6, fast control, 5-flit packets: scheduling-horizon sweep")
+	fmt.Println()
+	fmt.Printf("%-10s %14s %12s %14s\n", "horizon", "saturation", "lat@50%", "stamp bits")
+	for _, s := range []int{16, 32, 64, 128} {
+		spec, err := frfc.Custom(fmt.Sprintf("FR6-s%d", s), frfc.Options{
+			FlitReservation: true,
+			DataBuffers:     6,
+			CtrlVCs:         2,
+			Horizon:         s,
+			Wiring:          frfc.FastControl,
+		})
+		if err != nil {
+			panic(err)
+		}
+		spec = spec.WithSampling(3000, 2000)
+		sat := frfc.SaturationThroughput(spec, 0.02)
+		r := frfc.Run(spec, 0.50)
+		fmt.Printf("%-10d %13.0f%% %9.1f cy %14d\n", s, sat*100, r.AvgLatency, bits(s))
+	}
+	fmt.Println()
+	fmt.Println("A 16-cycle horizon already lands within ~10% of the best throughput;")
+	fmt.Println("beyond 32 cycles the extra reach goes unused unless control flits")
+	fmt.Println("lead their data by much more than the horizon. Spend the bits on")
+	fmt.Println("buffers instead.")
+}
+
+// bits is the arrival-time stamp width, ceil(log2 s).
+func bits(s int) int {
+	b := 0
+	for v := s - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+// Off-chip multiprocessor study: flit reservation without fast wires. In a
+// multiprocessor interconnect every wire runs at the same speed, but control
+// flits can still lead data flits in *time*: for a DRAM read reply, the
+// header is known while the array access is still in flight, so the control
+// flits can be injected one or more cycles early (Section 4.4's "leading
+// control").
+//
+// This example reproduces the two findings of Figures 8 and 9:
+//
+//   - throughput is essentially independent of the lead (1, 2 or 4 cycles),
+//     because once the data network congests, control flits pull ahead on
+//     their lightly loaded network regardless of the initial lead;
+//   - against virtual channels on the same 1-cycle wires, flit reservation
+//     matches the base latency and wins under load.
+package main
+
+import (
+	"fmt"
+
+	"frfc"
+)
+
+func main() {
+	fmt.Println("off-chip mesh, all wires 1 cycle, 5-flit packets")
+	fmt.Println()
+
+	// Finding 1: the lead barely matters.
+	fmt.Println("FR6 with control injected N cycles ahead of data:")
+	fmt.Printf("%-10s %14s %14s\n", "lead", "saturation", "lat@50%")
+	for _, lead := range []int{1, 2, 4} {
+		s := frfc.FRLead(lead, 5).WithSampling(3000, 2000)
+		sat := frfc.SaturationThroughput(s, 0.02)
+		r := frfc.Run(s, 0.50)
+		fmt.Printf("%-10d %13.0f%% %11.1f cy\n", lead, sat*100, r.AvgLatency)
+	}
+	fmt.Println()
+
+	// Finding 2: versus virtual channels on identical wires.
+	fmt.Println("1-cycle lead vs virtual channels:")
+	fmt.Printf("%-10s %12s %12s %14s\n", "config", "base lat.", "lat@50%", "saturation")
+	for _, s := range []frfc.Spec{
+		frfc.FRLead(1, 5),
+		frfc.VC8(frfc.LeadingControl, 5),
+		frfc.VC16(frfc.LeadingControl, 5),
+	} {
+		s = s.WithSampling(3000, 2000)
+		r := frfc.Run(s, 0.50)
+		fmt.Printf("%-10s %9.1f cy %9.1f cy %13.0f%%\n",
+			s.Name(), frfc.BaseLatency(s), r.AvgLatency, frfc.SaturationThroughput(s, 0.02)*100)
+	}
+	fmt.Println()
+	fmt.Println("The 1-cycle data deferral substitutes for VC's 1-cycle per-hop")
+	fmt.Println("routing/arbitration, so base latencies match; under load, control")
+	fmt.Println("flits forge ahead of the congested data network and reservations")
+	fmt.Println("recycle buffers immediately, extending throughput.")
+}

@@ -1,0 +1,323 @@
+// Package frfc is a cycle-accurate flit-level simulator of flit-reservation
+// flow control (Peh & Dally, HPCA 2000) and the baselines of its lineage —
+// virtual-channel, wormhole, store-and-forward, virtual cut-through, and
+// circuit switching — on a k-ary 2-mesh.
+//
+// In flit-reservation flow control, small control flits traverse a separate
+// control network ahead of the wide data flits, reserving buffers and channel
+// bandwidth cycle by cycle; data flits then move through the network on a
+// pre-arranged schedule, with zero buffer turnaround and no per-hop routing
+// or arbitration latency. The package exposes the paper's named experimental
+// configurations (FR6, FR13, VC8, VC16, VC32), its two physical wirings
+// (fast control wires; leading control on uniform wires), a measurement
+// harness implementing the paper's protocol, and the analytic storage and
+// bandwidth overhead models of its Tables 1 and 2.
+//
+// A minimal use:
+//
+//	spec := frfc.FR6(frfc.FastControl, 5)
+//	result := frfc.Run(spec, 0.50) // offered load: 50% of capacity
+//	fmt.Println(result.AvgLatency)
+package frfc
+
+import (
+	"fmt"
+
+	"frfc/internal/core"
+	"frfc/internal/experiment"
+	"frfc/internal/sim"
+	"frfc/internal/traffic"
+	"frfc/internal/vcrouter"
+)
+
+// Wiring selects the paper's two physical configurations.
+type Wiring string
+
+// Wirings. FastControl models on-chip control and credit wires four times
+// faster than the data wires (control/credit links 1 cycle, data links 4).
+// LeadingControl models uniform 1-cycle wires with control flits injected
+// ahead of their data flits.
+const (
+	FastControl    Wiring = Wiring(experiment.FastControl)
+	LeadingControl Wiring = Wiring(experiment.LeadingControl)
+)
+
+// Spec is a fully described network configuration plus measurement protocol.
+// Build one with a preset constructor (FR6, VC8, ...) or Custom, refine it
+// with the With* methods, and pass it to Run, Sweep, or SaturationThroughput.
+// Spec values are immutable; the With* methods return modified copies.
+type Spec struct {
+	inner experiment.Spec
+}
+
+// Name reports the configuration's display name.
+func (s Spec) Name() string { return s.inner.Name }
+
+// FR6 is the paper's 6-buffer flit-reservation configuration (2 control VCs
+// of 3 flits, scheduling horizon 32), storage-matched to VC8.
+func FR6(w Wiring, packetLen int) Spec {
+	return Spec{inner: experiment.FR6(experiment.Wiring(w), packetLen)}
+}
+
+// FR13 is the paper's 13-buffer flit-reservation configuration (4 control
+// VCs of 3 flits), storage-matched to VC16.
+func FR13(w Wiring, packetLen int) Spec {
+	return Spec{inner: experiment.FR13(experiment.Wiring(w), packetLen)}
+}
+
+// FRLead is FR6 under leading control with control flits injected lead
+// cycles ahead of their data flits (Figure 8 uses leads of 1, 2 and 4).
+func FRLead(lead int, packetLen int) Spec {
+	return Spec{inner: experiment.FRLead(sim.Cycle(lead), packetLen)}
+}
+
+// VC8 is virtual-channel flow control with 8 buffers per input (2 VCs × 4).
+func VC8(w Wiring, packetLen int) Spec {
+	return Spec{inner: experiment.VC8(experiment.Wiring(w), packetLen)}
+}
+
+// VC16 is virtual-channel flow control with 16 buffers per input (4 VCs × 4).
+func VC16(w Wiring, packetLen int) Spec {
+	return Spec{inner: experiment.VC16(experiment.Wiring(w), packetLen)}
+}
+
+// VC32 is virtual-channel flow control with 32 buffers per input (8 VCs × 4).
+func VC32(w Wiring, packetLen int) Spec {
+	return Spec{inner: experiment.VC32(experiment.Wiring(w), packetLen)}
+}
+
+// WormholeSpec is wormhole flow control [DalSei86] with the given flit
+// buffer depth per input — the pre-virtual-channel baseline of the paper's
+// related-work lineage.
+func WormholeSpec(w Wiring, bufferDepth, packetLen int) Spec {
+	return Spec{inner: experiment.WormholeSpec(fmt.Sprintf("WH%d", bufferDepth), experiment.Wiring(w), bufferDepth, packetLen)}
+}
+
+// StoreAndForwardSpec is store-and-forward flow control with the given
+// packet buffers per input: whole packets are received before being
+// forwarded, the oldest method in the paper's Section 2 lineage.
+func StoreAndForwardSpec(w Wiring, packetBuffers, packetLen int) Spec {
+	return Spec{inner: experiment.PacketSwitchSpec(fmt.Sprintf("SAF%d", packetBuffers), experiment.StoreForward, experiment.Wiring(w), packetBuffers, packetLen)}
+}
+
+// CutThroughSpec is virtual cut-through flow control [KerKle79]: forwarding
+// begins as soon as the header arrives, but buffers and channels are still
+// allocated in packet-sized units.
+func CutThroughSpec(w Wiring, packetBuffers, packetLen int) Spec {
+	return Spec{inner: experiment.PacketSwitchSpec(fmt.Sprintf("VCT%d", packetBuffers), experiment.CutThrough, experiment.Wiring(w), packetBuffers, packetLen)}
+}
+
+// CircuitSpec is circuit switching (the substrate of the wave-switching
+// hybrid the paper reviews): a probe on fast control wires reserves an
+// exclusive path, the message streams over it unbuffered, and the tail tears
+// it down. Strong on very long messages, weak on short ones — the setup must
+// amortize.
+func CircuitSpec(w Wiring, packetLen int) Spec {
+	return Spec{inner: experiment.CircuitSpec("CS", experiment.Wiring(w), packetLen)}
+}
+
+// Options describes a custom configuration for Custom. Zero fields take the
+// paper's defaults.
+type Options struct {
+	// FlitReservation selects the flow-control method: true for flit
+	// reservation, false for virtual channels.
+	FlitReservation bool
+
+	MeshRadix int // k for the k×k mesh (default 8)
+	PacketLen int // data flits per packet (default 5)
+
+	// Flit-reservation knobs.
+	DataBuffers       int // pooled data buffers per input (default 6)
+	CtrlVCs           int // control virtual channels (default 2)
+	CtrlBufPerVC      int // control buffers per VC (default 3)
+	Horizon           int // scheduling horizon in cycles (default 32)
+	LeadsPerCtrl      int // data flits led per control flit (default 1)
+	CtrlFlitsPerCycle int // control link bandwidth (default 2)
+	LeadCycles        int // control lead at injection (default 0)
+	AllOrNothing      bool
+	// TrackEagerTransfers runs the Figure 10 shadow ledger; read the
+	// result with EagerTransfers after a Run.
+	TrackEagerTransfers bool
+	// DataFaultRate destroys each inter-router data flit transmission
+	// with this probability, exercising the Section 5 error-recovery
+	// behavior (dropped flits, consistent tables, lost-packet detection
+	// at the destination). Flit-reservation configurations only.
+	DataFaultRate float64
+
+	// Virtual-channel knobs.
+	VCs        int // virtual channels per physical channel (default 2)
+	BufPerVC   int // flit queue depth per VC (default 4)
+	SharedPool bool
+
+	// Wiring (cycles; defaults depend on Wiring).
+	Wiring          Wiring
+	DataLinkLatency int
+	CtrlLinkLatency int
+	CreditLatency   int
+	LocalLatency    int
+
+	// Traffic pattern: "uniform" (default), "transpose", "bitcomp",
+	// "tornado", "neighbor", "bitrev", "shuffle".
+	Pattern string
+	// Bernoulli switches injection from the paper's constant-rate source
+	// to a Bernoulli process.
+	Bernoulli bool
+}
+
+// Custom builds a Spec from explicit options. It returns an error for
+// unknown pattern names; structural misconfiguration (e.g. zero buffers)
+// panics inside Run, as it indicates a programming error.
+func Custom(name string, o Options) (Spec, error) {
+	w := o.Wiring
+	if w == "" {
+		w = FastControl
+	}
+	var inner experiment.Spec
+	if o.FlitReservation {
+		base := experiment.FR6(experiment.Wiring(w), orDefault(o.PacketLen, 5))
+		cfg := base.FR
+		cfg = applyFR(cfg, o)
+		inner = base
+		inner.FR = cfg
+	} else {
+		base := experiment.VC8(experiment.Wiring(w), orDefault(o.PacketLen, 5))
+		cfg := base.VC
+		cfg = applyVC(cfg, o)
+		inner = base
+		inner.VC = cfg
+	}
+	inner.Name = name
+	if o.MeshRadix != 0 {
+		inner.MeshRadix = o.MeshRadix
+	}
+	inner.Bernoulli = o.Bernoulli
+	if o.Pattern != "" {
+		p, err := patternByName(o.Pattern)
+		if err != nil {
+			return Spec{}, err
+		}
+		inner.Pattern = p
+	}
+	return Spec{inner: inner}, nil
+}
+
+func applyFR(cfg core.Config, o Options) core.Config {
+	if o.DataBuffers != 0 {
+		cfg.DataBuffers = o.DataBuffers
+	}
+	if o.CtrlVCs != 0 {
+		cfg.CtrlVCs = o.CtrlVCs
+	}
+	if o.CtrlBufPerVC != 0 {
+		cfg.CtrlBufPerVC = o.CtrlBufPerVC
+	}
+	if o.Horizon != 0 {
+		cfg.Horizon = sim.Cycle(o.Horizon)
+	}
+	if o.LeadsPerCtrl != 0 {
+		cfg.LeadsPerCtrl = o.LeadsPerCtrl
+	}
+	if o.CtrlFlitsPerCycle != 0 {
+		cfg.CtrlFlitsPerCycle = o.CtrlFlitsPerCycle
+	}
+	if o.LeadCycles != 0 {
+		cfg.LeadCycles = sim.Cycle(o.LeadCycles)
+	}
+	if o.DataLinkLatency != 0 {
+		cfg.DataLinkLatency = sim.Cycle(o.DataLinkLatency)
+	}
+	if o.CtrlLinkLatency != 0 {
+		cfg.CtrlLinkLatency = sim.Cycle(o.CtrlLinkLatency)
+	}
+	if o.CreditLatency != 0 {
+		cfg.CreditLatency = sim.Cycle(o.CreditLatency)
+	}
+	if o.LocalLatency != 0 {
+		cfg.LocalLatency = sim.Cycle(o.LocalLatency)
+	}
+	cfg.AllOrNothing = o.AllOrNothing
+	cfg.TrackEagerTransfers = o.TrackEagerTransfers
+	cfg.DataFaultRate = o.DataFaultRate
+	return cfg
+}
+
+func applyVC(cfg vcrouter.Config, o Options) vcrouter.Config {
+	if o.VCs != 0 {
+		cfg.NumVCs = o.VCs
+	}
+	if o.BufPerVC != 0 {
+		cfg.BufPerVC = o.BufPerVC
+	}
+	cfg.SharedPool = o.SharedPool
+	if o.DataLinkLatency != 0 {
+		cfg.LinkLatency = sim.Cycle(o.DataLinkLatency)
+	}
+	if o.CreditLatency != 0 {
+		cfg.CreditLatency = sim.Cycle(o.CreditLatency)
+	}
+	if o.LocalLatency != 0 {
+		cfg.LocalLatency = sim.Cycle(o.LocalLatency)
+	}
+	return cfg
+}
+
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// patternByName resolves a traffic-pattern name for Custom.
+func patternByName(name string) (traffic.Pattern, error) {
+	switch name {
+	case "uniform", "":
+		return traffic.Uniform{}, nil
+	case "transpose":
+		return traffic.Transpose{}, nil
+	case "bitcomp":
+		return traffic.BitComplement{}, nil
+	case "tornado":
+		return traffic.Tornado{}, nil
+	case "neighbor":
+		return traffic.Neighbor{}, nil
+	case "bitrev":
+		return traffic.BitReverse{}, nil
+	case "shuffle":
+		return traffic.Shuffle{}, nil
+	default:
+		return nil, fmt.Errorf("frfc: unknown traffic pattern %q", name)
+	}
+}
+
+// WithSeed returns the spec with a different random seed.
+func (s Spec) WithSeed(seed uint64) Spec {
+	s.inner.Seed = seed
+	return s
+}
+
+// WithSampling returns the spec with the given measurement sample size and
+// minimum warm-up length (cycles).
+func (s Spec) WithSampling(samplePackets int, warmupCycles int) Spec {
+	s.inner = s.inner.Scaled(samplePackets, sim.Cycle(warmupCycles))
+	return s
+}
+
+// PaperScale returns the spec with the paper's full measurement protocol:
+// at least 10,000 warm-up cycles and 100,000 sampled packets.
+func (s Spec) PaperScale() Spec {
+	s.inner = s.inner.PaperScale()
+	return s
+}
+
+// WithMeshRadix returns the spec on a k×k mesh.
+func (s Spec) WithMeshRadix(k int) Spec {
+	s.inner.MeshRadix = k
+	return s
+}
+
+// WithName returns the spec relabeled.
+func (s Spec) WithName(name string) Spec {
+	s.inner.Name = name
+	return s
+}

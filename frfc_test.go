@@ -1,0 +1,201 @@
+package frfc_test
+
+import (
+	"strings"
+	"testing"
+
+	"frfc"
+)
+
+func TestPresetNames(t *testing.T) {
+	cases := []struct {
+		spec frfc.Spec
+		want string
+	}{
+		{frfc.FR6(frfc.FastControl, 5), "FR6"},
+		{frfc.FR13(frfc.FastControl, 5), "FR13"},
+		{frfc.VC8(frfc.FastControl, 5), "VC8"},
+		{frfc.VC16(frfc.LeadingControl, 5), "VC16"},
+		{frfc.VC32(frfc.FastControl, 21), "VC32"},
+		{frfc.FRLead(2, 5), "FR6-lead2"},
+	}
+	for _, c := range cases {
+		if c.spec.Name() != c.want {
+			t.Errorf("Name() = %q, want %q", c.spec.Name(), c.want)
+		}
+	}
+}
+
+func TestWithMethodsReturnCopies(t *testing.T) {
+	base := frfc.FR6(frfc.FastControl, 5)
+	renamed := base.WithName("experiment-A")
+	if base.Name() != "FR6" || renamed.Name() != "experiment-A" {
+		t.Fatalf("WithName mutated the receiver: %q / %q", base.Name(), renamed.Name())
+	}
+}
+
+func TestCustomRejectsUnknownPattern(t *testing.T) {
+	_, err := frfc.Custom("x", frfc.Options{Pattern: "zigzag"})
+	if err == nil || !strings.Contains(err.Error(), "zigzag") {
+		t.Fatalf("Custom with bad pattern: err = %v", err)
+	}
+}
+
+func TestCustomBuildsBothFlavors(t *testing.T) {
+	fr, err := frfc.Custom("my-fr", frfc.Options{
+		FlitReservation: true, MeshRadix: 4, DataBuffers: 8, CtrlVCs: 2,
+		Horizon: 16, Pattern: "transpose", Wiring: frfc.LeadingControl, LeadCycles: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := frfc.Custom("my-vc", frfc.Options{
+		FlitReservation: false, MeshRadix: 4, VCs: 4, BufPerVC: 2,
+		Pattern: "tornado", Bernoulli: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []frfc.Spec{fr, vc} {
+		r := frfc.Run(s.WithSampling(200, 400), 0.15)
+		if r.Saturated || r.SampledDelivered != 200 {
+			t.Errorf("%s at 15%% load: saturated=%v delivered=%d/200", s.Name(), r.Saturated, r.SampledDelivered)
+		}
+	}
+}
+
+func TestRunReportsConsistentResult(t *testing.T) {
+	s := frfc.FR6(frfc.FastControl, 5).WithMeshRadix(4).WithSampling(300, 500)
+	r := frfc.Run(s, 0.30)
+	if r.Spec != "FR6" {
+		t.Errorf("Spec = %q", r.Spec)
+	}
+	if r.Load != 0.30 {
+		t.Errorf("Load = %v", r.Load)
+	}
+	if r.EffectiveLoad >= r.Load {
+		t.Errorf("EffectiveLoad %v not debited below Load %v", r.EffectiveLoad, r.Load)
+	}
+	if r.MinLatency <= 0 || float64(r.MinLatency) > r.AvgLatency || r.AvgLatency > float64(r.MaxLatency) {
+		t.Errorf("latency ordering broken: min %d avg %.1f max %d", r.MinLatency, r.AvgLatency, r.MaxLatency)
+	}
+	if r.Cycles <= 0 {
+		t.Errorf("Cycles = %d", r.Cycles)
+	}
+}
+
+func TestSweepAndSeedDeterminism(t *testing.T) {
+	s := frfc.VC8(frfc.FastControl, 5).WithMeshRadix(4).WithSampling(200, 400).WithSeed(77)
+	a := frfc.Sweep(s, []float64{0.2, 0.4})
+	b := frfc.Sweep(s, []float64{0.2, 0.4})
+	for i := range a {
+		if a[i].AvgLatency != b[i].AvgLatency {
+			t.Fatalf("same seed, different latency at point %d: %v vs %v", i, a[i].AvgLatency, b[i].AvgLatency)
+		}
+	}
+	c := frfc.Run(s.WithSeed(78), 0.2)
+	if c.AvgLatency == a[0].AvgLatency {
+		t.Log("different seeds produced identical latency (possible but unlikely)")
+	}
+}
+
+func TestStorageTableShape(t *testing.T) {
+	rows := frfc.StorageTable()
+	if len(rows) != 5 {
+		t.Fatalf("StorageTable has %d rows, want 5", len(rows))
+	}
+	byName := map[string]frfc.StorageRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["VC8"].BitsPerNode != 10452 || byName["FR6"].BitsPerNode != 10762 {
+		t.Errorf("Table 1 totals wrong: VC8 %d, FR6 %d", byName["VC8"].BitsPerNode, byName["FR6"].BitsPerNode)
+	}
+	if byName["VC8"].CtrlBuffers != 0 || byName["FR6"].CtrlBuffers == 0 {
+		t.Error("control-buffer rows misplaced")
+	}
+}
+
+func TestBandwidthTableShape(t *testing.T) {
+	rows, penalty := frfc.BandwidthTable()
+	if len(rows) != 2 {
+		t.Fatalf("BandwidthTable has %d rows, want 2", len(rows))
+	}
+	if rows[1].BitsPerFlit-rows[0].BitsPerFlit != 5 {
+		t.Errorf("FR extra bits = %v, want 5", rows[1].BitsPerFlit-rows[0].BitsPerFlit)
+	}
+	if penalty < 0.019 || penalty > 0.020 {
+		t.Errorf("penalty = %v, want ~0.0195", penalty)
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	for _, name := range []string{"uniform", "transpose", "bitcomp", "tornado", "neighbor", "bitrev", "shuffle", ""} {
+		if _, err := frfc.Custom("p", frfc.Options{Pattern: name}); err != nil {
+			t.Errorf("Custom with pattern %q failed: %v", name, err)
+		}
+	}
+	if _, err := frfc.Custom("p", frfc.Options{Pattern: "nope"}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestEagerTransferTracking(t *testing.T) {
+	s, err := frfc.Custom("eager", frfc.Options{
+		FlitReservation: true, MeshRadix: 4, DataBuffers: 6, CtrlVCs: 2,
+		TrackEagerTransfers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frfc.Run(s.WithSampling(400, 500), 0.6)
+	if r.EagerResidencies == 0 {
+		t.Fatal("eager ledger replayed nothing")
+	}
+	if r.EagerTransfers < 0 || r.EagerTransfers > r.EagerResidencies {
+		t.Fatalf("transfers %d outside [0, %d]", r.EagerTransfers, r.EagerResidencies)
+	}
+	// Without tracking, the counters stay zero.
+	r2 := frfc.Run(frfc.FR6(frfc.FastControl, 5).WithMeshRadix(4).WithSampling(200, 400), 0.3)
+	if r2.EagerResidencies != 0 {
+		t.Error("untracked run reported ledger activity")
+	}
+}
+
+func TestRelatedWorkBaselinesDeliver(t *testing.T) {
+	for _, s := range []frfc.Spec{
+		frfc.WormholeSpec(frfc.FastControl, 8, 5),
+		frfc.StoreAndForwardSpec(frfc.FastControl, 2, 5),
+		frfc.CutThroughSpec(frfc.FastControl, 2, 5),
+	} {
+		s = s.WithMeshRadix(4).WithSampling(200, 400)
+		r := frfc.Run(s, 0.15)
+		if r.Saturated || r.SampledDelivered != 200 {
+			t.Errorf("%s at 15%%: saturated=%v delivered=%d/200", s.Name(), r.Saturated, r.SampledDelivered)
+		}
+	}
+}
+
+func TestLineageBaseLatencyOrdering(t *testing.T) {
+	// The Section 2 story in one assertion: store-and-forward pays packet
+	// serialization per hop; cut-through, wormhole and VC pay link+router
+	// per hop; flit reservation hides the router cycle.
+	at := func(s frfc.Spec) float64 {
+		return frfc.BaseLatency(s.WithMeshRadix(4).WithSampling(200, 400))
+	}
+	saf := at(frfc.StoreAndForwardSpec(frfc.FastControl, 2, 5))
+	vct := at(frfc.CutThroughSpec(frfc.FastControl, 2, 5))
+	wh := at(frfc.WormholeSpec(frfc.FastControl, 8, 5))
+	fr := at(frfc.FR6(frfc.FastControl, 5))
+	if !(saf > vct && vct >= wh-1 && fr < wh) {
+		t.Errorf("lineage ordering broken: SAF %.1f, VCT %.1f, WH %.1f, FR %.1f", saf, vct, wh, fr)
+	}
+}
+
+func TestCircuitSwitchingDelivers(t *testing.T) {
+	s := frfc.CircuitSpec(frfc.FastControl, 5).WithMeshRadix(4).WithSampling(200, 400)
+	r := frfc.Run(s, 0.10)
+	if r.Saturated || r.SampledDelivered != 200 {
+		t.Fatalf("circuit switching at 10%%: saturated=%v delivered=%d/200", r.Saturated, r.SampledDelivered)
+	}
+}

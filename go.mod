@@ -1,0 +1,3 @@
+module frfc
+
+go 1.22

@@ -1,0 +1,283 @@
+// Package circuit implements circuit switching, the substrate of the wave
+// switching hybrid the paper reviews in Section 2 [DLSY96]: a probe
+// traverses a separate control network reserving an exclusive path of data
+// channels; an acknowledgment returns to the source; the message then
+// streams over the circuit with no per-hop buffering, arbitration, or flow
+// control at all; and the tail flit tears the circuit down behind itself.
+//
+// Circuit switching shares flit reservation's insight — move the control
+// decisions off the data path — but allocates channels for a whole message
+// rather than cycle by cycle. As the paper observes, its gains are "only
+// realizable if the circuit setup time can be amortized over many message
+// deliveries": the benchmarks show it beating buffered flow control on very
+// long messages and losing badly on short ones.
+package circuit
+
+import (
+	"fmt"
+
+	"frfc/internal/noc"
+	"frfc/internal/routing"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// Config selects a circuit-switched network configuration.
+type Config struct {
+	// ProbeBuffers is the probe queue depth per control input.
+	ProbeBuffers int
+	// LinkLatency is the data-wire delay between adjacent routers.
+	LinkLatency sim.Cycle
+	// CtrlLinkLatency is the probe/ack wire delay (fast control wires,
+	// as in wave switching).
+	CtrlLinkLatency sim.Cycle
+	// LocalLatency is the injection/ejection link delay.
+	LocalLatency sim.Cycle
+
+	Routing routing.Function
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeBuffers == 0 {
+		c.ProbeBuffers = 4
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 4
+	}
+	if c.CtrlLinkLatency == 0 {
+		c.CtrlLinkLatency = 1
+	}
+	if c.LocalLatency == 0 {
+		c.LocalLatency = 1
+	}
+	if c.Routing == nil {
+		c.Routing = routing.XY
+	}
+	return c
+}
+
+func (c Config) validate() {
+	if c.ProbeBuffers < 1 {
+		panic("circuit: ProbeBuffers must be >= 1")
+	}
+	if c.LinkLatency < 1 || c.CtrlLinkLatency < 1 || c.LocalLatency < 1 {
+		panic("circuit: link latencies must be >= 1 cycle")
+	}
+}
+
+// circuitID identifies one circuit; IDs are the packet IDs.
+type circuitID = noc.PacketID
+
+// probe asks for a path to Dst on behalf of packet P.
+type probe struct {
+	p *noc.Packet
+}
+
+// ack travels the reserved path backwards to release the source.
+type ack struct {
+	id circuitID
+}
+
+// probeQueue is the control input of one router port.
+type probeQueue struct {
+	exists    bool
+	q         []probe
+	arrivedAt []sim.Cycle
+	in        *sim.Pipe[probe]
+	creditOut *sim.Pipe[noc.VCCredit]
+	// ackOut sends acks back toward the probe's origin.
+	ackOut *sim.Pipe[ack]
+}
+
+// outputPort is the data-network side of one router output.
+type outputPort struct {
+	exists bool
+	owner  circuitID
+	owned  bool
+	// inPort remembers which input feeds the owner circuit, for data
+	// forwarding and teardown.
+	inPort topology.Port
+
+	probeOut      *sim.Pipe[probe]
+	probeCreditIn *sim.Pipe[noc.VCCredit]
+	ackIn         *sim.Pipe[ack]
+	data          *sim.Pipe[noc.DataFlit]
+	// probeCredits gates probe forwarding into the downstream queue.
+	probeCredits int
+}
+
+// Router is one circuit-switched router: probes arbitrate for exclusive
+// ownership of output channels; data flits pass through combinationally
+// along established circuits.
+type Router struct {
+	id   topology.NodeID
+	mesh topology.Mesh
+	cfg  Config
+	rng  *sim.RNG
+
+	in  [topology.NumPorts]probeQueue
+	out [topology.NumPorts]outputPort
+
+	// route maps an owned input port's circuit onto its output port, for
+	// data forwarding and ack backtracking.
+	fwd map[circuitID]fwdEntry
+
+	dataIn [topology.NumPorts]*sim.Pipe[noc.DataFlit]
+
+	cands []int
+}
+
+type fwdEntry struct {
+	in, out topology.Port
+}
+
+func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG) *Router {
+	r := &Router{id: id, mesh: mesh, cfg: cfg, rng: rng, fwd: make(map[circuitID]fwdEntry)}
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if p != topology.Local && !mesh.HasLink(id, p) {
+			continue
+		}
+		r.in[p] = probeQueue{exists: true}
+		r.out[p] = outputPort{exists: true, probeCredits: cfg.ProbeBuffers}
+	}
+	return r
+}
+
+// Tick advances the router one cycle: absorb acks and probe credits, route
+// and grant probes, then forward circuit data.
+func (r *Router) Tick(now sim.Cycle) {
+	// Acks travel backwards: an ack arriving on an output port's ack wire
+	// belongs to the circuit using that output; relay it toward the
+	// circuit's input.
+	for p := range r.out {
+		o := &r.out[p]
+		if !o.exists || o.ackIn == nil {
+			continue
+		}
+		o.ackIn.RecvEach(now, func(a ack) {
+			e, ok := r.fwd[a.id]
+			if !ok {
+				panic(fmt.Sprintf("circuit: node %d relaying ack for unknown circuit %d", r.id, a.id))
+			}
+			r.in[e.in].ackOut.Send(now, a)
+		})
+	}
+	// Probe credits.
+	for p := range r.out {
+		o := &r.out[p]
+		if !o.exists || o.probeCreditIn == nil {
+			continue
+		}
+		o.probeCreditIn.RecvEach(now, func(noc.VCCredit) {
+			o.probeCredits++
+			if o.probeCredits > r.cfg.ProbeBuffers {
+				panic("circuit: probe credit overflow")
+			}
+		})
+	}
+	// Receive probes.
+	for p := range r.in {
+		in := &r.in[p]
+		if !in.exists || in.in == nil {
+			continue
+		}
+		in.in.RecvEach(now, func(pr probe) {
+			in.q = append(in.q, pr)
+			in.arrivedAt = append(in.arrivedAt, now)
+			if len(in.q) > r.cfg.ProbeBuffers {
+				panic(fmt.Sprintf("circuit: node %d probe buffer overflow on %s", r.id, topology.Port(p)))
+			}
+		})
+	}
+	r.grantProbes(now)
+	r.forwardData(now)
+}
+
+// grantProbes routes the probe at the head of each input queue and, when its
+// output channel is free (and the downstream probe queue has room), extends
+// the circuit and forwards the probe. At the destination the circuit is
+// complete: the ack starts its journey back.
+func (r *Router) grantProbes(now sim.Cycle) {
+	r.cands = r.cands[:0]
+	for p := range r.in {
+		in := &r.in[p]
+		if !in.exists || len(in.q) == 0 || in.arrivedAt[0] >= now {
+			continue
+		}
+		r.cands = append(r.cands, p)
+	}
+	for i := len(r.cands) - 1; i > 0; i-- {
+		j := r.rng.Intn(i + 1)
+		r.cands[i], r.cands[j] = r.cands[j], r.cands[i]
+	}
+	for _, p := range r.cands {
+		in := &r.in[p]
+		pr := in.q[0]
+		out := r.cfg.Routing(r.mesh, r.id, pr.p.Dst)
+		o := &r.out[out]
+		if o.owned {
+			continue // channel held by another circuit: wait
+		}
+		if out != topology.Local && o.probeCredits == 0 {
+			continue // downstream probe queue full
+		}
+		// Extend the circuit.
+		o.owned = true
+		o.owner = pr.p.ID
+		o.inPort = topology.Port(p)
+		r.fwd[pr.p.ID] = fwdEntry{in: topology.Port(p), out: out}
+		// Consume the probe.
+		copy(in.q, in.q[1:])
+		in.q = in.q[:len(in.q)-1]
+		copy(in.arrivedAt, in.arrivedAt[1:])
+		in.arrivedAt = in.arrivedAt[:len(in.arrivedAt)-1]
+		if in.creditOut != nil {
+			in.creditOut.Send(now, noc.VCCredit{})
+		}
+		if out == topology.Local {
+			// Destination: the circuit is complete; launch the ack
+			// back toward the source.
+			in.ackOut.Send(now, ack{id: pr.p.ID})
+			continue
+		}
+		o.probeCredits--
+		o.probeOut.Send(now, pr)
+	}
+}
+
+// forwardData relays circuit data combinationally: a flit arriving on an
+// input follows its circuit's output the same cycle (the wires are switched
+// through; there is no buffering). Tails tear the circuit down.
+func (r *Router) forwardData(now sim.Cycle) {
+	for p := range r.dataIn {
+		pipe := r.dataIn[p]
+		if pipe == nil {
+			continue
+		}
+		pipe.RecvEach(now, func(f noc.DataFlit) {
+			e, ok := r.fwd[f.Packet.ID]
+			if !ok || e.in != topology.Port(p) {
+				panic(fmt.Sprintf("circuit: node %d: data flit %s with no circuit", r.id, f))
+			}
+			o := &r.out[e.out]
+			if !o.owned || o.owner != f.Packet.ID {
+				panic(fmt.Sprintf("circuit: node %d: flit %s on a channel owned by circuit %d", r.id, f, o.owner))
+			}
+			o.data.Send(now, f)
+			if f.Type.IsTail() {
+				o.owned = false
+				delete(r.fwd, f.Packet.ID)
+			}
+		})
+	}
+}
+
+func (r *Router) pendingWork() int {
+	n := len(r.fwd)
+	for p := range r.in {
+		if r.in[p].exists {
+			n += len(r.in[p].q)
+		}
+	}
+	return n
+}

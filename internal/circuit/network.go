@@ -1,0 +1,253 @@
+package circuit
+
+import (
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// ni is the circuit-switched network interface: one packet at a time, it
+// launches a probe, waits for the ack announcing the circuit is complete,
+// streams the data flits, and moves on (the tail tears the circuit down as
+// it travels).
+type ni struct {
+	cfg   Config
+	hooks *noc.Hooks
+
+	queue   []*noc.Packet
+	current *noc.Packet
+	flits   []noc.DataFlit
+	next    int
+	acked   bool
+
+	probeCredits int
+
+	probeOut      *sim.Pipe[probe]
+	probeCreditIn *sim.Pipe[noc.VCCredit]
+	ackIn         *sim.Pipe[ack]
+	dataOut       *sim.Pipe[noc.DataFlit]
+}
+
+func newNI(cfg Config, hooks *noc.Hooks) *ni {
+	return &ni{cfg: cfg, hooks: hooks, probeCredits: cfg.ProbeBuffers}
+}
+
+func (n *ni) offer(p *noc.Packet) { n.queue = append(n.queue, p) }
+
+func (n *ni) queueLen() int { return len(n.queue) }
+
+func (n *ni) Tick(now sim.Cycle) {
+	n.probeCreditIn.RecvEach(now, func(noc.VCCredit) {
+		n.probeCredits++
+		if n.probeCredits > n.cfg.ProbeBuffers {
+			panic("circuit: NI probe credit overflow")
+		}
+	})
+	n.ackIn.RecvEach(now, func(a ack) {
+		if n.current == nil || a.id != n.current.ID {
+			panic("circuit: ack for a packet the NI is not waiting on")
+		}
+		n.acked = true
+	})
+	if n.current == nil && len(n.queue) > 0 && n.probeCredits > 0 {
+		p := n.queue[0]
+		copy(n.queue, n.queue[1:])
+		n.queue[len(n.queue)-1] = nil
+		n.queue = n.queue[:len(n.queue)-1]
+		n.current = p
+		p.InjectedAt = now
+		n.flits = noc.DataFlits(p)
+		n.next = 0
+		n.acked = false
+		n.probeCredits--
+		n.probeOut.Send(now, probe{p: p})
+	}
+	if n.current != nil && n.acked && n.next < len(n.flits) {
+		n.dataOut.Send(now, n.flits[n.next])
+		n.hooks.Injected(now)
+		n.next++
+		if n.next == len(n.flits) {
+			n.current = nil
+			n.flits = nil
+		}
+	}
+}
+
+func (n *ni) pendingWork() int {
+	w := len(n.queue)
+	if n.current != nil {
+		w++
+	}
+	return w
+}
+
+// sink reassembles ejected packets.
+type sink struct {
+	data  *sim.Pipe[noc.DataFlit]
+	got   map[noc.PacketID]int
+	hooks *noc.Hooks
+}
+
+func newSink(hooks *noc.Hooks) *sink {
+	return &sink{got: make(map[noc.PacketID]int), hooks: hooks}
+}
+
+func (s *sink) Tick(now sim.Cycle) {
+	s.data.RecvEach(now, func(f noc.DataFlit) {
+		s.hooks.Ejected(now)
+		s.got[f.Packet.ID]++
+		if s.got[f.Packet.ID] == f.Packet.Len {
+			delete(s.got, f.Packet.ID)
+			s.hooks.Delivered(f.Packet, now)
+		}
+	})
+}
+
+// Network is a mesh of circuit-switched routers.
+type Network struct {
+	mesh  topology.Mesh
+	cfg   Config
+	hooks *noc.Hooks
+
+	routers []*Router
+	nis     []*ni
+	sinks   []*sink
+
+	offered   int64
+	delivered int64
+}
+
+var _ noc.Network = (*Network)(nil)
+
+// New assembles a circuit-switched network over the given mesh.
+func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	if hooks == nil {
+		hooks = &noc.Hooks{}
+	}
+	n := &Network{mesh: mesh, cfg: cfg}
+
+	inner := *hooks
+	wrapped := inner
+	wrapped.PacketDelivered = func(p *noc.Packet, now sim.Cycle) {
+		n.delivered++
+		if inner.PacketDelivered != nil {
+			inner.PacketDelivered(p, now)
+		}
+	}
+	n.hooks = &wrapped
+
+	root := sim.NewRNG(seed)
+	n.routers = make([]*Router, mesh.N())
+	n.nis = make([]*ni, mesh.N())
+	n.sinks = make([]*sink, mesh.N())
+	for id := 0; id < mesh.N(); id++ {
+		n.routers[id] = newRouter(topology.NodeID(id), mesh, cfg, root.Split())
+	}
+	for id := 0; id < mesh.N(); id++ {
+		n.nis[id] = newNI(cfg, n.hooks)
+		n.sinks[id] = newSink(n.hooks)
+	}
+	n.wire()
+	return n
+}
+
+func (n *Network) wire() {
+	cfg := n.cfg
+	for id := 0; id < n.mesh.N(); id++ {
+		r := n.routers[id]
+		for p := topology.Port(0); p < topology.Local; p++ {
+			nb, ok := n.mesh.Neighbor(topology.NodeID(id), p)
+			if !ok {
+				continue
+			}
+			far := n.routers[nb]
+			op := p.Opposite()
+
+			probes := sim.NewPipe[probe](cfg.CtrlLinkLatency, 1)
+			r.out[p].probeOut = probes
+			far.in[op].in = probes
+
+			probeCredit := sim.NewPipe[noc.VCCredit](cfg.CtrlLinkLatency, 1)
+			r.out[p].probeCreditIn = probeCredit
+			far.in[op].creditOut = probeCredit
+
+			acks := sim.NewPipe[ack](cfg.CtrlLinkLatency, cfg.ProbeBuffers)
+			r.out[p].ackIn = acks
+			far.in[op].ackOut = acks
+
+			data := sim.NewPipe[noc.DataFlit](cfg.LinkLatency, 1)
+			r.out[p].data = data
+			far.dataIn[op] = data
+		}
+
+		ni := n.nis[id]
+		sink := n.sinks[id]
+
+		injProbe := sim.NewPipe[probe](cfg.CtrlLinkLatency, 1)
+		ni.probeOut = injProbe
+		r.in[topology.Local].in = injProbe
+
+		injProbeCredit := sim.NewPipe[noc.VCCredit](cfg.CtrlLinkLatency, 1)
+		ni.probeCreditIn = injProbeCredit
+		r.in[topology.Local].creditOut = injProbeCredit
+
+		ackPipe := sim.NewPipe[ack](cfg.CtrlLinkLatency, cfg.ProbeBuffers)
+		ni.ackIn = ackPipe
+		r.in[topology.Local].ackOut = ackPipe
+
+		injData := sim.NewPipe[noc.DataFlit](cfg.LocalLatency, 1)
+		ni.dataOut = injData
+		r.dataIn[topology.Local] = injData
+
+		ejData := sim.NewPipe[noc.DataFlit](cfg.LocalLatency, 1)
+		r.out[topology.Local].data = ejData
+		sink.data = ejData
+	}
+}
+
+// Offer implements noc.Network.
+func (n *Network) Offer(p *noc.Packet) {
+	n.offered++
+	n.nis[p.Src].offer(p)
+}
+
+// Tick implements noc.Network.
+func (n *Network) Tick(now sim.Cycle) {
+	for _, x := range n.nis {
+		x.Tick(now)
+	}
+	for _, r := range n.routers {
+		r.Tick(now)
+	}
+	for _, s := range n.sinks {
+		s.Tick(now)
+	}
+}
+
+// SourceQueueLen implements noc.Network.
+func (n *Network) SourceQueueLen() int {
+	total := 0
+	for _, x := range n.nis {
+		total += x.queueLen()
+	}
+	return total
+}
+
+// InFlightPackets implements noc.Network.
+func (n *Network) InFlightPackets() int {
+	return int(n.offered - n.delivered)
+}
+
+// BufferUsage implements noc.Network. Circuit switching buffers no data
+// flits at routers; the only storage is the probe queues, which hold no
+// payload, so usage is always zero.
+func (n *Network) BufferUsage(id topology.NodeID) (used, capacity int) {
+	return 0, 0
+}
+
+// PoolUsage implements noc.Network.
+func (n *Network) PoolUsage(id topology.NodeID, port topology.Port) (used, capacity int) {
+	return 0, 0
+}

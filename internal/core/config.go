@@ -1,0 +1,179 @@
+// Package core implements flit-reservation flow control, the paper's primary
+// contribution. Control flits traverse a separate control network in advance
+// of the data flits and reserve data-network buffers and channel bandwidth
+// cycle by cycle; data flits carry payload only and are steered purely by
+// their pre-arranged schedule.
+//
+// A router (Figure 3 of the paper) consists of:
+//
+//   - a control network side: per-input control virtual channels with small
+//     queues, credit-based wormhole allocation, and a routing table indexed
+//     by control VCID;
+//   - an output reservation table per output port recording, for every cycle
+//     out to the scheduling horizon, whether the output channel is reserved
+//     and how many buffers will be free at the downstream input pool;
+//   - an input reservation table per input port directing, cycle by cycle,
+//     which buffer each arriving data flit is written to and which buffer is
+//     driven onto which output channel;
+//   - a shared data-buffer pool per input port, with a specific buffer chosen
+//     only when the flit arrives (deferred allocation, Section 5).
+//
+// Reservation signals update the input reservation table and return credits
+// upstream announcing the future cycle a buffer frees, so buffers are
+// accounted busy only for the flit's actual residency — zero turnaround.
+package core
+
+import (
+	"fmt"
+
+	"frfc/internal/routing"
+	"frfc/internal/sim"
+)
+
+// Config selects a flit-reservation network configuration. The paper's
+// measured points are FR6 (6 data buffers, 2 control VCs) and FR13 (13 data
+// buffers, 4 control VCs); see internal/experiment for the named presets.
+type Config struct {
+	// DataBuffers is b_d, the size of each input port's pooled data-flit
+	// buffer.
+	DataBuffers int
+	// CtrlVCs is v_c, the number of virtual channels per control channel.
+	CtrlVCs int
+	// CtrlBufPerVC is the depth of each control VC queue (3 in the
+	// paper's configurations).
+	CtrlBufPerVC int
+	// Horizon is s, the scheduling horizon: at cycle t the latest
+	// reservable departure is t+Horizon (32 in the paper; swept 16–128
+	// in Figure 7).
+	Horizon sim.Cycle
+	// LeadsPerCtrl is d, the maximum number of data flits led by one
+	// control flit (1 in the paper's measured configurations; Section 5
+	// discusses wider control flits).
+	LeadsPerCtrl int
+	// CtrlFlitsPerCycle is the control channel bandwidth in control
+	// flits per cycle (2 in the paper: two narrow control flits are
+	// injected and processed per cycle).
+	CtrlFlitsPerCycle int
+
+	// DataLinkLatency is the data-wire propagation delay between
+	// adjacent routers (4 with fast control wires, 1 in the
+	// leading-control configuration).
+	DataLinkLatency sim.Cycle
+	// CtrlLinkLatency is the control-wire propagation delay (1 cycle in
+	// both configurations).
+	CtrlLinkLatency sim.Cycle
+	// CreditLatency is the credit-wire propagation delay (1 cycle).
+	CreditLatency sim.Cycle
+	// LocalLatency is the injection/ejection data link delay between a
+	// network interface and its router.
+	LocalLatency sim.Cycle
+	// LeadCycles is N, the number of cycles data flits are deferred
+	// behind their control flits at injection (0 under fast control;
+	// 1, 2, 4 in Figure 8's leading-control experiments).
+	LeadCycles sim.Cycle
+
+	// AllOrNothing switches output scheduling from the default per-flit
+	// mode to all-or-nothing: a control flit's reservations commit only
+	// if every data flit it leads can be scheduled (Section 5 ablation;
+	// it only differs from per-flit mode when LeadsPerCtrl > 1).
+	AllOrNothing bool
+	// TrackEagerTransfers, when set, runs a shadow ledger that assigns
+	// specific buffers at reservation time — the alternative policy of
+	// Figure 10 — and counts the buffer-to-buffer transfers that policy
+	// would force. It does not change network behavior.
+	TrackEagerTransfers bool
+	// SourceInterleave lets a node's network interface work on several
+	// packets' control flits concurrently, one per control VC. The
+	// default (false) models the paper's constant-rate source: a FIFO
+	// queue whose packets start injection strictly in order (data flits
+	// of consecutive packets still overlap, since injection times are
+	// scheduled).
+	SourceInterleave bool
+
+	// DataFaultRate injects faults: each data flit transmission on an
+	// inter-router link is lost with this probability, exercising the
+	// error story of Section 5 — the downstream router receives an idle
+	// pattern where its input reservation table expected data, drops the
+	// reservation, and the scheduling tables return to a consistent
+	// state with no lost buffers or stalled links. The destination
+	// detects the hole in its reassembly schedule and reports the packet
+	// lost. (Control flits are assumed protected by detection-and-
+	// retransmission and are not faulted.)
+	DataFaultRate float64
+
+	// Routing selects the route function; nil means dimension-ordered
+	// XY routing, the paper's choice.
+	Routing routing.Function
+}
+
+// withDefaults fills unset fields with the paper's FR6 values.
+func (c Config) withDefaults() Config {
+	if c.DataBuffers == 0 {
+		c.DataBuffers = 6
+	}
+	if c.CtrlVCs == 0 {
+		c.CtrlVCs = 2
+	}
+	if c.CtrlBufPerVC == 0 {
+		c.CtrlBufPerVC = 3
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 32
+	}
+	if c.LeadsPerCtrl == 0 {
+		c.LeadsPerCtrl = 1
+	}
+	if c.CtrlFlitsPerCycle == 0 {
+		c.CtrlFlitsPerCycle = 2
+	}
+	if c.DataLinkLatency == 0 {
+		c.DataLinkLatency = 4
+	}
+	if c.CtrlLinkLatency == 0 {
+		c.CtrlLinkLatency = 1
+	}
+	if c.CreditLatency == 0 {
+		c.CreditLatency = 1
+	}
+	if c.LocalLatency == 0 {
+		c.LocalLatency = 1
+	}
+	if c.Routing == nil {
+		c.Routing = routing.XY
+	}
+	return c
+}
+
+// validate panics on structurally impossible configurations.
+func (c Config) validate() {
+	if c.DataBuffers < 1 {
+		panic(fmt.Sprintf("core: DataBuffers must be >= 1, got %d", c.DataBuffers))
+	}
+	if c.CtrlVCs < 1 || c.CtrlBufPerVC < 1 {
+		panic("core: control network needs at least one VC with one buffer")
+	}
+	if c.LeadsPerCtrl < 1 {
+		panic("core: LeadsPerCtrl must be >= 1")
+	}
+	if c.CtrlFlitsPerCycle < 1 {
+		panic("core: CtrlFlitsPerCycle must be >= 1")
+	}
+	if c.Horizon < 2 {
+		panic("core: Horizon must be at least 2 cycles")
+	}
+	if c.DataLinkLatency < 1 || c.CtrlLinkLatency < 1 || c.CreditLatency < 1 || c.LocalLatency < 1 {
+		panic("core: link latencies must be >= 1 cycle")
+	}
+	if c.Horizon <= c.DataLinkLatency {
+		panic("core: Horizon must exceed DataLinkLatency or nothing can ever be reserved")
+	}
+	if c.DataBuffers < c.CtrlVCs {
+		panic("core: DataBuffers must be at least CtrlVCs — each control VC needs one reservable buffer downstream for deadlock freedom")
+	}
+	if !c.AllOrNothing && c.DataBuffers < c.LeadsPerCtrl+c.CtrlVCs-1 {
+		panic("core: per-flit scheduling needs DataBuffers >= LeadsPerCtrl + CtrlVCs - 1 so a wide control flit can always be admitted downstream")
+	}
+	if c.LeadCycles < 0 {
+		panic("core: LeadCycles must be >= 0")
+	}
+}

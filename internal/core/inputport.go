@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// poolSlot is one buffer of an input port's data pool. A slot is bound to a
+// concrete flit only at arrival time (deferred allocation); its departure
+// time and output port come from the reservation.
+type poolSlot struct {
+	occupied bool
+	flit     noc.DataFlit
+	departAt sim.Cycle // sim.Never while the flit is parked unscheduled
+	outPort  topology.Port
+}
+
+// reservation is one pending entry of the input reservation table: a data
+// flit will arrive at a known cycle and must leave at departAt through
+// outPort.
+type reservation struct {
+	departAt sim.Cycle
+	outPort  topology.Port
+}
+
+// inputPort is the data-network side of one router input: the buffer pool,
+// the input reservation table (expected arrivals), and the schedule list
+// (flits that arrived before their control flit finished scheduling,
+// Section 3). Data flits are identified solely by their arrival cycle; the
+// one-flit-per-cycle channel makes that identification unambiguous.
+type inputPort struct {
+	pool     []poolSlot
+	occupied int
+	// expected maps a future arrival cycle to its reservation.
+	expected map[sim.Cycle]reservation
+	// parked maps the arrival cycle of an already-arrived, unscheduled
+	// flit to the pool slot holding it (the logical schedule list).
+	parked map[sim.Cycle]int
+	// parkedTotal counts every flit that ever passed through the
+	// schedule list, a measure of how often data overtakes its control
+	// flit.
+	parkedTotal int64
+
+	dataIn    *sim.Pipe[noc.DataFlit]
+	creditOut *sim.Pipe[noc.ReservationCredit]
+
+	ledger *eagerLedger // non-nil when counting hypothetical eager-allocation transfers
+
+	// faultTolerant permits a reservation for a past arrival with no
+	// parked flit — the flit was destroyed upstream and its late control
+	// flit doesn't know. Without fault injection that situation is a
+	// scheduling bug and panics.
+	faultTolerant bool
+}
+
+func newInputPort(buffers int, ledger *eagerLedger, faultTolerant bool) *inputPort {
+	return &inputPort{
+		pool:          make([]poolSlot, buffers),
+		expected:      make(map[sim.Cycle]reservation),
+		parked:        make(map[sim.Cycle]int),
+		ledger:        ledger,
+		faultTolerant: faultTolerant,
+	}
+}
+
+// reserve records a reservation signal from the output scheduler: the data
+// flit arriving at ta departs at departAt through outPort. If the flit has
+// already arrived it is claimed from the schedule list; otherwise the input
+// reservation table notes the expected arrival.
+func (p *inputPort) reserve(now, ta, departAt sim.Cycle, outPort topology.Port) {
+	if slot, ok := p.parked[ta]; ok {
+		delete(p.parked, ta)
+		s := &p.pool[slot]
+		if !s.occupied || s.departAt != sim.Never {
+			panic("core: schedule list pointed at a slot that is not parked")
+		}
+		s.departAt = departAt
+		s.outPort = outPort
+		p.ledger.onScheduleParked(now, ta, departAt)
+		return
+	}
+	if ta < now {
+		if p.faultTolerant {
+			// The flit was destroyed en route and never arrived;
+			// the reservation dissolves. The upstream credit still
+			// flows (the buffer was reserved but never bound, so
+			// releasing it at the scheduled departure stays exact)
+			// and the departure slot simply idles.
+			return
+		}
+		panic(fmt.Sprintf("core: reservation for past arrival %d at cycle %d with no parked flit", ta, now))
+	}
+	if _, dup := p.expected[ta]; dup {
+		panic(fmt.Sprintf("core: duplicate reservation for arrival cycle %d", ta))
+	}
+	p.expected[ta] = reservation{departAt: departAt, outPort: outPort}
+	p.ledger.onReserve(ta, departAt)
+}
+
+// arrive handles a data flit that reached this input at cycle now. A flit
+// reserved to depart this same cycle bypasses the buffer pool entirely and is
+// handed straight to fn (the paper's bypass path — zero buffer residency);
+// otherwise it is bound to a free pool buffer. Reservation accounting
+// guarantees a buffer is free; running out indicates a scheduling bug and
+// panics.
+func (p *inputPort) arrive(now sim.Cycle, f noc.DataFlit, bypass func(f noc.DataFlit, out topology.Port)) {
+	if r, ok := p.expected[now]; ok && r.departAt == now {
+		delete(p.expected, now)
+		bypass(f, r.outPort)
+		return
+	}
+	slot := -1
+	for i := range p.pool {
+		if !p.pool[i].occupied {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		panic(fmt.Sprintf("core: data flit %s arrived at cycle %d with no free buffer — reservation accounting violated", f, now))
+	}
+	s := &p.pool[slot]
+	s.occupied = true
+	s.flit = f
+	p.occupied++
+	if r, ok := p.expected[now]; ok {
+		delete(p.expected, now)
+		s.departAt = r.departAt
+		s.outPort = r.outPort
+		return
+	}
+	// Arrived before its control flit finished scheduling: park it on the
+	// schedule list.
+	s.departAt = sim.Never
+	s.outPort = 0
+	if _, dup := p.parked[now]; dup {
+		panic("core: two flits parked with the same arrival cycle on one input")
+	}
+	p.parked[now] = slot
+	p.parkedTotal++
+	p.ledger.onParkedArrival(now)
+}
+
+// departures invokes fn for every flit scheduled to leave at cycle now and
+// frees its buffer. The one-reservation-per-output-cycle rule upstream
+// guarantees distinct flits never contend for a channel here.
+func (p *inputPort) departures(now sim.Cycle, fn func(f noc.DataFlit, out topology.Port)) {
+	for i := range p.pool {
+		s := &p.pool[i]
+		if !s.occupied || s.departAt != now {
+			continue
+		}
+		s.occupied = false
+		p.occupied--
+		fn(s.flit, s.outPort)
+		s.flit = noc.DataFlit{}
+		s.departAt = sim.Never
+	}
+}
+
+// expireExpected discards a reservation whose data flit failed to arrive at
+// its scheduled cycle (destroyed by a fault upstream): the channel slot the
+// departure reserved simply goes idle and no buffer was ever bound, so
+// accounting stays consistent. It must run after the cycle's arrivals.
+func (p *inputPort) expireExpected(now sim.Cycle) {
+	delete(p.expected, now)
+}
+
+// pending reports buffered flits plus outstanding expectations, used by the
+// drain check at the end of a run.
+func (p *inputPort) pending() int {
+	return p.occupied + len(p.expected)
+}

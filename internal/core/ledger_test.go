@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"frfc/internal/sim"
+)
+
+func TestLedgerNilSafe(t *testing.T) {
+	var l *eagerLedger
+	l.onReserve(1, 5)
+	l.onParkedArrival(3)
+	l.onScheduleParked(4, 3, 9)
+	if tr, as := l.Transfers(); tr != 0 || as != 0 {
+		t.Fatal("nil ledger reported activity")
+	}
+}
+
+func TestLedgerSequentialResidenciesNoTransfers(t *testing.T) {
+	l := newEagerLedger(2)
+	for i := sim.Cycle(0); i < 20; i += 2 {
+		l.onReserve(i, i+2)
+	}
+	if tr, as := l.Transfers(); tr != 0 || as != 10 {
+		t.Fatalf("transfers/assignments = %d/%d, want 0/10", tr, as)
+	}
+}
+
+// TestLedgerFigure10Transfer reproduces the situation of the paper's
+// Figure 10(a): buffers bound at reservation time, in reservation order, can
+// leave a later flit without any single buffer free for its whole residency,
+// forcing a mid-residency transfer. The deferred policy the network actually
+// executes never does (TestDeferredAllocationNeverFragments).
+func TestLedgerFigure10Transfer(t *testing.T) {
+	l := newEagerLedger(2)
+	l.onReserve(0, 10)  // buffer A busy [0, 10)
+	l.onReserve(0, 12)  // buffer B busy [0, 12)
+	l.onReserve(13, 30) // free at 13 in both; placed in A, so A is busy [13, 30)
+	// Residency [10, 16): at cycle 10 only A is free, but A's free run
+	// ends at 13 — the flit starts in A and must transfer (to B, free
+	// from 12) to finish.
+	l.onReserve(10, 16)
+	if tr, as := l.Transfers(); tr != 1 || as != 4 {
+		t.Fatalf("transfers/assignments = %d/%d, want 1/4", tr, as)
+	}
+}
+
+func TestLedgerParkedFlitLifecycle(t *testing.T) {
+	l := newEagerLedger(2)
+	l.onParkedArrival(5)
+	if _, as := l.Transfers(); as != 1 {
+		t.Fatal("parked arrival not recorded")
+	}
+	l.onScheduleParked(9, 5, 12)
+	// Another residency after the closed one fits in the same buffer.
+	l.onReserve(12, 15)
+	if tr, _ := l.Transfers(); tr != 0 {
+		t.Fatalf("unexpected transfers: %d", tr)
+	}
+}
+
+func TestLedgerOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overcommitted ledger did not panic")
+		}
+	}()
+	l := newEagerLedger(1)
+	l.onReserve(0, 10)
+	l.onReserve(0, 10) // two concurrent residencies, one buffer
+}

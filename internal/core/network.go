@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// Network is a complete mesh of flit-reservation routers with per-node
+// network interfaces. It implements noc.Network.
+type Network struct {
+	mesh  topology.Mesh
+	cfg   Config
+	hooks *noc.Hooks
+
+	routers []*Router
+	nis     []*NI
+	sinks   []*Sink
+
+	offered   int64
+	delivered int64
+	lost      int64
+	dropped   int64
+}
+
+var _ noc.Network = (*Network)(nil)
+
+// New assembles a flit-reservation network over the given mesh. The seed
+// drives every arbitration and injection decision; hooks may be nil.
+func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	if hooks == nil {
+		hooks = &noc.Hooks{}
+	}
+	n := &Network{mesh: mesh, cfg: cfg}
+
+	inner := *hooks
+	wrapped := inner
+	wrapped.PacketDelivered = func(p *noc.Packet, now sim.Cycle) {
+		n.delivered++
+		if inner.PacketDelivered != nil {
+			inner.PacketDelivered(p, now)
+		}
+	}
+	wrapped.PacketLost = func(p *noc.Packet, now sim.Cycle) {
+		n.lost++
+		if inner.PacketLost != nil {
+			inner.PacketLost(p, now)
+		}
+	}
+	wrapped.FlitDropped = func(p *noc.Packet, now sim.Cycle) {
+		n.dropped++
+		if inner.FlitDropped != nil {
+			inner.FlitDropped(p, now)
+		}
+	}
+	n.hooks = &wrapped
+
+	root := sim.NewRNG(seed)
+	n.routers = make([]*Router, mesh.N())
+	n.nis = make([]*NI, mesh.N())
+	n.sinks = make([]*Sink, mesh.N())
+	for id := 0; id < mesh.N(); id++ {
+		n.routers[id] = newRouter(topology.NodeID(id), mesh, cfg, root.Split())
+		n.routers[id].hooks = n.hooks
+	}
+	for id := 0; id < mesh.N(); id++ {
+		n.nis[id] = newNI(topology.NodeID(id), cfg, root.Split(), n.hooks)
+		n.sinks[id] = newSink(n.hooks)
+	}
+	n.wire()
+	return n
+}
+
+// resvCreditWidth bounds the reservation credits one input port can emit in
+// a cycle: every output scheduler may process CtrlFlitsPerCycle control flits
+// each leading up to LeadsPerCtrl data flits, all potentially from the same
+// input.
+func (c Config) resvCreditWidth() int {
+	return int(topology.NumPorts) * c.CtrlFlitsPerCycle * c.LeadsPerCtrl
+}
+
+// wire connects routers, NIs and sinks: data links (one flit/cycle,
+// DataLinkLatency), control links (CtrlFlitsPerCycle flits/cycle,
+// CtrlLinkLatency), reservation-credit and control-credit wires
+// (CreditLatency).
+func (n *Network) wire() {
+	cfg := n.cfg
+	for id := 0; id < n.mesh.N(); id++ {
+		r := n.routers[id]
+		for p := topology.Port(0); p < topology.Local; p++ {
+			nb, ok := n.mesh.Neighbor(topology.NodeID(id), p)
+			if !ok {
+				continue
+			}
+			far := n.routers[nb]
+			op := p.Opposite()
+
+			data := sim.NewPipe[noc.DataFlit](cfg.DataLinkLatency, 1)
+			r.dataOut[p] = data
+			far.inputs[op].dataIn = data
+
+			resvCredit := sim.NewPipe[noc.ReservationCredit](cfg.CreditLatency, cfg.resvCreditWidth())
+			r.dataCreditIn[p] = resvCredit
+			far.inputs[op].creditOut = resvCredit
+
+			ctrl := sim.NewPipe[noc.ControlFlit](cfg.CtrlLinkLatency, cfg.CtrlFlitsPerCycle)
+			r.ctrlOut[p].out = ctrl
+			far.ctrlIn[op].in = ctrl
+
+			ctrlCredit := sim.NewPipe[noc.VCCredit](cfg.CreditLatency, cfg.CtrlVCs)
+			r.ctrlOut[p].creditIn = ctrlCredit
+			far.ctrlIn[op].creditOut = ctrlCredit
+		}
+
+		ni := n.nis[id]
+		sink := n.sinks[id]
+
+		// Injection: NI data -> router Local input; reservation
+		// credits flow back from the router's input scheduler.
+		injData := sim.NewPipe[noc.DataFlit](cfg.LocalLatency, 1)
+		ni.dataOut = injData
+		r.inputs[topology.Local].dataIn = injData
+
+		injResvCredit := sim.NewPipe[noc.ReservationCredit](cfg.CreditLatency, cfg.resvCreditWidth())
+		ni.resvCreditIn = injResvCredit
+		r.inputs[topology.Local].creditOut = injResvCredit
+
+		injCtrl := sim.NewPipe[noc.ControlFlit](cfg.CtrlLinkLatency, cfg.CtrlFlitsPerCycle)
+		ni.ctrlOut = injCtrl
+		r.ctrlIn[topology.Local].in = injCtrl
+
+		injCtrlCredit := sim.NewPipe[noc.VCCredit](cfg.CreditLatency, cfg.CtrlVCs)
+		ni.ctrlCreditIn = injCtrlCredit
+		r.ctrlIn[topology.Local].creditOut = injCtrlCredit
+
+		// Ejection: router Local output -> sink, schedule set by
+		// destination control flits.
+		ejData := sim.NewPipe[noc.DataFlit](cfg.LocalLatency, 1)
+		r.dataOut[topology.Local] = ejData
+		sink.dataIn = ejData
+		r.sinkNotify = sink.Expect
+	}
+}
+
+// Offer implements noc.Network.
+func (n *Network) Offer(p *noc.Packet) {
+	n.offered++
+	n.nis[p.Src].offer(p)
+}
+
+// Tick implements noc.Network.
+func (n *Network) Tick(now sim.Cycle) {
+	for _, ni := range n.nis {
+		ni.Tick(now)
+	}
+	for _, r := range n.routers {
+		r.Tick(now)
+	}
+	for _, s := range n.sinks {
+		s.Tick(now)
+	}
+}
+
+// SourceQueueLen implements noc.Network.
+func (n *Network) SourceQueueLen() int {
+	total := 0
+	for _, ni := range n.nis {
+		total += ni.queueLen()
+	}
+	return total
+}
+
+// InFlightPackets implements noc.Network. Lost packets count as resolved:
+// their fate is known even though they were never delivered.
+func (n *Network) InFlightPackets() int {
+	return int(n.offered - n.delivered - n.lost)
+}
+
+// FaultStats reports fault-injection activity: data flits destroyed on links
+// and packets the destinations detected as lost.
+func (n *Network) FaultStats() (droppedFlits, lostPackets int64) {
+	return n.dropped, n.lost
+}
+
+// ParkedFlits reports how many data flits, network-wide, ever arrived before
+// their control flit finished scheduling and waited on a schedule list —
+// the data-overtakes-control situation of Section 3.
+func (n *Network) ParkedFlits() int64 {
+	var total int64
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			if r.inputs[p] != nil {
+				total += r.inputs[p].parkedTotal
+			}
+		}
+	}
+	return total
+}
+
+// BufferUsage implements noc.Network.
+func (n *Network) BufferUsage(id topology.NodeID) (used, capacity int) {
+	return n.routers[id].bufferUsage()
+}
+
+// PoolUsage implements noc.Network.
+func (n *Network) PoolUsage(id topology.NodeID, port topology.Port) (used, capacity int) {
+	in := n.routers[id].inputs[port]
+	if in == nil {
+		return 0, 0
+	}
+	return in.occupied, n.cfg.DataBuffers
+}
+
+// EagerTransfers reports, across the whole network, how many buffer-to-buffer
+// transfers the allocate-at-reservation-time policy of Figure 10 would have
+// required, and how many buffer residencies were replayed. Zero unless the
+// configuration set TrackEagerTransfers.
+func (n *Network) EagerTransfers() (transfers, residencies int64) {
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			if r.inputs[p] == nil {
+				continue
+			}
+			t, a := r.inputs[p].ledger.Transfers()
+			transfers += t
+			residencies += a
+		}
+	}
+	return transfers, residencies
+}
+
+// DumpState renders the routers' internal control and data state for
+// deadlock diagnosis: per control VC, the queue depth and head flit with its
+// scheduling progress; per input pool, occupancy and schedule-list size; per
+// output table, the steady free count and per-VC outstanding/claims.
+func (n *Network) DumpState() string {
+	var b strings.Builder
+	for id, r := range n.routers {
+		if r.pendingWork() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "router %d\n", id)
+		for p := range r.ctrlIn {
+			ci := &r.ctrlIn[p]
+			if !ci.exists {
+				continue
+			}
+			for v := range ci.vcs {
+				vc := &ci.vcs[v]
+				if len(vc.q) == 0 {
+					continue
+				}
+				qc := &vc.q[0]
+				fmt.Fprintf(&b, "  ctrl in %s vc %d: qlen=%d head=%v routed=%v route=%v alloc=%v admitted=%v leads=%+v\n",
+					topology.Port(p), v, len(vc.q), qc.flit, vc.routed, vc.route, vc.allocated, qc.admitted, qc.leads)
+			}
+		}
+		for p := range r.inputs {
+			in := r.inputs[p]
+			if in == nil || in.pending() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  input %s: occupied=%d parked=%d expected=%d\n",
+				topology.Port(p), in.occupied, len(in.parked), len(in.expected))
+		}
+		for p := range r.outTables {
+			tb := r.outTables[p]
+			if tb == nil || tb.infinite {
+				continue
+			}
+			fmt.Fprintf(&b, "  out %s: steady=%d outstanding=%v claims=%v\n",
+				topology.Port(p), tb.steady, tb.outstanding, tb.claims)
+		}
+	}
+	for id, ni := range n.nis {
+		if ni.pendingWork() > 0 {
+			fmt.Fprintf(&b, "NI %d: queue=%d active=%d sendAt=%d ctrlCredits=%v\n",
+				id, len(ni.queue), ni.activeCount(), len(ni.sendAt), ni.ctrlCredits)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// NI is a node's network interface on the injection side. Packet injection
+// is scheduled exactly like any other hop (Section 3): the NI keeps an output
+// reservation table for the injection channel — busy bits for the channel,
+// free-buffer counts for the router's injection pool — and a control flit is
+// injected only after it has scheduled the injection times of all its data
+// flits. Under leading control (LeadCycles > 0) a data flit's injection is
+// additionally deferred at least LeadCycles behind its control flit.
+type NI struct {
+	node  topology.NodeID
+	cfg   Config
+	rng   *sim.RNG
+	hooks *noc.Hooks
+
+	queue []*noc.Packet
+
+	injTable *outResTable
+
+	active []niPacket // one slot per control VC of the injection link
+
+	ctrlCredits []int
+	ctrlOwned   []bool
+
+	ctrlOut      *sim.Pipe[noc.ControlFlit]
+	ctrlCreditIn *sim.Pipe[noc.VCCredit]
+	dataOut      *sim.Pipe[noc.DataFlit]
+	resvCreditIn *sim.Pipe[noc.ReservationCredit]
+
+	// sendAt holds scheduled data-flit injections keyed by departure
+	// cycle; the injection channel's busy bits make the key unique.
+	sendAt map[sim.Cycle]noc.DataFlit
+}
+
+// niPacket is one packet whose control flits are being scheduled and
+// injected on one control VC.
+type niPacket struct {
+	active   bool
+	pkt      *noc.Packet
+	data     []noc.DataFlit
+	ctrl     []noc.ControlFlit
+	nextCtrl int
+}
+
+func newNI(node topology.NodeID, cfg Config, rng *sim.RNG, hooks *noc.Hooks) *NI {
+	n := &NI{
+		node:        node,
+		cfg:         cfg,
+		rng:         rng,
+		hooks:       hooks,
+		injTable:    newOutResTable(cfg.Horizon, cfg.DataBuffers, cfg.CtrlVCs, false),
+		active:      make([]niPacket, cfg.CtrlVCs),
+		ctrlCredits: make([]int, cfg.CtrlVCs),
+		ctrlOwned:   make([]bool, cfg.CtrlVCs),
+		sendAt:      make(map[sim.Cycle]noc.DataFlit),
+	}
+	for v := range n.ctrlCredits {
+		n.ctrlCredits[v] = cfg.CtrlBufPerVC
+	}
+	return n
+}
+
+func (n *NI) offer(p *noc.Packet) { n.queue = append(n.queue, p) }
+
+func (n *NI) activeCount() int {
+	c := 0
+	for v := range n.active {
+		if n.active[v].active {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *NI) queueLen() int { return len(n.queue) }
+
+// Tick advances the injection interface one cycle.
+func (n *NI) Tick(now sim.Cycle) {
+	n.injTable.advance(now)
+	n.resvCreditIn.RecvEach(now, func(c noc.ReservationCredit) {
+		n.injTable.creditFrom(c.FreeFrom, c.VC)
+	})
+	n.ctrlCreditIn.RecvEach(now, func(c noc.VCCredit) {
+		n.ctrlCredits[c.VC]++
+		if n.ctrlCredits[c.VC] > n.cfg.CtrlBufPerVC {
+			panic("core: NI control credit overflow")
+		}
+	})
+
+	// Start queued packets on free control VCs. The default FIFO source
+	// starts packets strictly one at a time; SourceInterleave lifts that
+	// to one packet per control VC.
+	for v := range n.active {
+		if n.active[v].active || n.ctrlOwned[v] || len(n.queue) == 0 {
+			continue
+		}
+		if !n.cfg.SourceInterleave && n.activeCount() > 0 {
+			break
+		}
+		p := n.queue[0]
+		copy(n.queue, n.queue[1:])
+		n.queue[len(n.queue)-1] = nil
+		n.queue = n.queue[:len(n.queue)-1]
+		n.ctrlOwned[v] = true
+		p.InjectedAt = now
+		n.active[v] = niPacket{active: true, pkt: p, data: noc.DataFlits(p), ctrl: noc.ControlFlits(p, n.cfg.LeadsPerCtrl)}
+	}
+
+	// Schedule and inject control flits, up to the control channel's
+	// per-cycle bandwidth, visiting VCs in random order for fairness.
+	injected := 0
+	start := 0
+	if len(n.active) > 1 {
+		start = n.rng.Intn(len(n.active))
+	}
+	for i := 0; i < len(n.active) && injected < n.cfg.CtrlFlitsPerCycle; i++ {
+		v := (start + i) % len(n.active)
+		for injected < n.cfg.CtrlFlitsPerCycle && n.tryInject(now, v) {
+			injected++
+		}
+	}
+
+	// Launch data flits whose scheduled injection cycle has come.
+	if f, ok := n.sendAt[now]; ok {
+		delete(n.sendAt, now)
+		n.dataOut.Send(now, f)
+		n.hooks.Injected(now)
+	}
+}
+
+// tryInject attempts to schedule and inject the next control flit of the
+// packet on VC v. A control flit goes out only in a cycle where (a) the
+// control channel can carry it, (b) a control buffer is free downstream, and
+// (c) every data flit it leads was successfully scheduled on the injection
+// channel — so LeadCycles is honored relative to the control flit's actual
+// injection cycle.
+func (n *NI) tryInject(now sim.Cycle, v int) bool {
+	ap := &n.active[v]
+	if !ap.active || ap.nextCtrl >= len(ap.ctrl) {
+		return false
+	}
+	if n.ctrlCredits[v] <= 0 || !n.ctrlOut.CanSend(now) {
+		return false
+	}
+	cf := ap.ctrl[ap.nextCtrl]
+
+	// Schedule all data flits this control flit leads; all-or-nothing so
+	// the control flit can carry final injection times. Data injection is
+	// deferred at least LeadCycles behind this control flit (leading
+	// control); findDeparture never returns earlier than now+1.
+	minTA := now + n.cfg.LeadCycles
+	type tentative struct {
+		lead int
+		td   sim.Cycle
+	}
+	committed := make([]tentative, 0, len(cf.Leads))
+	for i := range cf.Leads {
+		td, ok := n.injTable.findDeparture(now, minTA, n.cfg.LocalLatency, v)
+		if !ok {
+			for _, t := range committed {
+				n.injTable.uncommit(t.td, n.cfg.LocalLatency, v)
+			}
+			return false
+		}
+		n.injTable.commit(td, n.cfg.LocalLatency, v)
+		committed = append(committed, tentative{lead: i, td: td})
+	}
+	leads := make([]noc.LeadEntry, len(cf.Leads))
+	for _, t := range committed {
+		seq := cf.Leads[t.lead].Seq
+		leads[t.lead] = noc.LeadEntry{Seq: seq, Arrival: t.td + n.cfg.LocalLatency}
+		if _, dup := n.sendAt[t.td]; dup {
+			panic("core: NI scheduled two data flits on one injection cycle")
+		}
+		n.sendAt[t.td] = ap.data[seq]
+	}
+	cf.Leads = leads
+	cf.VC = v
+	n.ctrlOut.Send(now, cf)
+	n.ctrlCredits[v]--
+	ap.nextCtrl++
+	if ap.nextCtrl == len(ap.ctrl) {
+		n.ctrlOwned[v] = false
+		ap.active = false
+		ap.pkt, ap.data, ap.ctrl = nil, nil, nil
+	}
+	return true
+}
+
+// pendingWork reports queued packets plus unsent control and data flits.
+func (n *NI) pendingWork() int {
+	w := len(n.queue) + len(n.sendAt)
+	for v := range n.active {
+		if n.active[v].active {
+			w += len(n.active[v].ctrl) - n.active[v].nextCtrl
+		}
+	}
+	return w
+}
+
+// Sink is a node's network interface on the ejection side. Data flits are
+// identified purely by when they arrive; the destination control flits set up
+// the reassembly schedule via Expect, and the sink cross-checks each arriving
+// flit against it — a corrupted schedule is a simulator bug and panics.
+type Sink struct {
+	dataIn *sim.Pipe[noc.DataFlit]
+	expect map[sim.Cycle]expectEntry
+	got    map[noc.PacketID]int
+	lost   map[noc.PacketID]bool
+	hooks  *noc.Hooks
+}
+
+type expectEntry struct {
+	pkt *noc.Packet
+	seq int
+}
+
+func newSink(hooks *noc.Hooks) *Sink {
+	return &Sink{
+		expect: make(map[sim.Cycle]expectEntry),
+		got:    make(map[noc.PacketID]int),
+		lost:   make(map[noc.PacketID]bool),
+		hooks:  hooks,
+	}
+}
+
+// Expect records that the flit identified by (pkt, seq) will arrive on the
+// ejection link at cycle at.
+func (s *Sink) Expect(at sim.Cycle, pkt *noc.Packet, seq int) {
+	if _, dup := s.expect[at]; dup {
+		panic("core: two flits scheduled to eject in the same cycle")
+	}
+	s.expect[at] = expectEntry{pkt: pkt, seq: seq}
+}
+
+// Tick receives ejected flits, matches them to the reassembly schedule, and
+// reports completed packets. A reassembly slot that stays empty at its
+// scheduled cycle means a flit was destroyed by a fault upstream; its packet
+// is reported lost, once, and stragglers from lost packets are ignored.
+func (s *Sink) Tick(now sim.Cycle) {
+	s.dataIn.RecvEach(now, func(f noc.DataFlit) {
+		e, ok := s.expect[now]
+		if !ok {
+			panic(fmt.Sprintf("core: %s ejected at cycle %d with no reassembly schedule entry", f, now))
+		}
+		delete(s.expect, now)
+		if e.pkt.ID != f.Packet.ID || e.seq != f.Seq {
+			panic(fmt.Sprintf("core: reassembly mismatch at cycle %d: scheduled pkt=%d seq=%d, got %s", now, e.pkt.ID, e.seq, f))
+		}
+		s.hooks.Ejected(now)
+		if s.lost[f.Packet.ID] {
+			return
+		}
+		s.got[f.Packet.ID]++
+		if s.got[f.Packet.ID] == f.Packet.Len {
+			delete(s.got, f.Packet.ID)
+			s.hooks.Delivered(f.Packet, now)
+		}
+	})
+	if e, ok := s.expect[now]; ok {
+		delete(s.expect, now)
+		if !s.lost[e.pkt.ID] {
+			s.lost[e.pkt.ID] = true
+			delete(s.got, e.pkt.ID)
+			s.hooks.Lost(e.pkt, now)
+		}
+	}
+}
+
+// pendingWork reports flits expected but not yet ejected.
+func (s *Sink) pendingWork() int { return len(s.expect) }

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"fmt"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// leadState tracks the scheduling progress of one data flit led by a control
+// flit resident in this router: its announced arrival at this node and, once
+// the output scheduler succeeds, its reserved departure.
+type leadState struct {
+	seq       int
+	arrival   sim.Cycle
+	scheduled bool
+	departAt  sim.Cycle
+}
+
+// queuedCtrl is a control flit buffered in a control VC queue together with
+// its mutable per-lead scheduling state. admitted records that the output
+// reservation table has set aside buffers for all of its leads (per-flit
+// scheduling's strand-free admission).
+type queuedCtrl struct {
+	flit      noc.ControlFlit
+	leads     []leadState
+	arrivedAt sim.Cycle
+	admitted  bool
+}
+
+// ctrlVC is one control virtual channel of one control input: a small FIFO
+// plus the routing-table entry (output port) and downstream-VC allocation of
+// the packet currently holding the channel.
+type ctrlVC struct {
+	q         []queuedCtrl
+	routed    bool
+	route     topology.Port
+	allocated bool
+	outVC     int
+}
+
+// ctrlInput is the control-network side of one router input.
+type ctrlInput struct {
+	exists    bool
+	vcs       []ctrlVC
+	in        *sim.Pipe[noc.ControlFlit]
+	creditOut *sim.Pipe[noc.VCCredit]
+}
+
+// ctrlOutput is the control-network side of one router output: credit
+// counters and ownership for the downstream control VCs.
+type ctrlOutput struct {
+	exists   bool
+	credits  []int
+	owned    []bool
+	out      *sim.Pipe[noc.ControlFlit]
+	creditIn *sim.Pipe[noc.VCCredit]
+}
+
+// portVC names one virtual channel of one control input port.
+type portVC struct {
+	port topology.Port
+	vc   int
+}
+
+// Router is one flit-reservation router (Figure 3). It is assembled and
+// ticked by Network.
+type Router struct {
+	id   topology.NodeID
+	mesh topology.Mesh
+	cfg  Config
+	rng  *sim.RNG
+
+	ctrlIn  [topology.NumPorts]ctrlInput
+	ctrlOut [topology.NumPorts]ctrlOutput
+
+	// outTables[p] is the output reservation table for output port p;
+	// the Local entry governs the ejection channel and treats the
+	// downstream (reassembly buffers) as unbounded.
+	outTables [topology.NumPorts]*outResTable
+	// inputs[p] is the data-side input reservation table and buffer pool
+	// for input port p; the Local entry is the injection port fed by the
+	// node's network interface.
+	inputs [topology.NumPorts]*inputPort
+
+	dataOut      [topology.NumPorts]*sim.Pipe[noc.DataFlit]
+	dataCreditIn [topology.NumPorts]*sim.Pipe[noc.ReservationCredit]
+
+	// sinkNotify tells the local sink which packet's flit will arrive on
+	// the ejection link at a given cycle; data flits are identified
+	// solely by time, so this is the reassembly schedule the destination
+	// control flits set up.
+	sinkNotify func(at sim.Cycle, pkt *noc.Packet, seq int)
+
+	hooks *noc.Hooks
+
+	cands []portVC // scratch
+}
+
+func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG) *Router {
+	r := &Router{id: id, mesh: mesh, cfg: cfg, rng: rng}
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		hasLink := p == topology.Local || mesh.HasLink(id, p)
+		if !hasLink {
+			continue
+		}
+		var ledger *eagerLedger
+		if cfg.TrackEagerTransfers {
+			ledger = newEagerLedger(cfg.DataBuffers)
+		}
+		r.inputs[p] = newInputPort(cfg.DataBuffers, ledger, cfg.DataFaultRate > 0)
+		r.outTables[p] = newOutResTable(cfg.Horizon, cfg.DataBuffers, cfg.CtrlVCs, p == topology.Local)
+		ci := ctrlInput{exists: true, vcs: make([]ctrlVC, cfg.CtrlVCs)}
+		r.ctrlIn[p] = ci
+		if p != topology.Local {
+			co := ctrlOutput{exists: true,
+				credits: make([]int, cfg.CtrlVCs),
+				owned:   make([]bool, cfg.CtrlVCs)}
+			for v := range co.credits {
+				co.credits[v] = cfg.CtrlBufPerVC
+			}
+			r.ctrlOut[p] = co
+		}
+	}
+	return r
+}
+
+// dataLatencyFor is the data propagation delay out of the given output port.
+func (r *Router) dataLatencyFor(p topology.Port) sim.Cycle {
+	if p == topology.Local {
+		return r.cfg.LocalLatency
+	}
+	return r.cfg.DataLinkLatency
+}
+
+// Tick advances the router one cycle, in the order that makes the
+// intra-cycle dataflow of Section 3 work out: reservation state is brought
+// current, control flits are processed (possibly reserving an arrival
+// happening this very cycle), then data flits depart and finally arrive.
+func (r *Router) Tick(now sim.Cycle) {
+	for p := range r.outTables {
+		if r.outTables[p] != nil {
+			r.outTables[p].advance(now)
+		}
+	}
+	for p := range r.dataCreditIn {
+		if r.dataCreditIn[p] == nil {
+			continue
+		}
+		table := r.outTables[p]
+		r.dataCreditIn[p].RecvEach(now, func(c noc.ReservationCredit) {
+			table.creditFrom(c.FreeFrom, c.VC)
+		})
+	}
+	for p := range r.ctrlOut {
+		co := &r.ctrlOut[p]
+		if !co.exists || co.creditIn == nil {
+			continue
+		}
+		co.creditIn.RecvEach(now, func(c noc.VCCredit) {
+			co.credits[c.VC]++
+			if co.credits[c.VC] > r.cfg.CtrlBufPerVC {
+				panic("core: control credit overflow")
+			}
+		})
+	}
+	for p := range r.ctrlIn {
+		ci := &r.ctrlIn[p]
+		if !ci.exists || ci.in == nil {
+			continue
+		}
+		ci.in.RecvEach(now, func(cf noc.ControlFlit) {
+			vc := &ci.vcs[cf.VC]
+			leads := make([]leadState, len(cf.Leads))
+			for i, le := range cf.Leads {
+				leads[i] = leadState{seq: le.Seq, arrival: le.Arrival, departAt: sim.Never}
+			}
+			vc.q = append(vc.q, queuedCtrl{flit: cf, leads: leads, arrivedAt: now})
+			if len(vc.q) > r.cfg.CtrlBufPerVC {
+				panic(fmt.Sprintf("core: node %d control buffer overflow on %s vc %d", r.id, topology.Port(p), cf.VC))
+			}
+		})
+	}
+
+	r.processControl(now)
+
+	for p := range r.inputs {
+		in := r.inputs[p]
+		if in == nil {
+			continue
+		}
+		in.departures(now, func(f noc.DataFlit, out topology.Port) {
+			r.sendData(now, f, out)
+		})
+	}
+	for p := range r.inputs {
+		in := r.inputs[p]
+		if in == nil || in.dataIn == nil {
+			continue
+		}
+		in.dataIn.RecvEach(now, func(f noc.DataFlit) {
+			in.arrive(now, f, func(f noc.DataFlit, out topology.Port) {
+				r.sendData(now, f, out)
+			})
+		})
+		// Any reservation for this cycle still unclaimed means the
+		// flit was destroyed en route — an idle pattern arrived in its
+		// place. Drop the reservation; every later table the control
+		// flit touched cleans itself up the same way.
+		in.expireExpected(now)
+	}
+}
+
+// sendData launches a data flit onto an output link, subject to fault
+// injection on inter-router links.
+func (r *Router) sendData(now sim.Cycle, f noc.DataFlit, out topology.Port) {
+	if out != topology.Local && r.cfg.DataFaultRate > 0 && r.rng.Bool(r.cfg.DataFaultRate) {
+		r.hooks.Dropped(f.Packet, now)
+		return
+	}
+	r.dataOut[out].Send(now, f)
+}
+
+// processControl walks the control flits at the front of every control VC in
+// random order — the paper's random arbitration — performing routing, output
+// scheduling, input scheduling, and forwarding. Each output scheduler
+// processes at most CtrlFlitsPerCycle control flits per cycle, matching the
+// control network's bandwidth.
+func (r *Router) processControl(now sim.Cycle) {
+	r.cands = r.cands[:0]
+	for p := range r.ctrlIn {
+		ci := &r.ctrlIn[p]
+		if !ci.exists {
+			continue
+		}
+		for v := range ci.vcs {
+			vc := &ci.vcs[v]
+			if len(vc.q) > 0 && vc.q[0].arrivedAt < now {
+				r.cands = append(r.cands, portVC{topology.Port(p), v})
+			}
+		}
+	}
+	for i := len(r.cands) - 1; i > 0; i-- {
+		j := r.rng.Intn(i + 1)
+		r.cands[i], r.cands[j] = r.cands[j], r.cands[i]
+	}
+	var budget [topology.NumPorts]int
+	for p := range budget {
+		budget[p] = r.cfg.CtrlFlitsPerCycle
+	}
+	for _, cand := range r.cands {
+		ci := &r.ctrlIn[cand.port]
+		vc := &ci.vcs[cand.vc]
+		qc := &vc.q[0]
+		if !vc.routed {
+			if !qc.flit.Type.IsHead() {
+				panic(fmt.Sprintf("core: node %d: %s at front of unrouted control VC", r.id, qc.flit))
+			}
+			vc.route = r.cfg.Routing(r.mesh, r.id, qc.flit.Dst)
+			vc.routed = true
+		}
+		out := vc.route
+		if budget[out] <= 0 {
+			continue
+		}
+		budget[out]--
+		// Away from the destination, the packet's downstream control VC
+		// is allocated before any of its reservations are made, so that
+		// every downstream buffer residency is attributable to a
+		// control VC — the bookkeeping behind the pool-reservation
+		// deadlock-avoidance rule.
+		if out != topology.Local && !vc.allocated && !r.allocateCtrlVC(vc, out) {
+			continue
+		}
+		if !r.scheduleLeads(now, qc, vc, out, cand.port) {
+			continue
+		}
+		if out == topology.Local {
+			r.consume(now, ci, vc, cand.vc)
+		} else {
+			r.forward(now, ci, vc, cand.vc, out)
+		}
+	}
+}
+
+// allocateCtrlVC gives the packet at the head of vc a downstream control VC
+// on output port out, chosen uniformly among the free ones; it reports false
+// when all are owned.
+func (r *Router) allocateCtrlVC(vc *ctrlVC, out topology.Port) bool {
+	co := &r.ctrlOut[out]
+	free := -1
+	nfree := 0
+	for dv, owned := range co.owned {
+		if !owned {
+			nfree++
+			if r.rng.Intn(nfree) == 0 {
+				free = dv
+			}
+		}
+	}
+	if free == -1 {
+		return false
+	}
+	co.owned[free] = true
+	vc.outVC = free
+	vc.allocated = true
+	return true
+}
+
+// scheduleLeads runs the output scheduler for every still-unscheduled data
+// flit of qc and reports whether all are now scheduled. In the default
+// per-flit mode, each success is committed immediately (its reservation
+// signal and upstream credit go out even if a sibling fails); in
+// all-or-nothing mode the whole set commits or none does. Reservations are
+// attributed to the packet's downstream control VC (its input VC at the
+// destination, where no control VC is consumed).
+func (r *Router) scheduleLeads(now sim.Cycle, qc *queuedCtrl, vc *ctrlVC, out, inPort topology.Port) bool {
+	table := r.outTables[out]
+	tp := r.dataLatencyFor(out)
+	attrVC := vc.outVC // meaningful only when out != Local; ejection ignores it
+	if out == topology.Local {
+		attrVC = 0
+	}
+	if r.cfg.AllOrNothing {
+		type tentative struct {
+			lead int
+			td   sim.Cycle
+		}
+		var committed []tentative
+		for i := range qc.leads {
+			if qc.leads[i].scheduled {
+				continue
+			}
+			td, ok := table.findDeparture(now, qc.leads[i].arrival, tp, attrVC)
+			if !ok {
+				for _, t := range committed {
+					table.uncommit(t.td, tp, attrVC)
+				}
+				return false
+			}
+			table.commit(td, tp, attrVC)
+			committed = append(committed, tentative{lead: i, td: td})
+		}
+		for _, t := range committed {
+			r.finalizeLead(now, qc, &qc.leads[t.lead], t.td, out, inPort)
+		}
+		return true
+	}
+	// Per-flit mode: the control flit is first admitted — all of its
+	// leads' buffers claimed downstream — so that the data flits released
+	// early can never be stranded waiting for a control flit that cannot
+	// finish scheduling (the wedge analyzed on outResTable.claims).
+	if !qc.admitted {
+		k := 0
+		for i := range qc.leads {
+			if !qc.leads[i].scheduled {
+				k++
+			}
+		}
+		if !table.admit(attrVC, k) {
+			return false
+		}
+		qc.admitted = true
+	}
+	allDone := true
+	for i := range qc.leads {
+		ld := &qc.leads[i]
+		if ld.scheduled {
+			continue
+		}
+		td, ok := table.findDeparture(now, ld.arrival, tp, attrVC)
+		if !ok {
+			allDone = false
+			continue
+		}
+		table.releaseClaim(attrVC)
+		table.commit(td, tp, attrVC)
+		r.finalizeLead(now, qc, ld, td, out, inPort)
+	}
+	return allDone
+}
+
+// finalizeLead records a successful reservation: the input scheduler learns
+// the departure, a credit announcing the buffer's future release returns
+// upstream, and — at the destination — the sink learns which packet's flit
+// the ejection channel will deliver and when.
+func (r *Router) finalizeLead(now sim.Cycle, qc *queuedCtrl, ld *leadState, td sim.Cycle, out, inPort topology.Port) {
+	in := r.inputs[inPort]
+	in.reserve(now, ld.arrival, td, out)
+	if in.creditOut != nil {
+		// The freed residency is attributed to the control VC this
+		// flit arrived on, which is the upstream scheduler's VC for
+		// this link.
+		in.creditOut.Send(now, noc.ReservationCredit{FreeFrom: td, VC: qc.flit.VC})
+	}
+	ld.scheduled = true
+	ld.departAt = td
+	if out == topology.Local {
+		r.sinkNotify(td+r.cfg.LocalLatency, qc.flit.Packet, ld.seq)
+	}
+}
+
+// consume retires a control flit at its destination: every data flit it led
+// has been scheduled into the ejection channel, so the control flit's work is
+// done. Its buffer is freed (credit upstream) and on a tail the control VC's
+// routing entry is released.
+func (r *Router) consume(now sim.Cycle, ci *ctrlInput, vc *ctrlVC, vcIdx int) {
+	qc := vc.q[0]
+	r.popCtrl(now, ci, vc, vcIdx)
+	if qc.flit.Type.IsTail() {
+		vc.routed = false
+		vc.allocated = false
+	}
+}
+
+// forward sends a fully scheduled control flit to the next router, rewriting
+// each lead's arrival time to the cycle its data flit will reach that router
+// (t_d + t_p). The downstream control VC was allocated before scheduling;
+// credits and link bandwidth gate the send, and a blocked flit simply
+// retries next cycle.
+func (r *Router) forward(now sim.Cycle, ci *ctrlInput, vc *ctrlVC, vcIdx int, out topology.Port) {
+	co := &r.ctrlOut[out]
+	qc := &vc.q[0]
+	if !vc.allocated {
+		panic("core: forwarding a control flit with no allocated downstream VC")
+	}
+	if co.credits[vc.outVC] <= 0 || !co.out.CanSend(now) {
+		return
+	}
+	nf := qc.flit
+	nf.VC = vc.outVC
+	nf.Leads = make([]noc.LeadEntry, len(qc.leads))
+	for i, ld := range qc.leads {
+		nf.Leads[i] = noc.LeadEntry{Seq: ld.seq, Arrival: ld.departAt + r.cfg.DataLinkLatency}
+	}
+	co.out.Send(now, nf)
+	co.credits[vc.outVC]--
+	isTail := qc.flit.Type.IsTail()
+	r.popCtrl(now, ci, vc, vcIdx)
+	if isTail {
+		co.owned[vc.outVC] = false
+		vc.allocated = false
+		vc.routed = false
+	}
+}
+
+// popCtrl dequeues the front control flit of a VC and returns its buffer
+// credit upstream.
+func (r *Router) popCtrl(now sim.Cycle, ci *ctrlInput, vc *ctrlVC, vcIdx int) {
+	copy(vc.q, vc.q[1:])
+	vc.q[len(vc.q)-1] = queuedCtrl{}
+	vc.q = vc.q[:len(vc.q)-1]
+	if ci.creditOut != nil {
+		ci.creditOut.Send(now, noc.VCCredit{VC: vcIdx})
+	}
+}
+
+// bufferUsage reports occupied and total data buffers across input ports.
+func (r *Router) bufferUsage() (used, capacity int) {
+	for p := range r.inputs {
+		if r.inputs[p] == nil {
+			continue
+		}
+		used += r.inputs[p].occupied
+		capacity += r.cfg.DataBuffers
+	}
+	return used, capacity
+}
+
+// pendingWork reports whether any control or data state is still in flight
+// inside the router, used by drain checks.
+func (r *Router) pendingWork() int {
+	n := 0
+	for p := range r.ctrlIn {
+		if !r.ctrlIn[p].exists {
+			continue
+		}
+		for v := range r.ctrlIn[p].vcs {
+			n += len(r.ctrlIn[p].vcs[v].q)
+		}
+	}
+	for p := range r.inputs {
+		if r.inputs[p] != nil {
+			n += r.inputs[p].pending()
+		}
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+	"frfc/internal/vcrouter"
+)
+
+// TestZeroTurnaroundBufferReuse verifies the paper's headline mechanism at
+// the network level: under flit reservation, a buffer freed by a departure
+// at cycle t can hold a new flit arriving at cycle t — zero turnaround —
+// whereas the virtual-channel credit loop leaves a buffer idle for the
+// propagation-plus-credit delay after every departure.
+//
+// The probe drives one path of a 4x4 mesh with back-to-back traffic: with
+// only 3 buffers per input against a 6-cycle credit loop, sustaining a flit
+// per cycle is only possible if buffers are reusable the cycle they free.
+func TestZeroTurnaroundBufferReuse(t *testing.T) {
+	mesh := topology.NewMesh(4)
+	cfg := fastControl()
+	cfg.DataBuffers = 3
+	// One control VC: with more, the deadlock-avoidance reserve holds a
+	// buffer back for the idle VCs, which is exactly what this probe must
+	// not measure.
+	cfg.CtrlVCs = 1
+	net := New(mesh, cfg, 3, &noc.Hooks{})
+
+	// A steady stream from node 0 to node 3 crosses routers 1 and 2.
+	// With a 4-cycle data link and only 3 buffers per input, virtual
+	// channel flow control could sustain at most 3 flits per ~6-cycle
+	// credit loop (1/2 flit/cycle); flit reservation must sustain close
+	// to the full 1 flit/cycle.
+	now := sim.Cycle(0)
+	var delivered int
+	net.hooks.FlitEjected = func(sim.Cycle) { delivered++ }
+	id := noc.PacketID(0)
+	for ; now < 600; now++ {
+		// One 5-flit packet every 5 cycles: 1 flit/cycle offered on
+		// the single path.
+		if now%5 == 0 {
+			id++
+			net.Offer(&noc.Packet{ID: id, Src: 0, Dst: 3, Len: 5, CreatedAt: now})
+		}
+		net.Tick(now)
+	}
+	for net.InFlightPackets() > 0 && now < 20000 {
+		net.Tick(now)
+		now++
+	}
+	drainCycles := int(now)
+	if net.InFlightPackets() != 0 {
+		t.Fatal("stream did not drain")
+	}
+	// 120 packets x 5 flits = 600 flits over ~600 cycles of injection: if
+	// the pipeline sustained ~1 flit/cycle, drain completes shortly after
+	// the last injection. A 1/3-rate credit-loop bottleneck would need
+	// ~1800 cycles.
+	if drainCycles > 900 {
+		t.Fatalf("stream took %d cycles to drain; buffers are not turning around instantly", drainCycles)
+	}
+}
+
+// TestAdvanceCreditsBeatTheCreditLoop measures the same effect comparatively:
+// on one saturated path, flit reservation with 2 buffers outruns virtual
+// channels with 2 buffers by roughly the credit-loop factor.
+func TestAdvanceCreditsBeatTheCreditLoop(t *testing.T) {
+	mesh := topology.NewMesh(4)
+	throughput := func(build func() noc.Network) int {
+		net := build()
+		delivered := 0
+		now := sim.Cycle(0)
+		id := noc.PacketID(0)
+		for ; now < 1500; now++ {
+			if now%5 == 0 {
+				id++
+				net.Offer(&noc.Packet{ID: id, Src: 0, Dst: 3, Len: 5, CreatedAt: now})
+			}
+			net.Tick(now)
+		}
+		_ = delivered
+		// Count ejected flits in the window by draining and comparing.
+		start := net.InFlightPackets()
+		return 300 - start // packets completed during the window
+	}
+	fr := throughput(func() noc.Network {
+		cfg := fastControl()
+		cfg.DataBuffers = 2
+		cfg.CtrlVCs = 1
+		return New(mesh, cfg, 3, &noc.Hooks{})
+	})
+	// A VC network with the same 2 buffers per input (1 VC x 2).
+	vc := throughput(func() noc.Network {
+		return vcrouter.New(mesh, vcrouter.Config{NumVCs: 1, BufPerVC: 2, LinkLatency: 4, CreditLatency: 1, LocalLatency: 1}, 3, &noc.Hooks{})
+	})
+	if fr <= vc {
+		t.Fatalf("FR completed %d packets vs VC %d on a saturated path; advance credits should win", fr, vc)
+	}
+	if float64(fr) < 1.5*float64(vc) {
+		t.Errorf("FR advantage only %d vs %d; expected at least ~1.5x from zero turnaround", fr, vc)
+	}
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// The calibration tests print full-scale (8x8 mesh) measurements next to the
+// paper's reported values. They are expensive and run only when
+// FRFC_CALIBRATE=1; EXPERIMENTS.md records their output.
+
+func calibrating(t *testing.T) {
+	t.Helper()
+	if os.Getenv("FRFC_CALIBRATE") == "" {
+		t.Skip("set FRFC_CALIBRATE=1 to run full-scale calibration")
+	}
+}
+
+// TestSaturationCalibration reproduces the saturation-throughput columns of
+// Table 3 for 5-flit packets under fast control.
+func TestSaturationCalibration(t *testing.T) {
+	calibrating(t)
+	o := SaturationOptions{Resolution: 0.02}
+	for _, tc := range []struct {
+		spec  Spec
+		paper float64
+	}{
+		{VC8(FastControl, 5), 0.63},
+		{FR6(FastControl, 5), 0.77},
+		{VC16(FastControl, 5), 0.80},
+		{FR13(FastControl, 5), 0.85},
+		{VC32(FastControl, 5), 0.85},
+	} {
+		s := tc.spec.Scaled(4000, 3000)
+		sat := SaturationThroughput(s, o)
+		fmt.Printf("%-6s 5-flit  sat=%4.0f%%  (paper %4.0f%%)\n", s.Name, sat*100, tc.paper*100)
+	}
+}
+
+// TestSaturation21FlitCalibration reproduces Figure 6 / Table 3's 21-flit
+// saturation points, including the FR13-beats-VC32 crossover.
+func TestSaturation21FlitCalibration(t *testing.T) {
+	calibrating(t)
+	o := SaturationOptions{Resolution: 0.02}
+	for _, tc := range []struct {
+		spec  Spec
+		paper float64
+	}{
+		{VC8(FastControl, 21), 0.55},
+		{FR6(FastControl, 21), 0.60},
+		{VC16(FastControl, 21), 0.65},
+		{VC32(FastControl, 21), 0.65},
+		{FR13(FastControl, 21), 0.75},
+	} {
+		s := tc.spec.Scaled(2500, 3000)
+		sat := SaturationThroughput(s, o)
+		fmt.Printf("%-6s 21-flit sat=%4.0f%%  (paper %4.0f%%)\n", s.Name, sat*100, tc.paper*100)
+	}
+}
+
+// TestCalibrationReport prints base latency and latency at 50% capacity for
+// every configuration under both wirings (Table 3's latency rows).
+func TestCalibrationReport(t *testing.T) {
+	calibrating(t)
+	for _, w := range []Wiring{FastControl, LeadingControl} {
+		for _, mk := range []func(Wiring, int) Spec{FR6, FR13, VC8, VC16, VC32} {
+			s := mk(w, 5).Scaled(1500, 1500)
+			base := BaseLatency(s)
+			r50 := Run(s, 0.50)
+			fmt.Printf("%-6s %-16s base=%6.1f  lat50=%7.1f sat?%-5v accepted=%4.1f%%\n",
+				s.Name, w, base, r50.AvgLatency, r50.Saturated, r50.AcceptedLoad*100)
+		}
+	}
+}
+
+// TestCalibration21FlitLatency reproduces the 21-flit latency rows of
+// Table 3 (paper: base 46 FR / 55 VC; at 50% capacity 81/75 for FR6/FR13 vs
+// 113/95/97 for VC8/VC16/VC32).
+func TestCalibration21FlitLatency(t *testing.T) {
+	calibrating(t)
+	for _, mk := range []func(Wiring, int) Spec{FR6, FR13, VC8, VC16, VC32} {
+		s := mk(FastControl, 21).Scaled(1500, 2000)
+		base := BaseLatency(s)
+		r50 := Run(s, 0.50)
+		fmt.Printf("%-6s 21-flit base=%6.1f  lat50=%7.1f\n", s.Name, base, r50.AvgLatency)
+	}
+}
+
+// TestCalibrationOccupancy reproduces Section 4.2's buffer-occupancy claim:
+// near saturation with 21-flit packets FR6's tracked pool is full a large
+// fraction of cycles (paper ~40%) while saturating VC configurations stay
+// under ~5%.
+func TestCalibrationOccupancy(t *testing.T) {
+	calibrating(t)
+	fr := Run(FR6(FastControl, 21).Scaled(2000, 3000), 0.60)
+	vc := Run(VC8(FastControl, 21).Scaled(2000, 3000), 0.50)
+	fmt.Printf("FR6 pool full %4.1f%% of cycles at 60%% load, its saturation edge (paper ~40%%)\n", fr.PoolFullFraction*100)
+	fmt.Printf("VC8 pool full %4.1f%% of cycles at 50%% load (paper <5%%)\n", vc.PoolFullFraction*100)
+}

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+	"frfc/internal/vcrouter"
+)
+
+// TestFuzzAllNetworksConserveFlits drives every flow-control implementation
+// with randomized shapes (mesh radix, packet length, load, and
+// method-specific knobs) and checks the conservation invariants that no
+// configuration may violate: every offered packet is eventually delivered
+// exactly once, every injected flit is ejected, and the network drains to
+// empty once offers stop. Internal reservation/credit violations panic on
+// their own.
+func TestFuzzAllNetworksConserveFlits(t *testing.T) {
+	rng := sim.NewRNG(20260704)
+	flows := []Flow{FlitReservation, VirtualChannel, Wormhole, StoreForward, CutThrough, CircuitSwitch}
+	const trials = 80
+	for trial := 0; trial < trials; trial++ {
+		flow := flows[trial%len(flows)]
+		radix := 3 + rng.Intn(3)
+		pktLen := 1 + rng.Intn(8)
+		seed := rng.Uint64()
+		var spec Spec
+		switch flow {
+		case FlitReservation:
+			wiring := FastControl
+			lead := sim.Cycle(0)
+			if rng.Bool(0.5) {
+				wiring = LeadingControl
+				lead = sim.Cycle(1 + rng.Intn(4))
+			}
+			buffers := 5 + rng.Intn(9)
+			ctrlVCs := 2 + rng.Intn(3)
+			if buffers < ctrlVCs {
+				buffers = ctrlVCs
+			}
+			spec = FRSpec("fuzz-fr", wiring, buffers, ctrlVCs, lead, pktLen)
+			spec.FR.Horizon = sim.Cycle(12 + rng.Intn(50))
+			if d := 1 + rng.Intn(3); spec.FR.DataBuffers >= d+spec.FR.CtrlVCs-1 {
+				spec.FR.LeadsPerCtrl = d
+			}
+			spec.FR.AllOrNothing = rng.Bool(0.3)
+			spec.FR.SourceInterleave = rng.Bool(0.3)
+		case VirtualChannel:
+			spec = vcSpec("fuzz-vc", FastControl, 1+rng.Intn(4), pktLen)
+			spec.VC.BufPerVC = 1 + rng.Intn(6)
+			spec.VC.SharedPool = rng.Bool(0.3)
+			spec.VC.SourceInterleave = rng.Bool(0.3)
+		case Wormhole:
+			spec = WormholeSpec("fuzz-wh", FastControl, 1+rng.Intn(10), pktLen)
+		case StoreForward, CutThrough:
+			spec = PacketSwitchSpec("fuzz-ps", flow, FastControl, 1+rng.Intn(3), pktLen)
+		case CircuitSwitch:
+			spec = CircuitSpec("fuzz-cs", FastControl, pktLen)
+			spec.CS.ProbeBuffers = 1 + rng.Intn(6)
+		}
+		spec.MeshRadix = radix
+		detail := ""
+		switch flow {
+		case FlitReservation:
+			detail = fmt.Sprintf("-b%d-v%d-d%d-aon%v", spec.FR.DataBuffers, spec.FR.CtrlVCs, spec.FR.LeadsPerCtrl, spec.FR.AllOrNothing)
+		case VirtualChannel:
+			detail = fmt.Sprintf("-v%d-b%d-pool%v", spec.VC.NumVCs, spec.VC.BufPerVC, spec.VC.SharedPool)
+		}
+		name := fmt.Sprintf("trial%02d-%s-k%d-L%d%s", trial, flow, radix, pktLen, detail)
+		t.Run(name, func(t *testing.T) {
+			mesh := topology.NewMesh(radix)
+			var delivered, injectedFlits, ejectedFlits int64
+			deliveredSet := map[noc.PacketID]bool{}
+			hooks := &noc.Hooks{
+				PacketDelivered: func(p *noc.Packet, now sim.Cycle) {
+					if deliveredSet[p.ID] {
+						t.Errorf("packet %d delivered twice", p.ID)
+					}
+					deliveredSet[p.ID] = true
+					delivered++
+				},
+				FlitInjected: func(now sim.Cycle) { injectedFlits++ },
+				FlitEjected:  func(now sim.Cycle) { ejectedFlits++ },
+			}
+			net, _ := NewNetwork(spec, hooks)
+			load := 0.1 + rng.Float64()*0.5
+			rate := load * mesh.CapacityPerNode() / float64(pktLen)
+			offered := int64(0)
+			now := sim.Cycle(0)
+			src := sim.NewRNG(seed)
+			for ; now < 1500; now++ {
+				for id := 0; id < mesh.N(); id++ {
+					if src.Bool(rate) {
+						dst := topology.NodeID(src.Intn(mesh.N() - 1))
+						if dst >= topology.NodeID(id) {
+							dst++
+						}
+						offered++
+						net.Offer(&noc.Packet{ID: noc.PacketID(offered), Src: topology.NodeID(id), Dst: dst, Len: pktLen, CreatedAt: now})
+					}
+				}
+				net.Tick(now)
+			}
+			for net.InFlightPackets() > 0 && now < 3000000 {
+				net.Tick(now)
+				now++
+			}
+			if got := net.InFlightPackets(); got != 0 {
+				if vcNet, ok := net.(*vcrouter.Network); ok {
+					t.Logf("state dump:\n%s", vcNet.DumpState())
+				}
+				t.Fatalf("failed to drain: %d packets in flight after %d cycles", got, now)
+			}
+			if delivered != offered {
+				t.Fatalf("delivered %d of %d offered packets", delivered, offered)
+			}
+			if injectedFlits != ejectedFlits || ejectedFlits != offered*int64(pktLen) {
+				t.Fatalf("flit conservation broken: offered %d flits, injected %d, ejected %d",
+					offered*int64(pktLen), injectedFlits, ejectedFlits)
+			}
+		})
+	}
+}

@@ -1,0 +1,296 @@
+package experiment
+
+import (
+	"fmt"
+
+	"frfc/internal/core"
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/stats"
+	"frfc/internal/topology"
+	"frfc/internal/traffic"
+)
+
+// Result reports one simulated (configuration, load) point.
+type Result struct {
+	Spec string
+	// Load is the offered traffic as a fraction of network capacity.
+	Load float64
+	// EffectiveLoad is Load debited by the configuration's bandwidth
+	// penalty, the basis the paper uses when comparing throughputs.
+	EffectiveLoad float64
+
+	// AvgLatency is the mean creation-to-last-flit-ejection latency of
+	// the sampled packets, in cycles, including source queueing.
+	AvgLatency float64
+	// AvgQueueDelay is the mean time sampled packets spent waiting in
+	// their source queue before injection began; AvgLatency minus
+	// AvgQueueDelay is pure network time.
+	AvgQueueDelay float64
+	// CI95 is the half-width of the 95% confidence interval on
+	// AvgLatency.
+	CI95 float64
+	// MinLatency and MaxLatency bound the sampled latencies; P50, P95 and
+	// P99 are exact quantiles of the sample.
+	MinLatency, MaxLatency sim.Cycle
+	P50, P95, P99          sim.Cycle
+
+	// AcceptedLoad is the delivered throughput during the measurement
+	// window as a fraction of capacity.
+	AcceptedLoad float64
+
+	// Saturated is set when the run could not deliver its sample within
+	// the drain bound, or when accepted throughput fell more than 10%
+	// short of offered — either way the offered load exceeds sustainable
+	// throughput.
+	Saturated bool
+	// SampledDelivered / SampleSize report sample completion.
+	SampledDelivered, SampleSize int
+	// Cycles is the total simulated length of the run.
+	Cycles sim.Cycle
+
+	// PoolFullFraction is the fraction of measured cycles the central
+	// router's buffer pools were completely full (Section 4.2's
+	// occupancy statistic).
+	PoolFullFraction float64
+
+	// EagerTransfers and EagerResidencies report the Figure 10 shadow
+	// ledger: how many buffer-to-buffer transfers the
+	// allocate-at-reservation-time policy would have forced, over how
+	// many buffer residencies. Populated only for flit-reservation
+	// configurations with TrackEagerTransfers set.
+	EagerTransfers, EagerResidencies int64
+
+	// DroppedFlits and LostPackets report fault-injection activity when
+	// the configuration sets a DataFaultRate.
+	DroppedFlits, LostPackets int64
+}
+
+// String renders the result as one sweep row.
+func (r Result) String() string {
+	sat := ""
+	if r.Saturated {
+		sat = "  SATURATED"
+	}
+	return fmt.Sprintf("%-12s load=%5.1f%%  latency=%8.2f ±%5.2f  accepted=%5.1f%%%s",
+		r.Spec, r.Load*100, r.AvgLatency, r.CI95, r.AcceptedLoad*100, sat)
+}
+
+// Run simulates one spec at one offered load (fraction of capacity) through
+// the paper's protocol: warm up until source queues stabilize, tag
+// SamplePackets packets, and run until all of them are delivered or the
+// drain bound trips.
+func Run(s Spec, load float64) Result {
+	s = s.withDefaults()
+	if load < 0 || load > 2 {
+		panic(fmt.Sprintf("experiment: offered load %.3f out of range", load))
+	}
+
+	lat := stats.NewLatencyStats()
+	var queueDelay stats.Welford
+	var tput stats.Throughput
+	sampledDelivered := 0
+
+	hooks := &noc.Hooks{
+		PacketDelivered: func(p *noc.Packet, now sim.Cycle) {
+			if p.Sampled {
+				lat.Record(now - p.CreatedAt)
+				queueDelay.Add(float64(p.InjectedAt - p.CreatedAt))
+				sampledDelivered++
+			}
+		},
+		FlitEjected: func(now sim.Cycle) { tput.CountEjected(1) },
+		// A lost packet's fate is resolved even though it never
+		// arrives; without this, any fault would wedge the run
+		// waiting for a sample that cannot complete.
+		PacketLost: func(p *noc.Packet, now sim.Cycle) {
+			if p.Sampled {
+				sampledDelivered++
+			}
+		},
+	}
+	net, mesh := NewNetwork(s, hooks)
+
+	// Per-node generators with independent RNG streams.
+	genRoot := sim.NewRNG(s.Seed ^ 0x9E3779B97F4A7C15)
+	rate := traffic.PacketRateFor(mesh, load, s.PacketLen)
+	gens := make([]*traffic.Generator, mesh.N())
+	var nextID noc.PacketID
+	idGen := func() noc.PacketID { nextID++; return nextID }
+	for id := range gens {
+		var proc traffic.Process
+		if s.Bernoulli {
+			proc = traffic.Bernoulli{Rate: rate}
+		} else {
+			proc = &traffic.ConstantRate{Rate: rate}
+		}
+		gens[id] = traffic.NewGenerator(mesh, topology.NodeID(id), s.Pattern, proc, genRoot.Split(), s.PacketLen, idGen)
+	}
+
+	// Track one specific input pool of a central router, as Section 4.2
+	// does; under dimension-ordered routing on uniform traffic the West
+	// input of a central node carries heavy through-traffic.
+	center := topology.NodeID((mesh.Radix()/2)*mesh.Radix() + mesh.Radix()/2)
+	_, poolCap := net.PoolUsage(center, topology.West)
+	occ := stats.NewOccupancy(poolCap)
+
+	now := sim.Cycle(0)
+	tagged := 0
+	step := func(tagging, observe bool) {
+		for _, g := range gens {
+			p := g.Generate(now)
+			if p == nil {
+				continue
+			}
+			if tagging && tagged < s.SamplePackets {
+				p.Sampled = true
+				tagged++
+			}
+			net.Offer(p)
+		}
+		net.Tick(now)
+		now++
+		if observe {
+			used, _ := net.PoolUsage(center, topology.West)
+			occ.Observe(used)
+		}
+	}
+
+	// Phase 1: warm-up — a fixed minimum, then until source queues
+	// stabilize or the cap is reached.
+	stab := stats.NewStabilizer(s.WarmupCycles/4+1, 0.10)
+	for now < s.WarmupCycles {
+		step(false, false)
+		stab.Observe(net.SourceQueueLen())
+	}
+	for now < s.MaxWarmupCycles && !stab.Stable() {
+		step(false, false)
+		stab.Observe(net.SourceQueueLen())
+	}
+
+	// Phase 2: tag the sample while traffic keeps flowing.
+	tput.Open(now)
+	sampleStart := now
+	for tagged < s.SamplePackets && rate > 0 {
+		step(true, true)
+	}
+	creationCycles := now - sampleStart
+	if creationCycles < 1 {
+		creationCycles = 1
+	}
+
+	// Phase 3: background traffic continues until the whole sample is
+	// delivered or the drain bound trips (the saturation signal).
+	deadline := now + creationCycles*sim.Cycle(s.DrainFactor) + 10*s.WarmupCycles
+	for sampledDelivered < tagged && now < deadline {
+		step(false, true)
+	}
+	tput.Close(now)
+
+	res := Result{
+		Spec:             s.Name,
+		Load:             load,
+		EffectiveLoad:    load * (1 - s.BandwidthPenalty),
+		AvgLatency:       lat.Mean(),
+		AvgQueueDelay:    queueDelay.Mean(),
+		CI95:             lat.CI95(),
+		MinLatency:       lat.Min(),
+		MaxLatency:       lat.Max(),
+		P50:              lat.Quantile(0.50),
+		P95:              lat.Quantile(0.95),
+		P99:              lat.Quantile(0.99),
+		Saturated:        sampledDelivered < tagged,
+		SampledDelivered: sampledDelivered,
+		SampleSize:       tagged,
+		Cycles:           now,
+		PoolFullFraction: occ.FullFraction(),
+	}
+	res.AcceptedLoad = tput.AcceptedFlitsPerCycle() / (float64(mesh.N()) * mesh.CapacityPerNode())
+	if res.AcceptedLoad < 0.90*load {
+		res.Saturated = true
+	}
+	if frNet, ok := net.(*core.Network); ok {
+		res.EagerTransfers, res.EagerResidencies = frNet.EagerTransfers()
+		res.DroppedFlits, res.LostPackets = frNet.FaultStats()
+	}
+	return res
+}
+
+// Sweep runs the spec at each offered load and returns one result per point.
+func Sweep(s Spec, loads []float64) []Result {
+	results := make([]Result, 0, len(loads))
+	for _, load := range loads {
+		results = append(results, Run(s, load))
+	}
+	return results
+}
+
+// BaseLatency measures the zero-load (contention-free) latency of a spec by
+// running it at a very light load with a reduced sample.
+func BaseLatency(s Spec) float64 {
+	s = s.withDefaults()
+	s.SamplePackets = min(s.SamplePackets, 500)
+	return Run(s, 0.02).AvgLatency
+}
+
+// SaturationOptions tunes the saturation-throughput search.
+type SaturationOptions struct {
+	// LatencyFactor: a load point counts as sustainable while its
+	// average latency stays below LatencyFactor × base latency and the
+	// whole sample is delivered. The default is 6.
+	LatencyFactor float64
+	// Resolution is the load-step at which the search stops (default
+	// 0.01, i.e. 1% of capacity).
+	Resolution float64
+	// Lo and Hi bound the search (defaults 0.10 and 1.0).
+	Lo, Hi float64
+}
+
+func (o SaturationOptions) withDefaults() SaturationOptions {
+	if o.LatencyFactor == 0 {
+		o.LatencyFactor = 6
+	}
+	if o.Resolution == 0 {
+		o.Resolution = 0.01
+	}
+	if o.Hi == 0 {
+		o.Hi = 1.0
+	}
+	if o.Lo == 0 {
+		o.Lo = 0.10
+	}
+	return o
+}
+
+// SaturationThroughput locates, by bisection, the highest offered load the
+// configuration sustains — the "saturates at X% capacity" numbers of the
+// paper. It returns the raw load fraction; callers comparing flow-control
+// methods apply the spec's BandwidthPenalty as the paper does.
+func SaturationThroughput(s Spec, o SaturationOptions) float64 {
+	s = s.withDefaults()
+	o = o.withDefaults()
+	base := BaseLatency(s)
+	if base <= 0 {
+		panic("experiment: zero base latency — spec cannot deliver packets")
+	}
+	sustainable := func(load float64) bool {
+		r := Run(s, load)
+		return !r.Saturated && r.AvgLatency <= o.LatencyFactor*base
+	}
+	lo, hi := o.Lo, o.Hi
+	if !sustainable(lo) {
+		return lo
+	}
+	if sustainable(hi) {
+		return hi
+	}
+	for hi-lo > o.Resolution {
+		mid := (lo + hi) / 2
+		if sustainable(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,317 @@
+// Package experiment drives the simulator through the paper's measurement
+// protocol: warm up until source queues stabilize, tag a sample of packets,
+// run until every tagged packet is delivered, and report average latency with
+// confidence intervals and accepted throughput. It also names the paper's
+// experimental configurations (FR6, FR13, VC8, VC16, VC32 under fast-control
+// and leading-control wiring) and locates saturation throughput by search.
+package experiment
+
+import (
+	"fmt"
+
+	"frfc/internal/circuit"
+	"frfc/internal/core"
+	"frfc/internal/noc"
+	"frfc/internal/overhead"
+	"frfc/internal/packetswitch"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+	"frfc/internal/traffic"
+	"frfc/internal/vcrouter"
+	"frfc/internal/wormhole"
+)
+
+// Flow selects the flow-control method under test.
+type Flow string
+
+// Flow-control methods.
+const (
+	FlitReservation Flow = "flit-reservation"
+	VirtualChannel  Flow = "virtual-channel"
+	Wormhole        Flow = "wormhole"
+	StoreForward    Flow = "store-and-forward"
+	CutThrough      Flow = "cut-through"
+	CircuitSwitch   Flow = "circuit"
+)
+
+// Wiring selects the paper's two physical configurations.
+type Wiring string
+
+// Wirings: FastControl has data wires 4× slower than control/credit wires
+// (data links 4 cycles, control and credit links 1 cycle). LeadingControl
+// has every wire at 1 cycle, with control flits injected LeadCycles ahead of
+// their data flits.
+const (
+	FastControl    Wiring = "fast-control"
+	LeadingControl Wiring = "leading-control"
+)
+
+// Spec fully describes one simulated configuration, independent of offered
+// load (the load is the sweep variable).
+type Spec struct {
+	Name string
+	Flow Flow
+
+	// FR is consulted when Flow is FlitReservation.
+	FR core.Config
+	// VC is consulted when Flow is VirtualChannel.
+	VC vcrouter.Config
+	// WH is consulted when Flow is Wormhole.
+	WH wormhole.Config
+	// PS is consulted when Flow is StoreForward or CutThrough.
+	PS packetswitch.Config
+	// CS is consulted when Flow is CircuitSwitch.
+	CS circuit.Config
+
+	MeshRadix int
+	PacketLen int
+	Pattern   traffic.Pattern
+	// Bernoulli switches the injection process from the paper's constant
+	// rate source to a Bernoulli process.
+	Bernoulli bool
+	Seed      uint64
+
+	// WarmupCycles is the minimum warm-up; the run then continues until
+	// source-queue lengths stabilize, up to MaxWarmupCycles.
+	WarmupCycles    sim.Cycle
+	MaxWarmupCycles sim.Cycle
+	// SamplePackets is how many packets are tagged and measured.
+	SamplePackets int
+	// DrainFactor bounds how long the run waits for tagged packets, as a
+	// multiple of the cycles the sample took to create; a run exceeding
+	// it is reported Saturated.
+	DrainFactor int
+
+	// BandwidthPenalty is the fraction of data bandwidth this
+	// configuration spends on control overhead beyond its comparison
+	// baseline; reported throughput is debited by it, as the paper does
+	// for flit reservation's arrival-time stamps (~2%).
+	BandwidthPenalty float64
+}
+
+// withDefaults fills unset measurement parameters with values scaled for
+// interactive use. The paper-scale protocol (10,000-cycle warm-up, 100,000
+// sampled packets) is selected by cmd/paperfigs via PaperScale.
+func (s Spec) withDefaults() Spec {
+	if s.MeshRadix == 0 {
+		s.MeshRadix = 8
+	}
+	if s.PacketLen == 0 {
+		s.PacketLen = 5
+	}
+	if s.Pattern == nil {
+		s.Pattern = traffic.Uniform{}
+	}
+	if s.Seed == 0 {
+		s.Seed = 0xF11725E5
+	}
+	if s.WarmupCycles == 0 {
+		s.WarmupCycles = 2000
+	}
+	if s.MaxWarmupCycles == 0 {
+		s.MaxWarmupCycles = 4 * s.WarmupCycles
+	}
+	if s.SamplePackets == 0 {
+		s.SamplePackets = 3000
+	}
+	if s.DrainFactor == 0 {
+		s.DrainFactor = 8
+	}
+	return s
+}
+
+// PaperScale returns the spec with the paper's measurement protocol: at
+// least 10,000 warm-up cycles and 100,000 sampled packets.
+func (s Spec) PaperScale() Spec {
+	s.WarmupCycles = 10000
+	s.MaxWarmupCycles = 40000
+	s.SamplePackets = 100000
+	s.DrainFactor = 8
+	return s
+}
+
+// Scaled returns the spec with measurement effort scaled by the given
+// fraction of the paper protocol, for quick sweeps and benchmarks.
+func (s Spec) Scaled(samplePackets int, warmup sim.Cycle) Spec {
+	s.WarmupCycles = warmup
+	s.MaxWarmupCycles = 4 * warmup
+	s.SamplePackets = samplePackets
+	return s
+}
+
+// frBandwidthPenalty computes the Table 2 debit for an FR configuration
+// against the storage-matched VC baseline with v_d = v_c.
+func frBandwidthPenalty(mesh topology.Mesh, pktLen int, fr core.Config) float64 {
+	n := overhead.Log2Ceil(mesh.N())
+	frBW := overhead.BandwidthParams{DestBits: n, PacketLen: pktLen, VCs: fr.CtrlVCs, Leads: fr.LeadsPerCtrl, Horizon: int(fr.Horizon)}
+	vcBW := overhead.BandwidthParams{DestBits: n, PacketLen: pktLen, VCs: fr.CtrlVCs}
+	return overhead.FRBandwidthPenalty(frBW, vcBW, 256)
+}
+
+// frConfig builds the paper's FR router parameters for a buffer count and
+// control-VC count under the given wiring.
+func frConfig(w Wiring, dataBuffers, ctrlVCs int, lead sim.Cycle) core.Config {
+	c := core.Config{
+		DataBuffers:       dataBuffers,
+		CtrlVCs:           ctrlVCs,
+		CtrlBufPerVC:      3,
+		Horizon:           32,
+		LeadsPerCtrl:      1,
+		CtrlFlitsPerCycle: 2,
+		CtrlLinkLatency:   1,
+		CreditLatency:     1,
+		LocalLatency:      1,
+	}
+	switch w {
+	case FastControl:
+		c.DataLinkLatency = 4
+		c.LeadCycles = 0
+	case LeadingControl:
+		c.DataLinkLatency = 1
+		if lead == 0 {
+			lead = 1
+		}
+		c.LeadCycles = lead
+	default:
+		panic(fmt.Sprintf("experiment: unknown wiring %q", w))
+	}
+	return c
+}
+
+// vcConfig builds the paper's VC router parameters (4 flits per virtual
+// channel, the depth the paper found best) under the given wiring.
+func vcConfig(w Wiring, vcs int) vcrouter.Config {
+	c := vcrouter.Config{
+		NumVCs:        vcs,
+		BufPerVC:      4,
+		CreditLatency: 1,
+		LocalLatency:  1,
+	}
+	switch w {
+	case FastControl:
+		c.LinkLatency = 4
+	case LeadingControl:
+		c.LinkLatency = 1
+	default:
+		panic(fmt.Sprintf("experiment: unknown wiring %q", w))
+	}
+	return c
+}
+
+// FR6 is the paper's 6-buffer flit-reservation configuration
+// (storage-matched to VC8): 2 control VCs of 3 buffers, horizon 32.
+func FR6(w Wiring, pktLen int) Spec {
+	return FRSpec("FR6", w, 6, 2, 1, pktLen)
+}
+
+// FR13 is the paper's 13-buffer flit-reservation configuration
+// (storage-matched to VC16): 4 control VCs of 3 buffers, horizon 32.
+func FR13(w Wiring, pktLen int) Spec {
+	return FRSpec("FR13", w, 13, 4, 1, pktLen)
+}
+
+// FRLead is FR6 under leading control with an explicit control lead of N
+// cycles (Figure 8 sweeps N over 1, 2, 4).
+func FRLead(lead sim.Cycle, pktLen int) Spec {
+	s := FRSpec(fmt.Sprintf("FR6-lead%d", lead), LeadingControl, 6, 2, lead, pktLen)
+	return s
+}
+
+// FRSpec builds a flit-reservation spec with explicit buffer and control-VC
+// counts, keeping the paper's remaining parameters (3 control buffers per
+// VC, horizon 32, d=1, 2 control flits/cycle). Under FastControl wiring the
+// lead parameter is ignored.
+func FRSpec(name string, w Wiring, buffers, ctrlVCs int, lead sim.Cycle, pktLen int) Spec {
+	s := Spec{
+		Name:      name,
+		Flow:      FlitReservation,
+		FR:        frConfig(w, buffers, ctrlVCs, lead),
+		PacketLen: pktLen,
+	}
+	s = s.withDefaults()
+	s.BandwidthPenalty = frBandwidthPenalty(topology.NewMesh(s.MeshRadix), pktLen, s.FR)
+	return s
+}
+
+// VC8 is virtual-channel flow control with 8 buffers per input (2 VCs × 4).
+func VC8(w Wiring, pktLen int) Spec { return vcSpec("VC8", w, 2, pktLen) }
+
+// VC16 is virtual-channel flow control with 16 buffers per input (4 VCs × 4).
+func VC16(w Wiring, pktLen int) Spec { return vcSpec("VC16", w, 4, pktLen) }
+
+// VC32 is virtual-channel flow control with 32 buffers per input (8 VCs × 4).
+func VC32(w Wiring, pktLen int) Spec { return vcSpec("VC32", w, 8, pktLen) }
+
+func vcSpec(name string, w Wiring, vcs, pktLen int) Spec {
+	s := Spec{
+		Name:      name,
+		Flow:      VirtualChannel,
+		VC:        vcConfig(w, vcs),
+		PacketLen: pktLen,
+	}
+	return s.withDefaults()
+}
+
+// WormholeSpec builds a wormhole baseline spec ([DalSei86], Section 2 of the
+// paper) with the given per-input buffer depth under the given wiring.
+func WormholeSpec(name string, w Wiring, depth, pktLen int) Spec {
+	c := wormhole.Config{BufferDepth: depth, CreditLatency: 1, LocalLatency: 1}
+	if w == FastControl {
+		c.LinkLatency = 4
+	} else {
+		c.LinkLatency = 1
+	}
+	s := Spec{Name: name, Flow: Wormhole, WH: c, PacketLen: pktLen}
+	return s.withDefaults()
+}
+
+// PacketSwitchSpec builds a store-and-forward or cut-through baseline spec
+// (Section 2 of the paper) with the given packet buffers per input.
+func PacketSwitchSpec(name string, flow Flow, w Wiring, buffers, pktLen int) Spec {
+	mode := packetswitch.StoreAndForward
+	if flow == CutThrough {
+		mode = packetswitch.CutThrough
+	}
+	c := packetswitch.Config{Mode: mode, PacketBuffers: buffers, MaxPacketLen: pktLen, CreditLatency: 1, LocalLatency: 1}
+	if w == FastControl {
+		c.LinkLatency = 4
+	} else {
+		c.LinkLatency = 1
+	}
+	s := Spec{Name: name, Flow: flow, PS: c, PacketLen: pktLen}
+	return s.withDefaults()
+}
+
+// CircuitSpec builds a circuit-switching baseline spec (the substrate of the
+// wave-switching hybrid of Section 2): probes on fast control wires reserve
+// an exclusive path, then the message streams unbuffered.
+func CircuitSpec(name string, w Wiring, pktLen int) Spec {
+	c := circuit.Config{ProbeBuffers: 4, CtrlLinkLatency: 1, LocalLatency: 1}
+	if w == FastControl {
+		c.LinkLatency = 4
+	} else {
+		c.LinkLatency = 1
+	}
+	s := Spec{Name: name, Flow: CircuitSwitch, CS: c, PacketLen: pktLen}
+	return s.withDefaults()
+}
+
+// NewNetwork builds the network a spec describes, with the given hooks.
+func NewNetwork(s Spec, hooks *noc.Hooks) (noc.Network, topology.Mesh) {
+	s = s.withDefaults()
+	mesh := topology.NewMesh(s.MeshRadix)
+	switch s.Flow {
+	case FlitReservation:
+		return core.New(mesh, s.FR, s.Seed, hooks), mesh
+	case VirtualChannel:
+		return vcrouter.New(mesh, s.VC, s.Seed, hooks), mesh
+	case Wormhole:
+		return wormhole.New(mesh, s.WH, s.Seed, hooks), mesh
+	case StoreForward, CutThrough:
+		return packetswitch.New(mesh, s.PS, s.Seed, hooks), mesh
+	case CircuitSwitch:
+		return circuit.New(mesh, s.CS, s.Seed, hooks), mesh
+	default:
+		panic(fmt.Sprintf("experiment: unknown flow control %q", s.Flow))
+	}
+}

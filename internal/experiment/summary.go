@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SummaryRow is one column of the paper's Table 3 for one configuration:
+// base latency, latency at 50% capacity, and saturation throughput.
+type SummaryRow struct {
+	Spec                string
+	BaseLatency         float64
+	LatencyAt50         float64
+	Throughput          float64 // raw saturation load fraction
+	EffectiveThroughput float64 // debited by the bandwidth penalty
+}
+
+// Summarize measures one spec's Table 3 row.
+func Summarize(s Spec, o SaturationOptions) SummaryRow {
+	s = s.withDefaults()
+	sat := SaturationThroughput(s, o)
+	return SummaryRow{
+		Spec:                s.Name,
+		BaseLatency:         BaseLatency(s),
+		LatencyAt50:         Run(s, 0.50).AvgLatency,
+		Throughput:          sat,
+		EffectiveThroughput: sat * (1 - s.BandwidthPenalty),
+	}
+}
+
+// SummarizeAll measures a Table 3 row for every spec.
+func SummarizeAll(specs []Spec, o SaturationOptions) []SummaryRow {
+	rows := make([]SummaryRow, 0, len(specs))
+	for _, s := range specs {
+		rows = append(rows, Summarize(s, o))
+	}
+	return rows
+}
+
+// FormatSummary renders rows as a text table in Table 3's layout.
+func FormatSummary(title string, rows []SummaryRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %14s %22s %20s\n", "config", "base latency", "latency @50% capacity", "throughput (%cap)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %11.1f cyc %18.1f cyc %13.0f%% (%.0f%% eff)\n",
+			r.Spec, r.BaseLatency, r.LatencyAt50, r.Throughput*100, r.EffectiveThroughput*100)
+	}
+	return b.String()
+}
+
+// FormatSweep renders a latency-versus-offered-traffic series as text, one
+// line per load point — the textual analog of Figures 5 through 9.
+func FormatSweep(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s\n", r)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+// Package model provides closed-form, contention-free latency predictions
+// for each flow-control method on a mesh, derived from the per-hop cost
+// structure Section 2 of the paper lays out. The predictions serve two
+// purposes: they document each method's latency anatomy in one place, and
+// the test suite validates the simulator against them at near-zero load —
+// a change that breaks either side fails loudly.
+//
+// All formulas express the latency of a single uncontended packet from
+// creation at the source NI to last-flit ejection at the destination sink,
+// using this repository's timing conventions:
+//
+//   - every router decision (routing/arbitration/scheduling) costs 1 cycle;
+//   - data links take tp cycles, pipelined at one flit per cycle;
+//   - injection and ejection traverse explicit local links of LocalDelay;
+//   - a flit-reservation flit whose reserved departure equals its arrival
+//     bypasses the router, so an uncontended FR hop costs exactly tp.
+//
+// Measurements at light (not strictly zero) load sit a cycle or two above
+// these floors from residual queueing; the tests assert that envelope.
+package model
+
+import (
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// Params describe the network a prediction is made for.
+type Params struct {
+	Mesh       topology.Mesh
+	PacketLen  int       // L, data flits per packet
+	LinkDelay  sim.Cycle // tp, cycles per inter-router link
+	LocalDelay sim.Cycle // injection/ejection link delay
+
+	// CreditBufs is the flit-buffer depth behind one credit loop (the
+	// per-VC queue depth for VC/wormhole). When the credit round trip
+	// exceeds CreditBufs cycles, a long packet cannot stream at one flit
+	// per cycle and serialization stretches. Zero means unconstrained.
+	CreditBufs int
+}
+
+// creditRTT is the buffer turnaround of Figure 1: departure, link,
+// downstream decision, credit wire, credit processing.
+func (p Params) creditRTT() sim.Cycle {
+	return 1 + p.LinkDelay + 1 + 1
+}
+
+// interFlit is the steady-state spacing between consecutive flits of one
+// packet on one virtual channel, in cycles: limited by the credit loop when
+// the buffer pool behind it is shallow.
+func (p Params) interFlit() float64 {
+	if p.CreditBufs <= 0 {
+		return 1
+	}
+	r := float64(p.creditRTT()) / float64(p.CreditBufs)
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+func hops(p Params, src, dst topology.NodeID) sim.Cycle {
+	return sim.Cycle(p.Mesh.Hops(src, dst))
+}
+
+// VirtualChannel predicts uncontended virtual-channel (and wormhole — they
+// coincide without contention) latency:
+//
+//	2·local + h·(1 + tp) + 1 (ejection decision) + (L−1)·interFlit
+func VirtualChannel(p Params, src, dst topology.NodeID) float64 {
+	h := float64(hops(p, src, dst))
+	head := 2*float64(p.LocalDelay) + h*float64(1+p.LinkDelay) + 1
+	return head + float64(p.PacketLen-1)*p.interFlit()
+}
+
+// CutThrough predicts uncontended virtual cut-through latency: the header
+// cuts through like wormhole, and packet-sized buffers never throttle the
+// stream.
+//
+//	2·local + h·(1 + tp) + 1 + (L−1)
+func CutThrough(p Params, src, dst topology.NodeID) float64 {
+	h := float64(hops(p, src, dst))
+	return 2*float64(p.LocalDelay) + h*float64(1+p.LinkDelay) + 1 + float64(p.PacketLen-1)
+}
+
+// StoreAndForward predicts uncontended store-and-forward latency: every one
+// of the h+1 routers (and the source NI) re-serializes the whole packet, and
+// each of the h links plus both local links is paid once by the tail.
+//
+//	tail = (L−1) + local                       leave the NI
+//	     + (h+1)·(1 + L−1 + ...) per router: decide, re-serialize
+//	     + h·tp + local                        link traversals
+//
+// which simplifies to 2·local + (h+2)·L + h·(tp+1) + 1 − (h+3) + ... — the
+// code keeps the stepwise form for clarity.
+func StoreAndForward(p Params, src, dst topology.NodeID) float64 {
+	h := hops(p, src, dst)
+	l := sim.Cycle(p.PacketLen)
+	// Tail reaches the first router.
+	t := l - 1 + p.LocalDelay
+	// Each router waits for the tail, decides next cycle, then streams:
+	// tail leaves L cycles after the decision starts, and rides the
+	// next link (local for the last router).
+	for i := sim.Cycle(0); i <= h; i++ {
+		t += 1 + (l - 1)
+		if i < h {
+			t += p.LinkDelay
+		} else {
+			t += p.LocalDelay
+		}
+	}
+	return float64(t)
+}
+
+// FlitReservation predicts uncontended flit-reservation latency with fast
+// control wires: one injection-scheduling cycle, the local links, pure-tp
+// bypass hops, and back-to-back serialization.
+//
+//	1 + 2·local + h·tp + (L−1) + 1
+func FlitReservation(p Params, src, dst topology.NodeID) float64 {
+	h := float64(hops(p, src, dst))
+	return 1 + 2*float64(p.LocalDelay) + h*float64(p.LinkDelay) + float64(p.PacketLen-1) + 1
+}
+
+// MeanOverUniform averages a predictor over all ordered pairs of distinct
+// nodes — the analytic counterpart of a uniform-random zero-load latency
+// measurement.
+func MeanOverUniform(p Params, predict func(Params, topology.NodeID, topology.NodeID) float64) float64 {
+	var total float64
+	var pairs int64
+	n := p.Mesh.N()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			total += predict(p, topology.NodeID(s), topology.NodeID(d))
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}

@@ -1,0 +1,112 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"frfc/internal/experiment"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+func params8(l int, tp sim.Cycle, creditBufs int) Params {
+	return Params{
+		Mesh:       topology.NewMesh(8),
+		PacketLen:  l,
+		LinkDelay:  tp,
+		LocalDelay: 1,
+		CreditBufs: creditBufs,
+	}
+}
+
+// TestPredictionArithmetic pins down the formulas on hand-computed points.
+func TestPredictionArithmetic(t *testing.T) {
+	p := params8(5, 4, 0)
+	src, dst := topology.NodeID(0), topology.NodeID(63) // 14 hops
+	if got := CutThrough(p, src, dst); got != 2+14*5+1+4 {
+		t.Errorf("CutThrough corner = %v, want %v", got, 2+14*5+1+4)
+	}
+	if got := FlitReservation(p, src, dst); got != 1+2+14*4+4+1 {
+		t.Errorf("FlitReservation corner = %v, want %v", got, 1+2+14*4+4+1)
+	}
+	// SAF, one hop (nodes 0 -> 1), L=5, tp=4:
+	// tail into router: 4+1 = 5; router 0: +1+4 (decide+reserialize) +4
+	// (link) = 14; router 1: +1+4 +1 (local) = 20.
+	if got := StoreAndForward(p, 0, 1); got != 20 {
+		t.Errorf("StoreAndForward 1 hop = %v, want 20", got)
+	}
+}
+
+func TestCreditLoopStretchesSerialization(t *testing.T) {
+	deep := params8(21, 4, 0)
+	shallow := params8(21, 4, 4) // rtt 7 over 4 buffers: 1.75 cycles/flit
+	src, dst := topology.NodeID(0), topology.NodeID(7)
+	d := VirtualChannel(deep, src, dst)
+	s := VirtualChannel(shallow, src, dst)
+	if s <= d {
+		t.Errorf("shallow buffers (%v) not slower than deep (%v)", s, d)
+	}
+	want := d + 20*(7.0/4-1)
+	if math.Abs(s-want) > 1e-9 {
+		t.Errorf("stretched prediction %v, want %v", s, want)
+	}
+}
+
+// TestModelMatchesSimulator validates the closed forms against light-load
+// measurements on the full 8x8 mesh: each prediction must land within a few
+// cycles of the simulator (residual queueing at 2% load sits above the
+// floor), and the cross-method ordering must agree exactly.
+func TestModelMatchesSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-mesh light-load measurement")
+	}
+	type method struct {
+		name      string
+		predicted float64
+		spec      experiment.Spec
+	}
+	p := params8(5, 4, 4)
+	pFree := params8(5, 4, 0)
+	methods := []method{
+		{"FR6", MeanOverUniform(pFree, FlitReservation), experiment.FR6(experiment.FastControl, 5)},
+		{"VC8", MeanOverUniform(p, VirtualChannel), experiment.VC8(experiment.FastControl, 5)},
+		{"VCT", MeanOverUniform(pFree, CutThrough), experiment.PacketSwitchSpec("VCT2", experiment.CutThrough, experiment.FastControl, 2, 5)},
+		{"SAF", MeanOverUniform(pFree, StoreAndForward), experiment.PacketSwitchSpec("SAF2", experiment.StoreForward, experiment.FastControl, 2, 5)},
+	}
+	for _, m := range methods {
+		measured := experiment.BaseLatency(m.spec.Scaled(600, 800))
+		diff := measured - m.predicted
+		if diff < -1 || diff > 4 {
+			t.Errorf("%s: measured %.1f vs predicted %.1f (diff %.1f outside [-1, +4])",
+				m.name, measured, m.predicted, diff)
+		}
+	}
+}
+
+func TestMeanOverUniformAveragesPairs(t *testing.T) {
+	// On a 2x2 mesh there are 12 ordered distinct pairs: 8 at 1 hop and
+	// 4 at 2 hops, so mean hops = 4/3. A predictor returning the hop
+	// count directly must average exactly that.
+	p := Params{Mesh: topology.NewMesh(2), PacketLen: 1, LinkDelay: 1, LocalDelay: 1}
+	got := MeanOverUniform(p, func(p Params, s, d topology.NodeID) float64 {
+		return float64(p.Mesh.Hops(s, d))
+	})
+	if math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Fatalf("MeanOverUniform = %v, want 4/3", got)
+	}
+}
+
+func TestFlitReservationAlwaysFastestPrediction(t *testing.T) {
+	p := params8(5, 4, 4)
+	for src := 0; src < 8; src++ {
+		for dst := 56; dst < 64; dst++ {
+			s, d := topology.NodeID(src), topology.NodeID(dst)
+			fr := FlitReservation(p, s, d)
+			for _, other := range []float64{VirtualChannel(p, s, d), CutThrough(p, s, d), StoreAndForward(p, s, d)} {
+				if fr >= other {
+					t.Fatalf("FR prediction %v not below %v for %d->%d", fr, other, s, d)
+				}
+			}
+		}
+	}
+}

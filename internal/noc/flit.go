@@ -1,0 +1,150 @@
+// Package noc defines the messages that travel through the simulated
+// networks: data flits, control flits, credits, and packet descriptors.
+// These types are shared by the flit-reservation router (internal/core) and
+// the baseline routers (internal/vcrouter, internal/wormhole).
+package noc
+
+import (
+	"fmt"
+
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// FlitType distinguishes the position of a flit within its packet. Under
+// virtual-channel and wormhole flow control every data flit carries a type
+// tag (the t-bit field of Table 1); under flit-reservation flow control only
+// control flits do.
+type FlitType uint8
+
+// Flit positions within a packet.
+const (
+	HeadFlit FlitType = iota
+	BodyFlit
+	TailFlit
+	// HeadTailFlit marks the single flit of a one-flit packet.
+	HeadTailFlit
+)
+
+// String returns a short name for the flit type.
+func (t FlitType) String() string {
+	switch t {
+	case HeadFlit:
+		return "head"
+	case BodyFlit:
+		return "body"
+	case TailFlit:
+		return "tail"
+	case HeadTailFlit:
+		return "head+tail"
+	default:
+		return fmt.Sprintf("FlitType(%d)", uint8(t))
+	}
+}
+
+// IsHead reports whether the flit opens a packet.
+func (t FlitType) IsHead() bool { return t == HeadFlit || t == HeadTailFlit }
+
+// IsTail reports whether the flit closes a packet.
+func (t FlitType) IsTail() bool { return t == TailFlit || t == HeadTailFlit }
+
+// PacketID uniquely identifies a packet within a simulation run.
+type PacketID uint64
+
+// Packet describes a packet to be delivered: the unit the traffic generator
+// produces and the statistics collector accounts. The network decomposes it
+// into flits.
+type Packet struct {
+	ID        PacketID
+	Src, Dst  topology.NodeID
+	Len       int       // number of data flits
+	CreatedAt sim.Cycle // when the source created it (start of latency span)
+	Sampled   bool      // whether this packet belongs to the measurement sample
+
+	// InjectedAt is stamped by the network interface when the packet's
+	// first flit (data, or control under flit reservation) enters the
+	// network; the span CreatedAt..InjectedAt is pure source queueing.
+	InjectedAt sim.Cycle
+}
+
+// DataFlit is one flit of packet payload on the data network.
+//
+// Under flit-reservation flow control the router "never examines" a data
+// flit: it is identified solely by its arrival time, and the identity fields
+// below exist only so the simulator can verify that the pre-arranged schedule
+// delivered the right payload to the right place (self-checking simulation).
+// Under virtual-channel and wormhole flow control the Type and VC fields are
+// genuinely carried on the wire (and charged as storage overhead in Table 1),
+// and head flits carry the destination.
+type DataFlit struct {
+	Packet *Packet
+	Seq    int // 0-based index within the packet
+
+	// Fields carried on the wire only by the VC/wormhole baselines.
+	Type FlitType
+	VC   int
+}
+
+// String renders the flit for diagnostics.
+func (f DataFlit) String() string {
+	if f.Packet == nil {
+		return "data(nil)"
+	}
+	return fmt.Sprintf("data(pkt=%d seq=%d/%d %s)", f.Packet.ID, f.Seq, f.Packet.Len, f.Type)
+}
+
+// LeadEntry is one data-flit announcement inside a control flit: the index of
+// the data flit within its packet and the cycle at which it will arrive at
+// the receiving router's input (the time stamp of Figure 2, rewritten hop by
+// hop as departures are scheduled).
+type LeadEntry struct {
+	Seq     int
+	Arrival sim.Cycle
+}
+
+// ControlFlit is one flit on the control network of flit-reservation flow
+// control. A packet consists of one control head flit (carrying the
+// destination) plus enough body flits that each data flit is led by exactly
+// one entry; the final control flit is typed Tail (or HeadTail for packets
+// whose control fits in one flit) so the control virtual channel can be
+// released, exactly as in wormhole flow control.
+type ControlFlit struct {
+	Packet *Packet
+	Type   FlitType
+	VC     int             // control virtual channel id
+	Dst    topology.NodeID // valid on head flits
+	Leads  []LeadEntry     // up to d entries; d=1 in the paper's experiments
+}
+
+// String renders the control flit for diagnostics.
+func (c ControlFlit) String() string {
+	if c.Packet == nil {
+		return "ctrl(nil)"
+	}
+	return fmt.Sprintf("ctrl(pkt=%d %s vc=%d leads=%v)", c.Packet.ID, c.Type, c.VC, c.Leads)
+}
+
+// VCCredit is the credit returned upstream by a virtual-channel or wormhole
+// router when a flit leaves an input buffer, freeing one slot of the given
+// virtual channel's queue (or of the shared pool when pooled buffering is
+// enabled — the VC field then identifies the queue the flit left for
+// accounting only).
+type VCCredit struct {
+	VC int
+}
+
+// ReservationCredit is the credit returned upstream by a flit-reservation
+// router: because reservations are made in advance, the credit announces the
+// future cycle from which one more buffer of the sending input's pool will be
+// free. The receiving output reservation table increments its free-buffer
+// count from FreeFrom through the scheduling horizon.
+//
+// VC attributes the freed residency to the control virtual channel (of the
+// link the credit travels against) whose packet put the flit there. The
+// upstream scheduler uses this to maintain per-control-VC occupancy counts,
+// which drive the buffer-reservation rule that keeps the shared pool from
+// deadlocking the control network (see core's deadlock note).
+type ReservationCredit struct {
+	FreeFrom sim.Cycle
+	VC       int
+}

@@ -1,0 +1,88 @@
+package noc
+
+import (
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// Hooks are the observation points a network reports through. Any field may
+// be nil; use the call helpers, which are nil-safe.
+type Hooks struct {
+	// PacketDelivered fires once per packet when its last flit has been
+	// ejected at the destination.
+	PacketDelivered func(p *Packet, now sim.Cycle)
+	// FlitInjected fires when a data flit enters the network at a source.
+	FlitInjected func(now sim.Cycle)
+	// FlitEjected fires when a data flit leaves the network at its
+	// destination.
+	FlitEjected func(now sim.Cycle)
+	// FlitDropped fires when fault injection destroys a data flit on a
+	// link.
+	FlitDropped func(p *Packet, now sim.Cycle)
+	// PacketLost fires once per packet when the destination detects that
+	// one of its flits will never arrive (an idle pattern where the
+	// reassembly schedule expected data — the paper's Section 5 error
+	// story).
+	PacketLost func(p *Packet, now sim.Cycle)
+}
+
+// Delivered invokes PacketDelivered if set.
+func (h *Hooks) Delivered(p *Packet, now sim.Cycle) {
+	if h != nil && h.PacketDelivered != nil {
+		h.PacketDelivered(p, now)
+	}
+}
+
+// Injected invokes FlitInjected if set.
+func (h *Hooks) Injected(now sim.Cycle) {
+	if h != nil && h.FlitInjected != nil {
+		h.FlitInjected(now)
+	}
+}
+
+// Ejected invokes FlitEjected if set.
+func (h *Hooks) Ejected(now sim.Cycle) {
+	if h != nil && h.FlitEjected != nil {
+		h.FlitEjected(now)
+	}
+}
+
+// Dropped invokes FlitDropped if set.
+func (h *Hooks) Dropped(p *Packet, now sim.Cycle) {
+	if h != nil && h.FlitDropped != nil {
+		h.FlitDropped(p, now)
+	}
+}
+
+// Lost invokes PacketLost if set.
+func (h *Hooks) Lost(p *Packet, now sim.Cycle) {
+	if h != nil && h.PacketLost != nil {
+		h.PacketLost(p, now)
+	}
+}
+
+// Network is the common surface the experiment harness drives. Both the
+// flit-reservation network (internal/core) and the baseline networks
+// (internal/vcrouter, internal/wormhole) implement it.
+type Network interface {
+	// Offer places a freshly generated packet in its source's injection
+	// queue. The packet's Src field selects the queue.
+	Offer(p *Packet)
+	// Tick advances the whole network by one cycle.
+	Tick(now sim.Cycle)
+	// SourceQueueLen reports the total number of packets waiting in
+	// source queues, the quantity whose stabilization ends warm-up.
+	SourceQueueLen() int
+	// InFlightPackets reports packets offered but not yet fully
+	// delivered (including those still queued at sources).
+	InFlightPackets() int
+	// BufferUsage reports the number of occupied data-flit buffers and
+	// the total data-flit buffer capacity across the given router's
+	// input ports.
+	BufferUsage(id topology.NodeID) (used, capacity int)
+	// PoolUsage reports the occupancy and capacity of one input port's
+	// buffer pool on the given router — the granularity at which
+	// Section 4.2 of the paper tracks occupancy ("a specific buffer
+	// pool of a router in the middle of the mesh").
+	PoolUsage(id topology.NodeID, port topology.Port) (used, capacity int)
+}

@@ -1,0 +1,344 @@
+// Package packetswitch implements the packet-granularity flow-control
+// methods reviewed in Section 2 of the paper: store-and-forward flow control
+// (each node receives an entire packet before forwarding any of it — the
+// method of early computer networks and the Cosmic Cube) and virtual
+// cut-through [KerKle79] (transmission may begin as soon as the header
+// arrives, but buffers and channels are still allocated in packet-sized
+// units). Together with internal/wormhole and internal/vcrouter they complete
+// the lineage the paper positions flit-reservation flow control against.
+//
+// Both methods share one router structure: per-input packet-sized buffers,
+// packet-granularity credits, and a channel held head-to-tail; they differ
+// only in when a buffered packet becomes eligible to forward.
+package packetswitch
+
+import (
+	"fmt"
+
+	"frfc/internal/noc"
+	"frfc/internal/routing"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// Mode selects the forwarding rule.
+type Mode int
+
+// Modes.
+const (
+	// StoreAndForward forwards a packet only after every flit arrived.
+	StoreAndForward Mode = iota
+	// CutThrough forwards as soon as the header has been routed,
+	// streaming the remaining flits as they arrive.
+	CutThrough
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case StoreAndForward:
+		return "store-and-forward"
+	case CutThrough:
+		return "cut-through"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config selects a packet-switched network configuration.
+type Config struct {
+	Mode Mode
+	// PacketBuffers is the number of packet-sized buffers per input.
+	PacketBuffers int
+	// MaxPacketLen is the capacity of each packet buffer in flits;
+	// offering a longer packet panics.
+	MaxPacketLen int
+
+	LinkLatency   sim.Cycle
+	CreditLatency sim.Cycle
+	LocalLatency  sim.Cycle
+
+	Routing routing.Function
+}
+
+func (c Config) withDefaults() Config {
+	if c.PacketBuffers == 0 {
+		c.PacketBuffers = 2
+	}
+	if c.MaxPacketLen == 0 {
+		c.MaxPacketLen = 32
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 4
+	}
+	if c.CreditLatency == 0 {
+		c.CreditLatency = 1
+	}
+	if c.LocalLatency == 0 {
+		c.LocalLatency = 1
+	}
+	if c.Routing == nil {
+		c.Routing = routing.XY
+	}
+	return c
+}
+
+func (c Config) validate() {
+	if c.PacketBuffers < 1 {
+		panic("packetswitch: PacketBuffers must be >= 1")
+	}
+	if c.MaxPacketLen < 1 {
+		panic("packetswitch: MaxPacketLen must be >= 1")
+	}
+	if c.LinkLatency < 1 || c.CreditLatency < 1 || c.LocalLatency < 1 {
+		panic("packetswitch: link latencies must be >= 1 cycle")
+	}
+	if c.Mode != StoreAndForward && c.Mode != CutThrough {
+		panic("packetswitch: unknown mode")
+	}
+}
+
+// packetSlot is one packet-sized buffer of an input port.
+type packetSlot struct {
+	occupied bool
+	flits    []noc.DataFlit
+	received int
+	total    int
+	routed   bool
+	route    topology.Port
+	headAt   sim.Cycle // when the head flit arrived
+	lastAt   sim.Cycle // when the most recent flit arrived
+	sent     int       // flits already forwarded
+	granted  bool      // owns its output channel until the tail is sent
+}
+
+type inputState struct {
+	exists    bool
+	slots     []packetSlot
+	assembly  int // slot currently receiving flits, -1 if none
+	data      *sim.Pipe[noc.DataFlit]
+	creditOut *sim.Pipe[noc.VCCredit]
+}
+
+type outputState struct {
+	exists   bool
+	infinite bool
+	credits  int // free packet buffers downstream
+	busyWith int // index of the (input*slots+slot) currently holding the channel, -1 if free
+	data     *sim.Pipe[noc.DataFlit]
+	creditIn *sim.Pipe[noc.VCCredit]
+}
+
+// Router is one store-and-forward or cut-through router.
+type Router struct {
+	id   topology.NodeID
+	mesh topology.Mesh
+	cfg  Config
+	rng  *sim.RNG
+
+	in  [topology.NumPorts]inputState
+	out [topology.NumPorts]outputState
+
+	cands []int // scratch: encoded (port, slot) switch candidates
+}
+
+func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG) *Router {
+	r := &Router{id: id, mesh: mesh, cfg: cfg, rng: rng}
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if p != topology.Local && !mesh.HasLink(id, p) {
+			continue
+		}
+		slots := make([]packetSlot, cfg.PacketBuffers)
+		for s := range slots {
+			slots[s].flits = make([]noc.DataFlit, 0, cfg.MaxPacketLen)
+		}
+		r.in[p] = inputState{exists: true, slots: slots, assembly: -1}
+		r.out[p] = outputState{
+			exists:   true,
+			infinite: p == topology.Local,
+			credits:  cfg.PacketBuffers,
+			busyWith: -1,
+		}
+	}
+	return r
+}
+
+// Tick advances the router one cycle.
+func (r *Router) Tick(now sim.Cycle) {
+	r.recvCredits(now)
+	r.recvFlits(now)
+	r.allocate(now)
+	r.stream(now)
+}
+
+func (r *Router) recvCredits(now sim.Cycle) {
+	for p := range r.out {
+		o := &r.out[p]
+		if !o.exists || o.creditIn == nil {
+			continue
+		}
+		o.creditIn.RecvEach(now, func(noc.VCCredit) {
+			o.credits++
+			if o.credits > r.cfg.PacketBuffers {
+				panic("packetswitch: packet credit overflow")
+			}
+		})
+	}
+}
+
+func (r *Router) recvFlits(now sim.Cycle) {
+	for p := range r.in {
+		in := &r.in[p]
+		if !in.exists || in.data == nil {
+			continue
+		}
+		in.data.RecvEach(now, func(f noc.DataFlit) {
+			if f.Type.IsHead() {
+				slot := -1
+				for s := range in.slots {
+					if !in.slots[s].occupied {
+						slot = s
+						break
+					}
+				}
+				if slot == -1 {
+					panic(fmt.Sprintf("packetswitch: node %d in %s: head with no free packet buffer", r.id, topology.Port(p)))
+				}
+				if f.Packet.Len > r.cfg.MaxPacketLen {
+					panic(fmt.Sprintf("packetswitch: packet of %d flits exceeds buffer capacity %d", f.Packet.Len, r.cfg.MaxPacketLen))
+				}
+				in.assembly = slot
+				sl := &in.slots[slot]
+				*sl = packetSlot{occupied: true, flits: sl.flits[:0], total: f.Packet.Len, headAt: now}
+			}
+			if in.assembly == -1 {
+				panic("packetswitch: body flit with no packet under assembly")
+			}
+			sl := &in.slots[in.assembly]
+			sl.flits = append(sl.flits, f)
+			sl.received++
+			sl.lastAt = now
+			if f.Type.IsTail() {
+				in.assembly = -1
+			}
+		})
+	}
+}
+
+// eligible reports whether a slot may begin (or continue requesting) its
+// output channel: routed after a 1-cycle decision, and — for store-and-
+// forward — completely received.
+func (r *Router) eligible(sl *packetSlot, now sim.Cycle) bool {
+	if !sl.occupied || sl.received == 0 {
+		return false
+	}
+	switch r.cfg.Mode {
+	case StoreAndForward:
+		return sl.received == sl.total && sl.lastAt < now
+	default: // CutThrough
+		return sl.headAt < now
+	}
+}
+
+// allocate routes eligible packets and grants free output channels, one
+// packet per output, with random arbitration. A grant requires a free packet
+// buffer downstream, which is debited immediately — packet-sized allocation.
+func (r *Router) allocate(now sim.Cycle) {
+	r.cands = r.cands[:0]
+	for p := range r.in {
+		in := &r.in[p]
+		if !in.exists {
+			continue
+		}
+		for s := range in.slots {
+			sl := &in.slots[s]
+			if sl.granted || !r.eligible(sl, now) {
+				continue
+			}
+			if !sl.routed {
+				sl.route = r.cfg.Routing(r.mesh, r.id, sl.flits[0].Packet.Dst)
+				sl.routed = true
+			}
+			r.cands = append(r.cands, p*len(in.slots)+s)
+		}
+	}
+	for i := len(r.cands) - 1; i > 0; i-- {
+		j := r.rng.Intn(i + 1)
+		r.cands[i], r.cands[j] = r.cands[j], r.cands[i]
+	}
+	for _, c := range r.cands {
+		p := c / r.cfg.PacketBuffers
+		s := c % r.cfg.PacketBuffers
+		sl := &r.in[p].slots[s]
+		o := &r.out[sl.route]
+		if o.busyWith != -1 {
+			continue
+		}
+		if !o.infinite && o.credits == 0 {
+			continue
+		}
+		o.busyWith = c
+		if !o.infinite {
+			o.credits--
+		}
+		sl.granted = true
+	}
+}
+
+// stream sends one flit per granted packet per cycle, releasing the channel
+// and the input buffer when the tail goes out.
+func (r *Router) stream(now sim.Cycle) {
+	for p := range r.out {
+		o := &r.out[p]
+		if !o.exists || o.busyWith == -1 {
+			continue
+		}
+		ip := o.busyWith / r.cfg.PacketBuffers
+		s := o.busyWith % r.cfg.PacketBuffers
+		in := &r.in[ip]
+		sl := &in.slots[s]
+		if sl.sent >= sl.received {
+			continue // cut-through bubble: waiting for the next flit
+		}
+		f := sl.flits[sl.sent]
+		o.data.Send(now, f)
+		sl.sent++
+		if sl.sent == sl.total {
+			// Whole packet forwarded: free the buffer and channel,
+			// return one packet credit upstream.
+			o.busyWith = -1
+			if in.creditOut != nil {
+				in.creditOut.Send(now, noc.VCCredit{})
+			}
+			*sl = packetSlot{flits: sl.flits[:0]}
+		}
+	}
+}
+
+func (r *Router) bufferUsage() (used, capacity int) {
+	for p := range r.in {
+		if !r.in[p].exists {
+			continue
+		}
+		for s := range r.in[p].slots {
+			if r.in[p].slots[s].occupied {
+				used += r.in[p].slots[s].received - r.in[p].slots[s].sent
+			}
+		}
+		capacity += r.cfg.PacketBuffers * r.cfg.MaxPacketLen
+	}
+	return used, capacity
+}
+
+func (r *Router) poolUsage(p topology.Port) (used, capacity int) {
+	in := &r.in[p]
+	if !in.exists {
+		return 0, 0
+	}
+	for s := range in.slots {
+		if in.slots[s].occupied {
+			used += in.slots[s].received - in.slots[s].sent
+		}
+	}
+	return used, r.cfg.PacketBuffers * r.cfg.MaxPacketLen
+}

@@ -1,0 +1,71 @@
+// Package routing implements the routing functions used by the simulator.
+// The paper uses deterministic dimension-ordered (X-then-Y) routing on a 2-D
+// mesh; the Function type lets experiments substitute other deterministic
+// routes without touching the routers.
+package routing
+
+import "frfc/internal/topology"
+
+// Function maps (current node, destination node) to the output port a packet
+// must take next. Implementations must return topology.Local when cur == dst
+// and must be deterministic: the paper's flow-control comparison isolates
+// flow control by fixing routing.
+type Function func(m topology.Mesh, cur, dst topology.NodeID) topology.Port
+
+// XY is dimension-ordered routing: correct the X offset first, then the Y
+// offset, then eject. On a mesh this is minimal and deadlock-free.
+func XY(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	switch {
+	case cd.X > cc.X:
+		return topology.East
+	case cd.X < cc.X:
+		return topology.West
+	case cd.Y > cc.Y:
+		return topology.South
+	case cd.Y < cc.Y:
+		return topology.North
+	default:
+		return topology.Local
+	}
+}
+
+// YX is dimension-ordered routing with the dimensions corrected in the
+// opposite order. It is provided for routing-sensitivity experiments; like
+// XY it is minimal and deadlock-free on a mesh.
+func YX(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	switch {
+	case cd.Y > cc.Y:
+		return topology.South
+	case cd.Y < cc.Y:
+		return topology.North
+	case cd.X > cc.X:
+		return topology.East
+	case cd.X < cc.X:
+		return topology.West
+	default:
+		return topology.Local
+	}
+}
+
+// PathLength returns the number of routers a packet visits from src to dst
+// (inclusive of both) under fn. It is used by tests to validate minimality
+// and by analytic base-latency estimates.
+func PathLength(m topology.Mesh, fn Function, src, dst topology.NodeID) int {
+	cur := src
+	n := 1
+	for cur != dst {
+		p := fn(m, cur, dst)
+		next, ok := m.Neighbor(cur, p)
+		if !ok {
+			panic("routing: function routed off the mesh edge")
+		}
+		cur = next
+		n++
+		if n > 4*m.N() {
+			panic("routing: function does not converge to destination")
+		}
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"frfc/internal/topology"
+)
+
+// TestMinimalAndConvergent verifies that both routing functions deliver every
+// (src, dst) pair over a minimal path.
+func TestMinimalAndConvergent(t *testing.T) {
+	for _, fn := range []struct {
+		name string
+		f    Function
+	}{{"XY", XY}, {"YX", YX}} {
+		for _, k := range []int{2, 4, 8} {
+			m := topology.NewMesh(k)
+			for src := 0; src < m.N(); src++ {
+				for dst := 0; dst < m.N(); dst++ {
+					got := PathLength(m, fn.f, topology.NodeID(src), topology.NodeID(dst))
+					want := m.Hops(topology.NodeID(src), topology.NodeID(dst)) + 1
+					if got != want {
+						t.Fatalf("%s on %dx%d: path %d->%d visits %d routers, want %d",
+							fn.name, k, k, src, dst, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLocalAtDestination(t *testing.T) {
+	m := topology.NewMesh(4)
+	for id := 0; id < m.N(); id++ {
+		if XY(m, topology.NodeID(id), topology.NodeID(id)) != topology.Local {
+			t.Fatalf("XY at destination %d did not return Local", id)
+		}
+		if YX(m, topology.NodeID(id), topology.NodeID(id)) != topology.Local {
+			t.Fatalf("YX at destination %d did not return Local", id)
+		}
+	}
+}
+
+// TestXYCorrectsXFirst pins down dimension order: as long as the X offset is
+// nonzero, XY must move in X.
+func TestXYCorrectsXFirst(t *testing.T) {
+	m := topology.NewMesh(8)
+	f := func(a, b uint8) bool {
+		src := topology.NodeID(int(a) % m.N())
+		dst := topology.NodeID(int(b) % m.N())
+		cs, cd := m.Coord(src), m.Coord(dst)
+		p := XY(m, src, dst)
+		if cs.X != cd.X {
+			return p == topology.East || p == topology.West
+		}
+		if cs.Y != cd.Y {
+			return p == topology.North || p == topology.South
+		}
+		return p == topology.Local
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestXYNeverRoutesOffMesh: the returned port always has a link.
+func TestXYNeverRoutesOffMesh(t *testing.T) {
+	m := topology.NewMesh(4)
+	for src := 0; src < m.N(); src++ {
+		for dst := 0; dst < m.N(); dst++ {
+			if src == dst {
+				continue
+			}
+			p := XY(m, topology.NodeID(src), topology.NodeID(dst))
+			if !m.HasLink(topology.NodeID(src), p) {
+				t.Fatalf("XY(%d, %d) = %s which has no link", src, dst, p)
+			}
+		}
+	}
+}

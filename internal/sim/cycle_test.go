@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+// tickRecorder logs the cycles and order in which it ticks.
+type tickRecorder struct {
+	id    int
+	log   *[]int
+	times *[]Cycle
+}
+
+func (r tickRecorder) Tick(now Cycle) {
+	*r.log = append(*r.log, r.id)
+	*r.times = append(*r.times, now)
+}
+
+func TestKernelTicksInRegistrationOrder(t *testing.T) {
+	var k Kernel
+	var log []int
+	var times []Cycle
+	for i := 0; i < 3; i++ {
+		k.Register(tickRecorder{id: i, log: &log, times: &times})
+	}
+	k.Run(2)
+	wantLog := []int{0, 1, 2, 0, 1, 2}
+	wantTimes := []Cycle{0, 0, 0, 1, 1, 1}
+	for i := range wantLog {
+		if log[i] != wantLog[i] || times[i] != wantTimes[i] {
+			t.Fatalf("tick %d: component %d at cycle %d; want component %d at cycle %d",
+				i, log[i], times[i], wantLog[i], wantTimes[i])
+		}
+	}
+	if k.Now() != 2 {
+		t.Fatalf("Now() = %d after Run(2), want 2", k.Now())
+	}
+}
+
+func TestKernelRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(nil) did not panic")
+		}
+	}()
+	var k Kernel
+	k.Register(nil)
+}
+
+func TestKernelRunNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run(-1) did not panic")
+		}
+	}()
+	var k Kernel
+	k.Run(-1)
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	count := 0
+	k.Register(tickFunc(func(Cycle) { count++ }))
+	done := func() bool { return count >= 5 }
+	if !k.RunUntil(done, 100) {
+		t.Fatal("RunUntil did not reach the condition")
+	}
+	if count != 5 {
+		t.Fatalf("ran %d cycles, want 5", count)
+	}
+	if k.RunUntil(func() bool { return false }, 10) {
+		t.Fatal("RunUntil reported success for an unreachable condition")
+	}
+}
+
+type tickFunc func(Cycle)
+
+func (f tickFunc) Tick(now Cycle) { f(now) }

@@ -1,0 +1,112 @@
+package sim
+
+// Pipe is a bandwidth-limited delay line modeling a pipelined wire between
+// two components. Items sent at cycle t become receivable at cycle t+latency.
+// At most width items may be sent per cycle, which models the per-cycle
+// bandwidth of the physical channel (one wide data flit per cycle on a data
+// link; two narrow control flits per cycle on a control link in the paper's
+// configuration).
+//
+// A Pipe is single-producer single-consumer and not safe for concurrent use;
+// the simulation is single-threaded by design.
+type Pipe[T any] struct {
+	latency Cycle
+	width   int
+
+	q []pipeEntry[T]
+
+	lastSendCycle Cycle
+	sentThisCycle int
+}
+
+type pipeEntry[T any] struct {
+	readyAt Cycle
+	item    T
+}
+
+// NewPipe returns a pipe with the given latency (cycles, must be >= 1 so
+// that same-cycle delivery — which would make component tick order matter —
+// is impossible) and width (items per cycle, must be >= 1).
+func NewPipe[T any](latency Cycle, width int) *Pipe[T] {
+	if latency < 1 {
+		panic("sim: pipe latency must be at least 1 cycle")
+	}
+	if width < 1 {
+		panic("sim: pipe width must be at least 1 item per cycle")
+	}
+	return &Pipe[T]{latency: latency, width: width, lastSendCycle: Never}
+}
+
+// Latency reports the pipe's propagation delay in cycles.
+func (p *Pipe[T]) Latency() Cycle { return p.latency }
+
+// Width reports the pipe's bandwidth in items per cycle.
+func (p *Pipe[T]) Width() int { return p.width }
+
+// CanSend reports whether another item may be sent during cycle now without
+// exceeding the pipe's bandwidth.
+func (p *Pipe[T]) CanSend(now Cycle) bool {
+	return p.lastSendCycle != now || p.sentThisCycle < p.width
+}
+
+// Send enqueues an item at cycle now; it becomes receivable at now+latency.
+// It panics if the per-cycle bandwidth is exceeded or if time runs backwards,
+// both of which indicate a bug in the calling model rather than a recoverable
+// condition.
+func (p *Pipe[T]) Send(now Cycle, item T) {
+	if p.lastSendCycle == now {
+		if p.sentThisCycle >= p.width {
+			panic("sim: pipe bandwidth exceeded")
+		}
+		p.sentThisCycle++
+	} else {
+		if p.lastSendCycle != Never && now < p.lastSendCycle {
+			panic("sim: pipe send time went backwards")
+		}
+		p.lastSendCycle = now
+		p.sentThisCycle = 1
+	}
+	p.q = append(p.q, pipeEntry[T]{readyAt: now + p.latency, item: item})
+}
+
+// TrySend sends item if bandwidth allows and reports whether it did.
+func (p *Pipe[T]) TrySend(now Cycle, item T) bool {
+	if !p.CanSend(now) {
+		return false
+	}
+	p.Send(now, item)
+	return true
+}
+
+// Recv pops the oldest item whose delivery time has arrived (readyAt <= now).
+// The second result is false when nothing is ready.
+func (p *Pipe[T]) Recv(now Cycle) (T, bool) {
+	var zero T
+	if len(p.q) == 0 || p.q[0].readyAt > now {
+		return zero, false
+	}
+	item := p.q[0].item
+	// Shift rather than reslice so the backing array does not grow without
+	// bound over long simulations.
+	copy(p.q, p.q[1:])
+	p.q[len(p.q)-1] = pipeEntry[T]{}
+	p.q = p.q[:len(p.q)-1]
+	return item, true
+}
+
+// RecvEach pops every ready item in FIFO order and passes it to fn.
+func (p *Pipe[T]) RecvEach(now Cycle, fn func(T)) {
+	for {
+		item, ok := p.Recv(now)
+		if !ok {
+			return
+		}
+		fn(item)
+	}
+}
+
+// Len reports how many items are in flight (sent but not yet received).
+func (p *Pipe[T]) Len() int { return len(p.q) }
+
+// Empty reports whether nothing is in flight.
+func (p *Pipe[T]) Empty() bool { return len(p.q) == 0 }

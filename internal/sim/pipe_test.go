@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPipeDeliversAfterLatency(t *testing.T) {
+	p := NewPipe[int](4, 1)
+	p.Send(10, 42)
+	for now := Cycle(10); now < 14; now++ {
+		if _, ok := p.Recv(now); ok {
+			t.Fatalf("item visible at cycle %d, before latency elapsed", now)
+		}
+	}
+	got, ok := p.Recv(14)
+	if !ok || got != 42 {
+		t.Fatalf("Recv(14) = %v, %v; want 42, true", got, ok)
+	}
+	if _, ok := p.Recv(15); ok {
+		t.Fatal("item delivered twice")
+	}
+}
+
+func TestPipeFIFOWithinAndAcrossCycles(t *testing.T) {
+	p := NewPipe[int](2, 3)
+	p.Send(0, 1)
+	p.Send(0, 2)
+	p.Send(1, 3)
+	var got []int
+	p.RecvEach(3, func(v int) { got = append(got, v) })
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("received %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("received %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPipeBandwidthLimit(t *testing.T) {
+	p := NewPipe[int](1, 2)
+	if !p.TrySend(5, 1) || !p.TrySend(5, 2) {
+		t.Fatal("pipe refused sends within its width")
+	}
+	if p.CanSend(5) {
+		t.Fatal("CanSend true beyond width")
+	}
+	if p.TrySend(5, 3) {
+		t.Fatal("TrySend succeeded beyond width")
+	}
+	if !p.CanSend(6) {
+		t.Fatal("bandwidth not replenished on the next cycle")
+	}
+}
+
+func TestPipeSendPanicsBeyondWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send beyond width did not panic")
+		}
+	}()
+	p := NewPipe[int](1, 1)
+	p.Send(0, 1)
+	p.Send(0, 2)
+}
+
+func TestPipeRejectsBadConstruction(t *testing.T) {
+	for _, tc := range []struct {
+		latency Cycle
+		width   int
+	}{{0, 1}, {1, 0}, {-3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPipe(%d, %d) did not panic", tc.latency, tc.width)
+				}
+			}()
+			NewPipe[int](tc.latency, tc.width)
+		}()
+	}
+}
+
+func TestPipeTimeBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send at an earlier cycle did not panic")
+		}
+	}()
+	p := NewPipe[int](1, 1)
+	p.Send(5, 1)
+	p.Send(4, 2)
+}
+
+func TestPipeLenAndEmpty(t *testing.T) {
+	p := NewPipe[int](3, 1)
+	if !p.Empty() || p.Len() != 0 {
+		t.Fatal("new pipe not empty")
+	}
+	p.Send(0, 7)
+	if p.Empty() || p.Len() != 1 {
+		t.Fatal("pipe empty after send")
+	}
+	p.Recv(3)
+	if !p.Empty() {
+		t.Fatal("pipe not empty after delivery")
+	}
+}
+
+// TestPipeOrderProperty: whatever the (latency, send schedule), items come
+// out in send order with exactly the configured delay.
+func TestPipeOrderProperty(t *testing.T) {
+	f := func(latencySeed uint8, gaps []uint8) bool {
+		latency := Cycle(latencySeed%7) + 1
+		p := NewPipe[int](latency, 1)
+		now := Cycle(0)
+		var sendTimes []Cycle
+		for i, g := range gaps {
+			if i >= 40 {
+				break
+			}
+			now += Cycle(g % 5)
+			if !p.CanSend(now) {
+				now++
+			}
+			p.Send(now, i)
+			sendTimes = append(sendTimes, now)
+		}
+		// Drain in order, checking delivery times.
+		idx := 0
+		for c := Cycle(0); c <= now+latency; c++ {
+			p.RecvEach(c, func(v int) {
+				if v != idx {
+					t.Errorf("out of order: got %d, want %d", v, idx)
+				}
+				if c < sendTimes[v]+latency {
+					t.Errorf("item %d delivered at %d, before %d", v, c, sendTimes[v]+latency)
+				}
+				idx++
+			})
+		}
+		return idx == len(sendTimes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

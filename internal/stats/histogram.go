@@ -1,0 +1,53 @@
+package stats
+
+import "frfc/internal/sim"
+
+// Histogram counts integer-valued samples (cycles) at unit resolution,
+// giving exact quantiles for latency distributions. Memory grows with the
+// largest observed value, which for packet latencies is bounded by the
+// saturation guard.
+type Histogram struct {
+	counts []int64
+	n      int64
+}
+
+// Add records one sample. Negative samples panic: a negative latency is a
+// measurement bug.
+func (h *Histogram) Add(v sim.Cycle) {
+	if v < 0 {
+		panic("stats: negative sample in histogram")
+	}
+	for int(v) >= len(h.counts) {
+		grown := make([]int64, max(len(h.counts)*2, int(v)+1, 64))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[v]++
+	h.n++
+}
+
+// N reports the number of samples.
+func (h *Histogram) N() int64 { return h.n }
+
+// Quantile returns the smallest value x such that at least q of the samples
+// are <= x (0 < q <= 1). It panics on an empty histogram or out-of-range q.
+func (h *Histogram) Quantile(q float64) sim.Cycle {
+	if h.n == 0 {
+		panic("stats: quantile of empty histogram")
+	}
+	if q <= 0 || q > 1 {
+		panic("stats: quantile out of (0, 1]")
+	}
+	need := int64(q * float64(h.n))
+	if need < 1 {
+		need = 1
+	}
+	var seen int64
+	for v, c := range h.counts {
+		seen += c
+		if seen >= need {
+			return sim.Cycle(v)
+		}
+	}
+	return sim.Cycle(len(h.counts) - 1)
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"frfc/internal/sim"
+)
+
+// TestWelfordMatchesDirectComputation: the online mean/variance must agree
+// with the two-pass formulas on arbitrary inputs.
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		var xs []float64
+		for _, v := range raw {
+			x := float64(v)
+			w.Add(x)
+			xs = append(xs, x)
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		variance := varSum / float64(len(xs)-1)
+		return math.Abs(w.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(w.Variance()-variance) < 1e-6*(1+variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEdgeCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.CI95() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Fatal("single sample mishandled")
+	}
+}
+
+func TestCI95ShrinksWithSamples(t *testing.T) {
+	var small, large Welford
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 5))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 5))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v (n=1000) vs %v (n=10)", large.CI95(), small.CI95())
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	s := NewLatencyStats()
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty stats min/max not zero")
+	}
+	for _, l := range []sim.Cycle{30, 10, 50, 20} {
+		s.Record(l)
+	}
+	if s.N() != 4 || s.Min() != 10 || s.Max() != 50 {
+		t.Fatalf("n/min/max = %d/%d/%d", s.N(), s.Min(), s.Max())
+	}
+	if math.Abs(s.Mean()-27.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 27.5", s.Mean())
+	}
+}
+
+func TestThroughputWindow(t *testing.T) {
+	var tp Throughput
+	tp.CountEjected(5) // before the window opens: ignored
+	tp.Open(100)
+	for i := 0; i < 10; i++ {
+		tp.CountEjected(2)
+	}
+	tp.CountInjected(30)
+	tp.Close(150)
+	tp.CountEjected(5) // after close: ignored
+	if tp.Ejected() != 20 || tp.Injected() != 30 {
+		t.Fatalf("ejected/injected = %d/%d, want 20/30", tp.Ejected(), tp.Injected())
+	}
+	if got := tp.AcceptedFlitsPerCycle(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("accepted = %v flits/cycle, want 0.4", got)
+	}
+}
+
+func TestThroughputZeroWindow(t *testing.T) {
+	var tp Throughput
+	tp.Open(5)
+	tp.Close(5)
+	if tp.AcceptedFlitsPerCycle() != 0 {
+		t.Fatal("zero-length window should report zero throughput")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	o := NewOccupancy(4)
+	if o.FullFraction() != 0 || o.MeanOccupancy() != 0 {
+		t.Fatal("empty occupancy not zero")
+	}
+	for _, u := range []int{4, 2, 4, 0} {
+		o.Observe(u)
+	}
+	if got := o.FullFraction(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("full fraction = %v, want 0.5", got)
+	}
+	if got := o.MeanOccupancy(); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("mean occupancy = %v, want 2.5", got)
+	}
+}
+
+func TestStabilizerDetectsSteadyState(t *testing.T) {
+	s := NewStabilizer(10, 0.05)
+	// Growing queue: never stable.
+	q := 0
+	for i := 0; i < 100; i++ {
+		q += 3
+		s.Observe(q)
+	}
+	if s.Stable() {
+		t.Fatal("stabilizer declared a linearly growing queue stable")
+	}
+	// Constant queue: stable after two windows.
+	s = NewStabilizer(10, 0.05)
+	for i := 0; i < 25; i++ {
+		s.Observe(40)
+	}
+	if !s.Stable() {
+		t.Fatal("stabilizer did not recognize a constant queue")
+	}
+}
+
+func TestStabilizerToleratesEmptyQueues(t *testing.T) {
+	s := NewStabilizer(5, 0.05)
+	for i := 0; i < 20; i++ {
+		s.Observe(0)
+	}
+	if !s.Stable() {
+		t.Fatal("all-empty queues should count as stable")
+	}
+}
+
+func TestStabilizerRejectsBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStabilizer(0, ...) did not panic")
+		}
+	}()
+	NewStabilizer(0, 0.1)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := sim.Cycle(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	cases := []struct {
+		q    float64
+		want sim.Cycle
+	}{{0.01, 1}, {0.50, 50}, {0.95, 95}, {1.0, 100}}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramQuantileMatchesSortProperty(t *testing.T) {
+	f := func(raw []uint8, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q := (float64(qRaw%100) + 1) / 100
+		var h Histogram
+		var xs []int
+		for _, v := range raw {
+			h.Add(sim.Cycle(v))
+			xs = append(xs, int(v))
+		}
+		sort.Ints(xs)
+		need := int(q * float64(len(xs)))
+		if need < 1 {
+			need = 1
+		}
+		want := sim.Cycle(xs[need-1])
+		return h.Quantile(q) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty quantile did not panic")
+			}
+		}()
+		h.Quantile(0.5)
+	}()
+	h.Add(0)
+	if h.Quantile(0.5) != 0 {
+		t.Error("single zero sample quantile wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative sample did not panic")
+			}
+		}()
+		h.Add(-1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("q=0 did not panic")
+			}
+		}()
+		h.Quantile(0)
+	}()
+}
+
+func TestLatencyStatsQuantiles(t *testing.T) {
+	s := NewLatencyStats()
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty latency quantile not 0")
+	}
+	for _, l := range []sim.Cycle{10, 20, 30, 40} {
+		s.Record(l)
+	}
+	if got := s.Quantile(0.5); got != 20 {
+		t.Errorf("P50 = %d, want 20", got)
+	}
+	if got := s.Quantile(1.0); got != 40 {
+		t.Errorf("P100 = %d, want 40", got)
+	}
+}

@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshBasics(t *testing.T) {
+	m := NewMesh(4)
+	if m.Radix() != 4 || m.N() != 16 {
+		t.Fatalf("radix/N = %d/%d, want 4/16", m.Radix(), m.N())
+	}
+	if got := m.Coord(0); got != (Coord{0, 0}) {
+		t.Errorf("Coord(0) = %+v", got)
+	}
+	if got := m.Coord(15); got != (Coord{3, 3}) {
+		t.Errorf("Coord(15) = %+v", got)
+	}
+	if got := m.ID(Coord{2, 1}); got != 6 {
+		t.Errorf("ID({2,1}) = %d, want 6", got)
+	}
+}
+
+func TestMeshRejectsSmallRadix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMesh(1) did not panic")
+		}
+	}()
+	NewMesh(1)
+}
+
+func TestCoordIDRoundTripProperty(t *testing.T) {
+	m := NewMesh(8)
+	f := func(raw uint8) bool {
+		id := NodeID(int(raw) % m.N())
+		return m.ID(m.Coord(id)) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsAndOpposite(t *testing.T) {
+	m := NewMesh(3)
+	center := m.ID(Coord{1, 1})
+	cases := []struct {
+		port Port
+		want Coord
+	}{
+		{East, Coord{2, 1}},
+		{West, Coord{0, 1}},
+		{North, Coord{1, 0}},
+		{South, Coord{1, 2}},
+	}
+	for _, c := range cases {
+		nb, ok := m.Neighbor(center, c.port)
+		if !ok || m.Coord(nb) != c.want {
+			t.Errorf("Neighbor(center, %s) = %v, %v; want %+v", c.port, nb, ok, c.want)
+		}
+		// The way back uses the opposite port.
+		back, ok := m.Neighbor(nb, c.port.Opposite())
+		if !ok || back != center {
+			t.Errorf("Neighbor(%v, %s.Opposite()) = %v, want center", nb, c.port, back)
+		}
+	}
+}
+
+func TestMeshEdgesHaveNoWraparound(t *testing.T) {
+	m := NewMesh(3)
+	if _, ok := m.Neighbor(m.ID(Coord{0, 0}), West); ok {
+		t.Error("west edge wrapped around")
+	}
+	if _, ok := m.Neighbor(m.ID(Coord{0, 0}), North); ok {
+		t.Error("north edge wrapped around")
+	}
+	if _, ok := m.Neighbor(m.ID(Coord{2, 2}), East); ok {
+		t.Error("east edge wrapped around")
+	}
+	if _, ok := m.Neighbor(m.ID(Coord{2, 2}), South); ok {
+		t.Error("south edge wrapped around")
+	}
+}
+
+func TestOppositeOfLocalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Local.Opposite() did not panic")
+		}
+	}()
+	Local.Opposite()
+}
+
+func TestHops(t *testing.T) {
+	m := NewMesh(8)
+	if got := m.Hops(0, 63); got != 14 {
+		t.Errorf("corner-to-corner hops = %d, want 14", got)
+	}
+	if got := m.Hops(5, 5); got != 0 {
+		t.Errorf("self hops = %d, want 0", got)
+	}
+}
+
+// TestAvgHopsUniformMatchesBruteForce validates the closed-form mean hop
+// count against direct enumeration.
+func TestAvgHopsUniformMatchesBruteForce(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8} {
+		m := NewMesh(k)
+		total, pairs := 0, 0
+		for a := 0; a < m.N(); a++ {
+			for b := 0; b < m.N(); b++ {
+				if a == b {
+					continue
+				}
+				total += m.Hops(NodeID(a), NodeID(b))
+				pairs++
+			}
+		}
+		want := float64(total) / float64(pairs)
+		if got := m.AvgHopsUniform(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("k=%d: AvgHopsUniform() = %v, brute force %v", k, got, want)
+		}
+	}
+}
+
+func TestCapacityPerNode(t *testing.T) {
+	if got := NewMesh(8).CapacityPerNode(); got != 0.5 {
+		t.Errorf("8x8 capacity = %v flits/node/cycle, want 0.5", got)
+	}
+	if got := NewMesh(4).CapacityPerNode(); got != 1.0 {
+		t.Errorf("4x4 capacity = %v flits/node/cycle, want 1.0", got)
+	}
+}
+
+func TestPortString(t *testing.T) {
+	want := map[Port]string{East: "E", West: "W", North: "N", South: "S", Local: "L"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}

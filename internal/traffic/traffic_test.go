@@ -1,0 +1,231 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+func allPatterns() []Pattern {
+	return []Pattern{
+		Uniform{},
+		Transpose{},
+		BitComplement{},
+		Tornado{},
+		Hotspot{Hot: 5, Fraction: 0.3},
+		Neighbor{},
+		BitReverse{},
+		Shuffle{},
+	}
+}
+
+// TestPatternsNeverSelfAddress: no pattern may return the source itself.
+func TestPatternsNeverSelfAddress(t *testing.T) {
+	m := topology.NewMesh(8)
+	rng := sim.NewRNG(3)
+	for _, p := range allPatterns() {
+		for src := 0; src < m.N(); src++ {
+			for i := 0; i < 20; i++ {
+				if d := p.Dest(rng, m, topology.NodeID(src)); d == topology.NodeID(src) {
+					t.Fatalf("%s returned the source %d as destination", p.Name(), src)
+				}
+			}
+		}
+	}
+}
+
+func TestPatternsStayOnMesh(t *testing.T) {
+	m := topology.NewMesh(4)
+	rng := sim.NewRNG(9)
+	f := func(srcRaw uint8, which uint8) bool {
+		p := allPatterns()[int(which)%len(allPatterns())]
+		src := topology.NodeID(int(srcRaw) % m.N())
+		d := p.Dest(rng, m, src)
+		return int(d) >= 0 && int(d) < m.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	m := topology.NewMesh(4)
+	rng := sim.NewRNG(17)
+	counts := make([]int, m.N())
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		counts[Uniform{}.Dest(rng, m, 3)]++
+	}
+	if counts[3] != 0 {
+		t.Fatal("uniform pattern picked the source")
+	}
+	want := trials / (m.N() - 1)
+	for id, c := range counts {
+		if id == 3 {
+			continue
+		}
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("destination %d drawn %d times, want ~%d", id, c, want)
+		}
+	}
+}
+
+func TestTransposeMapsCoordinates(t *testing.T) {
+	m := topology.NewMesh(4)
+	rng := sim.NewRNG(1)
+	src := m.ID(topology.Coord{X: 1, Y: 3})
+	want := m.ID(topology.Coord{X: 3, Y: 1})
+	if got := (Transpose{}).Dest(rng, m, src); got != want {
+		t.Fatalf("transpose of (1,3) = node %d, want %d", got, want)
+	}
+}
+
+func TestBitComplementMapsCoordinates(t *testing.T) {
+	m := topology.NewMesh(4)
+	rng := sim.NewRNG(1)
+	src := m.ID(topology.Coord{X: 0, Y: 1})
+	want := m.ID(topology.Coord{X: 3, Y: 2})
+	if got := (BitComplement{}).Dest(rng, m, src); got != want {
+		t.Fatalf("bit complement of (0,1) = node %d, want %d", got, want)
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	m := topology.NewMesh(4)
+	rng := sim.NewRNG(23)
+	h := Hotspot{Hot: 0, Fraction: 0.5}
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if h.Dest(rng, m, 9) == 0 {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	// 0.5 directed plus uniform spillover (1/15 of the other half).
+	want := 0.5 + 0.5/15
+	if math.Abs(frac-want) > 0.03 {
+		t.Fatalf("hotspot hit rate %.3f, want ~%.3f", frac, want)
+	}
+}
+
+func TestConstantRateAchievesRate(t *testing.T) {
+	rng := sim.NewRNG(31)
+	for _, rate := range []float64{0.01, 0.1, 0.33, 0.5} {
+		p := &ConstantRate{Rate: rate}
+		fired := 0
+		const cycles = 50000
+		for now := sim.Cycle(0); now < cycles; now++ {
+			if p.Inject(rng, now) {
+				fired++
+			}
+		}
+		got := float64(fired) / cycles
+		if math.Abs(got-rate) > rate*0.02+0.0005 {
+			t.Fatalf("constant rate %.3f produced %.4f packets/cycle", rate, got)
+		}
+	}
+}
+
+func TestConstantRateIsSmooth(t *testing.T) {
+	// Inter-arrival gaps of a constant-rate source at rate 0.25 must be
+	// exactly 4 cycles (after the random phase).
+	rng := sim.NewRNG(7)
+	p := &ConstantRate{Rate: 0.25}
+	var arrivals []sim.Cycle
+	for now := sim.Cycle(0); now < 1000; now++ {
+		if p.Inject(rng, now) {
+			arrivals = append(arrivals, now)
+		}
+	}
+	for i := 2; i < len(arrivals); i++ {
+		if gap := arrivals[i] - arrivals[i-1]; gap != 4 {
+			t.Fatalf("gap %d between arrivals %d and %d, want 4", gap, i-1, i)
+		}
+	}
+}
+
+func TestBernoulliAchievesRate(t *testing.T) {
+	rng := sim.NewRNG(41)
+	p := Bernoulli{Rate: 0.2}
+	fired := 0
+	const cycles = 50000
+	for now := sim.Cycle(0); now < cycles; now++ {
+		if p.Inject(rng, now) {
+			fired++
+		}
+	}
+	got := float64(fired) / cycles
+	if math.Abs(got-0.2) > 0.01 {
+		t.Fatalf("bernoulli 0.2 produced %.4f packets/cycle", got)
+	}
+}
+
+func TestGeneratorProducesValidPackets(t *testing.T) {
+	m := topology.NewMesh(4)
+	var next noc.PacketID
+	gen := NewGenerator(m, 5, Uniform{}, Bernoulli{Rate: 0.5}, sim.NewRNG(2), 7,
+		func() noc.PacketID { next++; return next })
+	seen := map[noc.PacketID]bool{}
+	for now := sim.Cycle(0); now < 400; now++ {
+		p := gen.Generate(now)
+		if p == nil {
+			continue
+		}
+		if p.Src != 5 || p.Dst == 5 || p.Len != 7 || p.CreatedAt != now {
+			t.Fatalf("bad packet %+v", p)
+		}
+		if seen[p.ID] {
+			t.Fatalf("duplicate packet ID %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("generator produced nothing at rate 0.5")
+	}
+}
+
+func TestPacketRateFor(t *testing.T) {
+	m := topology.NewMesh(8)
+	// 100% of capacity, 5-flit packets: 0.5 flits/cycle / 5 = 0.1 pkt/cycle.
+	if got := PacketRateFor(m, 1.0, 5); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("PacketRateFor = %v, want 0.1", got)
+	}
+}
+
+func TestBitReverseMapsIndices(t *testing.T) {
+	m := topology.NewMesh(4) // 16 nodes, 4 bits
+	rng := sim.NewRNG(1)
+	// 0b0001 -> 0b1000 = 8
+	if got := (BitReverse{}).Dest(rng, m, 1); got != 8 {
+		t.Fatalf("bit reverse of 1 = %d, want 8", got)
+	}
+	// 0b0110 -> 0b0110 = self: falls back to uniform (not self).
+	if got := (BitReverse{}).Dest(rng, m, 6); got == 6 {
+		t.Fatal("bit-reverse fixed point returned itself")
+	}
+}
+
+func TestShuffleMapsIndices(t *testing.T) {
+	m := topology.NewMesh(4)
+	rng := sim.NewRNG(1)
+	// 2*5 mod 15 = 10.
+	if got := (Shuffle{}).Dest(rng, m, 5); got != 10 {
+		t.Fatalf("shuffle of 5 = %d, want 10", got)
+	}
+}
+
+func TestNeighborIsAdjacent(t *testing.T) {
+	m := topology.NewMesh(4)
+	rng := sim.NewRNG(1)
+	for src := 0; src < m.N(); src++ {
+		d := (Neighbor{}).Dest(rng, m, topology.NodeID(src))
+		if m.Hops(topology.NodeID(src), d) > 3 {
+			t.Fatalf("neighbor destination %d is %d hops from %d", d, m.Hops(topology.NodeID(src), d), src)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package vcrouter
+
+import (
+	"fmt"
+	"strings"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// Network is a complete mesh of virtual-channel routers with per-node
+// network interfaces. It implements noc.Network.
+type Network struct {
+	mesh  topology.Mesh
+	cfg   Config
+	hooks *noc.Hooks
+
+	routers []*Router
+	nis     []*ni
+	sinks   []*sink
+
+	offered   int64
+	delivered int64
+}
+
+var _ noc.Network = (*Network)(nil)
+
+// New assembles a virtual-channel network over the given mesh. The seed
+// drives every random-arbitration and injection decision, making runs
+// reproducible. hooks may be nil.
+func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	if hooks == nil {
+		hooks = &noc.Hooks{}
+	}
+	n := &Network{mesh: mesh, cfg: cfg, hooks: hooks}
+
+	// Chain the delivered hook so the network can track in-flight counts
+	// while still reporting to the caller.
+	inner := *hooks
+	wrapped := inner
+	wrapped.PacketDelivered = func(p *noc.Packet, now sim.Cycle) {
+		n.delivered++
+		if inner.PacketDelivered != nil {
+			inner.PacketDelivered(p, now)
+		}
+	}
+	n.hooks = &wrapped
+
+	root := sim.NewRNG(seed)
+	n.routers = make([]*Router, mesh.N())
+	n.nis = make([]*ni, mesh.N())
+	n.sinks = make([]*sink, mesh.N())
+	for id := 0; id < mesh.N(); id++ {
+		n.routers[id] = newRouter(topology.NodeID(id), mesh, cfg, root.Split())
+	}
+	for id := 0; id < mesh.N(); id++ {
+		n.nis[id] = newNI(topology.NodeID(id), cfg, root.Split(), n.hooks)
+		n.sinks[id] = newSink(n.hooks)
+	}
+	n.wire()
+	return n
+}
+
+// wire connects routers, NIs and sinks with delay-line pipes: data links of
+// LinkLatency, credit wires of CreditLatency, and injection/ejection links of
+// LocalLatency.
+func (n *Network) wire() {
+	cfg := n.cfg
+	for id := 0; id < n.mesh.N(); id++ {
+		r := n.routers[id]
+		// Inter-router links: create the pipe on the output side and
+		// hand the receiving end to the neighbor's input.
+		for p := topology.Port(0); p < topology.Local; p++ {
+			nb, ok := n.mesh.Neighbor(topology.NodeID(id), p)
+			if !ok {
+				continue
+			}
+			data := sim.NewPipe[noc.DataFlit](cfg.LinkLatency, 1)
+			credit := sim.NewPipe[noc.VCCredit](cfg.CreditLatency, 1)
+			r.out[p].data = data
+			r.out[p].creditIn = credit
+			far := n.routers[nb]
+			farIn := &far.in[p.Opposite()]
+			farIn.data = data
+			farIn.creditOut = credit
+		}
+		// Injection: NI -> router Local input.
+		inj := sim.NewPipe[noc.DataFlit](cfg.LocalLatency, 1)
+		injCredit := sim.NewPipe[noc.VCCredit](cfg.CreditLatency, 1)
+		n.nis[id].data = inj
+		n.nis[id].creditIn = injCredit
+		r.in[topology.Local].data = inj
+		r.in[topology.Local].creditOut = injCredit
+		// Ejection: router Local output -> sink.
+		ej := sim.NewPipe[noc.DataFlit](cfg.LocalLatency, 1)
+		r.out[topology.Local].data = ej
+		n.sinks[id].data = ej
+	}
+}
+
+// Offer implements noc.Network.
+func (n *Network) Offer(p *noc.Packet) {
+	n.offered++
+	n.nis[p.Src].offer(p)
+}
+
+// Tick implements noc.Network: one cycle for every NI, router, and sink.
+func (n *Network) Tick(now sim.Cycle) {
+	for _, x := range n.nis {
+		x.Tick(now)
+	}
+	for _, r := range n.routers {
+		r.Tick(now)
+	}
+	for _, s := range n.sinks {
+		s.Tick(now)
+	}
+}
+
+// SourceQueueLen implements noc.Network.
+func (n *Network) SourceQueueLen() int {
+	total := 0
+	for _, x := range n.nis {
+		total += x.queueLen()
+	}
+	return total
+}
+
+// InFlightPackets implements noc.Network.
+func (n *Network) InFlightPackets() int {
+	return int(n.offered - n.delivered)
+}
+
+// BufferUsage implements noc.Network.
+func (n *Network) BufferUsage(id topology.NodeID) (used, capacity int) {
+	return n.routers[id].bufferUsage()
+}
+
+// PoolUsage implements noc.Network.
+func (n *Network) PoolUsage(id topology.NodeID, port topology.Port) (used, capacity int) {
+	in := &n.routers[id].in[port]
+	if !in.exists {
+		return 0, 0
+	}
+	return in.poolUsed, n.cfg.BuffersPerInput()
+}
+
+// DumpState renders the routers' internal state for deadlock diagnosis: per
+// input VC, the queue depth and head flit; per output, credit counts and VC
+// ownership.
+func (n *Network) DumpState() string {
+	var b strings.Builder
+	for id, r := range n.routers {
+		busy := false
+		for p := range r.in {
+			if r.in[p].exists && r.in[p].poolUsed > 0 {
+				busy = true
+			}
+		}
+		if !busy {
+			continue
+		}
+		fmt.Fprintf(&b, "router %d\n", id)
+		for p := range r.in {
+			in := &r.in[p]
+			if !in.exists {
+				continue
+			}
+			for v := range in.vcs {
+				vc := &in.vcs[v]
+				if len(vc.q) == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "  in %s vc %d: qlen=%d head=%v routed=%v route=%v alloc=%v outVC=%d\n",
+					topology.Port(p), v, len(vc.q), vc.q[0].flit, vc.routed, vc.route, vc.allocated, vc.outVC)
+			}
+		}
+		for p := range r.out {
+			o := &r.out[p]
+			if !o.exists {
+				continue
+			}
+			fmt.Fprintf(&b, "  out %s credits=%v owned=%v\n", topology.Port(p), o.credits, o.owned)
+		}
+	}
+	for id, ni := range n.nis {
+		if len(ni.queue) > 0 || ni.activeCount() > 0 {
+			fmt.Fprintf(&b, "NI %d queue=%d active=%d credits=%v\n", id, len(ni.queue), ni.activeCount(), ni.credits)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package vcrouter
+
+import (
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// ni is a node's network interface on the injection side. It keeps the
+// source queue of whole packets, decomposes the packet at the head of the
+// queue into flits, and injects them into the router's Local input port over
+// a one-flit-per-cycle injection channel, obeying the same credit protocol an
+// upstream router would. Packets are assigned to free local-input virtual
+// channels so that, as in a real terminal, several packets can be in flight
+// when channels allow.
+type ni struct {
+	node  topology.NodeID
+	cfg   Config
+	rng   *sim.RNG
+	hooks *noc.Hooks
+
+	queue []*noc.Packet
+	slots []niSlot
+
+	credits []int // per local-input VC
+	pool    int   // pooled credits (SharedPool mode)
+	occ     []int // pooled buffers held per VC (SharedPool mode)
+	owned   []bool
+
+	data     *sim.Pipe[noc.DataFlit] // to the router's Local input
+	creditIn *sim.Pipe[noc.VCCredit] // credits back from the router
+
+	ready []int // scratch
+}
+
+// niSlot is one packet mid-injection on one local-input VC.
+type niSlot struct {
+	active bool
+	vc     int
+	flits  []noc.DataFlit
+	next   int
+}
+
+func newNI(node topology.NodeID, cfg Config, rng *sim.RNG, hooks *noc.Hooks) *ni {
+	n := &ni{node: node, cfg: cfg, rng: rng, hooks: hooks,
+		slots:   make([]niSlot, cfg.NumVCs),
+		credits: make([]int, cfg.NumVCs),
+		occ:     make([]int, cfg.NumVCs),
+		owned:   make([]bool, cfg.NumVCs),
+		pool:    cfg.BuffersPerInput(),
+	}
+	for v := range n.credits {
+		n.credits[v] = cfg.BufPerVC
+	}
+	return n
+}
+
+func (n *ni) offer(p *noc.Packet) { n.queue = append(n.queue, p) }
+
+func (n *ni) activeCount() int {
+	c := 0
+	for s := range n.slots {
+		if n.slots[s].active {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *ni) queueLen() int { return len(n.queue) }
+
+func (n *ni) hasCredit(vc int) bool {
+	if n.cfg.SharedPool {
+		// Same DAMQ reservation as the routers: never take the buffer
+		// another empty VC needs to make progress.
+		reserve := 0
+		for w, c := range n.occ {
+			if w != vc && c == 0 {
+				reserve++
+			}
+		}
+		return n.pool > reserve
+	}
+	return n.credits[vc] > 0
+}
+
+// Tick absorbs returned credits, starts queued packets on free virtual
+// channels, and injects at most one flit (the injection channel's bandwidth).
+func (n *ni) Tick(now sim.Cycle) {
+	n.creditIn.RecvEach(now, func(c noc.VCCredit) {
+		if n.cfg.SharedPool {
+			n.pool++
+			n.occ[c.VC]--
+		} else {
+			n.credits[c.VC]++
+		}
+	})
+
+	// Assign queued packets to free VC slots. By default the source is a
+	// FIFO injecting one packet at a time; SourceInterleave lifts that to
+	// one packet per local virtual channel.
+	for s := range n.slots {
+		if n.slots[s].active || len(n.queue) == 0 {
+			continue
+		}
+		if !n.cfg.SourceInterleave && n.activeCount() > 0 {
+			break
+		}
+		// Slot index doubles as VC index: each slot drives one VC.
+		if n.owned[s] {
+			continue
+		}
+		p := n.queue[0]
+		copy(n.queue, n.queue[1:])
+		n.queue[len(n.queue)-1] = nil
+		n.queue = n.queue[:len(n.queue)-1]
+		n.owned[s] = true
+		p.InjectedAt = now
+		n.slots[s] = niSlot{active: true, vc: s, flits: noc.DataFlits(p)}
+	}
+
+	// Inject one flit among ready slots, chosen at random.
+	n.ready = n.ready[:0]
+	for s := range n.slots {
+		sl := &n.slots[s]
+		if sl.active && sl.next < len(sl.flits) && n.hasCredit(sl.vc) {
+			n.ready = append(n.ready, s)
+		}
+	}
+	if len(n.ready) == 0 {
+		return
+	}
+	s := n.ready[n.rng.Intn(len(n.ready))]
+	sl := &n.slots[s]
+	f := sl.flits[sl.next]
+	f.VC = sl.vc
+	sl.next++
+	if n.cfg.SharedPool {
+		n.pool--
+		n.occ[sl.vc]++
+	} else {
+		n.credits[sl.vc]--
+	}
+	n.data.Send(now, f)
+	n.hooks.Injected(now)
+	if sl.next == len(sl.flits) {
+		n.owned[sl.vc] = false
+		sl.active = false
+		sl.flits = nil
+	}
+}
+
+// sink is the ejection side of a network interface: it receives flits from
+// the router's Local output and reports packets whose every flit has
+// arrived. Reassembly space is unbounded, matching the paper's immediate-
+// ejection assumption.
+type sink struct {
+	data  *sim.Pipe[noc.DataFlit]
+	got   map[noc.PacketID]int
+	hooks *noc.Hooks
+	// delivered counts fully reassembled packets, used by the network's
+	// in-flight accounting.
+	delivered int64
+}
+
+func newSink(hooks *noc.Hooks) *sink {
+	return &sink{got: make(map[noc.PacketID]int), hooks: hooks}
+}
+
+func (s *sink) Tick(now sim.Cycle) {
+	s.data.RecvEach(now, func(f noc.DataFlit) {
+		s.hooks.Ejected(now)
+		s.got[f.Packet.ID]++
+		if s.got[f.Packet.ID] == f.Packet.Len {
+			delete(s.got, f.Packet.ID)
+			s.delivered++
+			s.hooks.Delivered(f.Packet, now)
+		}
+	})
+}

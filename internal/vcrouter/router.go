@@ -1,0 +1,332 @@
+package vcrouter
+
+import (
+	"fmt"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// queuedFlit is a buffered flit together with its arrival cycle; a flit may
+// not leave the router before the cycle after it arrived, which models the
+// paper's one-cycle routing-and-scheduling latency.
+type queuedFlit struct {
+	flit      noc.DataFlit
+	arrivedAt sim.Cycle
+}
+
+// vcState is the per-virtual-channel bookkeeping of one input port: the flit
+// queue plus the route and output-VC allocation of the packet currently
+// occupying the channel.
+type vcState struct {
+	q         []queuedFlit
+	routed    bool
+	route     topology.Port
+	allocated bool
+	outVC     int
+}
+
+// inputState is one input port: NumVCs virtual channels plus the wires to the
+// upstream node (incoming flits, outgoing credits).
+type inputState struct {
+	exists    bool
+	vcs       []vcState
+	poolUsed  int // total buffered flits (enforced in SharedPool mode)
+	data      *sim.Pipe[noc.DataFlit]
+	creditOut *sim.Pipe[noc.VCCredit]
+}
+
+// outputState is one output port: per-downstream-VC credit counters and
+// ownership, plus the wires to the downstream node.
+type outputState struct {
+	exists   bool
+	infinite bool  // ejection port: the sink never runs out of buffers
+	credits  []int // per downstream VC
+	pool     int   // pooled credits (SharedPool mode)
+	// occ tracks, in SharedPool mode, how many pooled buffers each
+	// downstream VC currently holds; the DAMQ reservation rule keeps one
+	// buffer available for every other empty VC so a single blocked
+	// packet cannot consume the whole pool and deadlock the channel
+	// (the safeguard [TamFra92]'s dynamically-allocated queues carry).
+	occ      []int
+	owned    []bool
+	data     *sim.Pipe[noc.DataFlit]
+	creditIn *sim.Pipe[noc.VCCredit]
+}
+
+// Router is one virtual-channel router. It is assembled and ticked by
+// Network; the type is exported only for white-box testing within the
+// package tree.
+type Router struct {
+	id   topology.NodeID
+	mesh topology.Mesh
+	cfg  Config
+	rng  *sim.RNG
+
+	in  [topology.NumPorts]inputState
+	out [topology.NumPorts]outputState
+
+	// Scratch buffers reused every cycle to keep the hot loop
+	// allocation-free.
+	outOrder []int
+	vcReqs   []portVC
+	saCand   [topology.NumPorts][]portVC
+	freeVCs  []int
+}
+
+// portVC names one virtual channel of one input port.
+type portVC struct {
+	port topology.Port
+	vc   int
+}
+
+func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG) *Router {
+	r := &Router{id: id, mesh: mesh, cfg: cfg, rng: rng,
+		outOrder: make([]int, topology.NumPorts)}
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if p != topology.Local && !mesh.HasLink(id, p) {
+			continue
+		}
+		r.in[p] = inputState{exists: true, vcs: make([]vcState, cfg.NumVCs)}
+		r.out[p] = outputState{
+			exists:   true,
+			infinite: p == topology.Local,
+			credits:  make([]int, cfg.NumVCs),
+			pool:     cfg.BuffersPerInput(),
+			occ:      make([]int, cfg.NumVCs),
+			owned:    make([]bool, cfg.NumVCs),
+		}
+		for v := range r.out[p].credits {
+			r.out[p].credits[v] = cfg.BufPerVC
+		}
+	}
+	return r
+}
+
+// Tick advances the router one cycle: absorb credits and flits, route and
+// allocate virtual channels, then perform switch allocation and traversal.
+func (r *Router) Tick(now sim.Cycle) {
+	r.recvCredits(now)
+	r.recvFlits(now)
+	r.allocateVCs(now)
+	r.switchAllocate(now)
+}
+
+func (r *Router) recvCredits(now sim.Cycle) {
+	for p := range r.out {
+		o := &r.out[p]
+		if !o.exists || o.creditIn == nil {
+			continue
+		}
+		o.creditIn.RecvEach(now, func(c noc.VCCredit) {
+			if r.cfg.SharedPool {
+				o.pool++
+				o.occ[c.VC]--
+				if o.pool > r.cfg.BuffersPerInput() || o.occ[c.VC] < 0 {
+					panic(fmt.Sprintf("vcrouter: node %d out %s pooled credit overflow", r.id, topology.Port(p)))
+				}
+				return
+			}
+			o.credits[c.VC]++
+			if o.credits[c.VC] > r.cfg.BufPerVC {
+				panic(fmt.Sprintf("vcrouter: node %d out %s vc %d credit overflow", r.id, topology.Port(p), c.VC))
+			}
+		})
+	}
+}
+
+func (r *Router) recvFlits(now sim.Cycle) {
+	for p := range r.in {
+		in := &r.in[p]
+		if !in.exists || in.data == nil {
+			continue
+		}
+		in.data.RecvEach(now, func(f noc.DataFlit) {
+			vc := &in.vcs[f.VC]
+			vc.q = append(vc.q, queuedFlit{flit: f, arrivedAt: now})
+			in.poolUsed++
+			if r.cfg.SharedPool {
+				if in.poolUsed > r.cfg.BuffersPerInput() {
+					panic(fmt.Sprintf("vcrouter: node %d in %s pooled buffer overflow", r.id, topology.Port(p)))
+				}
+			} else if len(vc.q) > r.cfg.BufPerVC {
+				panic(fmt.Sprintf("vcrouter: node %d in %s vc %d buffer overflow", r.id, topology.Port(p), f.VC))
+			}
+		})
+	}
+}
+
+// allocateVCs routes head flits and assigns them a free virtual channel on
+// the downstream input of the routed output port, with random arbitration
+// among competing heads.
+func (r *Router) allocateVCs(now sim.Cycle) {
+	r.vcReqs = r.vcReqs[:0]
+	for p := range r.in {
+		in := &r.in[p]
+		if !in.exists {
+			continue
+		}
+		for v := range in.vcs {
+			vc := &in.vcs[v]
+			if len(vc.q) == 0 || vc.allocated {
+				continue
+			}
+			head := vc.q[0].flit
+			if !head.Type.IsHead() {
+				// A body flit can only be at the front of an
+				// unallocated VC if the model leaked state.
+				panic(fmt.Sprintf("vcrouter: node %d in %s vc %d: %s at front of unallocated channel", r.id, topology.Port(p), v, head))
+			}
+			if !vc.routed {
+				vc.route = r.cfg.Routing(r.mesh, r.id, head.Packet.Dst)
+				vc.routed = true
+			}
+			r.vcReqs = append(r.vcReqs, portVC{topology.Port(p), v})
+		}
+	}
+	// Random arbitration: shuffle request order, then give each request a
+	// random free downstream VC.
+	for i := len(r.vcReqs) - 1; i > 0; i-- {
+		j := r.rng.Intn(i + 1)
+		r.vcReqs[i], r.vcReqs[j] = r.vcReqs[j], r.vcReqs[i]
+	}
+	for _, req := range r.vcReqs {
+		vc := &r.in[req.port].vcs[req.vc]
+		o := &r.out[vc.route]
+		r.freeVCs = r.freeVCs[:0]
+		for dv, owned := range o.owned {
+			if !owned {
+				r.freeVCs = append(r.freeVCs, dv)
+			}
+		}
+		if len(r.freeVCs) == 0 {
+			continue
+		}
+		dv := r.freeVCs[r.rng.Intn(len(r.freeVCs))]
+		o.owned[dv] = true
+		vc.outVC = dv
+		vc.allocated = true
+	}
+}
+
+// switchAllocate matches ready input VCs to output channels (one grant per
+// input port and one per output port, random arbitration) and performs the
+// traversal for each winner.
+func (r *Router) switchAllocate(now sim.Cycle) {
+	for p := range r.saCand {
+		r.saCand[p] = r.saCand[p][:0]
+	}
+	for p := range r.in {
+		in := &r.in[p]
+		if !in.exists {
+			continue
+		}
+		for v := range in.vcs {
+			vc := &in.vcs[v]
+			if !vc.allocated || len(vc.q) == 0 {
+				continue
+			}
+			if vc.q[0].arrivedAt >= now {
+				continue // one-cycle routing/scheduling latency
+			}
+			if !r.hasCredit(&r.out[vc.route], vc.outVC) {
+				continue
+			}
+			r.saCand[vc.route] = append(r.saCand[vc.route], portVC{topology.Port(p), v})
+		}
+	}
+	r.rng.Perm(r.outOrder)
+	var inputGranted [topology.NumPorts]bool
+	for _, oi := range r.outOrder {
+		cands := r.saCand[oi]
+		// Filter candidates whose input port was already granted this
+		// cycle (the crossbar connects each input once per cycle).
+		n := 0
+		for _, c := range cands {
+			if !inputGranted[c.port] {
+				cands[n] = c
+				n++
+			}
+		}
+		cands = cands[:n]
+		if len(cands) == 0 {
+			continue
+		}
+		win := cands[r.rng.Intn(len(cands))]
+		inputGranted[win.port] = true
+		r.traverse(now, win.port, win.vc)
+	}
+}
+
+func (r *Router) hasCredit(o *outputState, vc int) bool {
+	if o.infinite {
+		return true
+	}
+	if r.cfg.SharedPool {
+		// DAMQ reservation: leave one pooled buffer for every other VC
+		// that holds nothing downstream.
+		reserve := 0
+		for w, n := range o.occ {
+			if w != vc && n == 0 {
+				reserve++
+			}
+		}
+		return o.pool > reserve
+	}
+	return o.credits[vc] > 0
+}
+
+// traverse moves the head flit of the given input VC onto its output link,
+// returns a credit upstream, and releases channel state on tail flits.
+func (r *Router) traverse(now sim.Cycle, p topology.Port, v int) {
+	in := &r.in[p]
+	vc := &in.vcs[v]
+	o := &r.out[vc.route]
+
+	qf := vc.q[0]
+	copy(vc.q, vc.q[1:])
+	vc.q[len(vc.q)-1] = queuedFlit{}
+	vc.q = vc.q[:len(vc.q)-1]
+	in.poolUsed--
+
+	if in.creditOut != nil {
+		in.creditOut.Send(now, noc.VCCredit{VC: v})
+	}
+
+	f := qf.flit
+	f.VC = vc.outVC
+	o.data.Send(now, f)
+	if !o.infinite {
+		if r.cfg.SharedPool {
+			o.pool--
+			o.occ[vc.outVC]++
+			if o.pool < 0 {
+				panic("vcrouter: pooled credit underflow")
+			}
+		} else {
+			o.credits[vc.outVC]--
+			if o.credits[vc.outVC] < 0 {
+				panic("vcrouter: credit underflow")
+			}
+		}
+	}
+	if f.Type.IsTail() {
+		o.owned[vc.outVC] = false
+		vc.allocated = false
+		vc.routed = false
+	}
+}
+
+// bufferUsage reports occupied and total data-flit buffers across the
+// router's existing input ports.
+func (r *Router) bufferUsage() (used, capacity int) {
+	for p := range r.in {
+		if !r.in[p].exists {
+			continue
+		}
+		used += r.in[p].poolUsed
+		capacity += r.cfg.BuffersPerInput()
+	}
+	return used, capacity
+}

@@ -1,0 +1,49 @@
+// Package wormhole implements wormhole flow control [DalSei86], the
+// pre-virtual-channel baseline of the paper's related-work comparison.
+// Wormhole flow control allocates buffers and bandwidth in flit-sized units
+// but holds a physical channel for the whole duration of a packet: when a
+// packet blocks, every channel it holds idles.
+//
+// Structurally, wormhole flow control is virtual-channel flow control with a
+// single virtual channel per physical channel (one flit queue, channel held
+// head to tail), so this package configures the vcrouter implementation with
+// NumVCs=1 rather than duplicating the router pipeline. The dedicated tests
+// verify the equivalence properties that make that reduction valid.
+package wormhole
+
+import (
+	"frfc/internal/noc"
+	"frfc/internal/routing"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+	"frfc/internal/vcrouter"
+)
+
+// Config selects a wormhole network configuration.
+type Config struct {
+	// BufferDepth is the flit queue depth per input channel.
+	BufferDepth int
+	// LinkLatency is the data-wire delay between adjacent routers.
+	LinkLatency sim.Cycle
+	// CreditLatency is the credit-wire delay.
+	CreditLatency sim.Cycle
+	// LocalLatency is the injection/ejection link delay.
+	LocalLatency sim.Cycle
+	// Routing selects the route function; nil means XY.
+	Routing routing.Function
+}
+
+// New assembles a wormhole network over the given mesh.
+func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) noc.Network {
+	if cfg.BufferDepth == 0 {
+		cfg.BufferDepth = 8
+	}
+	return vcrouter.New(mesh, vcrouter.Config{
+		NumVCs:        1,
+		BufPerVC:      cfg.BufferDepth,
+		LinkLatency:   cfg.LinkLatency,
+		CreditLatency: cfg.CreditLatency,
+		LocalLatency:  cfg.LocalLatency,
+		Routing:       cfg.Routing,
+	}, seed, hooks)
+}

@@ -1,0 +1,129 @@
+package frfc
+
+import (
+	"frfc/internal/experiment"
+)
+
+// Result reports one simulated (configuration, load) point. Latencies are in
+// cycles; loads are fractions of network capacity (for a k×k mesh under
+// uniform traffic, capacity is 4/k flits per node per cycle).
+type Result struct {
+	Spec string
+	// Load is the offered traffic.
+	Load float64
+	// EffectiveLoad is Load debited by the configuration's control
+	// bandwidth overhead (Table 2), the paper's comparison basis.
+	EffectiveLoad float64
+	// AvgLatency is mean packet latency — creation to last-flit ejection,
+	// including source queueing — with CI95 the half-width of its 95%
+	// confidence interval. AvgQueueDelay is the source-queueing component
+	// alone.
+	AvgLatency    float64
+	AvgQueueDelay float64
+	CI95          float64
+	MinLatency    int64
+	MaxLatency    int64
+	// P50, P95 and P99 are exact latency quantiles of the sample.
+	P50, P95, P99 int64
+	// AcceptedLoad is delivered throughput as a fraction of capacity.
+	AcceptedLoad float64
+	// Saturated marks offered loads the configuration could not sustain.
+	Saturated bool
+	// SampledDelivered of SampleSize tagged packets completed.
+	SampledDelivered int
+	SampleSize       int
+	// Cycles is the simulated run length.
+	Cycles int64
+	// PoolFullFraction is the fraction of measured cycles the central
+	// router's buffer pools were completely full (Section 4.2).
+	PoolFullFraction float64
+	// EagerTransfers and EagerResidencies report the Figure 10 shadow
+	// ledger (Options.TrackEagerTransfers): buffer-to-buffer transfers
+	// the allocate-at-reservation-time policy would force, over the
+	// number of buffer residencies replayed. Deferred allocation — the
+	// executed policy — never needs a transfer.
+	EagerTransfers   int64
+	EagerResidencies int64
+	// DroppedFlits and LostPackets report fault-injection activity
+	// (Options.DataFaultRate).
+	DroppedFlits int64
+	LostPackets  int64
+}
+
+func fromInternal(r experiment.Result) Result {
+	return Result{
+		Spec:             r.Spec,
+		Load:             r.Load,
+		EffectiveLoad:    r.EffectiveLoad,
+		AvgLatency:       r.AvgLatency,
+		AvgQueueDelay:    r.AvgQueueDelay,
+		CI95:             r.CI95,
+		MinLatency:       int64(r.MinLatency),
+		MaxLatency:       int64(r.MaxLatency),
+		P50:              int64(r.P50),
+		P95:              int64(r.P95),
+		P99:              int64(r.P99),
+		AcceptedLoad:     r.AcceptedLoad,
+		Saturated:        r.Saturated,
+		SampledDelivered: r.SampledDelivered,
+		SampleSize:       r.SampleSize,
+		Cycles:           int64(r.Cycles),
+		PoolFullFraction: r.PoolFullFraction,
+		EagerTransfers:   r.EagerTransfers,
+		EagerResidencies: r.EagerResidencies,
+		DroppedFlits:     r.DroppedFlits,
+		LostPackets:      r.LostPackets,
+	}
+}
+
+// Run simulates the spec at one offered load using the paper's measurement
+// protocol: warm up until source queues stabilize, tag a packet sample, and
+// run until the whole sample is delivered or saturation is detected.
+func Run(s Spec, load float64) Result {
+	return fromInternal(experiment.Run(s.inner, load))
+}
+
+// Sweep runs the spec at each offered load — the raw material of the paper's
+// latency-versus-offered-traffic figures.
+func Sweep(s Spec, loads []float64) []Result {
+	rs := experiment.Sweep(s.inner, loads)
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = fromInternal(r)
+	}
+	return out
+}
+
+// BaseLatency measures the spec's contention-free latency in cycles.
+func BaseLatency(s Spec) float64 {
+	return experiment.BaseLatency(s.inner)
+}
+
+// SaturationThroughput locates the highest sustainable offered load by
+// bisection, as a fraction of capacity. resolution is the search step; 0
+// means 1% of capacity.
+func SaturationThroughput(s Spec, resolution float64) float64 {
+	return experiment.SaturationThroughput(s.inner, experiment.SaturationOptions{Resolution: resolution})
+}
+
+// SummaryRow is one configuration's row of the paper's Table 3.
+type SummaryRow struct {
+	Spec                string
+	BaseLatency         float64
+	LatencyAt50         float64
+	Throughput          float64
+	EffectiveThroughput float64
+}
+
+// Summarize measures a spec's Table 3 row: base latency, latency at 50%
+// capacity, and saturation throughput (raw and bandwidth-debited).
+func Summarize(s Spec) SummaryRow {
+	r := experiment.Summarize(s.inner, experiment.SaturationOptions{})
+	return SummaryRow{
+		Spec:                r.Spec,
+		BaseLatency:         r.BaseLatency,
+		LatencyAt50:         r.LatencyAt50,
+		Throughput:          r.Throughput,
+		EffectiveThroughput: r.EffectiveThroughput,
+	}
+}
