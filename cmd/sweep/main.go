@@ -6,6 +6,11 @@
 //
 //	sweep -configs FR6,FR13,VC8,VC16 -wiring fast -pktlen 5
 //	sweep -configs FR6,VC32 -pktlen 21 -from 0.1 -to 0.9 -step 0.05
+//
+// With -faults it instead sweeps data-flit loss rates on the FR6 network,
+// comparing detection-only against the end-to-end retry layer:
+//
+//	sweep -faults -retrylimit 8 -packets 400
 package main
 
 import (
@@ -29,8 +34,18 @@ func main() {
 		warmup  = flag.Int("warmup", 3000, "minimum warm-up cycles")
 		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
 		csv     = flag.Bool("csv", false, "emit comma-separated values (load%, then avg latency per config; empty cell = saturated)")
+
+		faults     = flag.Bool("faults", false, "sweep data-flit loss rates on FR6 instead of offered loads, comparing detection-only vs end-to-end retry")
+		retryLimit = flag.Int("retrylimit", 8, "retry budget of the -faults retry arm")
+		packets    = flag.Int("packets", 400, "packets offered per -faults row")
+		rates      = flag.String("rates", "", "comma-separated loss rates for -faults (default 0,0.01,0.02,0.05,0.10,0.20)")
 	)
 	flag.Parse()
+
+	if *faults {
+		runFaultSweep(*retryLimit, *packets, *pktLen, *rates, *seed, *csv)
+		return
+	}
 
 	w := frfc.FastControl
 	if *wiring == "leading" {
@@ -98,6 +113,39 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+}
+
+// runFaultSweep is the -faults mode: delivery probability versus loss rate,
+// detection-only versus end-to-end retry.
+func runFaultSweep(retryLimit, packets, pktLen int, rates string, seed uint64, csv bool) {
+	o := frfc.FaultSweepOptions{RetryLimit: retryLimit, Packets: packets, PacketLen: pktLen, Seed: seed}
+	if rates != "" {
+		for _, s := range strings.Split(rates, ",") {
+			var r float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &r); err != nil || r != r || r < 0 || r > 1 {
+				fmt.Fprintf(os.Stderr, "sweep: bad loss rate %q (want a probability in [0,1])\n", s)
+				os.Exit(2)
+			}
+			o.Rates = append(o.Rates, r)
+		}
+	}
+	points := frfc.FaultSweep(o)
+	if csv {
+		fmt.Println("loss,retrylimit,offered,delivered,abandoned,retried,avglatency")
+		for _, p := range points {
+			fmt.Printf("%.3f,%d,%d,%d,%d,%d,%.2f\n",
+				p.DataFaultRate, p.RetryLimit, p.Offered, p.Delivered, p.Abandoned, p.Retried, p.AvgLatency)
+		}
+		return
+	}
+	fmt.Printf("# end-to-end delivery vs data-flit loss; FR6, %d-flit packets, %d packets per row\n", pktLen, packets)
+	for _, p := range points {
+		wedged := ""
+		if p.Wedged {
+			wedged = "  WEDGED"
+		}
+		fmt.Printf("%s%s\n", p, wedged)
 	}
 }
 

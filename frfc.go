@@ -143,6 +143,31 @@ type Options struct {
 	// behavior (dropped flits, consistent tables, lost-packet detection
 	// at the destination). Flit-reservation configurations only.
 	DataFaultRate float64
+	// CtrlFaultRate corrupts each inter-router control flit transmission
+	// with this probability. Corrupted control flits are recovered by
+	// modeled link-level retransmission: they arrive late (two extra link
+	// traversals per corruption), never lost. Must be below 1.
+	CtrlFaultRate float64
+	// RetryLimit enables end-to-end packet recovery: when a destination
+	// detects a lost packet it notifies the source, which re-injects the
+	// packet up to RetryLimit times before abandoning it. 0 (default)
+	// disables retry — losses are detected but final.
+	RetryLimit int
+	// RetryBackoffBase spaces retries exponentially: attempt n is
+	// re-offered base<<n cycles after its loss notification (default 64).
+	RetryBackoffBase int
+	// RetryTimeout, when nonzero, also re-offers a packet whose fate is
+	// unknown this many cycles after its injection completed — recovery
+	// insurance against a lost notification.
+	RetryTimeout int
+	// NackLatency is the modeled delay of a delivery/loss notification
+	// from destination back to source (default 16).
+	NackLatency int
+	// WatchdogCycles, when nonzero, arms a no-progress watchdog: if no
+	// flit moves for this many cycles while packets are in flight and no
+	// recovery action is pending, a diagnostic snapshot of every router
+	// and interface is produced (and the run is flagged).
+	WatchdogCycles int
 
 	// Virtual-channel knobs.
 	VCs        int // virtual channels per physical channel (default 2)
@@ -238,6 +263,12 @@ func applyFR(cfg core.Config, o Options) core.Config {
 	cfg.AllOrNothing = o.AllOrNothing
 	cfg.TrackEagerTransfers = o.TrackEagerTransfers
 	cfg.DataFaultRate = o.DataFaultRate
+	cfg.CtrlFaultRate = o.CtrlFaultRate
+	cfg.RetryLimit = o.RetryLimit
+	cfg.RetryBackoffBase = sim.Cycle(o.RetryBackoffBase)
+	cfg.RetryTimeout = sim.Cycle(o.RetryTimeout)
+	cfg.NackLatency = sim.Cycle(o.NackLatency)
+	cfg.WatchdogCycles = sim.Cycle(o.WatchdogCycles)
 	return cfg
 }
 

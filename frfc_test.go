@@ -199,3 +199,75 @@ func TestCircuitSwitchingDelivers(t *testing.T) {
 		t.Fatalf("circuit switching at 10%%: saturated=%v delivered=%d/200", r.Saturated, r.SampledDelivered)
 	}
 }
+
+func TestCustomRecoveryOptions(t *testing.T) {
+	s, err := frfc.Custom("fr-recovery", frfc.Options{
+		FlitReservation: true, MeshRadix: 4,
+		DataFaultRate: 0.03, CtrlFaultRate: 0.01,
+		RetryLimit: 10, RetryBackoffBase: 32, NackLatency: 12,
+		WatchdogCycles: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frfc.Run(s.WithSampling(300, 500), 0.20)
+	if r.SampledDelivered != r.SampleSize {
+		t.Fatalf("recovery run resolved %d of %d sampled packets", r.SampledDelivered, r.SampleSize)
+	}
+	if r.DroppedFlits == 0 || r.LostPackets == 0 {
+		t.Errorf("data fault injection inactive: dropped=%d lost=%d", r.DroppedFlits, r.LostPackets)
+	}
+	if r.RetriedPackets == 0 || r.DeliveredAfterRetry == 0 {
+		t.Errorf("retry layer inactive: retried=%d deliveredAfterRetry=%d", r.RetriedPackets, r.DeliveredAfterRetry)
+	}
+	if r.CtrlCorrupted == 0 {
+		t.Errorf("control fault injection inactive: ctrlCorrupted=%d", r.CtrlCorrupted)
+	}
+	if r.RetriedPackets > 0 && r.AvgRetryLatency <= r.AvgLatency {
+		t.Errorf("retried packets should be slower: retry latency %.1f vs avg %.1f", r.AvgRetryLatency, r.AvgLatency)
+	}
+}
+
+func TestCustomRejectsBadFaultRates(t *testing.T) {
+	for _, o := range []frfc.Options{
+		{FlitReservation: true, DataFaultRate: 1.5},
+		{FlitReservation: true, DataFaultRate: -0.1},
+		{FlitReservation: true, CtrlFaultRate: 1.0},
+	} {
+		s, err := frfc.Custom("bad", o)
+		if err != nil {
+			continue // rejected at build time is fine too
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Run accepted invalid fault rates %+v", o)
+				}
+			}()
+			frfc.Run(s.WithSampling(10, 50), 0.05)
+		}()
+	}
+}
+
+func TestPublicFaultSweep(t *testing.T) {
+	pts := frfc.FaultSweep(frfc.FaultSweepOptions{Packets: 80, Rates: []float64{0.02}, RetryLimit: 10})
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	detect, retry := pts[0], pts[1]
+	if detect.RetryLimit != 0 || retry.RetryLimit != 10 {
+		t.Fatalf("unexpected policy order: %+v", pts)
+	}
+	if retry.DeliveredFraction() != 1.0 {
+		t.Errorf("retry arm delivered %.2f at 2%% loss", retry.DeliveredFraction())
+	}
+	if detect.Delivered+detect.LostDetected != detect.Offered {
+		t.Errorf("detect-only conservation broken: %+v", detect)
+	}
+	if !strings.Contains(retry.String(), "retry<=10") {
+		t.Errorf("String() = %q", retry.String())
+	}
+	if detect.Wedged || retry.Wedged {
+		t.Errorf("watchdog fired during sweep")
+	}
+}

@@ -97,9 +97,46 @@ type Config struct {
 	// reservation, and the scheduling tables return to a consistent
 	// state with no lost buffers or stalled links. The destination
 	// detects the hole in its reassembly schedule and reports the packet
-	// lost. (Control flits are assumed protected by detection-and-
-	// retransmission and are not faulted.)
+	// lost (and, with RetryLimit > 0, triggers an end-to-end retry).
 	DataFaultRate float64
+	// CtrlFaultRate corrupts each control flit transmission on an
+	// inter-router control link with this probability. Corrupted control
+	// flits are recovered by link-level detection-and-retransmission —
+	// the receiver detects the corruption, NACKs, and the sender replays
+	// from its per-VC retransmit buffer after one link round-trip — so
+	// control information is delayed but never lost, completing the
+	// Section 5 error story. Data flits led by a delayed control flit
+	// simply park on the downstream schedule list until it catches up.
+	CtrlFaultRate float64
+
+	// RetryLimit enables end-to-end packet retry when positive: the
+	// destination's hole detection sends a loss notification (NACK) back
+	// to the source, which re-offers the packet, up to RetryLimit times
+	// before abandoning it. Zero keeps the detection-only behavior where
+	// a loss resolves the packet's fate.
+	RetryLimit int
+	// RetryBackoffBase is the delay before the first retry injection;
+	// each subsequent retry of the same packet doubles it (exponential
+	// backoff). Defaults to 64 cycles when RetryLimit > 0.
+	RetryBackoffBase sim.Cycle
+	// RetryTimeout, when positive, is the source's per-packet timer: if
+	// neither a delivery acknowledgment nor a loss notification arrives
+	// within RetryTimeout cycles of the packet's (re-)injection, the
+	// source retries as if a NACK had arrived. Zero relies on the
+	// (in-model reliable) notification plane alone.
+	RetryTimeout sim.Cycle
+	// NackLatency is the modeled control-plane latency of end-to-end
+	// delivery/loss notifications between a destination and a source
+	// interface. Defaults to 16 cycles when RetryLimit > 0.
+	NackLatency sim.Cycle
+
+	// WatchdogCycles arms the no-progress watchdog when positive: if
+	// packets are in flight, no recovery action (notification or retry
+	// timer) is pending, and no flit has moved for WatchdogCycles cycles,
+	// the network captures a diagnostic snapshot of every stalled
+	// router's reservation tables, parked flits and control VC state and
+	// surfaces it through the Wedged hook.
+	WatchdogCycles sim.Cycle
 
 	// Routing selects the route function; nil means dimension-ordered
 	// XY routing, the paper's choice.
@@ -141,6 +178,14 @@ func (c Config) withDefaults() Config {
 	if c.Routing == nil {
 		c.Routing = routing.XY
 	}
+	if c.RetryLimit > 0 {
+		if c.RetryBackoffBase == 0 {
+			c.RetryBackoffBase = 64
+		}
+		if c.NackLatency == 0 {
+			c.NackLatency = 16
+		}
+	}
 	return c
 }
 
@@ -175,5 +220,28 @@ func (c Config) validate() {
 	}
 	if c.LeadCycles < 0 {
 		panic("core: LeadCycles must be >= 0")
+	}
+	validateRate("DataFaultRate", c.DataFaultRate)
+	validateRate("CtrlFaultRate", c.CtrlFaultRate)
+	if c.CtrlFaultRate == 1 {
+		panic("core: CtrlFaultRate must be < 1 — a link that corrupts every transmission can never deliver")
+	}
+	if c.RetryLimit < 0 {
+		panic(fmt.Sprintf("core: RetryLimit must be >= 0, got %d", c.RetryLimit))
+	}
+	if c.RetryLimit > 0 && (c.RetryBackoffBase < 1 || c.NackLatency < 1) {
+		panic("core: retry needs RetryBackoffBase >= 1 and NackLatency >= 1")
+	}
+	if c.RetryBackoffBase < 0 || c.RetryTimeout < 0 || c.NackLatency < 0 || c.WatchdogCycles < 0 {
+		panic("core: retry/watchdog cycle parameters must be >= 0")
+	}
+}
+
+// validateRate rejects fault probabilities outside [0,1], including NaN
+// (which compares false against everything and would otherwise slip through
+// range checks silently).
+func validateRate(name string, r float64) {
+	if r != r || r < 0 || r > 1 {
+		panic(fmt.Sprintf("core: %s must be a probability in [0,1], got %v", name, r))
 	}
 }

@@ -27,9 +27,9 @@ func TestControlFlitsStayOrderedPerPacket(t *testing.T) {
 	for i := range net.routers {
 		inner := net.sinks[i].Expect
 		i := i
-		net.routers[i].sinkNotify = func(at sim.Cycle, pkt *noc.Packet, seq int) {
+		net.routers[i].sinkNotify = func(at sim.Cycle, pkt *noc.Packet, seq, attempt int) {
 			perPacket[pkt.ID] = append(perPacket[pkt.ID], sched{seq: seq, at: at})
-			inner(at, pkt, seq)
+			inner(at, pkt, seq, attempt)
 		}
 	}
 	rng := sim.NewRNG(12)
@@ -47,13 +47,7 @@ func TestControlFlitsStayOrderedPerPacket(t *testing.T) {
 			now++
 		}
 	}
-	for net.InFlightPackets() > 0 && now < 500000 {
-		net.Tick(now)
-		now++
-	}
-	if net.InFlightPackets() != 0 {
-		t.Fatal("network failed to drain")
-	}
+	drainOrFail(t, net, now, 500000)
 	for id, ss := range perPacket {
 		if len(ss) != 5 {
 			t.Fatalf("packet %d scheduled %d ejections, want 5", id, len(ss))
@@ -129,6 +123,18 @@ func TestConfigValidation(t *testing.T) {
 		{"buffers-below-vcs", func(c *Config) { c.DataBuffers = 2; c.CtrlVCs = 4 }},
 		{"wide-ctrl-small-pool", func(c *Config) { c.DataBuffers = 4; c.LeadsPerCtrl = 4; c.CtrlVCs = 2 }},
 		{"negative-lead", func(c *Config) { c.LeadCycles = -1 }},
+		{"negative-data-fault", func(c *Config) { c.DataFaultRate = -0.1 }},
+		{"data-fault-above-one", func(c *Config) { c.DataFaultRate = 1.5 }},
+		{"nan-data-fault", func(c *Config) { c.DataFaultRate = nan() }},
+		{"negative-ctrl-fault", func(c *Config) { c.CtrlFaultRate = -0.1 }},
+		{"ctrl-fault-above-one", func(c *Config) { c.CtrlFaultRate = 2 }},
+		{"nan-ctrl-fault", func(c *Config) { c.CtrlFaultRate = nan() }},
+		{"ctrl-fault-certain", func(c *Config) { c.CtrlFaultRate = 1 }},
+		{"negative-retry-limit", func(c *Config) { c.RetryLimit = -1 }},
+		{"negative-backoff", func(c *Config) { c.RetryBackoffBase = -1 }},
+		{"negative-retry-timeout", func(c *Config) { c.RetryTimeout = -1 }},
+		{"negative-nack-latency", func(c *Config) { c.NackLatency = -1 }},
+		{"negative-watchdog", func(c *Config) { c.WatchdogCycles = -1 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -47,13 +47,7 @@ func TestFaultInjectionKeepsTablesConsistent(t *testing.T) {
 			now++
 		}
 	}
-	for net.InFlightPackets() > 0 && now < 500000 {
-		net.Tick(now)
-		now++
-	}
-	if got := net.InFlightPackets(); got != 0 {
-		t.Fatalf("network wedged with %d unresolved packets", got)
-	}
+	drainOrFail(t, net, now, 500000)
 	droppedFlits, lostPackets := net.FaultStats()
 	if droppedFlits == 0 {
 		t.Fatal("fault injection at 1% dropped nothing over 3000 flits")
@@ -109,13 +103,7 @@ func TestHighFaultRateStillDrains(t *testing.T) {
 		net.Tick(now)
 		now++
 	}
-	for net.InFlightPackets() > 0 && now < 500000 {
-		net.Tick(now)
-		now++
-	}
-	if got := net.InFlightPackets(); got != 0 {
-		t.Fatalf("network wedged with %d unresolved packets at 20%% loss", got)
-	}
+	drainOrFail(t, net, now, 500000)
 	if _, lostPackets := net.FaultStats(); lostPackets == 0 {
 		t.Fatal("20% loss rate lost no packets")
 	}
@@ -145,13 +133,7 @@ func TestFaultWithLateControlOn8x8(t *testing.T) {
 		}
 		net.Tick(now)
 	}
-	for net.InFlightPackets() > 0 && now < 1000000 {
-		net.Tick(now)
-		now++
-	}
-	if got := net.InFlightPackets(); got != 0 {
-		t.Fatalf("wedged with %d unresolved packets", got)
-	}
+	drainOrFail(t, net, now, 1000000)
 	dropped, lost := net.FaultStats()
 	if dropped == 0 || lost == 0 {
 		t.Fatalf("fault injection inactive: dropped=%d lost=%d", dropped, lost)

@@ -2,12 +2,23 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 )
+
+// notif is one end-to-end notification in flight from a destination back to a
+// source interface: a delivery acknowledgment or a loss report for a specific
+// transmission attempt. The notification plane is the modeled control channel
+// of the recovery layer — reliable, with a fixed NackLatency delay.
+type notif struct {
+	ack     bool
+	pkt     *noc.Packet
+	attempt int
+}
 
 // Network is a complete mesh of flit-reservation routers with per-node
 // network interfaces. It implements noc.Network.
@@ -20,10 +31,38 @@ type Network struct {
 	nis     []*NI
 	sinks   []*Sink
 
-	offered   int64
-	delivered int64
-	lost      int64
-	dropped   int64
+	// linkRNG drives control-link fault injection across all links; it is
+	// split off the root seed so fault patterns are reproducible.
+	linkRNG *sim.RNG
+
+	offered       int64
+	delivered     int64
+	lostDetected  int64 // loss events at destinations (per attempt under retry)
+	lostResolved  int64 // packets whose fate "lost" is final (retry disabled)
+	abandoned     int64 // packets that exhausted their retry budget
+	retried       int64 // re-injections
+	afterRetry    int64 // packets delivered on an attempt > 0
+	dropped       int64 // data flits destroyed on links
+	ctrlCorrupted int64 // control flits corrupted (and retransmitted) on links
+
+	// notifs holds in-flight end-to-end notifications keyed by the cycle
+	// they reach the source interface.
+	notifs map[sim.Cycle][]notif
+	// resolved records each packet's first resolution (delivery or
+	// abandonment) under retry. A spurious timeout — shorter than the
+	// notification round trip — can race an abandonment against an
+	// in-flight delivery; whichever resolves first wins and the loser is
+	// suppressed, keeping offered == delivered + abandoned exact.
+	resolved map[noc.PacketID]bool
+
+	// Watchdog state: progress counts every flit movement network-wide;
+	// the watchdog trips when it stands still too long with packets in
+	// flight and no recovery action pending.
+	progress       *int64
+	lastProgress   int64
+	lastProgressAt sim.Cycle
+	wedgeFired     bool
+	now            sim.Cycle
 }
 
 var _ noc.Network = (*Network)(nil)
@@ -36,20 +75,54 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 	if hooks == nil {
 		hooks = &noc.Hooks{}
 	}
-	n := &Network{mesh: mesh, cfg: cfg}
+	n := &Network{mesh: mesh, cfg: cfg, progress: new(int64)}
+	if cfg.RetryLimit > 0 {
+		n.notifs = make(map[sim.Cycle][]notif)
+		n.resolved = make(map[noc.PacketID]bool)
+	}
 
 	inner := *hooks
 	wrapped := inner
 	wrapped.PacketDelivered = func(p *noc.Packet, now sim.Cycle) {
+		if n.resolved != nil {
+			if n.resolved[p.ID] {
+				return // late delivery of a packet already written off
+			}
+			n.resolved[p.ID] = true
+			at := now + n.cfg.NackLatency
+			n.notifs[at] = append(n.notifs[at], notif{ack: true, pkt: p})
+		}
 		n.delivered++
+		if p.Attempts > 0 {
+			n.afterRetry++
+		}
 		if inner.PacketDelivered != nil {
 			inner.PacketDelivered(p, now)
 		}
 	}
 	wrapped.PacketLost = func(p *noc.Packet, now sim.Cycle) {
-		n.lost++
+		n.lostDetected++
+		if n.cfg.RetryLimit == 0 {
+			n.lostResolved++
+		}
 		if inner.PacketLost != nil {
 			inner.PacketLost(p, now)
+		}
+	}
+	wrapped.PacketRetried = func(p *noc.Packet, now sim.Cycle) {
+		n.retried++
+		if inner.PacketRetried != nil {
+			inner.PacketRetried(p, now)
+		}
+	}
+	wrapped.PacketAbandoned = func(p *noc.Packet, now sim.Cycle) {
+		if n.resolved[p.ID] {
+			return // the delivery beat the retry timer; its ACK is in flight
+		}
+		n.resolved[p.ID] = true
+		n.abandoned++
+		if inner.PacketAbandoned != nil {
+			inner.PacketAbandoned(p, now)
 		}
 	}
 	wrapped.FlitDropped = func(p *noc.Packet, now sim.Cycle) {
@@ -61,19 +134,41 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 	n.hooks = &wrapped
 
 	root := sim.NewRNG(seed)
+	n.linkRNG = root.Split()
 	n.routers = make([]*Router, mesh.N())
 	n.nis = make([]*NI, mesh.N())
 	n.sinks = make([]*Sink, mesh.N())
 	for id := 0; id < mesh.N(); id++ {
 		n.routers[id] = newRouter(topology.NodeID(id), mesh, cfg, root.Split())
 		n.routers[id].hooks = n.hooks
+		n.routers[id].progress = n.progress
 	}
 	for id := 0; id < mesh.N(); id++ {
 		n.nis[id] = newNI(topology.NodeID(id), cfg, root.Split(), n.hooks)
+		n.nis[id].progress = n.progress
 		n.sinks[id] = newSink(n.hooks)
+		if cfg.RetryLimit > 0 {
+			n.sinks[id].notifyLoss = n.noteLoss
+		}
 	}
 	n.wire()
 	return n
+}
+
+// noteLoss is the sinks' entry into the notification plane: a detected loss
+// of one transmission attempt travels back to the packet's source after
+// NackLatency cycles.
+func (n *Network) noteLoss(p *noc.Packet, attempt int, now sim.Cycle) {
+	at := now + n.cfg.NackLatency
+	n.notifs[at] = append(n.notifs[at], notif{pkt: p, attempt: attempt})
+}
+
+// onCtrlCorrupt is the fault-injection callback of the control links: each
+// corruption is recovered by link-level retransmission, so it only costs
+// latency, but the event is counted and surfaced.
+func (n *Network) onCtrlCorrupt() {
+	n.ctrlCorrupted++
+	n.hooks.CtrlCorrupted(n.now)
 }
 
 // resvCreditWidth bounds the reservation credits one input port can emit in
@@ -82,6 +177,17 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 // input.
 func (c Config) resvCreditWidth() int {
 	return int(topology.NumPorts) * c.CtrlFlitsPerCycle * c.LeadsPerCtrl
+}
+
+// newCtrlLink builds one inter-router control link: a plain pipe, or — under
+// CtrlFaultRate — a fault-injecting pipe whose corrupted flits are delayed by
+// the link-level retransmission round trip.
+func (n *Network) newCtrlLink() *sim.Pipe[noc.ControlFlit] {
+	cfg := n.cfg
+	if cfg.CtrlFaultRate > 0 {
+		return sim.NewFaultyPipe[noc.ControlFlit](cfg.CtrlLinkLatency, cfg.CtrlFlitsPerCycle, cfg.CtrlFaultRate, n.linkRNG, n.onCtrlCorrupt)
+	}
+	return sim.NewPipe[noc.ControlFlit](cfg.CtrlLinkLatency, cfg.CtrlFlitsPerCycle)
 }
 
 // wire connects routers, NIs and sinks: data links (one flit/cycle,
@@ -108,7 +214,7 @@ func (n *Network) wire() {
 			r.dataCreditIn[p] = resvCredit
 			far.inputs[op].creditOut = resvCredit
 
-			ctrl := sim.NewPipe[noc.ControlFlit](cfg.CtrlLinkLatency, cfg.CtrlFlitsPerCycle)
+			ctrl := n.newCtrlLink()
 			r.ctrlOut[p].out = ctrl
 			far.ctrlIn[op].in = ctrl
 
@@ -155,6 +261,20 @@ func (n *Network) Offer(p *noc.Packet) {
 
 // Tick implements noc.Network.
 func (n *Network) Tick(now sim.Cycle) {
+	n.now = now
+	if n.notifs != nil {
+		if due, ok := n.notifs[now]; ok {
+			delete(n.notifs, now)
+			for _, nt := range due {
+				ni := n.nis[nt.pkt.Src]
+				if nt.ack {
+					ni.ack(nt.pkt.ID)
+				} else {
+					ni.loss(nt.pkt.ID, nt.attempt, now)
+				}
+			}
+		}
+	}
 	for _, ni := range n.nis {
 		ni.Tick(now)
 	}
@@ -164,6 +284,7 @@ func (n *Network) Tick(now sim.Cycle) {
 	for _, s := range n.sinks {
 		s.Tick(now)
 	}
+	n.watch(now)
 }
 
 // SourceQueueLen implements noc.Network.
@@ -175,16 +296,122 @@ func (n *Network) SourceQueueLen() int {
 	return total
 }
 
-// InFlightPackets implements noc.Network. Lost packets count as resolved:
-// their fate is known even though they were never delivered.
+// InFlightPackets implements noc.Network. A packet is resolved when it is
+// delivered, abandoned after exhausting its retries, or — with retry
+// disabled — detected lost; its fate is then known.
 func (n *Network) InFlightPackets() int {
-	return int(n.offered - n.delivered - n.lost)
+	return int(n.offered - n.delivered - n.lostResolved - n.abandoned)
 }
 
 // FaultStats reports fault-injection activity: data flits destroyed on links
-// and packets the destinations detected as lost.
+// and loss events detected at destinations (one per packet without retry, one
+// per lost transmission attempt with it).
 func (n *Network) FaultStats() (droppedFlits, lostPackets int64) {
-	return n.dropped, n.lost
+	return n.dropped, n.lostDetected
+}
+
+// RecoveryStats summarizes the end-to-end recovery layer's activity over a
+// run.
+type RecoveryStats struct {
+	// Offered, Delivered and Abandoned satisfy, once the network drains,
+	// Offered == Delivered + Abandoned + LostDetected·(retry disabled).
+	Offered   int64
+	Delivered int64
+	Abandoned int64
+	// LostDetected counts loss events at destinations — per packet without
+	// retry, per lost transmission attempt with it.
+	LostDetected int64
+	// Retried counts re-injections; DeliveredAfterRetry counts packets
+	// whose delivering attempt was a retry.
+	Retried             int64
+	DeliveredAfterRetry int64
+	// DroppedFlits is data flits destroyed by link faults; CtrlCorrupted is
+	// control flits corrupted (each recovered by link-level
+	// retransmission).
+	DroppedFlits  int64
+	CtrlCorrupted int64
+}
+
+// Recovery reports the recovery layer's counters.
+func (n *Network) Recovery() RecoveryStats {
+	return RecoveryStats{
+		Offered:             n.offered,
+		Delivered:           n.delivered,
+		Abandoned:           n.abandoned,
+		LostDetected:        n.lostDetected,
+		Retried:             n.retried,
+		DeliveredAfterRetry: n.afterRetry,
+		DroppedFlits:        n.dropped,
+		CtrlCorrupted:       n.ctrlCorrupted,
+	}
+}
+
+// pendingRecovery counts recovery actions that will fire on their own at a
+// known future cycle: in-flight end-to-end notifications, armed retry timers
+// and backoff-delayed re-offers, and reassembly-schedule entries whose hole
+// detection has not yet run. While any exist the network may be legitimately
+// idle, so the watchdog holds off.
+func (n *Network) pendingRecovery() int {
+	total := 0
+	for _, nts := range n.notifs {
+		total += len(nts)
+	}
+	for _, ni := range n.nis {
+		total += ni.pendingRecovery()
+	}
+	for _, s := range n.sinks {
+		total += len(s.expect)
+	}
+	return total
+}
+
+// watch is the no-progress watchdog: with packets in flight, no recovery
+// action pending, and no flit movement for WatchdogCycles cycles, the network
+// is wedged — it captures a diagnostic snapshot and fires the Wedged hook,
+// once per stall.
+func (n *Network) watch(now sim.Cycle) {
+	if n.cfg.WatchdogCycles <= 0 {
+		return
+	}
+	if *n.progress != n.lastProgress {
+		n.lastProgress = *n.progress
+		n.lastProgressAt = now
+		n.wedgeFired = false
+		return
+	}
+	if n.InFlightPackets() == 0 || n.pendingRecovery() > 0 {
+		n.lastProgressAt = now
+		return
+	}
+	if now-n.lastProgressAt >= n.cfg.WatchdogCycles && !n.wedgeFired {
+		n.wedgeFired = true
+		n.hooks.Wedge(now, n.snapshot(now))
+	}
+}
+
+// snapshot renders the wedge diagnostic: which routers hold stalled work,
+// followed by the full control/buffer/reservation state dump.
+func (n *Network) snapshot(now sim.Cycle) string {
+	var stalled []int
+	for id, r := range n.routers {
+		if r.pendingWork() > 0 {
+			stalled = append(stalled, id)
+		}
+	}
+	var idle []int
+	for id, ni := range n.nis {
+		if ni.pendingWork() > 0 {
+			idle = append(idle, id)
+		}
+	}
+	sort.Ints(stalled)
+	sort.Ints(idle)
+	var b strings.Builder
+	fmt.Fprintf(&b, "wedged at cycle %d: no flit moved for %d cycles, %d packets in flight\n",
+		now, n.cfg.WatchdogCycles, n.InFlightPackets())
+	fmt.Fprintf(&b, "stalled routers: %v\nstalled interfaces: %v\n", stalled, idle)
+	b.WriteString(n.DumpState())
+	return b.String()
 }
 
 // ParkedFlits reports how many data flits, network-wide, ever arrived before
@@ -278,9 +505,9 @@ func (n *Network) DumpState() string {
 		}
 	}
 	for id, ni := range n.nis {
-		if ni.pendingWork() > 0 {
-			fmt.Fprintf(&b, "NI %d: queue=%d active=%d sendAt=%d ctrlCredits=%v\n",
-				id, len(ni.queue), ni.activeCount(), len(ni.sendAt), ni.ctrlCredits)
+		if ni.pendingWork() > 0 || len(ni.awaiting) > 0 {
+			fmt.Fprintf(&b, "NI %d: queue=%d active=%d sendAt=%d ctrlCredits=%v awaitingAck=%d pendingRetry=%d\n",
+				id, len(ni.queue), ni.activeCount(), len(ni.sendAt), ni.ctrlCredits, len(ni.awaiting), ni.pendingRecovery())
 		}
 	}
 	return b.String()

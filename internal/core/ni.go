@@ -38,6 +38,38 @@ type NI struct {
 	// sendAt holds scheduled data-flit injections keyed by departure
 	// cycle; the injection channel's busy bits make the key unique.
 	sendAt map[sim.Cycle]noc.DataFlit
+
+	// End-to-end retry state (cfg.RetryLimit > 0). awaiting tracks every
+	// offered packet until the destination's acknowledgment arrives;
+	// retryAt holds backoff-delayed re-offers keyed by injection cycle;
+	// timeouts is the per-packet retry timer queue, FIFO because every
+	// deadline is armed as now + RetryTimeout.
+	awaiting map[noc.PacketID]*retryState
+	retryAt  map[sim.Cycle][]*noc.Packet
+	timeouts []niTimeout
+
+	// progress points at the network-wide movement counter the watchdog
+	// monitors; the NI bumps it whenever it puts a flit on a wire.
+	progress *int64
+}
+
+// retryState tracks one offered packet awaiting its end-to-end outcome.
+type retryState struct {
+	pkt *noc.Packet
+	// attempt is the transmission attempt currently outstanding (0 = the
+	// first injection).
+	attempt int
+	// retryPending marks that a re-offer is scheduled but not yet queued,
+	// so duplicate loss signals (NACK plus timeout) for the same attempt
+	// trigger only one retry.
+	retryPending bool
+}
+
+// niTimeout is one armed per-packet retry timer.
+type niTimeout struct {
+	pid      noc.PacketID
+	attempt  int
+	deadline sim.Cycle
 }
 
 // niPacket is one packet whose control flits are being scheduled and
@@ -61,6 +93,11 @@ func newNI(node topology.NodeID, cfg Config, rng *sim.RNG, hooks *noc.Hooks) *NI
 		ctrlCredits: make([]int, cfg.CtrlVCs),
 		ctrlOwned:   make([]bool, cfg.CtrlVCs),
 		sendAt:      make(map[sim.Cycle]noc.DataFlit),
+		progress:    new(int64),
+	}
+	if cfg.RetryLimit > 0 {
+		n.awaiting = make(map[noc.PacketID]*retryState)
+		n.retryAt = make(map[sim.Cycle][]*noc.Packet)
 	}
 	for v := range n.ctrlCredits {
 		n.ctrlCredits[v] = cfg.CtrlBufPerVC
@@ -68,7 +105,77 @@ func newNI(node topology.NodeID, cfg Config, rng *sim.RNG, hooks *noc.Hooks) *NI
 	return n
 }
 
-func (n *NI) offer(p *noc.Packet) { n.queue = append(n.queue, p) }
+func (n *NI) offer(p *noc.Packet) {
+	if n.cfg.RetryLimit > 0 {
+		n.awaiting[p.ID] = &retryState{pkt: p}
+	}
+	n.queue = append(n.queue, p)
+}
+
+// ack releases a packet's retry state: the destination acknowledged
+// delivery, so no retry timer or loss notification for it matters anymore.
+func (n *NI) ack(pid noc.PacketID) { delete(n.awaiting, pid) }
+
+// loss reacts to a loss notification (NACK) or retry timeout for the given
+// attempt of a packet: it schedules a backoff-delayed re-offer, or abandons
+// the packet when the retry budget is exhausted. Stale signals — for a
+// packet already acknowledged, an attempt already superseded, or an attempt
+// whose retry is already scheduled — are ignored.
+func (n *NI) loss(pid noc.PacketID, attempt int, now sim.Cycle) {
+	st := n.awaiting[pid]
+	if st == nil || st.retryPending || attempt != st.attempt {
+		return
+	}
+	if st.attempt >= n.cfg.RetryLimit {
+		delete(n.awaiting, pid)
+		n.hooks.Abandoned(st.pkt, now)
+		return
+	}
+	st.retryPending = true
+	at := now + n.cfg.RetryBackoffBase<<st.attempt
+	n.retryAt[at] = append(n.retryAt[at], st.pkt)
+}
+
+// tickRetries requeues packets whose retry backoff has elapsed and fires
+// per-packet retry timers whose deadline passed without an acknowledgment.
+func (n *NI) tickRetries(now sim.Cycle) {
+	if ps, ok := n.retryAt[now]; ok {
+		delete(n.retryAt, now)
+		for _, p := range ps {
+			st := n.awaiting[p.ID]
+			if st == nil || !st.retryPending {
+				continue
+			}
+			st.retryPending = false
+			st.attempt++
+			p.Attempts = st.attempt
+			n.hooks.Retried(p, now)
+			n.queue = append(n.queue, p)
+		}
+	}
+	fired := 0
+	for fired < len(n.timeouts) && n.timeouts[fired].deadline <= now {
+		fired++
+	}
+	if fired > 0 {
+		due := n.timeouts[:fired]
+		for _, to := range due {
+			n.loss(to.pid, to.attempt, now)
+		}
+		n.timeouts = append(n.timeouts[:0], n.timeouts[fired:]...)
+	}
+}
+
+// pendingRecovery reports armed retry timers and scheduled re-offers; while
+// any exist the network is idle by design (a backoff or timeout is running
+// down), so the no-progress watchdog holds off.
+func (n *NI) pendingRecovery() int {
+	total := len(n.timeouts)
+	for _, ps := range n.retryAt {
+		total += len(ps)
+	}
+	return total
+}
 
 func (n *NI) activeCount() int {
 	c := 0
@@ -94,6 +201,10 @@ func (n *NI) Tick(now sim.Cycle) {
 			panic("core: NI control credit overflow")
 		}
 	})
+
+	if n.cfg.RetryLimit > 0 {
+		n.tickRetries(now)
+	}
 
 	// Start queued packets on free control VCs. The default FIFO source
 	// starts packets strictly one at a time; SourceInterleave lifts that
@@ -132,6 +243,7 @@ func (n *NI) Tick(now sim.Cycle) {
 	if f, ok := n.sendAt[now]; ok {
 		delete(n.sendAt, now)
 		n.dataOut.Send(now, f)
+		*n.progress++
 		n.hooks.Injected(now)
 	}
 }
@@ -185,9 +297,18 @@ func (n *NI) tryInject(now sim.Cycle, v int) bool {
 	cf.Leads = leads
 	cf.VC = v
 	n.ctrlOut.Send(now, cf)
+	*n.progress++
 	n.ctrlCredits[v]--
 	ap.nextCtrl++
 	if ap.nextCtrl == len(ap.ctrl) {
+		// The packet is fully committed to the network; arm its retry
+		// timer. Deadlines are armed in injection order with a constant
+		// offset, keeping the timeout queue FIFO.
+		if n.cfg.RetryTimeout > 0 {
+			if st := n.awaiting[ap.pkt.ID]; st != nil && !st.retryPending && st.attempt == ap.pkt.Attempts {
+				n.timeouts = append(n.timeouts, niTimeout{pid: ap.pkt.ID, attempt: st.attempt, deadline: now + n.cfg.RetryTimeout})
+			}
+		}
 		n.ctrlOwned[v] = false
 		ap.active = false
 		ap.pkt, ap.data, ap.ctrl = nil, nil, nil
@@ -210,41 +331,67 @@ func (n *NI) pendingWork() int {
 // identified purely by when they arrive; the destination control flits set up
 // the reassembly schedule via Expect, and the sink cross-checks each arriving
 // flit against it — a corrupted schedule is a simulator bug and panics.
+//
+// Reassembly is attempt-aware: under end-to-end retry the flits of a retried
+// packet carry a higher attempt number than stragglers of the lost attempt,
+// so the sink can discard the stragglers and assemble the retry cleanly.
 type Sink struct {
 	dataIn *sim.Pipe[noc.DataFlit]
 	expect map[sim.Cycle]expectEntry
-	got    map[noc.PacketID]int
-	lost   map[noc.PacketID]bool
+	state  map[noc.PacketID]*sinkPkt
 	hooks  *noc.Hooks
+	// notifyLoss, when set, reports each detected loss of a transmission
+	// attempt to the notification plane (which relays it to the source NI
+	// after the configured control-plane latency).
+	notifyLoss func(p *noc.Packet, attempt int, now sim.Cycle)
 }
 
 type expectEntry struct {
-	pkt *noc.Packet
-	seq int
+	pkt     *noc.Packet
+	seq     int
+	attempt int
+}
+
+// sinkPkt is one packet's reassembly state: the newest transmission attempt
+// seen, its progress, and whether the packet's fate is already resolved.
+type sinkPkt struct {
+	attempt int
+	got     int
+	lost    bool // current attempt had a detected hole
+	done    bool // delivered; every later signal for the packet is stale
 }
 
 func newSink(hooks *noc.Hooks) *Sink {
 	return &Sink{
 		expect: make(map[sim.Cycle]expectEntry),
-		got:    make(map[noc.PacketID]int),
-		lost:   make(map[noc.PacketID]bool),
+		state:  make(map[noc.PacketID]*sinkPkt),
 		hooks:  hooks,
 	}
 }
 
-// Expect records that the flit identified by (pkt, seq) will arrive on the
-// ejection link at cycle at.
-func (s *Sink) Expect(at sim.Cycle, pkt *noc.Packet, seq int) {
+// Expect records that the flit identified by (pkt, seq, attempt) will arrive
+// on the ejection link at cycle at.
+func (s *Sink) Expect(at sim.Cycle, pkt *noc.Packet, seq, attempt int) {
 	if _, dup := s.expect[at]; dup {
 		panic("core: two flits scheduled to eject in the same cycle")
 	}
-	s.expect[at] = expectEntry{pkt: pkt, seq: seq}
+	s.expect[at] = expectEntry{pkt: pkt, seq: seq, attempt: attempt}
+}
+
+func (s *Sink) stateFor(id noc.PacketID, attempt int) *sinkPkt {
+	st := s.state[id]
+	if st == nil {
+		st = &sinkPkt{attempt: attempt}
+		s.state[id] = st
+	}
+	return st
 }
 
 // Tick receives ejected flits, matches them to the reassembly schedule, and
 // reports completed packets. A reassembly slot that stays empty at its
-// scheduled cycle means a flit was destroyed by a fault upstream; its packet
-// is reported lost, once, and stragglers from lost packets are ignored.
+// scheduled cycle means a flit was destroyed by a fault upstream; the packet's
+// current attempt is reported lost, once, and stragglers of lost or superseded
+// attempts are ignored.
 func (s *Sink) Tick(now sim.Cycle) {
 	s.dataIn.RecvEach(now, func(f noc.DataFlit) {
 		e, ok := s.expect[now]
@@ -252,25 +399,39 @@ func (s *Sink) Tick(now sim.Cycle) {
 			panic(fmt.Sprintf("core: %s ejected at cycle %d with no reassembly schedule entry", f, now))
 		}
 		delete(s.expect, now)
-		if e.pkt.ID != f.Packet.ID || e.seq != f.Seq {
-			panic(fmt.Sprintf("core: reassembly mismatch at cycle %d: scheduled pkt=%d seq=%d, got %s", now, e.pkt.ID, e.seq, f))
+		if e.pkt.ID != f.Packet.ID || e.seq != f.Seq || e.attempt != f.Attempt {
+			panic(fmt.Sprintf("core: reassembly mismatch at cycle %d: scheduled pkt=%d seq=%d attempt=%d, got %s attempt=%d", now, e.pkt.ID, e.seq, e.attempt, f, f.Attempt))
 		}
 		s.hooks.Ejected(now)
-		if s.lost[f.Packet.ID] {
+		st := s.stateFor(f.Packet.ID, f.Attempt)
+		if st.done || f.Attempt < st.attempt {
+			return // straggler of a resolved packet or superseded attempt
+		}
+		if f.Attempt > st.attempt {
+			st.attempt, st.got, st.lost = f.Attempt, 0, false
+		}
+		if st.lost {
 			return
 		}
-		s.got[f.Packet.ID]++
-		if s.got[f.Packet.ID] == f.Packet.Len {
-			delete(s.got, f.Packet.ID)
+		st.got++
+		if st.got == f.Packet.Len {
+			st.done = true
 			s.hooks.Delivered(f.Packet, now)
 		}
 	})
 	if e, ok := s.expect[now]; ok {
 		delete(s.expect, now)
-		if !s.lost[e.pkt.ID] {
-			s.lost[e.pkt.ID] = true
-			delete(s.got, e.pkt.ID)
-			s.hooks.Lost(e.pkt, now)
+		st := s.stateFor(e.pkt.ID, e.attempt)
+		if st.done || e.attempt < st.attempt || (e.attempt == st.attempt && st.lost) {
+			return // the packet's fate no longer depends on this attempt
+		}
+		if e.attempt > st.attempt {
+			st.attempt, st.got = e.attempt, 0
+		}
+		st.lost = true
+		s.hooks.Lost(e.pkt, now)
+		if s.notifyLoss != nil {
+			s.notifyLoss(e.pkt, e.attempt, now)
 		}
 	}
 }

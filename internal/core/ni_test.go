@@ -194,7 +194,7 @@ func TestSinkExpectAndVerify(t *testing.T) {
 	s := newSink(&noc.Hooks{})
 	s.dataIn = sim.NewPipe[noc.DataFlit](1, 1)
 	p := &noc.Packet{ID: 9, Len: 1}
-	s.Expect(5, p, 0)
+	s.Expect(5, p, 0, 0)
 	s.dataIn.Send(4, noc.DataFlit{Packet: p, Seq: 0})
 	delivered := false
 	s.hooks = &noc.Hooks{PacketDelivered: func(q *noc.Packet, now sim.Cycle) {
@@ -216,7 +216,7 @@ func TestSinkPanicsOnReassemblyMismatch(t *testing.T) {
 	s.dataIn = sim.NewPipe[noc.DataFlit](1, 1)
 	p := &noc.Packet{ID: 9, Len: 2}
 	q := &noc.Packet{ID: 8, Len: 2}
-	s.Expect(5, p, 0)
+	s.Expect(5, p, 0, 0)
 	s.dataIn.Send(4, noc.DataFlit{Packet: q, Seq: 0})
 	s.Tick(5)
 }
@@ -239,7 +239,7 @@ func TestSinkDetectsLoss(t *testing.T) {
 	s.dataIn = sim.NewPipe[noc.DataFlit](1, 1)
 	p := &noc.Packet{ID: 9, Len: 2}
 	s.hooks = &noc.Hooks{PacketLost: func(q *noc.Packet, now sim.Cycle) { lost = q == p }}
-	s.Expect(5, p, 0)
+	s.Expect(5, p, 0, 0)
 	// Nothing arrives at cycle 5.
 	s.Tick(5)
 	if !lost {

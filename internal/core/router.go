@@ -90,10 +90,15 @@ type Router struct {
 	// sinkNotify tells the local sink which packet's flit will arrive on
 	// the ejection link at a given cycle; data flits are identified
 	// solely by time, so this is the reassembly schedule the destination
-	// control flits set up.
-	sinkNotify func(at sim.Cycle, pkt *noc.Packet, seq int)
+	// control flits set up. attempt carries the end-to-end transmission
+	// attempt so the sink can tell retries from stragglers.
+	sinkNotify func(at sim.Cycle, pkt *noc.Packet, seq, attempt int)
 
 	hooks *noc.Hooks
+
+	// progress points at the network-wide movement counter the no-progress
+	// watchdog monitors; the router bumps it whenever a flit moves.
+	progress *int64
 
 	cands []portVC // scratch
 }
@@ -215,6 +220,7 @@ func (r *Router) Tick(now sim.Cycle) {
 // sendData launches a data flit onto an output link, subject to fault
 // injection on inter-router links.
 func (r *Router) sendData(now sim.Cycle, f noc.DataFlit, out topology.Port) {
+	*r.progress++
 	if out != topology.Local && r.cfg.DataFaultRate > 0 && r.rng.Bool(r.cfg.DataFaultRate) {
 		r.hooks.Dropped(f.Packet, now)
 		return
@@ -397,7 +403,7 @@ func (r *Router) finalizeLead(now sim.Cycle, qc *queuedCtrl, ld *leadState, td s
 	ld.scheduled = true
 	ld.departAt = td
 	if out == topology.Local {
-		r.sinkNotify(td+r.cfg.LocalLatency, qc.flit.Packet, ld.seq)
+		r.sinkNotify(td+r.cfg.LocalLatency, qc.flit.Packet, ld.seq, qc.flit.Attempt)
 	}
 }
 
@@ -448,6 +454,7 @@ func (r *Router) forward(now sim.Cycle, ci *ctrlInput, vc *ctrlVC, vcIdx int, ou
 // popCtrl dequeues the front control flit of a VC and returns its buffer
 // credit upstream.
 func (r *Router) popCtrl(now sim.Cycle, ci *ctrlInput, vc *ctrlVC, vcIdx int) {
+	*r.progress++
 	copy(vc.q, vc.q[1:])
 	vc.q[len(vc.q)-1] = queuedCtrl{}
 	vc.q = vc.q[:len(vc.q)-1]

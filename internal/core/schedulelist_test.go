@@ -85,11 +85,5 @@ func TestControlBudgetRespected(t *testing.T) {
 		}
 		net.Tick(now)
 	}
-	for net.InFlightPackets() > 0 && now < 500000 {
-		net.Tick(now)
-		now++
-	}
-	if got := net.InFlightPackets(); got != 0 {
-		t.Fatalf("hot-path traffic wedged with %d packets", got)
-	}
+	drainOrFail(t, net, now, 500000)
 }

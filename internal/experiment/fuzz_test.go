@@ -2,8 +2,10 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
+	"frfc/internal/core"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
@@ -119,6 +121,122 @@ func TestFuzzAllNetworksConserveFlits(t *testing.T) {
 			if injectedFlits != ejectedFlits || ejectedFlits != offered*int64(pktLen) {
 				t.Fatalf("flit conservation broken: offered %d flits, injected %d, ejected %d",
 					offered*int64(pktLen), injectedFlits, ejectedFlits)
+			}
+		})
+	}
+}
+
+// TestFuzzRecoveryConservesPackets drives the flit-reservation recovery layer
+// with randomized fault rates, retry budgets, backoffs and (sometimes
+// pathologically short) retry timeouts, and checks the packet conservation
+// law that must hold however the dice land: every offered packet resolves as
+// exactly one of delivered, lost (retry disabled) or abandoned. With retries
+// enabled and loss at or below 5%, a generous budget must deliver everything.
+// The no-progress watchdog is armed and must never fire.
+func TestFuzzRecoveryConservesPackets(t *testing.T) {
+	rng := sim.NewRNG(20260806)
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		radix := 3 + rng.Intn(2)
+		pktLen := 1 + rng.Intn(6)
+		dataRate := rng.Float64() * 0.06
+		ctrlRate := 0.0
+		if rng.Bool(0.5) {
+			ctrlRate = rng.Float64() * 0.04
+		}
+		retry := trial%2 == 1
+		cfg := frConfig(FastControl, 6, 2, 0)
+		cfg.DataFaultRate = dataRate
+		cfg.CtrlFaultRate = ctrlRate
+		cfg.WatchdogCycles = 50000
+		cfg.SourceInterleave = rng.Bool(0.3)
+		if retry {
+			cfg.RetryLimit = 6 + rng.Intn(6)
+			cfg.RetryBackoffBase = sim.Cycle(1 + rng.Intn(128))
+			if rng.Bool(0.5) {
+				// Sometimes pathologically short: spurious timeouts
+				// must not break conservation.
+				cfg.RetryTimeout = sim.Cycle(10 + rng.Intn(4000))
+			}
+		}
+		seed := rng.Uint64()
+		name := fmt.Sprintf("trial%02d-k%d-L%d-data%.3f-ctrl%.3f-retry%v", trial, radix, pktLen, dataRate, ctrlRate, retry)
+		t.Run(name, func(t *testing.T) {
+			mesh := topology.NewMesh(radix)
+			var delivered, lost, abandoned int64
+			resolvedSet := map[noc.PacketID]int{}
+			hooks := &noc.Hooks{
+				PacketDelivered: func(p *noc.Packet, now sim.Cycle) { delivered++; resolvedSet[p.ID]++ },
+				PacketAbandoned: func(p *noc.Packet, now sim.Cycle) { abandoned++; resolvedSet[p.ID]++ },
+				PacketLost: func(p *noc.Packet, now sim.Cycle) {
+					lost++
+					if !retry {
+						resolvedSet[p.ID]++
+					}
+				},
+				Wedged: func(now sim.Cycle, snapshot string) {
+					t.Errorf("watchdog fired:\n%s", snapshot)
+				},
+			}
+			net := core.New(mesh, cfg, seed, hooks)
+			src := sim.NewRNG(seed ^ 0xABCDEF)
+			offered := int64(0)
+			now := sim.Cycle(0)
+			for ; now < 1200; now++ {
+				for id := 0; id < mesh.N(); id++ {
+					if src.Bool(0.02) {
+						dst := topology.NodeID(src.Intn(mesh.N() - 1))
+						if dst >= topology.NodeID(id) {
+							dst++
+						}
+						offered++
+						net.Offer(&noc.Packet{ID: noc.PacketID(offered), Src: topology.NodeID(id), Dst: dst, Len: pktLen, CreatedAt: now})
+					}
+				}
+				net.Tick(now)
+			}
+			for net.InFlightPackets() > 0 && now < 5000000 {
+				net.Tick(now)
+				now++
+			}
+			if got := net.InFlightPackets(); got != 0 {
+				t.Fatalf("failed to resolve: %d packets in flight after %d cycles\n%s", got, now, net.DumpState())
+			}
+			rec := net.Recovery()
+			if retry {
+				if delivered+abandoned != offered {
+					t.Fatalf("conservation broken: offered=%d delivered=%d abandoned=%d", offered, delivered, abandoned)
+				}
+				// Zero abandonment is only a sound demand when the retry
+				// budget makes it near-certain. The fault rate applies per
+				// flit per link traversal, so the worst-case (corner-to-
+				// corner) per-attempt loss probability compounds over
+				// maxHops*pktLen traversals; a packet abandons only after
+				// RetryLimit+1 consecutive lost attempts.
+				if cfg.RetryTimeout == 0 && abandoned != 0 {
+					maxHops := 2 * (radix - 1)
+					perAttempt := 1 - math.Pow(1-dataRate, float64(maxHops*pktLen))
+					expected := float64(offered) * math.Pow(perAttempt, float64(cfg.RetryLimit+1))
+					if expected < 0.01 {
+						t.Fatalf("abandoned %d packets at %.1f%% loss with budget %d (expected %.4f)",
+							abandoned, dataRate*100, cfg.RetryLimit, expected)
+					}
+				}
+			} else {
+				if delivered+lost != offered {
+					t.Fatalf("conservation broken: offered=%d delivered=%d lost=%d", offered, delivered, lost)
+				}
+				if rec.Retried != 0 || abandoned != 0 {
+					t.Fatalf("retry machinery active while disabled: %+v", rec)
+				}
+			}
+			for pid, times := range resolvedSet {
+				if times != 1 {
+					t.Errorf("packet %d resolved %d times", pid, times)
+				}
+			}
+			if rec.Offered != offered || rec.Delivered != delivered || rec.Abandoned != abandoned {
+				t.Fatalf("Recovery() disagrees with hooks: %+v vs offered=%d delivered=%d abandoned=%d", rec, offered, delivered, abandoned)
 			}
 		})
 	}

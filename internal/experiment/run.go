@@ -62,8 +62,22 @@ type Result struct {
 	EagerTransfers, EagerResidencies int64
 
 	// DroppedFlits and LostPackets report fault-injection activity when
-	// the configuration sets a DataFaultRate.
+	// the configuration sets a DataFaultRate. Under end-to-end retry
+	// LostPackets counts loss events per transmission attempt.
 	DroppedFlits, LostPackets int64
+
+	// Recovery-layer activity, populated for flit-reservation
+	// configurations: end-to-end retransmissions, packets abandoned after
+	// exhausting the retry budget, packets whose delivering attempt was a
+	// retry, and control flits corrupted (each recovered by link-level
+	// retransmission).
+	RetriedPackets, AbandonedPackets   int64
+	DeliveredAfterRetry, CtrlCorrupted int64
+	// AvgRetryLatency is the mean creation-to-delivery latency of sampled
+	// packets that needed at least one retry (0 when none did); their
+	// latency includes the loss detection, notification round-trip and
+	// backoff, so it is reported apart from AvgLatency.
+	AvgRetryLatency float64
 }
 
 // String renders the result as one sweep row.
@@ -87,23 +101,36 @@ func Run(s Spec, load float64) Result {
 	}
 
 	lat := stats.NewLatencyStats()
+	retryLat := stats.NewRetryLatency()
 	var queueDelay stats.Welford
 	var tput stats.Throughput
 	sampledDelivered := 0
+
+	// With end-to-end retry enabled, a loss event does not resolve a
+	// packet's fate — the source will re-offer it, and the run must keep
+	// waiting for the eventual delivery (or abandonment).
+	retryOn := s.Flow == FlitReservation && s.FR.RetryLimit > 0
 
 	hooks := &noc.Hooks{
 		PacketDelivered: func(p *noc.Packet, now sim.Cycle) {
 			if p.Sampled {
 				lat.Record(now - p.CreatedAt)
+				retryLat.Record(now-p.CreatedAt, p.Attempts)
 				queueDelay.Add(float64(p.InjectedAt - p.CreatedAt))
 				sampledDelivered++
 			}
 		},
 		FlitEjected: func(now sim.Cycle) { tput.CountEjected(1) },
-		// A lost packet's fate is resolved even though it never
-		// arrives; without this, any fault would wedge the run
+		// Without retry, a lost packet's fate is resolved even though it
+		// never arrives; without this, any fault would wedge the run
 		// waiting for a sample that cannot complete.
 		PacketLost: func(p *noc.Packet, now sim.Cycle) {
+			if p.Sampled && !retryOn {
+				sampledDelivered++
+			}
+		},
+		// With retry, abandonment is the resolution of last resort.
+		PacketAbandoned: func(p *noc.Packet, now sim.Cycle) {
 			if p.Sampled {
 				sampledDelivered++
 			}
@@ -212,6 +239,12 @@ func Run(s Spec, load float64) Result {
 	if frNet, ok := net.(*core.Network); ok {
 		res.EagerTransfers, res.EagerResidencies = frNet.EagerTransfers()
 		res.DroppedFlits, res.LostPackets = frNet.FaultStats()
+		rec := frNet.Recovery()
+		res.RetriedPackets = rec.Retried
+		res.AbandonedPackets = rec.Abandoned
+		res.DeliveredAfterRetry = rec.DeliveredAfterRetry
+		res.CtrlCorrupted = rec.CtrlCorrupted
+		res.AvgRetryLatency = retryLat.Retried().Mean()
 	}
 	return res
 }

@@ -64,7 +64,13 @@ type Packet struct {
 	// InjectedAt is stamped by the network interface when the packet's
 	// first flit (data, or control under flit reservation) enters the
 	// network; the span CreatedAt..InjectedAt is pure source queueing.
+	// Under end-to-end retry it is re-stamped on each re-injection.
 	InjectedAt sim.Cycle
+
+	// Attempts counts end-to-end retransmissions: 0 on the first
+	// injection, incremented by the source network interface each time the
+	// packet is re-offered after a loss notification or retry timeout.
+	Attempts int
 }
 
 // DataFlit is one flit of packet payload on the data network.
@@ -79,6 +85,11 @@ type Packet struct {
 type DataFlit struct {
 	Packet *Packet
 	Seq    int // 0-based index within the packet
+	// Attempt is the packet's end-to-end transmission attempt this flit
+	// belongs to (0 = first try). It is stamped at packetization time so
+	// stragglers of an earlier, partially lost attempt remain
+	// distinguishable from a retry's flits at the destination.
+	Attempt int
 
 	// Fields carried on the wire only by the VC/wormhole baselines.
 	Type FlitType
@@ -114,6 +125,10 @@ type ControlFlit struct {
 	VC     int             // control virtual channel id
 	Dst    topology.NodeID // valid on head flits
 	Leads  []LeadEntry     // up to d entries; d=1 in the paper's experiments
+	// Attempt is the packet's end-to-end transmission attempt this control
+	// flit announces (0 = first try); it flows into the destination's
+	// reassembly schedule so retries are never confused with stragglers.
+	Attempt int
 }
 
 // String renders the control flit for diagnostics.

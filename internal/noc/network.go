@@ -19,11 +19,31 @@ type Hooks struct {
 	// FlitDropped fires when fault injection destroys a data flit on a
 	// link.
 	FlitDropped func(p *Packet, now sim.Cycle)
-	// PacketLost fires once per packet when the destination detects that
-	// one of its flits will never arrive (an idle pattern where the
+	// PacketLost fires when the destination detects that one of a
+	// packet's flits will never arrive (an idle pattern where the
 	// reassembly schedule expected data — the paper's Section 5 error
-	// story).
+	// story). Without end-to-end retry it fires at most once per packet
+	// and resolves the packet's fate; with retry enabled it fires once per
+	// lost transmission attempt and triggers a retransmission instead.
 	PacketLost func(p *Packet, now sim.Cycle)
+	// PacketRetried fires when a source network interface re-offers a
+	// packet after a loss notification or retry timeout; p.Attempts has
+	// already been incremented to the new attempt number.
+	PacketRetried func(p *Packet, now sim.Cycle)
+	// PacketAbandoned fires when a source exhausts its retry budget for a
+	// packet; the packet's fate is resolved as undeliverable.
+	PacketAbandoned func(p *Packet, now sim.Cycle)
+	// CtrlFlitCorrupted fires when fault injection corrupts a control flit
+	// on an inter-router control link; the flit is recovered by link-level
+	// detection-and-retransmission, so the event costs latency but never
+	// loses information.
+	CtrlFlitCorrupted func(now sim.Cycle)
+	// Wedged fires when the network's no-progress watchdog trips: packets
+	// are in flight, no recovery action is pending, and no flit has moved
+	// for the configured number of cycles. The snapshot is a rendered
+	// diagnostic naming the stalled routers and their control, buffer, and
+	// reservation state.
+	Wedged func(now sim.Cycle, snapshot string)
 }
 
 // Delivered invokes PacketDelivered if set.
@@ -58,6 +78,34 @@ func (h *Hooks) Dropped(p *Packet, now sim.Cycle) {
 func (h *Hooks) Lost(p *Packet, now sim.Cycle) {
 	if h != nil && h.PacketLost != nil {
 		h.PacketLost(p, now)
+	}
+}
+
+// Retried invokes PacketRetried if set.
+func (h *Hooks) Retried(p *Packet, now sim.Cycle) {
+	if h != nil && h.PacketRetried != nil {
+		h.PacketRetried(p, now)
+	}
+}
+
+// Abandoned invokes PacketAbandoned if set.
+func (h *Hooks) Abandoned(p *Packet, now sim.Cycle) {
+	if h != nil && h.PacketAbandoned != nil {
+		h.PacketAbandoned(p, now)
+	}
+}
+
+// CtrlCorrupted invokes CtrlFlitCorrupted if set.
+func (h *Hooks) CtrlCorrupted(now sim.Cycle) {
+	if h != nil && h.CtrlFlitCorrupted != nil {
+		h.CtrlFlitCorrupted(now)
+	}
+}
+
+// Wedge invokes Wedged if set.
+func (h *Hooks) Wedge(now sim.Cycle, snapshot string) {
+	if h != nil && h.Wedged != nil {
+		h.Wedged(now, snapshot)
 	}
 }
 

@@ -23,7 +23,7 @@ func DataFlits(p *Packet) []DataFlit {
 	}
 	flits := make([]DataFlit, p.Len)
 	for i := range flits {
-		flits[i] = DataFlit{Packet: p, Seq: i, Type: TypeFor(i, p.Len)}
+		flits[i] = DataFlit{Packet: p, Seq: i, Attempt: p.Attempts, Type: TypeFor(i, p.Len)}
 	}
 	return flits
 }
@@ -53,7 +53,7 @@ func ControlFlits(p *Packet, d int) []ControlFlit {
 		for seq := lo; seq < hi; seq++ {
 			leads = append(leads, LeadEntry{Seq: seq})
 		}
-		cf := ControlFlit{Packet: p, Type: TypeFor(i, n), Leads: leads}
+		cf := ControlFlit{Packet: p, Type: TypeFor(i, n), Attempt: p.Attempts, Leads: leads}
 		if cf.Type.IsHead() {
 			cf.Dst = p.Dst
 		}

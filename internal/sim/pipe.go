@@ -17,6 +17,18 @@ type Pipe[T any] struct {
 
 	lastSendCycle Cycle
 	sentThisCycle int
+
+	// Fault-injection state (NewFaultyPipe). Each item sent is corrupted
+	// in flight with probability faultRate; the receiver detects the
+	// corruption, NACKs, and the sender — which holds every unacknowledged
+	// item in a retransmit buffer — replays it, adding one link round-trip
+	// (2×latency) per corruption. Replay is go-back-N: items behind a
+	// corrupted one are delivered no earlier than it, so FIFO order is
+	// preserved and the receiver never has to reorder.
+	faultRate   float64
+	rng         *RNG
+	onCorrupt   func()
+	retransmits int64
 }
 
 type pipeEntry[T any] struct {
@@ -36,6 +48,34 @@ func NewPipe[T any](latency Cycle, width int) *Pipe[T] {
 	}
 	return &Pipe[T]{latency: latency, width: width, lastSendCycle: Never}
 }
+
+// NewFaultyPipe returns a pipe that corrupts each item in flight with the
+// given probability and recovers it by link-level detection-and-
+// retransmission: the receiver detects the corrupted item, returns a NACK,
+// and the sender replays from its retransmit buffer, costing one link
+// round-trip (2×latency) per corruption. An item may be corrupted again on
+// replay, so its total delay is latency + 2·latency·k for a geometrically
+// distributed k. Delivery remains FIFO (go-back-N), so no item overtakes a
+// retransmitting predecessor. onCorrupt, if non-nil, is invoked once per
+// corruption event; rate must lie in [0,1) and rng must be non-nil when
+// rate > 0.
+func NewFaultyPipe[T any](latency Cycle, width int, rate float64, rng *RNG, onCorrupt func()) *Pipe[T] {
+	if rate < 0 || rate >= 1 || rate != rate {
+		panic("sim: fault rate must lie in [0, 1)")
+	}
+	if rate > 0 && rng == nil {
+		panic("sim: faulty pipe needs an RNG")
+	}
+	p := NewPipe[T](latency, width)
+	p.faultRate = rate
+	p.rng = rng
+	p.onCorrupt = onCorrupt
+	return p
+}
+
+// Retransmits reports how many corruption-and-replay events the pipe's
+// link-level recovery has performed.
+func (p *Pipe[T]) Retransmits() int64 { return p.retransmits }
 
 // Latency reports the pipe's propagation delay in cycles.
 func (p *Pipe[T]) Latency() Cycle { return p.latency }
@@ -66,7 +106,23 @@ func (p *Pipe[T]) Send(now Cycle, item T) {
 		p.lastSendCycle = now
 		p.sentThisCycle = 1
 	}
-	p.q = append(p.q, pipeEntry[T]{readyAt: now + p.latency, item: item})
+	readyAt := now + p.latency
+	if p.faultRate > 0 {
+		for p.rng.Bool(p.faultRate) {
+			readyAt += 2 * p.latency
+			p.retransmits++
+			if p.onCorrupt != nil {
+				p.onCorrupt()
+			}
+		}
+	}
+	// Go-back-N: an item sent behind a retransmitting predecessor is held in
+	// the sender's retransmit buffer and replayed after it, so delivery stays
+	// FIFO.
+	if n := len(p.q); n > 0 && p.q[n-1].readyAt > readyAt {
+		readyAt = p.q[n-1].readyAt
+	}
+	p.q = append(p.q, pipeEntry[T]{readyAt: readyAt, item: item})
 }
 
 // TrySend sends item if bandwidth allows and reports whether it did.

@@ -147,3 +147,94 @@ func TestPipeOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFaultyPipeRecoversEveryItem: every item sent through a faulty pipe is
+// eventually delivered exactly once, in FIFO order, with each corruption
+// adding one link round-trip to the item's delay.
+func TestFaultyPipeRecoversEveryItem(t *testing.T) {
+	const latency, n = 3, 500
+	p := NewFaultyPipe[int](latency, 1, 0.2, NewRNG(7), nil)
+	sentAt := make([]Cycle, n)
+	got := make([]int, 0, n)
+	now := Cycle(0)
+	for i := 0; i < n; i++ {
+		sentAt[i] = now
+		p.Send(now, i)
+		now++
+		if v, ok := p.Recv(now); ok {
+			got = append(got, v)
+		}
+	}
+	for !p.Empty() {
+		now++
+		for {
+			v, ok := p.Recv(now)
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d items", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO order broken: position %d delivered item %d", i, v)
+		}
+	}
+	if p.Retransmits() == 0 {
+		t.Fatal("20%% corruption over 500 items produced no retransmissions")
+	}
+}
+
+// TestFaultyPipeDelayIsRoundTripMultiple: with a single item in flight, the
+// delivery delay is exactly latency + 2*latency*corruptions.
+func TestFaultyPipeDelayIsRoundTripMultiple(t *testing.T) {
+	const latency = 4
+	for seed := uint64(1); seed < 30; seed++ {
+		p := NewFaultyPipe[int](latency, 1, 0.5, NewRNG(seed), nil)
+		before := p.Retransmits()
+		p.Send(0, 42)
+		k := p.Retransmits() - before
+		want := Cycle(latency + 2*latency*k)
+		if _, ok := p.Recv(want - 1); ok {
+			t.Fatalf("seed %d: item readable before cycle %d (k=%d)", seed, want, k)
+		}
+		if _, ok := p.Recv(want); !ok {
+			t.Fatalf("seed %d: item not readable at cycle %d (k=%d)", seed, want, k)
+		}
+	}
+}
+
+// TestFaultyPipeZeroRateIsTransparent: a zero fault rate behaves exactly like
+// NewPipe and needs no RNG.
+func TestFaultyPipeZeroRateIsTransparent(t *testing.T) {
+	p := NewFaultyPipe[string](2, 1, 0, nil, nil)
+	p.Send(0, "x")
+	if _, ok := p.Recv(1); ok {
+		t.Fatal("item readable before latency elapsed")
+	}
+	if v, ok := p.Recv(2); !ok || v != "x" {
+		t.Fatalf("Recv(2) = %q, %v", v, ok)
+	}
+	if p.Retransmits() != 0 {
+		t.Fatal("zero-rate pipe reported retransmissions")
+	}
+}
+
+// TestFaultyPipeRejectsBadRates: rates outside [0,1) and NaN panic.
+func TestFaultyPipeRejectsBadRates(t *testing.T) {
+	for _, rate := range []float64{-0.1, 1.0, 1.5, nan()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v did not panic", rate)
+				}
+			}()
+			NewFaultyPipe[int](1, 1, rate, NewRNG(1), nil)
+		}()
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }

@@ -114,6 +114,37 @@ func (s *LatencyStats) Max() sim.Cycle {
 	return s.max
 }
 
+// RetryLatency separates delivered-packet latency by delivery path:
+// packets that arrived on their first transmission attempt versus packets
+// that needed at least one end-to-end retry. Retried deliveries carry the
+// notification round-trip and backoff in their latency, so folding them into
+// one mean would hide the recovery layer's cost.
+type RetryLatency struct {
+	firstTry *LatencyStats
+	retried  *LatencyStats
+}
+
+// NewRetryLatency returns an empty accumulator pair.
+func NewRetryLatency() *RetryLatency {
+	return &RetryLatency{firstTry: NewLatencyStats(), retried: NewLatencyStats()}
+}
+
+// Record adds one delivered packet's latency, classified by how many
+// end-to-end retransmission attempts it took (0 = delivered first try).
+func (r *RetryLatency) Record(latency sim.Cycle, attempts int) {
+	if attempts > 0 {
+		r.retried.Record(latency)
+		return
+	}
+	r.firstTry.Record(latency)
+}
+
+// FirstTry reports the accumulator for packets delivered without a retry.
+func (r *RetryLatency) FirstTry() *LatencyStats { return r.firstTry }
+
+// Retried reports the accumulator for packets delivered after >= 1 retry.
+func (r *RetryLatency) Retried() *LatencyStats { return r.retried }
+
 // Throughput tracks flit injection and ejection counts over a measurement
 // window to compute accepted throughput.
 type Throughput struct {

@@ -255,3 +255,23 @@ func TestLatencyStatsQuantiles(t *testing.T) {
 		t.Errorf("P100 = %d, want 40", got)
 	}
 }
+
+func TestRetryLatencySeparatesPaths(t *testing.T) {
+	r := NewRetryLatency()
+	r.Record(10, 0)
+	r.Record(20, 0)
+	r.Record(200, 1)
+	r.Record(400, 3)
+	if n := r.FirstTry().N(); n != 2 {
+		t.Fatalf("first-try N = %d, want 2", n)
+	}
+	if n := r.Retried().N(); n != 2 {
+		t.Fatalf("retried N = %d, want 2", n)
+	}
+	if m := r.FirstTry().Mean(); m != 15 {
+		t.Errorf("first-try mean = %v, want 15", m)
+	}
+	if m := r.Retried().Mean(); m != 300 {
+		t.Errorf("retried mean = %v, want 300", m)
+	}
+}

@@ -45,9 +45,24 @@ type Result struct {
 	EagerTransfers   int64
 	EagerResidencies int64
 	// DroppedFlits and LostPackets report fault-injection activity
-	// (Options.DataFaultRate).
+	// (Options.DataFaultRate). Under end-to-end retry LostPackets counts
+	// loss events per transmission attempt.
 	DroppedFlits int64
 	LostPackets  int64
+	// Recovery-layer activity (Options.RetryLimit, Options.CtrlFaultRate):
+	// end-to-end retransmissions issued, packets abandoned after the retry
+	// budget ran out, packets whose delivering attempt was a retry, and
+	// control flits corrupted (each recovered in place by link-level
+	// retransmission).
+	RetriedPackets      int64
+	AbandonedPackets    int64
+	DeliveredAfterRetry int64
+	CtrlCorrupted       int64
+	// AvgRetryLatency is the mean latency of sampled packets that needed
+	// at least one retry (0 when none did), reported apart from AvgLatency
+	// because it includes loss detection, the notification round-trip and
+	// backoff.
+	AvgRetryLatency float64
 }
 
 func fromInternal(r experiment.Result) Result {
@@ -73,6 +88,12 @@ func fromInternal(r experiment.Result) Result {
 		EagerResidencies: r.EagerResidencies,
 		DroppedFlits:     r.DroppedFlits,
 		LostPackets:      r.LostPackets,
+
+		RetriedPackets:      r.RetriedPackets,
+		AbandonedPackets:    r.AbandonedPackets,
+		DeliveredAfterRetry: r.DeliveredAfterRetry,
+		CtrlCorrupted:       r.CtrlCorrupted,
+		AvgRetryLatency:     r.AvgRetryLatency,
 	}
 }
 

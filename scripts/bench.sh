@@ -1,0 +1,48 @@
+#!/bin/sh
+# Run the repository benchmarks and record the result in benchmarks/latest.txt,
+# comparing ns/op against benchmarks/baseline.txt when one exists.
+#
+# Usage:
+#   scripts/bench.sh             run every benchmark (paper-scale; slow)
+#   scripts/bench.sh -short      analytic + reduced-scale subset (CI smoke)
+#   scripts/bench.sh -baseline   promote the latest run to the baseline
+set -eu
+
+cd "$(dirname "$0")/.."
+mkdir -p benchmarks
+
+if [ "${1:-}" = "-baseline" ]; then
+    if [ ! -f benchmarks/latest.txt ]; then
+        echo "bench.sh: no benchmarks/latest.txt to promote; run scripts/bench.sh first" >&2
+        exit 1
+    fi
+    cp benchmarks/latest.txt benchmarks/baseline.txt
+    echo "baseline updated from latest.txt"
+    exit 0
+fi
+
+pattern='.'
+shortflag=''
+if [ "${1:-}" = "-short" ]; then
+    # The analytic tables are instant; the storage/bandwidth models are the
+    # regression canary that every change to the overhead code must hold.
+    pattern='Table1|Table2'
+    shortflag='-short'
+fi
+
+go test -run '^$' -bench "$pattern" -benchtime 1x $shortflag . | tee benchmarks/latest.txt
+
+if [ -f benchmarks/baseline.txt ]; then
+    echo
+    echo "# vs baseline (ns/op; +/- is latest relative to baseline)"
+    awk '
+        FNR == NR {
+            if ($2 ~ /^[0-9]+$/ && $4 == "ns/op") base[$1] = $3
+            next
+        }
+        $2 ~ /^[0-9]+$/ && $4 == "ns/op" && ($1 in base) {
+            delta = base[$1] > 0 ? ($3 - base[$1]) * 100.0 / base[$1] : 0
+            printf "%-50s %14.0f -> %14.0f  %+6.1f%%\n", $1, base[$1], $3, delta
+        }
+    ' benchmarks/baseline.txt benchmarks/latest.txt
+fi
