@@ -7,7 +7,9 @@
 package frfc_test
 
 import (
+	"math"
 	"testing"
+	"time"
 
 	"frfc"
 )
@@ -294,6 +296,42 @@ func BenchmarkAblationEagerAllocation(b *testing.B) {
 	b.ReportMetric(perK, "transfers/1k-residencies")
 	if r.EagerResidencies == 0 {
 		b.Fatal("eager ledger replayed no residencies — tracking is broken")
+	}
+}
+
+// BenchmarkProbeDisabledOverhead guards the observability layer's cost
+// contract: every probe call site in the routers, input ports and network
+// interfaces is a nil check when no observer is attached, so a run with a
+// disabled observer must stay within 2% of the plain hot path. Both arms are
+// timed interleaved and compared on their minimum over several repetitions,
+// which is robust to scheduler noise; the companion allocation guards live in
+// internal/metrics and internal/trace (AllocsPerRun == 0), and
+// TestRunObservedMatchesRun proves the results are bit-identical.
+func BenchmarkProbeDisabledOverhead(b *testing.B) {
+	spec := benchScale(frfc.FR6(frfc.FastControl, 5))
+	disabled := frfc.NewObserver(frfc.ObserverOptions{})
+	const reps = 5
+	minPlain := time.Duration(math.MaxInt64)
+	minDisabled := time.Duration(math.MaxInt64)
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			frfc.Run(spec, 0.50)
+			if d := time.Since(t0); d < minPlain {
+				minPlain = d
+			}
+			t0 = time.Now()
+			frfc.RunObserved(spec, 0.50, disabled)
+			if d := time.Since(t0); d < minDisabled {
+				minDisabled = d
+			}
+		}
+	}
+	overhead := (float64(minDisabled)/float64(minPlain) - 1) * 100
+	b.ReportMetric(overhead, "disabled-probe-overhead-%")
+	if overhead > 2.0 {
+		b.Fatalf("disabled-probe hot path regressed %.1f%% over plain Run (budget 2%%): plain %v, disabled %v",
+			overhead, minPlain, minDisabled)
 	}
 }
 

@@ -6,12 +6,22 @@
 //	frsim -config FR6 -wiring fast -load 0.5
 //	frsim -config VC16 -wiring leading -pktlen 21 -load 0.3 -sample 20000
 //	frsim -custom -fr -buffers 10 -ctrlvcs 2 -horizon 64 -load 0.6
+//
+// Observability:
+//
+//	frsim -config FR6 -load 0.5 -trace trace.json -metrics metrics.json -heatmap heat
+//	frsim -config FR6 -load 0.5 -json -metrics metrics.json
+//	frsim -config FR6 -load 0.9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"frfc"
 )
@@ -37,6 +47,19 @@ func main() {
 		leads   = flag.Int("leads", 1, "custom FR: data flits led per control flit")
 		vcs     = flag.Int("vcs", 2, "custom VC: virtual channels")
 		bufVC   = flag.Int("bufpervc", 4, "custom VC: buffers per virtual channel")
+
+		traceOut     = flag.String("trace", "", "write a Perfetto-loadable Chrome trace-event JSON flit trace to this file")
+		traceCap     = flag.Int("trace-cap", 0, "trace ring capacity in events, newest kept on overflow (0 = default)")
+		traceNode    = flag.Int("trace-node", -1, "export only trace events at this router (-1 = all)")
+		tracePkt     = flag.Uint64("trace-packet", 0, "export only this packet's trace events (0 = all)")
+		traceFrom    = flag.Int64("trace-from", 0, "export only trace events at or after this cycle")
+		traceTo      = flag.Int64("trace-to", 0, "export only trace events at or before this cycle (0 = unbounded)")
+		metricsOut   = flag.String("metrics", "", "write the per-router metrics registry as JSON to this file")
+		metricsEpoch = flag.Int("metrics-epoch", 0, "gauge sampling period in cycles (0 = default)")
+		heatmap      = flag.String("heatmap", "", "write PREFIX-occupancy.csv and PREFIX-utilization.csv heatmaps (implies metrics)")
+		jsonOut      = flag.Bool("json", false, "print one machine-readable JSON summary object instead of text")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	)
 	flag.Parse()
 
@@ -70,8 +93,6 @@ func main() {
 		}
 		spec = spec.WithMeshRadix(*radix)
 		if p := *pattern; p != "uniform" {
-			opts := frfc.Options{}
-			_ = opts
 			// Named presets keep uniform traffic, matching the paper;
 			// use -custom for other patterns.
 			fatal(fmt.Errorf("named configs use uniform traffic; use -custom for pattern %q", p))
@@ -82,7 +103,86 @@ func main() {
 		spec = spec.WithSeed(*seed)
 	}
 
-	r := frfc.Run(spec, *load)
+	wantMetrics := *metricsOut != "" || *heatmap != ""
+	wantTrace := *traceOut != ""
+	var obs *frfc.Observer
+	if wantMetrics || wantTrace {
+		obs = frfc.NewObserver(frfc.ObserverOptions{
+			Metrics:       wantMetrics,
+			MetricsEpoch:  *metricsEpoch,
+			Trace:         wantTrace,
+			TraceCapacity: *traceCap,
+		})
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	r := frfc.RunObserved(spec, *load, obs)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		runtime.GC()
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	sum := summary{
+		Config:  spec.Name(),
+		Wiring:  *wiring,
+		PktLen:  *pktLen,
+		Radix:   *radix,
+		Seed:    *seed,
+		Pattern: *pattern,
+		Result:  r,
+	}
+	if *metricsOut != "" {
+		writeTo(*metricsOut, obs.WriteMetricsJSON)
+		sum.MetricsPath = *metricsOut
+	}
+	if *heatmap != "" {
+		sum.OccupancyCSVPath = *heatmap + "-occupancy.csv"
+		sum.UtilizationCSVPath = *heatmap + "-utilization.csv"
+		writeTo(sum.OccupancyCSVPath, obs.WriteOccupancyCSV)
+		writeTo(sum.UtilizationCSVPath, obs.WriteUtilizationCSV)
+	}
+	if *traceOut != "" {
+		writeTo(*traceOut, func(w io.Writer) error {
+			return obs.WriteTrace(w, frfc.TraceFilter{
+				Node:   *traceNode,
+				Packet: *tracePkt,
+				From:   *traceFrom,
+				To:     *traceTo,
+			})
+		})
+		sum.TracePath = *traceOut
+		sum.TraceEvents, sum.TraceDropped = obs.TraceEventCount()
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	fmt.Printf("config        %s (%s wiring, %d-flit packets, %dx%d mesh)\n", spec.Name(), *wiring, *pktLen, *radix, *radix)
 	fmt.Printf("offered load  %.1f%% of capacity (effective %.1f%% after bandwidth overhead)\n", r.Load*100, r.EffectiveLoad*100)
 	fmt.Printf("avg latency   %.2f cycles (95%% CI ±%.2f, min %d, max %d)\n", r.AvgLatency, r.CI95, r.MinLatency, r.MaxLatency)
@@ -93,6 +193,49 @@ func main() {
 	fmt.Printf("pool full     %.1f%% of measured cycles (central router)\n", r.PoolFullFraction*100)
 	if r.Saturated {
 		fmt.Println("status        SATURATED — offered load exceeds sustainable throughput")
+	}
+	if sum.MetricsPath != "" {
+		fmt.Printf("metrics       %s\n", sum.MetricsPath)
+	}
+	if sum.OccupancyCSVPath != "" {
+		fmt.Printf("heatmaps      %s, %s\n", sum.OccupancyCSVPath, sum.UtilizationCSVPath)
+	}
+	if sum.TracePath != "" {
+		fmt.Printf("trace         %s (%d events buffered, %d overwritten)\n", sum.TracePath, sum.TraceEvents, sum.TraceDropped)
+	}
+}
+
+// summary is the -json output: one machine-readable object per run, carrying
+// the result plus the paths of every artifact the run wrote.
+type summary struct {
+	Config             string      `json:"config"`
+	Wiring             string      `json:"wiring"`
+	PktLen             int         `json:"pktLen"`
+	Radix              int         `json:"radix"`
+	Seed               uint64      `json:"seed,omitempty"`
+	Pattern            string      `json:"pattern"`
+	Result             frfc.Result `json:"result"`
+	MetricsPath        string      `json:"metricsPath,omitempty"`
+	OccupancyCSVPath   string      `json:"occupancyCsvPath,omitempty"`
+	UtilizationCSVPath string      `json:"utilizationCsvPath,omitempty"`
+	TracePath          string      `json:"tracePath,omitempty"`
+	TraceEvents        int         `json:"traceEvents,omitempty"`
+	TraceDropped       uint64      `json:"traceDropped,omitempty"`
+}
+
+// writeTo creates path and streams one export into it, failing the run on any
+// error so a missing artifact is never silent.
+func writeTo(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

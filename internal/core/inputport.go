@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
@@ -48,6 +49,12 @@ type inputPort struct {
 	creditOut *sim.Pipe[noc.ReservationCredit]
 
 	ledger *eagerLedger // non-nil when counting hypothetical eager-allocation transfers
+
+	// probe, with the port's identity, reports late reservations (flits
+	// parked ahead of their control flit); nil when observability is off.
+	probe     *metrics.Probe
+	node      int
+	portIndex int
 
 	// faultTolerant permits a reservation for a past arrival with no
 	// parked flit — the flit was destroyed upstream and its late control
@@ -141,6 +148,7 @@ func (p *inputPort) arrive(now sim.Cycle, f noc.DataFlit, bypass func(f noc.Data
 	}
 	p.parked[now] = slot
 	p.parkedTotal++
+	p.probe.Late(now, p.node, p.portIndex, uint64(f.Packet.ID), f.Seq)
 	p.ledger.onParkedArrival(now)
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
@@ -30,6 +31,9 @@ type Network struct {
 	routers []*Router
 	nis     []*NI
 	sinks   []*Sink
+
+	// probe is the attached observability sink; nil when disabled.
+	probe *metrics.Probe
 
 	// linkRNG drives control-link fault injection across all links; it is
 	// split off the root seed so fault patterns are reproducible.
@@ -146,13 +150,41 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 	for id := 0; id < mesh.N(); id++ {
 		n.nis[id] = newNI(topology.NodeID(id), cfg, root.Split(), n.hooks)
 		n.nis[id].progress = n.progress
-		n.sinks[id] = newSink(n.hooks)
+		n.sinks[id] = newSink(topology.NodeID(id), n.hooks)
 		if cfg.RetryLimit > 0 {
 			n.sinks[id].notifyLoss = n.noteLoss
 		}
 	}
 	n.wire()
 	return n
+}
+
+// AttachProbe points the whole network — routers, interfaces, sinks — at an
+// observability probe; nil detaches. Implements metrics.Attachable.
+func (n *Network) AttachProbe(p *metrics.Probe) {
+	n.probe = p
+	p.Init(n.mesh.Radix())
+	for _, r := range n.routers {
+		r.attachProbe(p)
+	}
+	for _, ni := range n.nis {
+		ni.probe = p
+	}
+	for _, s := range n.sinks {
+		s.probe = p
+	}
+}
+
+// sampleOccupancy records one sample of every input pool's occupancy into
+// the given probe.
+func (n *Network) sampleOccupancy(probe *metrics.Probe) {
+	for id, r := range n.routers {
+		for p := range r.inputs {
+			if in := r.inputs[p]; in != nil {
+				probe.Occupancy(id, p, in.occupied, n.cfg.DataBuffers)
+			}
+		}
+	}
 }
 
 // noteLoss is the sinks' entry into the notification plane: a detected loss
@@ -284,6 +316,9 @@ func (n *Network) Tick(now sim.Cycle) {
 	for _, s := range n.sinks {
 		s.Tick(now)
 	}
+	if n.probe.SampleDue(now) {
+		n.sampleOccupancy(n.probe)
+	}
 	n.watch(now)
 }
 
@@ -385,12 +420,17 @@ func (n *Network) watch(now sim.Cycle) {
 	}
 	if now-n.lastProgressAt >= n.cfg.WatchdogCycles && !n.wedgeFired {
 		n.wedgeFired = true
+		n.probe.Wedge(now)
 		n.hooks.Wedge(now, n.snapshot(now))
 	}
 }
 
 // snapshot renders the wedge diagnostic: which routers hold stalled work,
-// followed by the full control/buffer/reservation state dump.
+// per-router counter lines from the metrics registry (reservation outcomes,
+// stall causes, live occupancy), and the full control/buffer/reservation
+// state dump as an appendix. With no probe attached, a throwaway registry is
+// filled from the network's live state so the counter lines still carry the
+// occupancy picture.
 func (n *Network) snapshot(now sim.Cycle) string {
 	var stalled []int
 	for id, r := range n.routers {
@@ -410,8 +450,24 @@ func (n *Network) snapshot(now sim.Cycle) string {
 	fmt.Fprintf(&b, "wedged at cycle %d: no flit moved for %d cycles, %d packets in flight\n",
 		now, n.cfg.WatchdogCycles, n.InFlightPackets())
 	fmt.Fprintf(&b, "stalled routers: %v\nstalled interfaces: %v\n", stalled, idle)
+	reg := n.snapshotRegistry()
+	b.WriteString(reg.WedgeSummary(stalled))
 	b.WriteString(n.DumpState())
 	return b.String()
+}
+
+// snapshotRegistry is the registry the wedge snapshot renders from: the
+// attached probe's, topped up with a fresh occupancy sample so the report
+// reflects the stalled state rather than the last epoch, or a temporary one
+// when no probe is attached.
+func (n *Network) snapshotRegistry() *metrics.Registry {
+	probe := n.probe
+	if probe == nil || probe.Reg == nil {
+		probe = &metrics.Probe{Reg: metrics.NewRegistry(0)}
+		probe.Init(n.mesh.Radix())
+	}
+	n.sampleOccupancy(probe)
+	return probe.Reg
 }
 
 // ParkedFlits reports how many data flits, network-wide, ever arrived before

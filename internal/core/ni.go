@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
@@ -20,6 +21,7 @@ type NI struct {
 	cfg   Config
 	rng   *sim.RNG
 	hooks *noc.Hooks
+	probe *metrics.Probe
 
 	queue []*noc.Packet
 
@@ -149,6 +151,7 @@ func (n *NI) tickRetries(now sim.Cycle) {
 			st.retryPending = false
 			st.attempt++
 			p.Attempts = st.attempt
+			n.probe.Retry(now, int(n.node), uint64(p.ID), st.attempt)
 			n.hooks.Retried(p, now)
 			n.queue = append(n.queue, p)
 		}
@@ -242,6 +245,7 @@ func (n *NI) Tick(now sim.Cycle) {
 	// Launch data flits whose scheduled injection cycle has come.
 	if f, ok := n.sendAt[now]; ok {
 		delete(n.sendAt, now)
+		n.probe.Inject(now, int(n.node), uint64(f.Packet.ID), f.Seq)
 		n.dataOut.Send(now, f)
 		*n.progress++
 		n.hooks.Injected(now)
@@ -260,6 +264,7 @@ func (n *NI) tryInject(now sim.Cycle, v int) bool {
 		return false
 	}
 	if n.ctrlCredits[v] <= 0 || !n.ctrlOut.CanSend(now) {
+		n.probe.CreditStall(int(n.node), int(topology.Local))
 		return false
 	}
 	cf := ap.ctrl[ap.nextCtrl]
@@ -280,10 +285,14 @@ func (n *NI) tryInject(now sim.Cycle, v int) bool {
 			for _, t := range committed {
 				n.injTable.uncommit(t.td, n.cfg.LocalLatency, v)
 			}
+			n.probe.ReserveMiss(int(n.node), int(topology.Local))
 			return false
 		}
 		n.injTable.commit(td, n.cfg.LocalLatency, v)
 		committed = append(committed, tentative{lead: i, td: td})
+	}
+	for _, t := range committed {
+		n.probe.ReserveHit(now, int(n.node), int(topology.Local), uint64(cf.Packet.ID), t.td)
 	}
 	leads := make([]noc.LeadEntry, len(cf.Leads))
 	for _, t := range committed {
@@ -336,10 +345,12 @@ func (n *NI) pendingWork() int {
 // packet carry a higher attempt number than stragglers of the lost attempt,
 // so the sink can discard the stragglers and assemble the retry cleanly.
 type Sink struct {
+	node   topology.NodeID
 	dataIn *sim.Pipe[noc.DataFlit]
 	expect map[sim.Cycle]expectEntry
 	state  map[noc.PacketID]*sinkPkt
 	hooks  *noc.Hooks
+	probe  *metrics.Probe
 	// notifyLoss, when set, reports each detected loss of a transmission
 	// attempt to the notification plane (which relays it to the source NI
 	// after the configured control-plane latency).
@@ -361,8 +372,9 @@ type sinkPkt struct {
 	done    bool // delivered; every later signal for the packet is stale
 }
 
-func newSink(hooks *noc.Hooks) *Sink {
+func newSink(node topology.NodeID, hooks *noc.Hooks) *Sink {
 	return &Sink{
+		node:   node,
 		expect: make(map[sim.Cycle]expectEntry),
 		state:  make(map[noc.PacketID]*sinkPkt),
 		hooks:  hooks,
@@ -403,6 +415,7 @@ func (s *Sink) Tick(now sim.Cycle) {
 			panic(fmt.Sprintf("core: reassembly mismatch at cycle %d: scheduled pkt=%d seq=%d attempt=%d, got %s attempt=%d", now, e.pkt.ID, e.seq, e.attempt, f, f.Attempt))
 		}
 		s.hooks.Ejected(now)
+		s.probe.Eject(now, int(s.node), uint64(f.Packet.ID), f.Seq)
 		st := s.stateFor(f.Packet.ID, f.Attempt)
 		if st.done || f.Attempt < st.attempt {
 			return // straggler of a resolved packet or superseded attempt
@@ -429,6 +442,7 @@ func (s *Sink) Tick(now sim.Cycle) {
 			st.attempt, st.got = e.attempt, 0
 		}
 		st.lost = true
+		s.probe.Nack(int(s.node))
 		s.hooks.Lost(e.pkt, now)
 		if s.notifyLoss != nil {
 			s.notifyLoss(e.pkt, e.attempt, now)

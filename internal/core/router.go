@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
@@ -96,6 +97,10 @@ type Router struct {
 
 	hooks *noc.Hooks
 
+	// probe is the observability sink; nil when disabled, and every call
+	// on a nil probe is a no-op.
+	probe *metrics.Probe
+
 	// progress points at the network-wide movement counter the no-progress
 	// watchdog monitors; the router bumps it whenever a flit moves.
 	progress *int64
@@ -115,6 +120,8 @@ func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG)
 			ledger = newEagerLedger(cfg.DataBuffers)
 		}
 		r.inputs[p] = newInputPort(cfg.DataBuffers, ledger, cfg.DataFaultRate > 0)
+		r.inputs[p].node = int(id)
+		r.inputs[p].portIndex = int(p)
 		r.outTables[p] = newOutResTable(cfg.Horizon, cfg.DataBuffers, cfg.CtrlVCs, p == topology.Local)
 		ci := ctrlInput{exists: true, vcs: make([]ctrlVC, cfg.CtrlVCs)}
 		r.ctrlIn[p] = ci
@@ -129,6 +136,17 @@ func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG)
 		}
 	}
 	return r
+}
+
+// attachProbe points the router and its input ports at the observability
+// probe; nil detaches.
+func (r *Router) attachProbe(p *metrics.Probe) {
+	r.probe = p
+	for i := range r.inputs {
+		if r.inputs[i] != nil {
+			r.inputs[i].probe = p
+		}
+	}
 }
 
 // dataLatencyFor is the data propagation delay out of the given output port.
@@ -225,6 +243,7 @@ func (r *Router) sendData(now sim.Cycle, f noc.DataFlit, out topology.Port) {
 		r.hooks.Dropped(f.Packet, now)
 		return
 	}
+	r.probe.Traverse(now, int(r.id), int(out), uint64(f.Packet.ID), f.Seq)
 	r.dataOut[out].Send(now, f)
 }
 
@@ -265,9 +284,11 @@ func (r *Router) processControl(now sim.Cycle) {
 			}
 			vc.route = r.cfg.Routing(r.mesh, r.id, qc.flit.Dst)
 			vc.routed = true
+			r.probe.Route(now, int(r.id), int(vc.route), uint64(qc.flit.Packet.ID))
 		}
 		out := vc.route
 		if budget[out] <= 0 {
+			r.probe.ArbConflict(int(r.id), int(out))
 			continue
 		}
 		budget[out]--
@@ -277,6 +298,7 @@ func (r *Router) processControl(now sim.Cycle) {
 		// control VC — the bookkeeping behind the pool-reservation
 		// deadlock-avoidance rule.
 		if out != topology.Local && !vc.allocated && !r.allocateCtrlVC(vc, out) {
+			r.probe.CreditStall(int(r.id), int(out))
 			continue
 		}
 		if !r.scheduleLeads(now, qc, vc, out, cand.port) {
@@ -343,12 +365,14 @@ func (r *Router) scheduleLeads(now sim.Cycle, qc *queuedCtrl, vc *ctrlVC, out, i
 				for _, t := range committed {
 					table.uncommit(t.td, tp, attrVC)
 				}
+				r.probe.ReserveMiss(int(r.id), int(out))
 				return false
 			}
 			table.commit(td, tp, attrVC)
 			committed = append(committed, tentative{lead: i, td: td})
 		}
 		for _, t := range committed {
+			r.probe.ReserveHit(now, int(r.id), int(out), uint64(qc.flit.Packet.ID), t.td)
 			r.finalizeLead(now, qc, &qc.leads[t.lead], t.td, out, inPort)
 		}
 		return true
@@ -365,6 +389,7 @@ func (r *Router) scheduleLeads(now sim.Cycle, qc *queuedCtrl, vc *ctrlVC, out, i
 			}
 		}
 		if !table.admit(attrVC, k) {
+			r.probe.ReserveMiss(int(r.id), int(out))
 			return false
 		}
 		qc.admitted = true
@@ -377,11 +402,13 @@ func (r *Router) scheduleLeads(now sim.Cycle, qc *queuedCtrl, vc *ctrlVC, out, i
 		}
 		td, ok := table.findDeparture(now, ld.arrival, tp, attrVC)
 		if !ok {
+			r.probe.ReserveMiss(int(r.id), int(out))
 			allDone = false
 			continue
 		}
 		table.releaseClaim(attrVC)
 		table.commit(td, tp, attrVC)
+		r.probe.ReserveHit(now, int(r.id), int(out), uint64(qc.flit.Packet.ID), td)
 		r.finalizeLead(now, qc, ld, td, out, inPort)
 	}
 	return allDone
@@ -432,8 +459,10 @@ func (r *Router) forward(now sim.Cycle, ci *ctrlInput, vc *ctrlVC, vcIdx int, ou
 		panic("core: forwarding a control flit with no allocated downstream VC")
 	}
 	if co.credits[vc.outVC] <= 0 || !co.out.CanSend(now) {
+		r.probe.CreditStall(int(r.id), int(out))
 		return
 	}
+	r.probe.CtrlForward(int(r.id), int(out))
 	nf := qc.flit
 	nf.VC = vc.outVC
 	nf.Leads = make([]noc.LeadEntry, len(qc.leads))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"frfc/internal/core"
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/stats"
@@ -95,6 +96,14 @@ func (r Result) String() string {
 // SamplePackets packets, and run until all of them are delivered or the
 // drain bound trips.
 func Run(s Spec, load float64) Result {
+	return RunObserved(s, load, nil)
+}
+
+// RunObserved is Run with an observability probe attached to the network for
+// the whole run: counters, occupancy gauges and flit traces accumulate in the
+// probe, whose registry is stamped with the run length at the end. A nil or
+// empty probe makes it identical to Run.
+func RunObserved(s Spec, load float64, probe *metrics.Probe) Result {
 	s = s.withDefaults()
 	if load < 0 || load > 2 {
 		panic(fmt.Sprintf("experiment: offered load %.3f out of range", load))
@@ -137,6 +146,11 @@ func Run(s Spec, load float64) Result {
 		},
 	}
 	net, mesh := NewNetwork(s, hooks)
+	if probe.Enabled() {
+		if a, ok := net.(metrics.Attachable); ok {
+			a.AttachProbe(probe)
+		}
+	}
 
 	// Per-node generators with independent RNG streams.
 	genRoot := sim.NewRNG(s.Seed ^ 0x9E3779B97F4A7C15)
@@ -213,6 +227,9 @@ func Run(s Spec, load float64) Result {
 		step(false, true)
 	}
 	tput.Close(now)
+	if probe != nil && probe.Reg != nil {
+		probe.Reg.Cycles = now
+	}
 
 	res := Result{
 		Spec:             s.Name,

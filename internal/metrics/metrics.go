@@ -1,0 +1,285 @@
+// Package metrics is a per-router counter and gauge registry for the
+// simulated fabrics. Routers and network interfaces increment counters
+// (reservation-table hits/misses, late reservations, arbitration conflicts,
+// credit stalls, retries, NACKs) and contribute link-utilization tallies;
+// buffer occupancy is sampled on a configurable epoch. The registry exports
+// as JSON for machine consumption and as per-node CSV heatmaps for a quick
+// visual read of where a mesh is congested.
+//
+// Instrumentation goes through Probe, whose methods are safe — and free of
+// allocation — on a nil receiver, so a disabled probe costs the fabric hot
+// path one pointer test per site.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// Gauge accumulates epoch samples of a bounded quantity such as buffer
+// occupancy.
+type Gauge struct {
+	// Samples is how many times the gauge was read; Sum and Max aggregate
+	// the sampled values; Cap is the quantity's bound (last seen).
+	Samples int64 `json:"samples"`
+	Sum     int64 `json:"sum"`
+	Max     int64 `json:"max"`
+	Cap     int64 `json:"cap"`
+}
+
+// Sample records one observation.
+func (g *Gauge) Sample(used, capacity int) {
+	g.Samples++
+	g.Sum += int64(used)
+	if int64(used) > g.Max {
+		g.Max = int64(used)
+	}
+	g.Cap = int64(capacity)
+}
+
+// Mean is the average sampled value, 0 with no samples.
+func (g *Gauge) Mean() float64 {
+	if g.Samples == 0 {
+		return 0
+	}
+	return float64(g.Sum) / float64(g.Samples)
+}
+
+// MeanFraction is Mean divided by capacity, in [0,1]; 0 when unbounded or
+// unsampled.
+func (g *Gauge) MeanFraction() float64 {
+	if g.Samples == 0 || g.Cap <= 0 {
+		return 0
+	}
+	return g.Mean() / float64(g.Cap)
+}
+
+// LinkStats tallies traffic leaving a router through one output port.
+type LinkStats struct {
+	// Flits counts data flits sent; Ctrl counts control flits.
+	Flits int64 `json:"flits"`
+	Ctrl  int64 `json:"ctrl"`
+}
+
+// NodeMetrics is one router's counters, indexed by the router's NodeID in
+// the registry.
+type NodeMetrics struct {
+	// Reservation-table outcomes at this router: a hit schedules the
+	// requested departures, a miss leaves the control flit to retry next
+	// cycle, and a late reservation is a data flit arriving before the
+	// reservation its control flit made (it parks).
+	ResHits          int64 `json:"resHits"`
+	ResMisses        int64 `json:"resMisses"`
+	LateReservations int64 `json:"lateReservations"`
+	// ArbConflicts counts arbitration losses (another requester took the
+	// output this cycle); CreditStalls counts cycles a winner could not
+	// proceed for lack of downstream credit or link bandwidth.
+	ArbConflicts int64 `json:"arbConflicts"`
+	CreditStalls int64 `json:"creditStalls"`
+	// Recovery activity attributed to this node's NI: end-to-end retries
+	// issued and loss detections (NACK path).
+	Retries int64 `json:"retries"`
+	Nacks   int64 `json:"nacks"`
+	// Injected and Ejected count data flits entering and leaving the
+	// network at this node.
+	Injected int64 `json:"injected"`
+	Ejected  int64 `json:"ejected"`
+	// Links is per-output-port traffic; Occ is the sampled occupancy of
+	// each input port's buffer pool.
+	Links [topology.NumPorts]LinkStats `json:"links"`
+	Occ   [topology.NumPorts]Gauge     `json:"occ"`
+}
+
+// active reports whether the node recorded anything at all.
+func (n *NodeMetrics) active() bool {
+	if n.ResHits|n.ResMisses|n.LateReservations|n.ArbConflicts|n.CreditStalls|
+		n.Retries|n.Nacks|n.Injected|n.Ejected != 0 {
+		return true
+	}
+	for p := 0; p < int(topology.NumPorts); p++ {
+		if n.Links[p].Flits|n.Links[p].Ctrl != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultEpoch is the sampling period, in cycles, used when a registry is
+// created with a non-positive one.
+const DefaultEpoch = 64
+
+// Registry holds every router's metrics for one simulated network.
+type Registry struct {
+	// Epoch is the gauge sampling period in cycles.
+	Epoch sim.Cycle `json:"epoch"`
+	// Radix is the mesh radix k (k×k nodes); Cycles is the simulated run
+	// length recorded at export time.
+	Radix  int           `json:"radix"`
+	Cycles sim.Cycle     `json:"cycles"`
+	Nodes  []NodeMetrics `json:"nodes"`
+}
+
+// NewRegistry returns an empty registry sampling gauges every epoch cycles
+// (non-positive = DefaultEpoch). Node storage is sized on Init.
+func NewRegistry(epoch sim.Cycle) *Registry {
+	if epoch <= 0 {
+		epoch = DefaultEpoch
+	}
+	return &Registry{Epoch: epoch}
+}
+
+// Init sizes the registry for a k×k mesh. It is idempotent and keeps
+// existing counts when already sized.
+func (r *Registry) Init(radix int) {
+	if r == nil || radix <= 0 {
+		return
+	}
+	if len(r.Nodes) < radix*radix {
+		nodes := make([]NodeMetrics, radix*radix)
+		copy(nodes, r.Nodes)
+		r.Nodes = nodes
+	}
+	r.Radix = radix
+}
+
+// at returns the node's metrics, growing the registry if an ID beyond the
+// initialised size appears (defensive; normal paths Init first).
+func (r *Registry) at(node int) *NodeMetrics {
+	if node >= len(r.Nodes) {
+		nodes := make([]NodeMetrics, node+1)
+		copy(nodes, r.Nodes)
+		r.Nodes = nodes
+	}
+	return &r.Nodes[node]
+}
+
+// WriteJSON exports the registry as one indented JSON object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteOccupancyCSV writes a k×k grid of mean input-buffer occupancy
+// fractions (0..1), one row per mesh row, matching the physical layout so
+// the file reads as a heatmap. A leading comment line documents the field.
+func (r *Registry) WriteOccupancyCSV(w io.Writer) error {
+	return r.writeGrid(w, "# mean input-buffer occupancy fraction per router (rows = mesh rows, y increasing downward)",
+		func(n *NodeMetrics) float64 {
+			var sum float64
+			var ports int
+			for p := 0; p < int(topology.NumPorts); p++ {
+				if n.Occ[p].Samples > 0 {
+					sum += n.Occ[p].MeanFraction()
+					ports++
+				}
+			}
+			if ports == 0 {
+				return 0
+			}
+			return sum / float64(ports)
+		})
+}
+
+// WriteUtilizationCSV writes a k×k grid of mean outbound link utilization:
+// data flits sent on the router's direction ports divided by
+// cycles × direction-port count. Local-port (ejection) traffic is excluded
+// so the number reads as fabric-link load.
+func (r *Registry) WriteUtilizationCSV(w io.Writer) error {
+	return r.writeGrid(w, "# mean outbound link utilization per router (data flits / cycle / direction link)",
+		func(n *NodeMetrics) float64 {
+			if r.Cycles <= 0 {
+				return 0
+			}
+			var flits int64
+			for p := 0; p < topology.DirectionPorts; p++ {
+				flits += n.Links[p].Flits
+			}
+			return float64(flits) / (float64(r.Cycles) * float64(topology.DirectionPorts))
+		})
+}
+
+func (r *Registry) writeGrid(w io.Writer, header string, cell func(*NodeMetrics) float64) error {
+	if r.Radix <= 0 {
+		return fmt.Errorf("metrics: registry not initialised (radix %d)", r.Radix)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for y := 0; y < r.Radix; y++ {
+		for x := 0; x < r.Radix; x++ {
+			if x > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			var v float64
+			if id := y*r.Radix + x; id < len(r.Nodes) {
+				v = cell(&r.Nodes[id])
+			}
+			if _, err := fmt.Fprintf(w, "%.4f", v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WedgeSummary renders the per-router counter lines of a watchdog snapshot:
+// one line per active router, stalled routers first, each showing the
+// counters that explain why traffic stopped moving.
+func (r *Registry) WedgeSummary(stalled []int) string {
+	if r == nil {
+		return ""
+	}
+	stall := map[int]bool{}
+	for _, id := range stalled {
+		stall[id] = true
+	}
+	ids := make([]int, 0, len(r.Nodes))
+	for id := range r.Nodes {
+		if r.Nodes[id].active() || stall[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if stall[ids[i]] != stall[ids[j]] {
+			return stall[ids[i]]
+		}
+		return ids[i] < ids[j]
+	})
+	var b strings.Builder
+	for _, id := range ids {
+		n := &r.Nodes[id]
+		fmt.Fprintf(&b, "router %d:", id)
+		if stall[id] {
+			b.WriteString(" STALLED")
+		}
+		fmt.Fprintf(&b, " res %d/%d hit/miss, late %d, arb-conflicts %d, credit-stalls %d",
+			n.ResHits, n.ResMisses, n.LateReservations, n.ArbConflicts, n.CreditStalls)
+		if n.Retries != 0 || n.Nacks != 0 {
+			fmt.Fprintf(&b, ", retries %d, nacks %d", n.Retries, n.Nacks)
+		}
+		fmt.Fprintf(&b, ", inj %d, ej %d", n.Injected, n.Ejected)
+		var occ []string
+		for p := 0; p < int(topology.NumPorts); p++ {
+			if g := &n.Occ[p]; g.Samples > 0 && g.Sum > 0 {
+				occ = append(occ, fmt.Sprintf("%s %.0f%%", topology.Port(p), 100*g.MeanFraction()))
+			}
+		}
+		if len(occ) > 0 {
+			fmt.Fprintf(&b, ", occ[%s]", strings.Join(occ, " "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+	"frfc/internal/trace"
+)
+
+// Probe is the instrumentation point handed to a fabric. Either part may be
+// absent: Reg collects counters and gauges, Tracer records flit-level
+// events. All methods are no-ops on a nil *Probe — fabrics hold a concrete
+// *Probe (not an interface), so the disabled path is one nil test with no
+// dynamic dispatch and no allocation.
+type Probe struct {
+	Reg    *Registry
+	Tracer *trace.Tracer
+}
+
+// Enabled reports whether the probe collects anything at all.
+func (p *Probe) Enabled() bool {
+	return p != nil && (p.Reg != nil || p.Tracer != nil)
+}
+
+// Init sizes the registry for a k×k mesh; safe to call on any probe.
+func (p *Probe) Init(radix int) {
+	if p == nil || p.Reg == nil {
+		return
+	}
+	p.Reg.Init(radix)
+}
+
+// SampleDue reports whether occupancy gauges should be sampled this cycle.
+func (p *Probe) SampleDue(now sim.Cycle) bool {
+	return p != nil && p.Reg != nil && p.Reg.Epoch > 0 && now%p.Reg.Epoch == 0
+}
+
+// Occupancy records one epoch sample of an input port's buffer usage.
+func (p *Probe) Occupancy(node int, port int, used, capacity int) {
+	if p == nil || p.Reg == nil {
+		return
+	}
+	p.Reg.at(node).Occ[port].Sample(used, capacity)
+}
+
+// ReserveHit records a successful reservation at node's output port: the
+// control flit found departure slots and admitted its leads. depart is the
+// earliest reserved departure cycle.
+func (p *Probe) ReserveHit(now sim.Cycle, node, port int, pkt uint64, depart sim.Cycle) {
+	if p == nil {
+		return
+	}
+	if p.Reg != nil {
+		p.Reg.at(node).ResHits++
+	}
+	p.Tracer.Record(trace.Event{
+		Cycle: now, Kind: trace.KindReserve, Node: int32(node), Port: int8(port),
+		Packet: pkt, Arg: int64(depart),
+	})
+}
+
+// ReserveMiss records a reservation attempt that found no feasible slot.
+func (p *Probe) ReserveMiss(node, port int) {
+	if p == nil || p.Reg == nil {
+		return
+	}
+	p.Reg.at(node).ResMisses++
+}
+
+// Late records a data flit arriving ahead of its reservation and parking.
+func (p *Probe) Late(now sim.Cycle, node, port int, pkt uint64, seq int) {
+	if p == nil {
+		return
+	}
+	if p.Reg != nil {
+		p.Reg.at(node).LateReservations++
+	}
+	p.Tracer.Record(trace.Event{
+		Cycle: now, Kind: trace.KindPark, Node: int32(node), Port: int8(port),
+		Packet: pkt, Seq: int32(seq),
+	})
+}
+
+// ArbConflict records an arbitration loss at node for an output port.
+func (p *Probe) ArbConflict(node, port int) {
+	if p == nil || p.Reg == nil {
+		return
+	}
+	p.Reg.at(node).ArbConflicts++
+}
+
+// CreditStall records a cycle in which a ready flit could not advance for
+// lack of downstream credit or link bandwidth.
+func (p *Probe) CreditStall(node, port int) {
+	if p == nil || p.Reg == nil {
+		return
+	}
+	p.Reg.at(node).CreditStalls++
+}
+
+// Route records a routing decision: pkt at node was steered to output out.
+func (p *Probe) Route(now sim.Cycle, node, out int, pkt uint64) {
+	if p == nil || p.Tracer == nil {
+		return
+	}
+	p.Tracer.Record(trace.Event{
+		Cycle: now, Kind: trace.KindRoute, Node: int32(node), Port: int8(out), Packet: pkt,
+	})
+}
+
+// Inject records a data flit entering the network at node's NI.
+func (p *Probe) Inject(now sim.Cycle, node int, pkt uint64, seq int) {
+	if p == nil {
+		return
+	}
+	if p.Reg != nil {
+		p.Reg.at(node).Injected++
+	}
+	p.Tracer.Record(trace.Event{
+		Cycle: now, Kind: trace.KindInject, Node: int32(node), Port: int8(topology.Local),
+		Packet: pkt, Seq: int32(seq),
+	})
+}
+
+// Eject records a data flit delivered to node's sink.
+func (p *Probe) Eject(now sim.Cycle, node int, pkt uint64, seq int) {
+	if p == nil {
+		return
+	}
+	if p.Reg != nil {
+		p.Reg.at(node).Ejected++
+	}
+	p.Tracer.Record(trace.Event{
+		Cycle: now, Kind: trace.KindEject, Node: int32(node), Port: int8(topology.Local),
+		Packet: pkt, Seq: int32(seq),
+	})
+}
+
+// Traverse records a data flit crossing node's output link out.
+func (p *Probe) Traverse(now sim.Cycle, node, out int, pkt uint64, seq int) {
+	if p == nil {
+		return
+	}
+	if p.Reg != nil {
+		p.Reg.at(node).Links[out].Flits++
+	}
+	p.Tracer.Record(trace.Event{
+		Cycle: now, Kind: trace.KindTraverse, Node: int32(node), Port: int8(out),
+		Packet: pkt, Seq: int32(seq),
+	})
+}
+
+// CtrlForward records a control flit crossing node's output link out.
+func (p *Probe) CtrlForward(node, out int) {
+	if p == nil || p.Reg == nil {
+		return
+	}
+	p.Reg.at(node).Links[out].Ctrl++
+}
+
+// Retry records node's NI issuing an end-to-end retransmission of pkt.
+func (p *Probe) Retry(now sim.Cycle, node int, pkt uint64, attempt int) {
+	if p == nil {
+		return
+	}
+	if p.Reg != nil {
+		p.Reg.at(node).Retries++
+	}
+	p.Tracer.Record(trace.Event{
+		Cycle: now, Kind: trace.KindRetry, Node: int32(node), Port: -1,
+		Packet: pkt, Attempt: uint8(attempt),
+	})
+}
+
+// Nack records a loss detection (hole in the delivered sequence) at node.
+func (p *Probe) Nack(node int) {
+	if p == nil || p.Reg == nil {
+		return
+	}
+	p.Reg.at(node).Nacks++
+}
+
+// Wedge records the watchdog declaring the network wedged.
+func (p *Probe) Wedge(now sim.Cycle) {
+	if p == nil || p.Tracer == nil {
+		return
+	}
+	p.Tracer.Record(trace.Event{Cycle: now, Kind: trace.KindWedge, Port: -1})
+}
+
+// Attachable is implemented by networks that accept a probe after
+// construction. Attaching nil detaches.
+type Attachable interface {
+	AttachProbe(*Probe)
+}

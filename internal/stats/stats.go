@@ -33,12 +33,17 @@ func (w *Welford) N() int64 { return w.n }
 func (w *Welford) Mean() float64 { return w.mean }
 
 // Variance reports the unbiased sample variance (0 with fewer than 2
-// samples).
+// samples). Floating-point cancellation can drive the accumulator a hair
+// below zero on near-constant data; that is clamped so StdDev never goes NaN.
 func (w *Welford) Variance() float64 {
 	if w.n < 2 {
 		return 0
 	}
-	return w.m2 / float64(w.n-1)
+	v := w.m2 / float64(w.n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // StdDev reports the sample standard deviation.
@@ -82,9 +87,16 @@ func (s *LatencyStats) Record(latency sim.Cycle) {
 }
 
 // Quantile reports the q-quantile of recorded latencies (0 when empty).
+// q is clamped to (0, 1]: q <= 0 reports the minimum, q > 1 the maximum.
 func (s *LatencyStats) Quantile(q float64) sim.Cycle {
 	if s.hist.N() == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return s.Min()
+	}
+	if q > 1 {
+		q = 1
 	}
 	return s.hist.Quantile(q)
 }
@@ -213,11 +225,13 @@ func NewOccupancy(capacity int) *Occupancy {
 	return &Occupancy{capacity: capacity}
 }
 
-// Observe records the pool's occupancy for one cycle.
+// Observe records the pool's occupancy for one cycle. A pool with no
+// capacity is never counted as full — otherwise an idle zero-capacity pool
+// would report FullFraction 1.0.
 func (o *Occupancy) Observe(used int) {
 	o.cycles++
 	o.sum += int64(used)
-	if used >= o.capacity {
+	if o.capacity > 0 && used >= o.capacity {
 		o.fullCount++
 	}
 }

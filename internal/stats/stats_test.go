@@ -256,6 +256,124 @@ func TestLatencyStatsQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Add(42)
+	for _, q := range []float64{0.001, 0.5, 1.0} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %d, want 42", q, got)
+		}
+	}
+	if h.N() != 1 {
+		t.Errorf("N = %d, want 1", h.N())
+	}
+}
+
+func TestHistogramAllEqual(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Add(7)
+	}
+	for _, q := range []float64{0.001, 0.25, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAboveOnePanics(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("q>1 did not panic")
+		}
+	}()
+	h.Quantile(1.5)
+}
+
+// TestLatencyStatsQuantileClamps: unlike the raw Histogram, the public
+// latency accumulator clamps out-of-range q instead of panicking, so a
+// caller-computed quantile that lands on 0 or drifts past 1 in floating
+// point can't take down a run.
+func TestLatencyStatsQuantileClamps(t *testing.T) {
+	s := NewLatencyStats()
+	if s.Quantile(0) != 0 || s.Quantile(-1) != 0 || s.Quantile(2) != 0 {
+		t.Fatal("empty stats out-of-range quantile not 0")
+	}
+	for _, l := range []sim.Cycle{10, 20, 30, 40} {
+		s.Record(l)
+	}
+	if got := s.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %d, want min 10", got)
+	}
+	if got := s.Quantile(-0.5); got != 10 {
+		t.Errorf("Quantile(-0.5) = %d, want min 10", got)
+	}
+	if got := s.Quantile(1.0000001); got != 40 {
+		t.Errorf("Quantile(>1) = %d, want max 40", got)
+	}
+}
+
+func TestLatencyStatsSingleAndAllEqual(t *testing.T) {
+	s := NewLatencyStats()
+	s.Record(33)
+	if s.Quantile(0.5) != 33 || s.Min() != 33 || s.Max() != 33 {
+		t.Fatal("single sample quantile/min/max wrong")
+	}
+	if s.CI95() != 0 {
+		t.Fatalf("single sample CI95 = %v, want 0", s.CI95())
+	}
+	eq := NewLatencyStats()
+	for i := 0; i < 500; i++ {
+		eq.Record(12)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := eq.Quantile(q); got != 12 {
+			t.Errorf("all-equal Quantile(%v) = %d, want 12", q, got)
+		}
+	}
+	if ci := eq.CI95(); ci != 0 || math.IsNaN(ci) {
+		t.Errorf("all-equal CI95 = %v, want exactly 0", ci)
+	}
+}
+
+// TestWelfordVarianceNeverNegative: near-constant data can push the m2
+// accumulator fractionally below zero through cancellation; Variance and
+// StdDev must clamp rather than emit NaN.
+func TestWelfordVarianceNeverNegative(t *testing.T) {
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		w.Add(1e9 + 0.1)
+	}
+	if v := w.Variance(); v < 0 || math.IsNaN(v) {
+		t.Fatalf("variance = %v, want >= 0", v)
+	}
+	if sd := w.StdDev(); math.IsNaN(sd) {
+		t.Fatalf("stddev = %v, want a number", sd)
+	}
+	if ci := w.CI95(); math.IsNaN(ci) || math.IsInf(ci, 0) {
+		t.Fatalf("CI95 = %v, want finite", ci)
+	}
+	w.m2 = -1e-9 // force the pathological case directly
+	if v := w.Variance(); v != 0 {
+		t.Fatalf("clamped variance = %v, want 0", v)
+	}
+}
+
+func TestOccupancyZeroCapacity(t *testing.T) {
+	o := NewOccupancy(0)
+	for i := 0; i < 10; i++ {
+		o.Observe(0)
+	}
+	if got := o.FullFraction(); got != 0 {
+		t.Fatalf("zero-capacity pool full fraction = %v, want 0", got)
+	}
+	if got := o.MeanOccupancy(); got != 0 {
+		t.Fatalf("zero-capacity pool mean occupancy = %v, want 0", got)
+	}
+}
+
 func TestRetryLatencySeparatesPaths(t *testing.T) {
 	r := NewRetryLatency()
 	r.Record(10, 0)

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"frfc/internal/sim"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: KindInject})
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("nil tracer reported activity: len=%d total=%d dropped=%d",
+			tr.Len(), tr.Total(), tr.Dropped())
+	}
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil tracer returned events: %v", evs)
+	}
+}
+
+func TestRecordNeverAllocates(t *testing.T) {
+	tr := New(16)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Record(Event{Cycle: 1, Kind: KindTraverse, Packet: 7})
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocated %v times per call", allocs)
+	}
+	var nilTr *Tracer
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilTr.Record(Event{Cycle: 1, Kind: KindTraverse})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Record allocated %v times per call", allocs)
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Cycle: sim.Cycle(i), Kind: KindTraverse})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		want := sim.Cycle(6 + i)
+		if ev.Cycle != want {
+			t.Fatalf("event %d has cycle %d, want %d (oldest-first order)", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	evs := []Event{
+		{Cycle: 10, Node: 0, Packet: 1, Kind: KindInject},
+		{Cycle: 20, Node: 3, Packet: 1, Kind: KindTraverse},
+		{Cycle: 30, Node: 3, Packet: 2, Kind: KindTraverse},
+		{Cycle: 40, Node: 5, Packet: 2, Kind: KindEject},
+		{Cycle: 50, Node: 5, Packet: 0, Kind: KindWedge},
+	}
+	cases := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"all", All, 5},
+		{"node3", Filter{Node: 3}, 2},
+		{"node0", Filter{Node: 0}, 1},
+		{"packet1", Filter{Node: -1, Packet: 1}, 2},
+		{"window", Filter{Node: -1, From: 20, To: 40}, 3},
+		{"from-only", Filter{Node: -1, From: 30}, 3},
+		{"node-and-window", Filter{Node: 5, From: 45}, 1},
+	}
+	for _, c := range cases {
+		got := 0
+		for _, ev := range evs {
+			if c.f.keep(ev) {
+				got++
+			}
+		}
+		if got != c.want {
+			t.Errorf("%s: kept %d events, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// chromeTrace mirrors the Chrome trace-event container format.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string         `json:"ph"`
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Pid  int64          `json:"pid"`
+		Tid  int64          `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	tr := New(64)
+	tr.Record(Event{Cycle: 5, Node: 0, Port: 4, Packet: 1, Seq: 0, Kind: KindInject})
+	tr.Record(Event{Cycle: 7, Node: 0, Port: 0, Packet: 1, Kind: KindRoute})
+	tr.Record(Event{Cycle: 8, Node: 0, Port: 0, Packet: 1, Arg: 11, Kind: KindReserve})
+	tr.Record(Event{Cycle: 11, Node: 0, Port: 0, Packet: 1, Seq: 0, Kind: KindTraverse})
+	tr.Record(Event{Cycle: 14, Node: 1, Port: 4, Packet: 1, Seq: 0, Kind: KindEject})
+	tr.Record(Event{Cycle: 20, Node: 1, Port: -1, Kind: KindWedge})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, 4, All); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var instants, metas, spans int
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "i":
+			instants++
+		case "M":
+			metas++
+		case "X":
+			spans++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if instants != 6 {
+		t.Errorf("instants = %d, want 6", instants)
+	}
+	// Two routers named + the synthetic packets process.
+	if metas != 3 {
+		t.Errorf("metadata events = %d, want 3", metas)
+	}
+	if spans != 1 {
+		t.Errorf("packet spans = %d, want 1", spans)
+	}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "X" {
+			if ev.Ts != 5 || ev.Dur != 10 {
+				t.Errorf("packet span ts=%d dur=%d, want ts=5 dur=10", ev.Ts, ev.Dur)
+			}
+			if ev.Tid != 1 {
+				t.Errorf("packet span tid=%d, want packet id 1", ev.Tid)
+			}
+		}
+	}
+}
+
+func TestWriteChromeFiltered(t *testing.T) {
+	tr := New(64)
+	tr.Record(Event{Cycle: 5, Node: 0, Packet: 1, Kind: KindInject})
+	tr.Record(Event{Cycle: 9, Node: 2, Packet: 2, Kind: KindInject})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, 0, Filter{Node: -1, Packet: 2}); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("filtered output is not valid JSON: %v", err)
+	}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "i" && ev.Args["pkt"].(float64) != 2 {
+			t.Errorf("filtered trace contains packet %v", ev.Args["pkt"])
+		}
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	tr := New(8)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, 0, All); err != nil {
+		t.Fatalf("WriteChrome on empty tracer: %v", err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(ct.TraceEvents) != 0 {
+		t.Fatalf("empty tracer produced %d events", len(ct.TraceEvents))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" || s[0] == 'K' {
+			t.Errorf("Kind(%d) has no readable name: %q", k, s)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
@@ -19,6 +20,9 @@ type Network struct {
 	routers []*Router
 	nis     []*ni
 	sinks   []*sink
+
+	// probe is the attached observability sink; nil when disabled.
+	probe *metrics.Probe
 
 	offered   int64
 	delivered int64
@@ -58,10 +62,26 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 	}
 	for id := 0; id < mesh.N(); id++ {
 		n.nis[id] = newNI(topology.NodeID(id), cfg, root.Split(), n.hooks)
-		n.sinks[id] = newSink(n.hooks)
+		n.sinks[id] = newSink(topology.NodeID(id), n.hooks)
 	}
 	n.wire()
 	return n
+}
+
+// AttachProbe points the whole network — routers, interfaces, sinks — at an
+// observability probe; nil detaches. Implements metrics.Attachable.
+func (n *Network) AttachProbe(p *metrics.Probe) {
+	n.probe = p
+	p.Init(n.mesh.Radix())
+	for _, r := range n.routers {
+		r.probe = p
+	}
+	for _, x := range n.nis {
+		x.probe = p
+	}
+	for _, s := range n.sinks {
+		s.probe = p
+	}
 }
 
 // wire connects routers, NIs and sinks with delay-line pipes: data links of
@@ -117,6 +137,15 @@ func (n *Network) Tick(now sim.Cycle) {
 	}
 	for _, s := range n.sinks {
 		s.Tick(now)
+	}
+	if n.probe.SampleDue(now) {
+		for id, r := range n.routers {
+			for p := range r.in {
+				if r.in[p].exists {
+					n.probe.Occupancy(id, p, r.in[p].poolUsed, n.cfg.BuffersPerInput())
+				}
+			}
+		}
 	}
 }
 

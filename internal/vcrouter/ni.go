@@ -1,6 +1,7 @@
 package vcrouter
 
 import (
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
@@ -18,6 +19,7 @@ type ni struct {
 	cfg   Config
 	rng   *sim.RNG
 	hooks *noc.Hooks
+	probe *metrics.Probe
 
 	queue []*noc.Packet
 	slots []niSlot
@@ -141,6 +143,7 @@ func (n *ni) Tick(now sim.Cycle) {
 	} else {
 		n.credits[sl.vc]--
 	}
+	n.probe.Inject(now, int(n.node), uint64(f.Packet.ID), f.Seq)
 	n.data.Send(now, f)
 	n.hooks.Injected(now)
 	if sl.next == len(sl.flits) {
@@ -155,21 +158,24 @@ func (n *ni) Tick(now sim.Cycle) {
 // arrived. Reassembly space is unbounded, matching the paper's immediate-
 // ejection assumption.
 type sink struct {
+	node  topology.NodeID
 	data  *sim.Pipe[noc.DataFlit]
 	got   map[noc.PacketID]int
 	hooks *noc.Hooks
+	probe *metrics.Probe
 	// delivered counts fully reassembled packets, used by the network's
 	// in-flight accounting.
 	delivered int64
 }
 
-func newSink(hooks *noc.Hooks) *sink {
-	return &sink{got: make(map[noc.PacketID]int), hooks: hooks}
+func newSink(node topology.NodeID, hooks *noc.Hooks) *sink {
+	return &sink{node: node, got: make(map[noc.PacketID]int), hooks: hooks}
 }
 
 func (s *sink) Tick(now sim.Cycle) {
 	s.data.RecvEach(now, func(f noc.DataFlit) {
 		s.hooks.Ejected(now)
+		s.probe.Eject(now, int(s.node), uint64(f.Packet.ID), f.Seq)
 		s.got[f.Packet.ID]++
 		if s.got[f.Packet.ID] == f.Packet.Len {
 			delete(s.got, f.Packet.ID)

@@ -3,6 +3,7 @@ package vcrouter
 import (
 	"fmt"
 
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
@@ -66,6 +67,10 @@ type Router struct {
 
 	in  [topology.NumPorts]inputState
 	out [topology.NumPorts]outputState
+
+	// probe is the observability sink; nil when disabled, and every call
+	// on a nil probe is a no-op.
+	probe *metrics.Probe
 
 	// Scratch buffers reused every cycle to keep the hot loop
 	// allocation-free.
@@ -296,6 +301,7 @@ func (r *Router) traverse(now sim.Cycle, p topology.Port, v int) {
 
 	f := qf.flit
 	f.VC = vc.outVC
+	r.probe.Traverse(now, int(r.id), int(vc.route), uint64(f.Packet.ID), f.Seq)
 	o.data.Send(now, f)
 	if !o.infinite {
 		if r.cfg.SharedPool {

@@ -1,0 +1,140 @@
+package frfc
+
+import (
+	"io"
+
+	"frfc/internal/experiment"
+	"frfc/internal/metrics"
+	"frfc/internal/sim"
+	"frfc/internal/trace"
+)
+
+// ObserverOptions selects what an Observer collects.
+type ObserverOptions struct {
+	// Metrics enables the per-router counter registry and occupancy
+	// gauges; MetricsEpoch is the gauge sampling period in cycles (0 = a
+	// sensible default).
+	Metrics      bool
+	MetricsEpoch int
+	// Trace enables the flit-level event tracer; TraceCapacity bounds the
+	// ring buffer in events (0 = a default of ~256k events), keeping the
+	// newest when it overflows.
+	Trace         bool
+	TraceCapacity int
+}
+
+// Observer collects per-router metrics and/or flit-level traces from a run.
+// Create one with NewObserver, pass it to RunObserved, then export with the
+// Write methods. A zero-valued or nil Observer collects nothing and costs
+// the simulation hot path one nil check per event site.
+type Observer struct {
+	probe *metrics.Probe
+}
+
+// NewObserver builds an observer per the options. With both options off it
+// returns a valid observer that collects nothing.
+func NewObserver(o ObserverOptions) *Observer {
+	p := &metrics.Probe{}
+	if o.Metrics {
+		p.Reg = metrics.NewRegistry(sim.Cycle(o.MetricsEpoch))
+	}
+	if o.Trace {
+		p.Tracer = trace.New(o.TraceCapacity)
+	}
+	return &Observer{probe: p}
+}
+
+// RunObserved is Run with the observer attached to the network for the whole
+// simulation. A nil observer makes it identical to Run.
+func RunObserved(s Spec, load float64, obs *Observer) Result {
+	var p *metrics.Probe
+	if obs != nil {
+		p = obs.probe
+	}
+	return fromInternal(experiment.RunObserved(s.inner, load, p))
+}
+
+// WriteMetricsJSON exports the collected registry as indented JSON. It
+// errors when the observer was not collecting metrics.
+func (o *Observer) WriteMetricsJSON(w io.Writer) error {
+	if err := o.needMetrics(); err != nil {
+		return err
+	}
+	return o.probe.Reg.WriteJSON(w)
+}
+
+// WriteOccupancyCSV exports the k×k mean-buffer-occupancy heatmap (one row
+// per mesh row, values in 0..1).
+func (o *Observer) WriteOccupancyCSV(w io.Writer) error {
+	if err := o.needMetrics(); err != nil {
+		return err
+	}
+	return o.probe.Reg.WriteOccupancyCSV(w)
+}
+
+// WriteUtilizationCSV exports the k×k mean-link-utilization heatmap (data
+// flits per cycle per direction link).
+func (o *Observer) WriteUtilizationCSV(w io.Writer) error {
+	if err := o.needMetrics(); err != nil {
+		return err
+	}
+	return o.probe.Reg.WriteUtilizationCSV(w)
+}
+
+func (o *Observer) needMetrics() error {
+	if o == nil || o.probe == nil || o.probe.Reg == nil {
+		return errNoMetrics
+	}
+	return nil
+}
+
+// TraceFilter narrows a trace export.
+type TraceFilter struct {
+	// Node keeps only events at one router (< 0 = every router).
+	Node int
+	// Packet keeps only one packet's events (0 = all).
+	Packet uint64
+	// From and To bound the cycle window, inclusive; To <= 0 leaves it
+	// unbounded above.
+	From, To int64
+}
+
+// AllEvents keeps every traced event.
+var AllEvents = TraceFilter{Node: -1}
+
+// WriteTrace exports the collected flit trace as Chrome trace-event JSON,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing. It
+// errors when the observer was not tracing.
+func (o *Observer) WriteTrace(w io.Writer, f TraceFilter) error {
+	if o == nil || o.probe == nil || o.probe.Tracer == nil {
+		return errNoTrace
+	}
+	radix := 0
+	if o.probe.Reg != nil {
+		radix = o.probe.Reg.Radix
+	}
+	return o.probe.Tracer.WriteChrome(w, radix, trace.Filter{
+		Node:   int32(f.Node),
+		Packet: f.Packet,
+		From:   sim.Cycle(f.From),
+		To:     sim.Cycle(f.To),
+	})
+}
+
+// TraceEventCount reports buffered events and how many were overwritten by
+// ring wraparound (0 dropped means the whole run fit).
+func (o *Observer) TraceEventCount() (buffered int, dropped uint64) {
+	if o == nil || o.probe == nil {
+		return 0, 0
+	}
+	return o.probe.Tracer.Len(), o.probe.Tracer.Dropped()
+}
+
+type observeErr string
+
+func (e observeErr) Error() string { return string(e) }
+
+const (
+	errNoMetrics = observeErr("frfc: observer was not collecting metrics (set ObserverOptions.Metrics)")
+	errNoTrace   = observeErr("frfc: observer was not tracing (set ObserverOptions.Trace)")
+)

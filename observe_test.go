@@ -1,0 +1,185 @@
+package frfc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// chromeTrace mirrors the Chrome trace-event container, the format Perfetto
+// loads.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Ph   string `json:"ph"`
+		Name string `json:"name"`
+		Pid  int64  `json:"pid"`
+		Ts   int64  `json:"ts"`
+	} `json:"traceEvents"`
+}
+
+func smallSpec(t *testing.T, s Spec) Spec {
+	t.Helper()
+	return s.WithMeshRadix(4).WithSampling(150, 400)
+}
+
+func TestRunObservedCollectsMetricsAndTrace(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"FR6", FR6(FastControl, 5)},
+		{"VC8", VC8(FastControl, 5)},
+		{"WH", WormholeSpec(FastControl, 8, 5)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			obs := NewObserver(ObserverOptions{Metrics: true, MetricsEpoch: 16, Trace: true, TraceCapacity: 1 << 16})
+			r := RunObserved(smallSpec(t, tc.spec), 0.3, obs)
+			if r.Saturated {
+				t.Fatalf("light load saturated: %+v", r)
+			}
+
+			var mj bytes.Buffer
+			if err := obs.WriteMetricsJSON(&mj); err != nil {
+				t.Fatalf("WriteMetricsJSON: %v", err)
+			}
+			var reg struct {
+				Radix  int `json:"radix"`
+				Cycles int `json:"cycles"`
+				Nodes  []struct {
+					Injected int64 `json:"injected"`
+					Ejected  int64 `json:"ejected"`
+				} `json:"nodes"`
+			}
+			if err := json.Unmarshal(mj.Bytes(), &reg); err != nil {
+				t.Fatalf("metrics JSON invalid: %v", err)
+			}
+			if reg.Radix != 4 || len(reg.Nodes) != 16 || reg.Cycles <= 0 {
+				t.Fatalf("registry header wrong: radix=%d nodes=%d cycles=%d", reg.Radix, len(reg.Nodes), reg.Cycles)
+			}
+			var inj, ej int64
+			for _, n := range reg.Nodes {
+				inj += n.Injected
+				ej += n.Ejected
+			}
+			if inj == 0 || ej == 0 {
+				t.Fatalf("no injection/ejection activity recorded: inj=%d ej=%d", inj, ej)
+			}
+
+			var occ, util bytes.Buffer
+			if err := obs.WriteOccupancyCSV(&occ); err != nil {
+				t.Fatalf("WriteOccupancyCSV: %v", err)
+			}
+			if err := obs.WriteUtilizationCSV(&util); err != nil {
+				t.Fatalf("WriteUtilizationCSV: %v", err)
+			}
+			for _, csv := range []string{occ.String(), util.String()} {
+				lines := strings.Split(strings.TrimSpace(csv), "\n")
+				if len(lines) != 5 {
+					t.Fatalf("heatmap CSV is not # + 4 rows:\n%s", csv)
+				}
+				if cells := strings.Split(lines[1], ","); len(cells) != 4 {
+					t.Fatalf("heatmap row has %d cells, want 4", len(cells))
+				}
+			}
+			var total float64
+			for _, cell := range strings.Split(strings.Join(strings.Split(strings.TrimSpace(util.String()), "\n")[1:], ","), ",") {
+				var v float64
+				if _, err := fmt.Sscanf(cell, "%g", &v); err != nil {
+					t.Fatalf("non-numeric heatmap cell %q", cell)
+				}
+				total += v
+			}
+			if total <= 0 {
+				t.Fatalf("utilization heatmap all zero:\n%s", util.String())
+			}
+
+			var tr bytes.Buffer
+			if err := obs.WriteTrace(&tr, AllEvents); err != nil {
+				t.Fatalf("WriteTrace: %v", err)
+			}
+			var ct chromeTrace
+			if err := json.Unmarshal(tr.Bytes(), &ct); err != nil {
+				t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+			}
+			var instants, spans int
+			for _, ev := range ct.TraceEvents {
+				switch ev.Ph {
+				case "i":
+					instants++
+				case "X":
+					spans++
+				}
+			}
+			if instants == 0 || spans == 0 {
+				t.Fatalf("trace has %d instants, %d packet spans; want both > 0", instants, spans)
+			}
+			if buffered, _ := obs.TraceEventCount(); buffered != min(instants, 1<<16) {
+				t.Fatalf("TraceEventCount buffered=%d, trace instants=%d", buffered, instants)
+			}
+		})
+	}
+}
+
+func TestRunObservedMatchesRun(t *testing.T) {
+	spec := smallSpec(t, FR6(FastControl, 5))
+	base := Run(spec, 0.3)
+	obs := NewObserver(ObserverOptions{Metrics: true, Trace: true})
+	observed := RunObserved(spec, 0.3, obs)
+	if base != observed {
+		t.Fatalf("observation changed the simulation:\nbase:     %+v\nobserved: %+v", base, observed)
+	}
+	nilObs := RunObserved(spec, 0.3, nil)
+	if base != nilObs {
+		t.Fatalf("nil observer changed the simulation:\nbase: %+v\nnil:  %+v", base, nilObs)
+	}
+}
+
+func TestObserverErrorsWhenNotCollecting(t *testing.T) {
+	obs := NewObserver(ObserverOptions{})
+	var buf bytes.Buffer
+	if err := obs.WriteMetricsJSON(&buf); err == nil {
+		t.Fatal("metrics export succeeded with metrics off")
+	}
+	if err := obs.WriteOccupancyCSV(&buf); err == nil {
+		t.Fatal("occupancy export succeeded with metrics off")
+	}
+	if err := obs.WriteTrace(&buf, AllEvents); err == nil {
+		t.Fatal("trace export succeeded with tracing off")
+	}
+	var nilObs *Observer
+	if err := nilObs.WriteMetricsJSON(&buf); err == nil {
+		t.Fatal("nil observer export succeeded")
+	}
+	if b, d := nilObs.TraceEventCount(); b != 0 || d != 0 {
+		t.Fatal("nil observer reported trace events")
+	}
+}
+
+func TestTraceFilterByWindow(t *testing.T) {
+	obs := NewObserver(ObserverOptions{Trace: true, TraceCapacity: 1 << 16})
+	RunObserved(smallSpec(t, FR6(FastControl, 5)), 0.3, obs)
+	var all, windowed bytes.Buffer
+	if err := obs.WriteTrace(&all, AllEvents); err != nil {
+		t.Fatalf("WriteTrace all: %v", err)
+	}
+	if err := obs.WriteTrace(&windowed, TraceFilter{Node: -1, From: 100, To: 200}); err != nil {
+		t.Fatalf("WriteTrace windowed: %v", err)
+	}
+	var ctAll, ctWin chromeTrace
+	if err := json.Unmarshal(all.Bytes(), &ctAll); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(windowed.Bytes(), &ctWin); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctWin.TraceEvents) == 0 || len(ctWin.TraceEvents) >= len(ctAll.TraceEvents) {
+		t.Fatalf("window filter did not narrow: %d vs %d events", len(ctWin.TraceEvents), len(ctAll.TraceEvents))
+	}
+	for _, ev := range ctWin.TraceEvents {
+		if ev.Ph == "i" && (ev.Ts < 100 || ev.Ts > 200) {
+			t.Fatalf("windowed trace leaked instant at ts=%d", ev.Ts)
+		}
+	}
+}

@@ -6,6 +6,9 @@
 #   scripts/bench.sh             run every benchmark (paper-scale; slow)
 #   scripts/bench.sh -short      analytic + reduced-scale subset (CI smoke)
 #   scripts/bench.sh -baseline   promote the latest run to the baseline
+#   scripts/bench.sh -profile    also collect pprof profiles into benchmarks/
+#                                (cpu.pprof, mem.pprof; inspect with
+#                                `go tool pprof benchmarks/cpu.pprof`)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,14 +26,32 @@ fi
 
 pattern='.'
 shortflag=''
-if [ "${1:-}" = "-short" ]; then
-    # The analytic tables are instant; the storage/bandwidth models are the
-    # regression canary that every change to the overhead code must hold.
-    pattern='Table1|Table2'
-    shortflag='-short'
-fi
+profileflags=''
+for arg in "$@"; do
+    case "$arg" in
+    -short)
+        # The analytic tables are instant; the storage/bandwidth models are
+        # the regression canary that every change to the overhead code must
+        # hold.
+        pattern='Table1|Table2'
+        shortflag='-short'
+        ;;
+    -profile)
+        profileflags='-cpuprofile benchmarks/cpu.pprof -memprofile benchmarks/mem.pprof'
+        ;;
+    *)
+        echo "bench.sh: unknown option $arg" >&2
+        exit 2
+        ;;
+    esac
+done
 
-go test -run '^$' -bench "$pattern" -benchtime 1x $shortflag . | tee benchmarks/latest.txt
+go test -run '^$' -bench "$pattern" -benchtime 1x $shortflag $profileflags . | tee benchmarks/latest.txt
+
+if [ -n "$profileflags" ]; then
+    echo
+    echo "# profiles: go tool pprof benchmarks/cpu.pprof | go tool pprof benchmarks/mem.pprof"
+fi
 
 if [ -f benchmarks/baseline.txt ]; then
     echo
