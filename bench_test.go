@@ -7,7 +7,10 @@
 package frfc_test
 
 import (
+	"context"
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -332,6 +335,58 @@ func BenchmarkProbeDisabledOverhead(b *testing.B) {
 	if overhead > 2.0 {
 		b.Fatalf("disabled-probe hot path regressed %.1f%% over plain Run (budget 2%%): plain %v, disabled %v",
 			overhead, minPlain, minDisabled)
+	}
+}
+
+// BenchmarkSweepSerialVsParallel measures the experiment harness's worker-pool
+// speedup on a small FR6+VC8 load grid: the same jobs run on 1 worker and on
+// 4, every iteration re-checking that the parallel results are bit-identical
+// to serial (wall-clock Elapsed stripped — it is display metadata). The
+// speedup-4w metric is the acceptance bar: on a machine with at least 4 CPUs
+// it must reach 2x; on smaller machines (this container has 1) the metric is
+// reported but not asserted, since the pool cannot beat the clock without
+// cores to run on.
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	specs := []frfc.Spec{
+		benchScale(frfc.FR6(frfc.FastControl, 5)),
+		benchScale(frfc.VC8(frfc.FastControl, 5)),
+	}
+	loads := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	var jobs []frfc.Job
+	for _, s := range specs {
+		for _, l := range loads {
+			jobs = append(jobs, frfc.Job{Spec: s, Load: l})
+		}
+	}
+	ctx := context.Background()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serial, err := frfc.RunJobs(ctx, jobs, frfc.ParallelOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialTime := time.Since(t0)
+
+		t0 = time.Now()
+		parallel, err := frfc.RunJobs(ctx, jobs, frfc.ParallelOptions{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallelTime := time.Since(t0)
+
+		for j := range serial {
+			serial[j].Elapsed, parallel[j].Elapsed = 0, 0
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			b.Fatal("parallel sweep diverged from serial — determinism contract broken")
+		}
+		speedup = float64(serialTime) / float64(parallelTime)
+	}
+	b.ReportMetric(speedup, "speedup-4w")
+	if runtime.GOMAXPROCS(0) >= 4 && speedup < 2.0 {
+		b.Fatalf("4-worker sweep speedup %.2fx below the 2x bar on %d CPUs",
+			speedup, runtime.GOMAXPROCS(0))
 	}
 }
 

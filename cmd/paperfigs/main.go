@@ -19,20 +19,31 @@
 //
 //	paperfigs -all -scale quick          # everything, fast (minutes)
 //	paperfigs -fig 5 -scale full         # one figure at paper scale
-//	paperfigs -table 3
+//	paperfigs -table 3 -workers 8        # fan the summary over 8 workers
+//
+// The sweeps and Table 3 run on the internal/harness worker pool; -workers
+// sizes it (0 = NumCPU) and never changes the printed numbers — every point
+// owns its own network and RNG, and rows print in spec/load order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"frfc/internal/experiment"
+	"frfc/internal/harness"
 	"frfc/internal/overhead"
 	"frfc/internal/sim"
 )
 
-var scaleFlag = flag.String("scale", "quick", "measurement effort: quick, standard, or full (paper protocol)")
+var (
+	scaleFlag   = flag.String("scale", "quick", "measurement effort: quick, standard, or full (paper protocol)")
+	workersFlag = flag.Int("workers", 0, "worker pool size for the sweeps (0 = NumCPU); any count yields identical output")
+)
+
+func pool() harness.Options { return harness.Options{Workers: *workersFlag} }
 
 func scaled(s experiment.Spec) experiment.Spec {
 	switch *scaleFlag {
@@ -144,18 +155,26 @@ func sweepFig(title string, specs []experiment.Spec, loads []float64) {
 		fmt.Printf(" %14s", s.Name)
 	}
 	fmt.Println()
-	series := make([][]experiment.Result, len(specs))
+	toRun := make([]experiment.Spec, len(specs))
 	for i, s := range specs {
-		series[i] = experiment.Sweep(scaled(s), loads)
+		toRun[i] = scaled(s)
+	}
+	rows, err := harness.SweepSpecs(context.Background(), toRun, loads, harness.SweepOptions{Options: pool()})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", title, err)
+		os.Exit(1)
 	}
 	for j, l := range loads {
 		fmt.Printf("%-8.1f", l*100)
 		for i := range specs {
-			r := series[i][j]
-			if r.Saturated {
+			jr := rows[i][j]
+			switch {
+			case jr.Err != "":
+				fmt.Printf(" %14s", "failed")
+			case jr.Result.Saturated:
 				fmt.Printf(" %14s", "saturated")
-			} else {
-				fmt.Printf(" %14.2f", r.AvgLatency)
+			default:
+				fmt.Printf(" %14.2f", jr.Result.AvgLatency)
 			}
 		}
 		fmt.Println()
@@ -252,9 +271,14 @@ func table3() {
 	}
 	fmt.Println("== Table 3: summary ==")
 	for _, g := range groups {
-		var rows []experiment.SummaryRow
-		for _, s := range g.specs {
-			rows = append(rows, experiment.Summarize(scaled(s), o))
+		specs := make([]experiment.Spec, len(g.specs))
+		for i, s := range g.specs {
+			specs[i] = scaled(s)
+		}
+		rows, err := harness.SummarizeAll(context.Background(), specs, o, pool())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: table 3: %v\n", err)
+			os.Exit(1)
 		}
 		fmt.Print(experiment.FormatSummary(g.title, rows))
 		fmt.Println()

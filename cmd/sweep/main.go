@@ -2,20 +2,42 @@
 // data behind the paper's Figures 5, 6, 8 and 9 — for one or more named
 // configurations, as aligned text columns suitable for plotting.
 //
+// Points execute concurrently on a worker pool (-workers, default NumCPU);
+// any worker count produces byte-identical tables because every point owns
+// its own network and RNG. With -out the results stream to an append-only
+// JSONL store keyed by each point's content hash, and -resume reloads that
+// store first so an interrupted campaign re-runs only what is missing —
+// re-invoking an identical, completed sweep executes zero new simulations.
+// -timeout bounds each point; a point that trips it (or panics) is reported
+// failed without disturbing the rest. -progress streams jobs-done/total and
+// an ETA to stderr.
+//
 // Usage:
 //
 //	sweep -configs FR6,FR13,VC8,VC16 -wiring fast -pktlen 5
 //	sweep -configs FR6,VC32 -pktlen 21 -from 0.1 -to 0.9 -step 0.05
+//	sweep -configs FR6,VC8 -workers 8 -out results.jsonl -progress
+//	sweep -configs FR6,VC8 -out results.jsonl -resume   # finish a killed run
+//
+// With -adaptive it skips the fixed load grid and bisects each
+// configuration's saturation throughput in O(log 1/resolution) runs,
+// reporting one row per configuration (-step doubles as the bisection
+// resolution):
+//
+//	sweep -configs FR6,FR13,VC8 -adaptive -step 0.02
 //
 // With -faults it instead sweeps data-flit loss rates on the FR6 network,
-// comparing detection-only against the end-to-end retry layer:
+// comparing detection-only against the end-to-end retry layer (cells also
+// fan out over -workers):
 //
 //	sweep -faults -retrylimit 8 -packets 400
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -25,37 +47,90 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests can drive the
+// whole command and compare output bytes across worker counts.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		configs = flag.String("configs", "FR6,VC8", "comma-separated configs: FR6, FR13, VC8, VC16, VC32, FR6-leadN")
-		wiring  = flag.String("wiring", "fast", "fast or leading")
-		pktLen  = flag.Int("pktlen", 5, "packet length in data flits")
-		from    = flag.Float64("from", 0.10, "first offered load (fraction of capacity)")
-		to      = flag.Float64("to", 0.90, "last offered load")
-		step    = flag.Float64("step", 0.10, "load step")
-		sample  = flag.Int("sample", 5000, "packets sampled per point")
-		warmup  = flag.Int("warmup", 3000, "minimum warm-up cycles")
-		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
-		csv     = flag.Bool("csv", false, "emit comma-separated values (load%, then avg latency per config; empty cell = saturated)")
+		configs = fs.String("configs", "FR6,VC8", "comma-separated configs: FR6, FR13, VC8, VC16, VC32, WH, SAF, VCT, FR6-leadN")
+		wiring  = fs.String("wiring", "fast", "fast or leading")
+		pktLen  = fs.Int("pktlen", 5, "packet length in data flits")
+		from    = fs.Float64("from", 0.10, "first offered load (fraction of capacity)")
+		to      = fs.Float64("to", 0.90, "last offered load")
+		step    = fs.Float64("step", 0.10, "load step (with -adaptive: bisection resolution)")
+		sample  = fs.Int("sample", 5000, "packets sampled per point")
+		warmup  = fs.Int("warmup", 3000, "minimum warm-up cycles")
+		seed    = fs.Uint64("seed", 0, "random seed (0 = default)")
+		csv     = fs.Bool("csv", false, "emit comma-separated values (load%, then avg latency per config; empty cell = saturated)")
 
-		faults     = flag.Bool("faults", false, "sweep data-flit loss rates on FR6 instead of offered loads, comparing detection-only vs end-to-end retry")
-		retryLimit = flag.Int("retrylimit", 8, "retry budget of the -faults retry arm")
-		packets    = flag.Int("packets", 400, "packets offered per -faults row")
-		rates      = flag.String("rates", "", "comma-separated loss rates for -faults (default 0,0.01,0.02,0.05,0.10,0.20)")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = NumCPU); results are identical for any value")
+		out      = fs.String("out", "", "append results to this JSONL store as points complete")
+		resume   = fs.Bool("resume", false, "reload -out first and skip already-computed points (default: truncate it)")
+		timeout  = fs.Duration("timeout", 0, "per-point wall-clock budget (0 = none); a point over budget fails alone")
+		adaptive = fs.Bool("adaptive", false, "bisect each config's saturation throughput instead of sweeping the load grid")
+		progress = fs.Bool("progress", false, "stream progress (done/total, ETA) to stderr")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
+		faults     = fs.Bool("faults", false, "sweep data-flit loss rates on FR6 instead of offered loads, comparing detection-only vs end-to-end retry")
+		retryLimit = fs.Int("retrylimit", 8, "retry budget of the -faults retry arm")
+		packets    = fs.Int("packets", 400, "packets offered per -faults row")
+		rates      = fs.String("rates", "", "comma-separated loss rates for -faults (default 0,0.01,0.02,0.05,0.10,0.20)")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "sweep: "+format+"\n", a...)
+		return 2
+	}
+	if !*faults {
+		// Flag validation: a non-positive -step would loop the load
+		// grid forever, and the measurement protocol needs a positive
+		// load window and sample.
+		if *step <= 0 {
+			return fail("-step must be > 0 (got %g)", *step)
+		}
+		if *from <= 0 {
+			return fail("-from must be > 0 (got %g)", *from)
+		}
+		if !*adaptive && *from > *to {
+			return fail("-from (%g) must not exceed -to (%g)", *from, *to)
+		}
+		if *sample <= 0 {
+			return fail("-sample must be > 0 (got %d)", *sample)
+		}
+		if *warmup <= 0 {
+			return fail("-warmup must be > 0 (got %d)", *warmup)
+		}
+	}
+	if *workers < 0 {
+		return fail("-workers must be >= 0 (got %d)", *workers)
+	}
+	if *resume && *out == "" {
+		return fail("-resume needs -out to name the store to resume from")
+	}
+	if *out != "" && !*resume {
+		// A fresh campaign: an existing store would otherwise silently
+		// serve stale points.
+		if err := os.Truncate(*out, 0); err != nil && !os.IsNotExist(err) {
+			return fail("truncate %s: %v", *out, err)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(2)
+			return fail("%v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(2)
+			return fail("%v", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -64,28 +139,53 @@ func main() {
 			runtime.GC()
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "sweep:", err)
+				return
 			}
+			defer f.Close()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "sweep:", err)
 			}
-			f.Close()
 		}()
 	}
 
 	if *faults {
-		runFaultSweep(*retryLimit, *packets, *pktLen, *rates, *seed, *csv)
-		return
+		return runFaultSweep(stdout, stderr, *retryLimit, *packets, *pktLen, *rates, *seed, *workers, *csv)
 	}
 
 	w := frfc.FastControl
 	if *wiring == "leading" {
 		w = frfc.LeadingControl
 	} else if *wiring != "fast" {
-		fmt.Fprintf(os.Stderr, "sweep: unknown wiring %q\n", *wiring)
-		os.Exit(2)
+		return fail("unknown wiring %q", *wiring)
+	}
+
+	names := strings.Split(*configs, ",")
+	specs := make([]frfc.Spec, 0, len(names))
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+		spec, err := specFor(names[i], w, *pktLen)
+		if err != nil {
+			return fail("%v", err)
+		}
+		spec = spec.WithSampling(*sample, *warmup)
+		if *seed != 0 {
+			spec = spec.WithSeed(*seed)
+		}
+		specs = append(specs, spec)
+	}
+
+	popts := frfc.ParallelOptions{
+		Workers:    *workers,
+		Timeout:    *timeout,
+		ResultPath: *out,
+	}
+	if *progress {
+		popts.Progress = func(p frfc.Progress) { fmt.Fprintf(stderr, "sweep: %s\n", p) }
+	}
+
+	if *adaptive {
+		return runAdaptive(stdout, stderr, names, specs, *step, *wiring, *pktLen, popts, *csv)
 	}
 
 	var loads []float64
@@ -93,93 +193,176 @@ func main() {
 		loads = append(loads, l)
 	}
 
-	names := strings.Split(*configs, ",")
-	series := make(map[string][]frfc.Result, len(names))
-	for _, name := range names {
-		spec, err := specFor(strings.TrimSpace(name), w, *pktLen)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(2)
+	jobs := make([]frfc.Job, 0, len(specs)*len(loads))
+	for _, s := range specs {
+		for _, l := range loads {
+			jobs = append(jobs, frfc.Job{Spec: s, Load: l})
 		}
-		spec = spec.WithSampling(*sample, *warmup)
-		if *seed != 0 {
-			spec = spec.WithSeed(*seed)
-		}
-		series[name] = frfc.Sweep(spec, loads)
 	}
+	results, err := frfc.RunJobs(context.Background(), jobs, popts)
+	if err != nil {
+		return fail("%v", err)
+	}
+	series := make(map[string][]frfc.JobResult, len(names))
+	for i, name := range names {
+		series[name] = results[i*len(loads) : (i+1)*len(loads)]
+	}
+
+	exit := summarize(stderr, results)
 
 	if *csv {
-		fmt.Printf("load")
+		fmt.Fprintf(stdout, "load")
 		for _, name := range names {
-			fmt.Printf(",%s", name)
+			fmt.Fprintf(stdout, ",%s", name)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		for i, l := range loads {
-			fmt.Printf("%.1f", l*100)
+			fmt.Fprintf(stdout, "%.1f", l*100)
 			for _, name := range names {
-				r := series[name][i]
-				if r.Saturated {
-					fmt.Printf(",")
+				jr := series[name][i]
+				if jr.Err != "" || jr.Result.Saturated {
+					fmt.Fprintf(stdout, ",")
 				} else {
-					fmt.Printf(",%.2f", r.AvgLatency)
+					fmt.Fprintf(stdout, ",%.2f", jr.Result.AvgLatency)
 				}
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		return
+		return exit
 	}
 
-	fmt.Printf("# latency (cycles) vs offered traffic (%% capacity); %s wiring, %d-flit packets\n", *wiring, *pktLen)
-	fmt.Printf("%-8s", "load%")
+	fmt.Fprintf(stdout, "# latency (cycles) vs offered traffic (%% capacity); %s wiring, %d-flit packets\n", *wiring, *pktLen)
+	fmt.Fprintf(stdout, "%-8s", "load%")
 	for _, name := range names {
-		fmt.Printf(" %14s", name)
+		fmt.Fprintf(stdout, " %14s", name)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for i, l := range loads {
-		fmt.Printf("%-8.1f", l*100)
+		fmt.Fprintf(stdout, "%-8.1f", l*100)
 		for _, name := range names {
-			r := series[name][i]
-			if r.Saturated {
-				fmt.Printf(" %14s", "saturated")
-			} else {
-				fmt.Printf(" %14.2f", r.AvgLatency)
+			jr := series[name][i]
+			switch {
+			case jr.Err != "":
+				fmt.Fprintf(stdout, " %14s", "failed")
+			case jr.Result.Saturated:
+				fmt.Fprintf(stdout, " %14s", "saturated")
+			default:
+				fmt.Fprintf(stdout, " %14.2f", jr.Result.AvgLatency)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return exit
+}
+
+// summarize prints the campaign accounting line to stderr — the signal a
+// resumed sweep ran zero new simulations — and reports failures.
+func summarize(stderr io.Writer, results []frfc.JobResult) int {
+	simulated, cached, failed := 0, 0, 0
+	for _, jr := range results {
+		switch {
+		case jr.Err != "":
+			failed++
+		case jr.Cached:
+			cached++
+		default:
+			simulated++
+		}
+	}
+	fmt.Fprintf(stderr, "sweep: %d points: %d simulated, %d cached, %d failed\n",
+		len(results), simulated, cached, failed)
+	if failed > 0 {
+		for _, jr := range results {
+			if jr.Err != "" {
+				first, _, _ := strings.Cut(jr.Err, "\n")
+				fmt.Fprintf(stderr, "sweep: point %s load=%.1f%% failed: %s\n",
+					jr.Job.Spec.Name(), jr.Job.Load*100, first)
+			}
+		}
+		return 1
+	}
+	return 0
+}
+
+// runAdaptive is the -adaptive mode: one bisection search per configuration
+// instead of the fixed load grid.
+func runAdaptive(stdout, stderr io.Writer, names []string, specs []frfc.Spec, resolution float64, wiring string, pktLen int, popts frfc.ParallelOptions, csv bool) int {
+	pts, err := frfc.SaturationSearch(context.Background(), specs, resolution, popts)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	exit := 0
+	simulated := 0
+	for _, p := range pts {
+		simulated += p.Simulated
+		if p.Err != "" {
+			first, _, _ := strings.Cut(p.Err, "\n")
+			fmt.Fprintf(stderr, "sweep: %s search failed: %s\n", p.Spec, first)
+			exit = 1
+		}
+	}
+	fmt.Fprintf(stderr, "sweep: %d configs: %d runs simulated\n", len(pts), simulated)
+
+	if csv {
+		fmt.Fprintln(stdout, "config,saturation,effective,base_latency,evals,simulated")
+		for i, p := range pts {
+			if p.Err != "" {
+				fmt.Fprintf(stdout, "%s,,,,,\n", names[i])
+				continue
+			}
+			fmt.Fprintf(stdout, "%s,%.1f,%.1f,%.2f,%d,%d\n",
+				names[i], p.Saturation*100, p.Effective*100, p.BaseLatency, p.Evals, p.Simulated)
+		}
+		return exit
+	}
+	fmt.Fprintf(stdout, "# saturation throughput by bisection (resolution %.1f%% capacity); %s wiring, %d-flit packets\n",
+		resolution*100, wiring, pktLen)
+	fmt.Fprintf(stdout, "%-14s %10s %10s %12s %6s %10s\n",
+		"config", "sat%cap", "eff%cap", "base(cyc)", "evals", "simulated")
+	for i, p := range pts {
+		if p.Err != "" {
+			fmt.Fprintf(stdout, "%-14s %10s\n", names[i], "failed")
+			continue
+		}
+		fmt.Fprintf(stdout, "%-14s %10.1f %10.1f %12.2f %6d %10d\n",
+			names[i], p.Saturation*100, p.Effective*100, p.BaseLatency, p.Evals, p.Simulated)
+	}
+	return exit
 }
 
 // runFaultSweep is the -faults mode: delivery probability versus loss rate,
-// detection-only versus end-to-end retry.
-func runFaultSweep(retryLimit, packets, pktLen int, rates string, seed uint64, csv bool) {
-	o := frfc.FaultSweepOptions{RetryLimit: retryLimit, Packets: packets, PacketLen: pktLen, Seed: seed}
+// detection-only versus end-to-end retry, cells fanned over the worker pool.
+func runFaultSweep(stdout, stderr io.Writer, retryLimit, packets, pktLen int, rates string, seed uint64, workers int, csv bool) int {
+	o := frfc.FaultSweepOptions{RetryLimit: retryLimit, Packets: packets, PacketLen: pktLen, Seed: seed, Workers: workers}
 	if rates != "" {
 		for _, s := range strings.Split(rates, ",") {
 			var r float64
 			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &r); err != nil || r != r || r < 0 || r > 1 {
-				fmt.Fprintf(os.Stderr, "sweep: bad loss rate %q (want a probability in [0,1])\n", s)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "sweep: bad loss rate %q (want a probability in [0,1])\n", s)
+				return 2
 			}
 			o.Rates = append(o.Rates, r)
 		}
 	}
 	points := frfc.FaultSweep(o)
 	if csv {
-		fmt.Println("loss,retrylimit,offered,delivered,abandoned,retried,avglatency")
+		fmt.Fprintln(stdout, "loss,retrylimit,offered,delivered,abandoned,retried,avglatency")
 		for _, p := range points {
-			fmt.Printf("%.3f,%d,%d,%d,%d,%d,%.2f\n",
+			fmt.Fprintf(stdout, "%.3f,%d,%d,%d,%d,%d,%.2f\n",
 				p.DataFaultRate, p.RetryLimit, p.Offered, p.Delivered, p.Abandoned, p.Retried, p.AvgLatency)
 		}
-		return
+		return 0
 	}
-	fmt.Printf("# end-to-end delivery vs data-flit loss; FR6, %d-flit packets, %d packets per row\n", pktLen, packets)
+	fmt.Fprintf(stdout, "# end-to-end delivery vs data-flit loss; FR6, %d-flit packets, %d packets per row\n", pktLen, packets)
 	for _, p := range points {
 		wedged := ""
 		if p.Wedged {
 			wedged = "  WEDGED"
 		}
-		fmt.Printf("%s%s\n", p, wedged)
+		fmt.Fprintf(stdout, "%s%s\n", p, wedged)
 	}
+	return 0
 }
 
 func specFor(name string, w frfc.Wiring, pktLen int) (frfc.Spec, error) {

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sweepArgs is a small, fast grid shared by the tests.
+func sweepArgs(extra ...string) []string {
+	base := []string{
+		"-configs", "FR6,VC8", "-from", "0.2", "-to", "0.4", "-step", "0.2",
+		"-sample", "150", "-warmup", "300",
+	}
+	return append(base, extra...)
+}
+
+// TestWorkersByteIdenticalOutput is the acceptance criterion: the sweep's
+// stdout must be byte-identical for -workers=1 and -workers=4, in both table
+// and CSV form.
+func TestWorkersByteIdenticalOutput(t *testing.T) {
+	for _, mode := range [][]string{nil, {"-csv"}} {
+		var ref []byte
+		for _, workers := range []string{"1", "4"} {
+			var stdout, stderr bytes.Buffer
+			args := sweepArgs("-workers", workers)
+			args = append(args, mode...)
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("workers=%s exit %d: %s", workers, code, stderr.String())
+			}
+			if ref == nil {
+				ref = stdout.Bytes()
+				continue
+			}
+			if !bytes.Equal(stdout.Bytes(), ref) {
+				t.Errorf("mode %v: -workers=4 output differs from -workers=1:\n--- workers=1\n%s--- workers=4\n%s",
+					mode, ref, stdout.Bytes())
+			}
+		}
+	}
+}
+
+// TestResumeExecutesZeroNewJobs is the acceptance criterion: re-invoking an
+// identical completed sweep with -resume must simulate nothing and still
+// print the identical table.
+func TestResumeExecutesZeroNewJobs(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "sweep.jsonl")
+	var first, firstErr bytes.Buffer
+	if code := run(sweepArgs("-workers", "2", "-out", store), &first, &firstErr); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, firstErr.String())
+	}
+	if !strings.Contains(firstErr.String(), "4 simulated, 0 cached") {
+		t.Fatalf("first run accounting unexpected: %s", firstErr.String())
+	}
+
+	var second, secondErr bytes.Buffer
+	if code := run(sweepArgs("-workers", "2", "-out", store, "-resume"), &second, &secondErr); code != 0 {
+		t.Fatalf("resumed run exit %d: %s", code, secondErr.String())
+	}
+	if !strings.Contains(secondErr.String(), "0 simulated, 4 cached") {
+		t.Fatalf("resumed run simulated new jobs: %s", secondErr.String())
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("resumed output differs from original:\n--- first\n%s--- resumed\n%s", first.Bytes(), second.Bytes())
+	}
+}
+
+// TestFreshRunTruncatesStore: without -resume an existing -out store must not
+// serve stale points.
+func TestFreshRunTruncatesStore(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "sweep.jsonl")
+	var out, errBuf bytes.Buffer
+	if code := run(sweepArgs("-out", store), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	errBuf.Reset()
+	if code := run(sweepArgs("-out", store), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "4 simulated, 0 cached") {
+		t.Errorf("fresh run served cached points: %s", errBuf.String())
+	}
+}
+
+// TestFlagValidation: bad measurement flags must fail fast with a clear
+// message and exit code 2 — a non-positive -step used to loop forever.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero step", []string{"-step", "0"}, "-step must be > 0"},
+		{"negative step", []string{"-step", "-0.1"}, "-step must be > 0"},
+		{"from > to", []string{"-from", "0.8", "-to", "0.2"}, "must not exceed -to"},
+		{"non-positive from", []string{"-from", "0"}, "-from must be > 0"},
+		{"non-positive sample", []string{"-sample", "0"}, "-sample must be > 0"},
+		{"non-positive warmup", []string{"-warmup", "-5"}, "-warmup must be > 0"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers must be >= 0"},
+		{"resume without out", []string{"-resume"}, "-resume needs -out"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q does not explain %q", stderr.String(), tc.want)
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("rejected invocation still wrote output: %s", stdout.String())
+			}
+		})
+	}
+}
+
+// TestAdaptiveMode: -adaptive prints one bisection row per config and resumes
+// from the store with zero new simulations.
+func TestAdaptiveMode(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "sat.jsonl")
+	args := []string{
+		"-configs", "FR6", "-adaptive", "-step", "0.1",
+		"-sample", "150", "-warmup", "300", "-workers", "2", "-out", store,
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	outStr := stdout.String()
+	if !strings.Contains(outStr, "bisection") || !strings.Contains(outStr, "FR6") {
+		t.Fatalf("adaptive table malformed:\n%s", outStr)
+	}
+
+	resumed := append(args, "-resume")
+	var stdout2, stderr2 bytes.Buffer
+	if code := run(resumed, &stdout2, &stderr2); code != 0 {
+		t.Fatalf("resumed exit %d: %s", code, stderr2.String())
+	}
+	if !strings.Contains(stderr2.String(), "0 runs simulated") {
+		t.Fatalf("resumed adaptive search re-simulated: %s", stderr2.String())
+	}
+}

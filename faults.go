@@ -1,9 +1,11 @@
 package frfc
 
 import (
+	"context"
 	"fmt"
 
 	"frfc/internal/experiment"
+	"frfc/internal/harness"
 )
 
 // FaultPoint is one row of a FaultSweep: a flit-reservation network run at
@@ -68,18 +70,23 @@ type FaultSweepOptions struct {
 	RetryLimit int
 	Rates      []float64
 	Seed       uint64
+	// Workers sizes the pool the sweep's cells fan out over; 0 means
+	// runtime.NumCPU(). Each cell owns its own network and RNG, so any
+	// worker count produces identical points in identical order.
+	Workers int
 }
 
 // FaultSweep measures end-to-end delivery under data-flit loss: each loss
 // rate is run twice — detection only, and with the end-to-end retry layer —
 // resolving every offered packet. With retries the delivered fraction stays
 // at 100% through percent-level loss rates, at a latency cost the AvgLatency
-// column exposes.
+// column exposes. The cells execute concurrently on the harness worker pool
+// (Options.Workers); the points are identical to a serial sweep.
 func FaultSweep(o FaultSweepOptions) []FaultPoint {
-	pts := experiment.FaultSweep(experiment.FaultSweepOptions{
+	pts, _ := harness.FaultSweep(context.Background(), experiment.FaultSweepOptions{
 		Radix: o.Radix, Packets: o.Packets, PacketLen: o.PacketLen,
 		RetryLimit: o.RetryLimit, Rates: o.Rates, Seed: o.Seed,
-	})
+	}, harness.Options{Workers: o.Workers})
 	out := make([]FaultPoint, len(pts))
 	for i, p := range pts {
 		out[i] = FaultPoint{

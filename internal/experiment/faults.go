@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"frfc/internal/core"
@@ -70,6 +71,11 @@ type FaultSweepOptions struct {
 	Seed uint64
 }
 
+// WithDefaults returns the options with every zero field filled in, so
+// orchestration layers can enumerate the sweep's cells exactly as FaultSweep
+// would.
+func (o FaultSweepOptions) WithDefaults() FaultSweepOptions { return o.withDefaults() }
+
 func (o FaultSweepOptions) withDefaults() FaultSweepOptions {
 	if o.Radix == 0 {
 		o.Radix = 4
@@ -103,14 +109,20 @@ func FaultSweep(o FaultSweepOptions) []FaultPoint {
 	points := make([]FaultPoint, 0, 2*len(o.Rates))
 	for _, rate := range o.Rates {
 		for _, retryLimit := range []int{0, o.RetryLimit} {
-			points = append(points, faultPoint(o, rate, retryLimit))
+			pt, _ := FaultCell(context.Background(), o, rate, retryLimit)
+			points = append(points, pt)
 		}
 	}
 	return points
 }
 
-// faultPoint runs one (loss rate, retry policy) cell to full resolution.
-func faultPoint(o FaultSweepOptions, rate float64, retryLimit int) FaultPoint {
+// FaultCell runs one (loss rate, retry policy) cell of a FaultSweep to full
+// resolution. Each cell owns its own network and RNG seeded only from the
+// options, so cells are independent and may execute concurrently; ctx is
+// polled every 1024 cycles, and a cancelled cell returns ctx.Err() with a
+// zero point.
+func FaultCell(ctx context.Context, o FaultSweepOptions, rate float64, retryLimit int) (FaultPoint, error) {
+	o = o.withDefaults()
 	cfg := frConfig(FastControl, 6, 2, 0)
 	cfg.DataFaultRate = rate
 	cfg.RetryLimit = retryLimit
@@ -127,7 +139,13 @@ func faultPoint(o FaultSweepOptions, rate float64, retryLimit int) FaultPoint {
 
 	rng := sim.NewRNG(o.Seed ^ 0x5DEECE66D)
 	now := sim.Cycle(0)
+	cancelled := func() bool {
+		return now&1023 == 0 && ctx.Err() != nil
+	}
 	for i := 0; i < o.Packets; i++ {
+		if cancelled() {
+			return FaultPoint{}, ctx.Err()
+		}
 		src := topology.NodeID(rng.Intn(mesh.N()))
 		dst := topology.NodeID(rng.Intn(mesh.N() - 1))
 		if dst >= src {
@@ -143,6 +161,9 @@ func faultPoint(o FaultSweepOptions, rate float64, retryLimit int) FaultPoint {
 	// backoff at high loss rates can stretch the tail.
 	limit := now + 5000000
 	for net.InFlightPackets() > 0 && now < limit {
+		if cancelled() {
+			return FaultPoint{}, ctx.Err()
+		}
 		net.Tick(now)
 		now++
 	}
@@ -157,5 +178,5 @@ func faultPoint(o FaultSweepOptions, rate float64, retryLimit int) FaultPoint {
 	pt.DeliveredAfterRetry = rec.DeliveredAfterRetry
 	pt.AvgLatency = lat.Mean()
 	pt.Cycles = now
-	return pt
+	return pt, nil
 }

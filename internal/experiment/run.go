@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"frfc/internal/core"
@@ -99,11 +100,25 @@ func Run(s Spec, load float64) Result {
 	return RunObserved(s, load, nil)
 }
 
+// RunCtx is Run with cooperative cancellation: the simulation polls ctx every
+// 1024 cycles and returns ctx.Err() if it fired. Cancellation never perturbs
+// a completed run — a nil error means the Result is bit-identical to what
+// Run would have produced.
+func RunCtx(ctx context.Context, s Spec, load float64) (Result, error) {
+	return RunObservedCtx(ctx, s, load, nil)
+}
+
 // RunObserved is Run with an observability probe attached to the network for
 // the whole run: counters, occupancy gauges and flit traces accumulate in the
 // probe, whose registry is stamped with the run length at the end. A nil or
 // empty probe makes it identical to Run.
 func RunObserved(s Spec, load float64, probe *metrics.Probe) Result {
+	r, _ := RunObservedCtx(context.Background(), s, load, probe)
+	return r
+}
+
+// RunObservedCtx is RunObserved with cooperative cancellation (see RunCtx).
+func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Probe) (Result, error) {
 	s = s.withDefaults()
 	if load < 0 || load > 2 {
 		panic(fmt.Sprintf("experiment: offered load %.3f out of range", load))
@@ -177,6 +192,12 @@ func RunObserved(s Spec, load float64, probe *metrics.Probe) Result {
 
 	now := sim.Cycle(0)
 	tagged := 0
+	// cancelled polls ctx every 1024 cycles; the check never alters
+	// simulation state, so a run that finishes is bit-identical whether or
+	// not a cancellable context was supplied.
+	cancelled := func() bool {
+		return now&1023 == 0 && ctx.Err() != nil
+	}
 	step := func(tagging, observe bool) {
 		for _, g := range gens {
 			p := g.Generate(now)
@@ -201,10 +222,16 @@ func RunObserved(s Spec, load float64, probe *metrics.Probe) Result {
 	// stabilize or the cap is reached.
 	stab := stats.NewStabilizer(s.WarmupCycles/4+1, 0.10)
 	for now < s.WarmupCycles {
+		if cancelled() {
+			return Result{}, ctx.Err()
+		}
 		step(false, false)
 		stab.Observe(net.SourceQueueLen())
 	}
 	for now < s.MaxWarmupCycles && !stab.Stable() {
+		if cancelled() {
+			return Result{}, ctx.Err()
+		}
 		step(false, false)
 		stab.Observe(net.SourceQueueLen())
 	}
@@ -213,6 +240,9 @@ func RunObserved(s Spec, load float64, probe *metrics.Probe) Result {
 	tput.Open(now)
 	sampleStart := now
 	for tagged < s.SamplePackets && rate > 0 {
+		if cancelled() {
+			return Result{}, ctx.Err()
+		}
 		step(true, true)
 	}
 	creationCycles := now - sampleStart
@@ -224,6 +254,9 @@ func RunObserved(s Spec, load float64, probe *metrics.Probe) Result {
 	// delivered or the drain bound trips (the saturation signal).
 	deadline := now + creationCycles*sim.Cycle(s.DrainFactor) + 10*s.WarmupCycles
 	for sampledDelivered < tagged && now < deadline {
+		if cancelled() {
+			return Result{}, ctx.Err()
+		}
 		step(false, true)
 	}
 	tput.Close(now)
@@ -263,7 +296,7 @@ func RunObserved(s Spec, load float64, probe *metrics.Probe) Result {
 		res.CtrlCorrupted = rec.CtrlCorrupted
 		res.AvgRetryLatency = retryLat.Retried().Mean()
 	}
-	return res
+	return res, nil
 }
 
 // Sweep runs the spec at each offered load and returns one result per point.

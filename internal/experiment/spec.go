@@ -120,6 +120,12 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// Normalized returns the spec with every unset measurement parameter filled
+// with its default, the form Run actually executes. Orchestration layers hash
+// normalized specs so that a spec and its explicit-default twin share a cache
+// key.
+func (s Spec) Normalized() Spec { return s.withDefaults() }
+
 // PaperScale returns the spec with the paper's measurement protocol: at
 // least 10,000 warm-up cycles and 100,000 sampled packets.
 func (s Spec) PaperScale() Spec {

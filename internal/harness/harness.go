@@ -1,0 +1,109 @@
+// Package harness orchestrates experiment campaigns: it fans independent
+// (configuration, offered-load) points out over a worker pool, caches results
+// in an append-only JSONL store keyed by a stable content hash so interrupted
+// campaigns resume where they stopped, streams progress, and locates
+// saturation throughput adaptively by bisection instead of a fixed load grid.
+//
+// The determinism contract: every job owns its own network and RNG (seeded
+// only from the job's spec), jobs never share mutable state, and results are
+// returned in job order regardless of completion order — so a campaign run on
+// N workers is bit-identical to the same campaign run serially. The contract
+// is enforced by TestParallelEqualsSerial across worker counts.
+//
+// A panicking job is captured — stack and all — as that job's failure; its
+// siblings and the campaign continue. Cancellation is cooperative: the
+// simulator polls the context every 1024 cycles, so a per-job timeout or a
+// campaign-wide cancel stops work without leaking goroutines.
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"time"
+
+	"frfc/internal/experiment"
+)
+
+// Job is one unit of work: a configuration simulated at one offered load.
+type Job struct {
+	Spec experiment.Spec
+	// Load is the offered traffic as a fraction of network capacity.
+	Load float64
+	// Seed, when nonzero, overrides the spec's RNG seed for this job —
+	// the way a campaign decorrelates replicas of one configuration.
+	Seed uint64
+}
+
+// EffectiveSpec is the spec the job actually executes: normalized (defaults
+// filled) with any Seed override applied. Hashing and execution both use it,
+// so a spec and its explicit-default twin share a cache key.
+func (j Job) EffectiveSpec() experiment.Spec {
+	s := j.Spec.Normalized()
+	if j.Seed != 0 {
+		s.Seed = j.Seed
+	}
+	return s
+}
+
+// hashVersion is baked into every job hash; bump it when Result fields or
+// simulator semantics change so stale caches miss instead of lying.
+const hashVersion = "frfc-job-v1"
+
+// Hash is the job's stable content hash: a digest of the normalized spec
+// (every field, including nested router configs and the traffic pattern's
+// concrete type), the offered load, and the seed override. Two jobs hash
+// equal exactly when Run would execute identical simulations, which is what
+// makes the hash a safe result-cache key and a safe per-job RNG root.
+func (j Job) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%#v|%.12g", hashVersion, j.EffectiveSpec(), j.Load)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// JobResult is one job's outcome. Exactly one of Result (Err == "") or Err is
+// meaningful; Cached and Skipped qualify how the result was obtained.
+type JobResult struct {
+	Job  Job
+	Hash string
+	// Result is the simulation's report when the job succeeded (or was
+	// served from the store, or synthesized by a saturation short-circuit).
+	Result experiment.Result
+	// Err is non-empty when the job failed: a captured panic (with
+	// Panicked set and the stack appended), a per-job timeout, or a
+	// campaign cancellation.
+	Err      string
+	Panicked bool
+	// Cached is set when the result came from the store without running.
+	Cached bool
+	// Skipped is set when a saturation short-circuit synthesized the
+	// result (Saturated=true) without running the simulation.
+	Skipped bool
+	// Elapsed is the wall-clock execution time (zero for cached/skipped).
+	Elapsed time.Duration
+}
+
+// Options tunes a campaign. The zero value runs with NumCPU workers, no
+// per-job timeout, no store, and no progress reporting.
+type Options struct {
+	// Workers is the pool size; 0 means runtime.NumCPU().
+	Workers int
+	// Timeout, when nonzero, bounds each job's execution; a job that
+	// exceeds it fails with context.DeadlineExceeded. Cached results are
+	// exempt.
+	Timeout time.Duration
+	// Store, when non-nil, is consulted before running a job and appended
+	// to after each success, making the campaign resumable.
+	Store *Store
+	// Progress, when non-nil, is called after every job completion (it
+	// must be fast; it runs under the campaign's bookkeeping lock).
+	Progress func(Progress)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Outcome is one item's result from a pool map: a value, an error, or a
+// captured panic (Err is set for panics too, with the stack in Stack).
+type Outcome[R any] struct {
+	Value    R
+	Err      error
+	Panicked bool
+	Stack    string
+}
+
+// mapPool runs fn over items on a fixed pool of workers and returns outcomes
+// in item order — completion order never shows. A panic in fn becomes that
+// item's Outcome (Panicked, stack captured); the other items are unaffected.
+// When ctx is cancelled, items not yet started fail with ctx.Err() and the
+// call returns once in-flight items finish.
+func mapPool[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) []Outcome[R] {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]Outcome[R], len(items))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = runIsolated(ctx, i, items[i], fn)
+			}
+		}()
+	}
+	for i := range items {
+		if err := ctx.Err(); err != nil {
+			out[i] = Outcome[R]{Err: err}
+			continue
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// runIsolated executes fn for one item with panic capture.
+func runIsolated[T, R any](ctx context.Context, i int, item T, fn func(ctx context.Context, i int, item T) (R, error)) (o Outcome[R]) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.Panicked = true
+			o.Stack = string(debug.Stack())
+			o.Err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	o.Value, o.Err = fn(ctx, i, item)
+	return o
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"frfc/internal/experiment"
+)
+
+// RunJobs executes the jobs on the worker pool and returns one JobResult per
+// job, in job order. Failed jobs (panic, timeout, cancellation) are reported
+// in their JobResult without disturbing their siblings; the returned error is
+// non-nil only when the campaign's own context ended, in which case results
+// for unstarted jobs carry that error too.
+func RunJobs(ctx context.Context, jobs []Job, o Options) ([]JobResult, error) {
+	tr := newTracker(len(jobs), o.workers(), o.Progress)
+	outs := mapPool(ctx, o.workers(), jobs, func(ctx context.Context, i int, j Job) (JobResult, error) {
+		return execJob(ctx, j, o, tr), nil
+	})
+	results := make([]JobResult, len(jobs))
+	for i, out := range outs {
+		if out.Err != nil {
+			// Only jobs never started (campaign cancelled) or a
+			// harness-internal panic land here; job panics are
+			// captured inside execJob.
+			jr := JobResult{Job: jobs[i], Err: out.Err.Error(), Panicked: out.Panicked}
+			tr.finish(&jr)
+			results[i] = jr
+			continue
+		}
+		results[i] = out.Value
+	}
+	return results, ctx.Err()
+}
+
+// execJob resolves one job: store lookup, then an isolated, timeout-bounded
+// simulation, then store write-back. It never panics and always notifies the
+// tracker exactly once.
+func execJob(ctx context.Context, j Job, o Options, tr *tracker) JobResult {
+	jr := JobResult{Job: j, Hash: j.Hash()}
+	defer tr.finish(&jr)
+
+	if o.Store != nil {
+		if r, ok := o.Store.Get(jr.Hash); ok {
+			jr.Result = r
+			jr.Cached = true
+			return jr
+		}
+	}
+
+	runCtx := ctx
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, panicked, stack, err := runJobIsolated(runCtx, j)
+	jr.Elapsed = time.Since(start)
+	if err != nil {
+		jr.Err = err.Error()
+		jr.Panicked = panicked
+		if panicked {
+			jr.Err += "\n" + stack
+		}
+		return jr
+	}
+	jr.Result = res
+	if o.Store != nil {
+		if perr := o.Store.Put(j, jr.Hash, res); perr != nil {
+			// The result is still good; surface the store failure
+			// without discarding it.
+			jr.Err = perr.Error()
+		}
+	}
+	return jr
+}
+
+// runJobIsolated runs the simulation with panic capture, so a bug tripped by
+// one parameter point becomes that point's failure rather than a crashed
+// campaign.
+func runJobIsolated(ctx context.Context, j Job) (res experiment.Result, panicked bool, stack string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			stack = string(debug.Stack())
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	res, err = experiment.RunCtx(ctx, j.EffectiveSpec(), j.Load)
+	return res, panicked, stack, err
+}

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"frfc/internal/experiment"
+)
+
+// storeEntry is one JSONL line of the result store. Spec, Load and Seed are
+// recorded for human inspection and downstream tooling; only Hash keys
+// lookups.
+type storeEntry struct {
+	Hash string            `json:"hash"`
+	Spec string            `json:"spec"`
+	Load float64           `json:"load"`
+	Seed uint64            `json:"seed,omitempty"`
+	Res  experiment.Result `json:"result"`
+}
+
+// Store is an append-only JSONL result cache keyed by job content hash. It is
+// safe for concurrent use; every Put is flushed before it returns, so a
+// killed campaign loses at most the jobs in flight. Opening tolerates a
+// truncated final line (the footprint of a kill mid-write): complete lines
+// load, the partial line is ignored and simply re-run.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]experiment.Result
+	skipped int
+}
+
+// OpenStore opens (creating if absent) the JSONL store at path and loads
+// every decodable line. Undecodable lines — a truncated tail from a killed
+// run, or foreign junk — are counted in Skipped and otherwise ignored.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: open store: %w", err)
+	}
+	s := &Store{f: f, entries: make(map[string]experiment.Result)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e storeEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Hash == "" {
+			s.skipped++
+			continue
+		}
+		s.entries[e.Hash] = e.Res
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: read store: %w", err)
+	}
+	// Append after whatever was read, including any partial tail; a
+	// leading newline guard on the next Put would complicate the format,
+	// so instead complete the file to a line boundary now.
+	if off, err := f.Seek(0, 2); err == nil && off > 0 {
+		buf := make([]byte, 1)
+		if _, err := f.ReadAt(buf, off-1); err == nil && buf[0] != '\n' {
+			f.Write([]byte("\n"))
+		}
+	}
+	return s, nil
+}
+
+// Get returns the cached result for a job hash.
+func (s *Store) Get(hash string) (experiment.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.entries[hash]
+	return r, ok
+}
+
+// Put records a completed job, appending one JSONL line and syncing it.
+func (s *Store) Put(j Job, hash string, r experiment.Result) error {
+	line, err := json.Marshal(storeEntry{
+		Hash: hash, Spec: j.EffectiveSpec().Name, Load: j.Load, Seed: j.Seed, Res: r,
+	})
+	if err != nil {
+		return fmt.Errorf("harness: encode result: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("harness: append result: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("harness: sync store: %w", err)
+	}
+	s.entries[hash] = r
+	return nil
+}
+
+// Len reports how many results the store holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Skipped reports how many undecodable lines OpenStore ignored.
+func (s *Store) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}
+
+// Close closes the underlying file. Further Puts fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"frfc/internal/experiment"
+)
+
+// TestStoreRoundTrip: results written by Put come back from a reopened store
+// bit-identical.
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Spec: tinySpec(), Load: 0.25}
+	res := experiment.Run(job.Spec, job.Load)
+	if err := st.Put(job, job.Hash(), res); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, ok := st2.Get(job.Hash())
+	if !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("result changed across the store round trip:\ngot:  %+v\nwant: %+v", got, res)
+	}
+}
+
+// TestCacheHitMissAndResume: a second campaign over the same jobs must
+// execute zero simulations — every point is a cache hit — and a third over a
+// superset must simulate only the new points.
+func TestCacheHitMissAndResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	jobs := []Job{
+		{Spec: tinySpec(), Load: 0.2},
+		{Spec: tinySpec(), Load: 0.3},
+	}
+
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunJobs(context.Background(), jobs, Options{Workers: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	for i, jr := range first {
+		if jr.Cached {
+			t.Errorf("job %d cached on a cold store", i)
+		}
+	}
+
+	st, err = OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunJobs(context.Background(), jobs, Options{Workers: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range second {
+		if !jr.Cached {
+			t.Errorf("job %d re-simulated despite a warm store", i)
+		}
+		if !reflect.DeepEqual(jr.Result, first[i].Result) {
+			t.Errorf("job %d cached result differs from the original", i)
+		}
+	}
+
+	superset := append(jobs, Job{Spec: tinySpec(), Load: 0.4})
+	third, err := RunJobs(context.Background(), superset, Options{Workers: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if !third[0].Cached || !third[1].Cached || third[2].Cached {
+		t.Errorf("superset cache pattern wrong: %v %v %v", third[0].Cached, third[1].Cached, third[2].Cached)
+	}
+}
+
+// TestResumeAfterPartialWrite: a store whose final line was cut mid-write (a
+// killed campaign) must load every complete line, drop the partial one, and
+// let the campaign re-run exactly the lost point.
+func TestResumeAfterPartialWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	jobs := []Job{
+		{Spec: tinySpec(), Load: 0.2},
+		{Spec: tinySpec(), Load: 0.3},
+	}
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunJobs(context.Background(), jobs, Options{Workers: 1, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Cut the file mid-way through the last line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 store lines, got %d", len(lines))
+	}
+	cut := len(data) - len(lines[1])/2
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 1 {
+		t.Fatalf("store loaded %d entries from truncated file, want 1", st.Len())
+	}
+	if st.Skipped() != 1 {
+		t.Errorf("store skipped %d lines, want 1", st.Skipped())
+	}
+	results, err := RunJobs(context.Background(), jobs, Options{Workers: 1, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Cached {
+		t.Error("intact entry was re-simulated")
+	}
+	if results[1].Cached {
+		t.Error("truncated entry was served from cache")
+	}
+	if results[1].Err != "" {
+		t.Fatalf("re-run of lost point failed: %s", results[1].Err)
+	}
+
+	// The store healed its tail: a fresh open must now see both entries.
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("store holds %d entries after resume, want 2 (file tail not healed?)", st2.Len())
+	}
+}
+
+// TestStoreIgnoresForeignJunk: garbage lines anywhere in the file are counted
+// and skipped, never fatal.
+func TestStoreIgnoresForeignJunk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n{\"hash\":\"\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 0 || st.Skipped() != 2 {
+		t.Fatalf("len=%d skipped=%d, want 0/2", st.Len(), st.Skipped())
+	}
+}

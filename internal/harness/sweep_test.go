@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"frfc/internal/experiment"
+)
+
+// TestSweepSpecsMatchesSerialSweep: the grid sweep must reproduce
+// experiment.Sweep bit-for-bit, per spec, at any worker count.
+func TestSweepSpecsMatchesSerialSweep(t *testing.T) {
+	specs := []experiment.Spec{tinySpec(), tinyVC()}
+	loads := []float64{0.2, 0.4}
+	rows, err := SweepSpecs(context.Background(), specs, loads, SweepOptions{Options: Options{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		serial := experiment.Sweep(s, loads)
+		for j := range loads {
+			if rows[i][j].Err != "" {
+				t.Fatalf("spec %d load %d failed: %s", i, j, rows[i][j].Err)
+			}
+			if !reflect.DeepEqual(rows[i][j].Result, serial[j]) {
+				t.Errorf("spec %s load %.2f diverged from serial sweep", s.Name, loads[j])
+			}
+		}
+	}
+}
+
+// TestStopAtSaturationDeterministic: the short-circuit decision depends only
+// on simulation results, so rows (including Skipped flags) must be identical
+// across worker counts, and every skipped point must sit above a simulated
+// saturated one.
+func TestStopAtSaturationDeterministic(t *testing.T) {
+	specs := []experiment.Spec{tinySpec(), tinyVC()}
+	loads := []float64{0.30, 0.92, 0.96}
+	var ref [][]JobResult
+	for _, workers := range []int{1, 3} {
+		rows, err := SweepSpecs(context.Background(), specs, loads, SweepOptions{
+			Options:          Options{Workers: workers},
+			StopAtSaturation: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			sawSat := false
+			for j, jr := range rows[i] {
+				if jr.Skipped {
+					if !sawSat {
+						t.Errorf("workers=%d spec %d: load %.2f skipped before any saturated point", workers, i, loads[j])
+					}
+					if !jr.Result.Saturated {
+						t.Errorf("workers=%d: skipped point not marked saturated", workers)
+					}
+				}
+				if jr.Err == "" && jr.Result.Saturated {
+					sawSat = true
+				}
+			}
+		}
+		// Elapsed is wall-clock metadata; strip it before comparing the
+		// deterministic payload.
+		for i := range rows {
+			for j := range rows[i] {
+				rows[i][j].Elapsed = 0
+			}
+		}
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, ref) {
+			t.Errorf("workers=%d short-circuit sweep diverged from workers=1", workers)
+		}
+	}
+	// The short-circuit must actually trigger on this grid: every tiny
+	// config saturates well before 96% load.
+	skipped := 0
+	for _, row := range ref {
+		for _, jr := range row {
+			if jr.Skipped {
+				skipped++
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Error("no point was short-circuited; grid does not exercise the feature")
+	}
+}
+
+// TestFaultSweepParallelMatchesSerial: the fault sweep fanned over workers
+// must reproduce the serial sweep exactly, in the same cell order.
+func TestFaultSweepParallelMatchesSerial(t *testing.T) {
+	o := experiment.FaultSweepOptions{Radix: 4, Packets: 60, RetryLimit: 4, Rates: []float64{0, 0.05}}
+	serial := experiment.FaultSweep(o)
+	parallel, err := FaultSweep(context.Background(), o, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel fault sweep diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

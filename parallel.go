@@ -1,0 +1,219 @@
+package frfc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"frfc/internal/experiment"
+	"frfc/internal/harness"
+)
+
+// Job is one unit of parallel experiment work: a configuration simulated at
+// one offered load. Seed, when nonzero, overrides the spec's RNG seed — the
+// way a campaign decorrelates replicas of one configuration.
+type Job struct {
+	Spec Spec
+	Load float64
+	Seed uint64
+}
+
+// Hash is the job's stable content hash: a digest of the normalized spec,
+// load and seed that keys the JSONL result cache. Two jobs hash equal exactly
+// when they would execute identical simulations.
+func (j Job) Hash() string { return j.internal().Hash() }
+
+func (j Job) internal() harness.Job {
+	return harness.Job{Spec: j.Spec.inner, Load: j.Load, Seed: j.Seed}
+}
+
+// JobResult is one job's outcome from RunJobs.
+type JobResult struct {
+	// Job is the work this result describes, echoed back so failures can
+	// be attributed even when Result is zero.
+	Job Job
+	// Result is meaningful when Err is empty.
+	Result Result
+	Hash   string
+	// Err reports a failed job: a captured panic (stack included, with
+	// Panicked set), a per-job timeout, or a campaign cancellation.
+	// Failures never disturb sibling jobs.
+	Err      string
+	Panicked bool
+	// Cached marks results served from the ResultPath store without
+	// simulating.
+	Cached bool
+	// Elapsed is the job's wall-clock execution time (zero when cached).
+	Elapsed time.Duration
+}
+
+// Progress is a campaign snapshot streamed to ParallelOptions.Progress after
+// every job completion.
+type Progress struct {
+	Total, Done     int
+	Cached, Skipped int
+	Failed          int
+	Elapsed         time.Duration
+	// ETA is a naive projection from mean job execution time; display
+	// only, zero until the first job finishes.
+	ETA time.Duration
+}
+
+// String renders the snapshot as one status line.
+func (p Progress) String() string {
+	s := fmt.Sprintf("%d/%d done", p.Done, p.Total)
+	if p.Cached > 0 {
+		s += fmt.Sprintf(", %d cached", p.Cached)
+	}
+	if p.Skipped > 0 {
+		s += fmt.Sprintf(", %d skipped", p.Skipped)
+	}
+	if p.Failed > 0 {
+		s += fmt.Sprintf(", %d failed", p.Failed)
+	}
+	if p.ETA > 0 {
+		s += fmt.Sprintf(", ~%s left", p.ETA.Round(time.Second))
+	}
+	return s
+}
+
+// ParallelOptions tunes RunJobs, SweepParallel and SaturationSearch. The zero
+// value runs on runtime.NumCPU() workers with no timeout, no cache and no
+// progress reporting.
+type ParallelOptions struct {
+	// Workers is the pool size; 0 means runtime.NumCPU(). Any worker
+	// count yields bit-identical results: each job owns its own network
+	// and RNG, and results always come back in job order.
+	Workers int
+	// Timeout, when nonzero, bounds each job's execution; the simulator
+	// polls cancellation every 1024 cycles.
+	Timeout time.Duration
+	// ResultPath, when non-empty, names a JSONL result store appended to
+	// after every completed job and consulted before running one, so an
+	// interrupted campaign re-invoked with the same path resumes where it
+	// stopped.
+	ResultPath string
+	// Progress, when non-nil, receives a snapshot after every completion.
+	Progress func(Progress)
+}
+
+func (o ParallelOptions) internal() (harness.Options, *harness.Store, error) {
+	ho := harness.Options{Workers: o.Workers, Timeout: o.Timeout}
+	if o.Progress != nil {
+		cb := o.Progress
+		ho.Progress = func(p harness.Progress) {
+			cb(Progress{
+				Total: p.Total, Done: p.Done, Cached: p.Cached,
+				Skipped: p.Skipped, Failed: p.Failed,
+				Elapsed: p.Elapsed, ETA: p.ETA,
+			})
+		}
+	}
+	if o.ResultPath == "" {
+		return ho, nil, nil
+	}
+	st, err := harness.OpenStore(o.ResultPath)
+	if err != nil {
+		return ho, nil, err
+	}
+	ho.Store = st
+	return ho, st, nil
+}
+
+// RunJobs executes the jobs concurrently on a worker pool and returns one
+// JobResult per job, in job order. The results are bit-identical to running
+// each job serially, for any worker count. A panicking or timed-out job
+// becomes that job's failure, not a crashed campaign; the returned error is
+// non-nil only when ctx itself ended.
+func RunJobs(ctx context.Context, jobs []Job, o ParallelOptions) ([]JobResult, error) {
+	ho, st, err := o.internal()
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		defer st.Close()
+	}
+	hjobs := make([]harness.Job, len(jobs))
+	for i, j := range jobs {
+		hjobs[i] = j.internal()
+	}
+	results, err := harness.RunJobs(ctx, hjobs, ho)
+	out := make([]JobResult, len(results))
+	for i, jr := range results {
+		out[i] = JobResult{
+			Job: jobs[i], Result: fromInternal(jr.Result), Hash: jr.Hash,
+			Err: jr.Err, Panicked: jr.Panicked, Cached: jr.Cached,
+			Elapsed: jr.Elapsed,
+		}
+	}
+	return out, err
+}
+
+// SweepParallel is Sweep fanned over a worker pool: it runs the spec at each
+// offered load concurrently and returns results in load order, bit-identical
+// to Sweep. A failed point returns its zero Result; inspect per-point detail
+// with RunJobs when that matters.
+func SweepParallel(ctx context.Context, s Spec, loads []float64, o ParallelOptions) ([]Result, error) {
+	jobs := make([]Job, len(loads))
+	for i, l := range loads {
+		jobs[i] = Job{Spec: s, Load: l}
+	}
+	jrs, err := RunJobs(ctx, jobs, o)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(jrs))
+	for i, jr := range jrs {
+		out[i] = jr.Result
+	}
+	return out, nil
+}
+
+// SatPoint is one configuration's result from SaturationSearch.
+type SatPoint struct {
+	Spec string
+	// Saturation is the highest sustainable offered load (fraction of
+	// capacity); Effective is debited by the configuration's bandwidth
+	// penalty, the paper's comparison basis.
+	Saturation float64
+	Effective  float64
+	// BaseLatency is the contention-free latency the search calibrated
+	// its sustainability threshold against.
+	BaseLatency float64
+	// Evals counts bisection evaluations; Simulated counts those actually
+	// run rather than served from the result store.
+	Evals     int
+	Simulated int
+	// Err is non-empty when the search could not complete.
+	Err string
+}
+
+// SaturationSearch locates each spec's saturation throughput adaptively by
+// bisection — O(log(1/resolution)) runs per configuration instead of a fixed
+// load grid. Specs search in parallel; every run flows through the result
+// store when ResultPath is set, so searches cache and resume like sweeps.
+// resolution is the load step at which bisection stops; 0 means 1% of
+// capacity.
+func SaturationSearch(ctx context.Context, specs []Spec, resolution float64, o ParallelOptions) ([]SatPoint, error) {
+	ho, st, err := o.internal()
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		defer st.Close()
+	}
+	inner := make([]experiment.Spec, len(specs))
+	for i, s := range specs {
+		inner[i] = s.inner
+	}
+	srs, err := harness.SaturationSearch(ctx, inner, experiment.SaturationOptions{Resolution: resolution}, ho)
+	out := make([]SatPoint, len(srs))
+	for i, sr := range srs {
+		out[i] = SatPoint{
+			Spec: sr.Spec, Saturation: sr.Saturation, Effective: sr.Effective,
+			BaseLatency: sr.BaseLatency, Evals: sr.Evals, Simulated: sr.Simulated,
+			Err: sr.Err,
+		}
+	}
+	return out, err
+}

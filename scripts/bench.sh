@@ -32,8 +32,9 @@ for arg in "$@"; do
     -short)
         # The analytic tables are instant; the storage/bandwidth models are
         # the regression canary that every change to the overhead code must
-        # hold.
-        pattern='Table1|Table2'
+        # hold. The sweep benchmark guards the harness's parallel speedup and
+        # serial/parallel determinism on a reduced grid.
+        pattern='Table1|Table2|SweepSerialVsParallel'
         shortflag='-short'
         ;;
     -profile)
