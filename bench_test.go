@@ -338,6 +338,40 @@ func BenchmarkProbeDisabledOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkTimeSeriesEnabledOverhead guards the telemetry recorder's cost
+// contract: recording a per-epoch time series at the default epoch must stay
+// within 2% of a metrics-only observed run — the recorder touches the hot path
+// once per cycle (a modulus test) and snapshots the registry only once per
+// epoch. Both arms construct a fresh observer inside the timed region so the
+// comparison is symmetric, and are timed interleaved on their minimum over
+// several repetitions like BenchmarkProbeDisabledOverhead.
+func BenchmarkTimeSeriesEnabledOverhead(b *testing.B) {
+	spec := benchScale(frfc.FR6(frfc.FastControl, 5))
+	const reps = 5
+	minMetrics := time.Duration(math.MaxInt64)
+	minSeries := time.Duration(math.MaxInt64)
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			frfc.RunObserved(spec, 0.50, frfc.NewObserver(frfc.ObserverOptions{Metrics: true}))
+			if d := time.Since(t0); d < minMetrics {
+				minMetrics = d
+			}
+			t0 = time.Now()
+			frfc.RunObserved(spec, 0.50, frfc.NewObserver(frfc.ObserverOptions{TimeSeries: true}))
+			if d := time.Since(t0); d < minSeries {
+				minSeries = d
+			}
+		}
+	}
+	overhead := (float64(minSeries)/float64(minMetrics) - 1) * 100
+	b.ReportMetric(overhead, "timeseries-overhead-%")
+	if overhead > 2.0 {
+		b.Fatalf("time-series recorder costs %.1f%% over a metrics-only run (budget 2%%): metrics %v, series %v",
+			overhead, minMetrics, minSeries)
+	}
+}
+
 // BenchmarkSweepSerialVsParallel measures the experiment harness's worker-pool
 // speedup on a small FR6+VC8 load grid: the same jobs run on 1 worker and on
 // 4, every iteration re-checking that the parallel results are bit-identical

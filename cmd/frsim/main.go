@@ -11,6 +11,8 @@
 //
 //	frsim -config FR6 -load 0.5 -trace trace.json -metrics metrics.json -heatmap heat
 //	frsim -config FR6 -load 0.5 -json -metrics metrics.json
+//	frsim -config FR6 -load 0.5 -timeseries series.csv
+//	frsim -config FR6 -load 0.5 -status-addr :8080
 //	frsim -config FR6 -load 0.9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -22,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"frfc"
 )
@@ -57,6 +60,9 @@ func main() {
 		metricsOut   = flag.String("metrics", "", "write the per-router metrics registry as JSON to this file")
 		metricsEpoch = flag.Int("metrics-epoch", 0, "gauge sampling period in cycles (0 = default)")
 		heatmap      = flag.String("heatmap", "", "write PREFIX-occupancy.csv and PREFIX-utilization.csv heatmaps (implies metrics)")
+		seriesOut    = flag.String("timeseries", "", "write the per-epoch telemetry series to this file, one row per metrics epoch (.json extension = JSON, anything else = CSV; implies metrics)")
+		seriesCap    = flag.Int("timeseries-cap", 0, "retained time-series points, oldest dropped on overflow (0 = keep every epoch)")
+		statusAddr   = flag.String("status-addr", "", "serve live run status over HTTP on this host:port (/status JSON snapshot, /metrics Prometheus exposition); the result stays bit-identical")
 		jsonOut      = flag.Bool("json", false, "print one machine-readable JSON summary object instead of text")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
@@ -105,14 +111,27 @@ func main() {
 
 	wantMetrics := *metricsOut != "" || *heatmap != ""
 	wantTrace := *traceOut != ""
+	wantSeries := *seriesOut != ""
 	var obs *frfc.Observer
-	if wantMetrics || wantTrace {
+	if wantMetrics || wantTrace || wantSeries || *statusAddr != "" {
 		obs = frfc.NewObserver(frfc.ObserverOptions{
-			Metrics:       wantMetrics,
-			MetricsEpoch:  *metricsEpoch,
-			Trace:         wantTrace,
-			TraceCapacity: *traceCap,
+			Metrics:            wantMetrics || *statusAddr != "",
+			MetricsEpoch:       *metricsEpoch,
+			Trace:              wantTrace,
+			TraceCapacity:      *traceCap,
+			TimeSeries:         wantSeries,
+			TimeSeriesCapacity: *seriesCap,
 		})
+	}
+	var st *frfc.StatusServer
+	if *statusAddr != "" {
+		var err error
+		st, err = frfc.ServeStatus(*statusAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		fmt.Fprintf(os.Stderr, "frsim: status on http://%s/status, metrics on http://%s/metrics\n", st.Addr(), st.Addr())
 	}
 
 	if *cpuprofile != "" {
@@ -124,7 +143,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	r := frfc.RunObserved(spec, *load, obs)
+	r := frfc.RunLive(spec, *load, obs, st)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -161,6 +180,15 @@ func main() {
 		writeTo(sum.OccupancyCSVPath, obs.WriteOccupancyCSV)
 		writeTo(sum.UtilizationCSVPath, obs.WriteUtilizationCSV)
 	}
+	if *seriesOut != "" {
+		write := obs.WriteTimeSeriesCSV
+		if strings.HasSuffix(*seriesOut, ".json") {
+			write = obs.WriteTimeSeriesJSON
+		}
+		writeTo(*seriesOut, write)
+		sum.TimeSeriesPath = *seriesOut
+		sum.TimeSeriesPoints, sum.TimeSeriesDropped = obs.TimeSeriesLen()
+	}
 	if *traceOut != "" {
 		writeTo(*traceOut, func(w io.Writer) error {
 			return obs.WriteTrace(w, frfc.TraceFilter{
@@ -185,7 +213,15 @@ func main() {
 
 	fmt.Printf("config        %s (%s wiring, %d-flit packets, %dx%d mesh)\n", spec.Name(), *wiring, *pktLen, *radix, *radix)
 	fmt.Printf("offered load  %.1f%% of capacity (effective %.1f%% after bandwidth overhead)\n", r.Load*100, r.EffectiveLoad*100)
-	fmt.Printf("avg latency   %.2f cycles (95%% CI ±%.2f, min %d, max %d)\n", r.AvgLatency, r.CI95, r.MinLatency, r.MaxLatency)
+	if r.Batches > 0 {
+		fmt.Printf("avg latency   %.2f cycles (95%% CI ±%.2f batch-means over %d batches, ±%.2f i.i.d.; min %d, max %d)\n",
+			r.AvgLatency, r.BatchCI95, r.Batches, r.CI95, r.MinLatency, r.MaxLatency)
+	} else {
+		fmt.Printf("avg latency   %.2f cycles (95%% CI ±%.2f, min %d, max %d)\n", r.AvgLatency, r.CI95, r.MinLatency, r.MaxLatency)
+	}
+	if r.CISuspect {
+		fmt.Printf("note          latency samples are autocorrelated (lag-1 r=%.2f); trust the batch-means interval\n", r.Lag1Autocorr)
+	}
 	fmt.Printf("percentiles   p50 %d, p95 %d, p99 %d cycles\n", r.P50, r.P95, r.P99)
 	fmt.Printf("decomposition %.2f cycles source queueing + %.2f cycles network\n", r.AvgQueueDelay, r.AvgLatency-r.AvgQueueDelay)
 	fmt.Printf("accepted      %.1f%% of capacity\n", r.AcceptedLoad*100)
@@ -193,6 +229,9 @@ func main() {
 	fmt.Printf("pool full     %.1f%% of measured cycles (central router)\n", r.PoolFullFraction*100)
 	if r.Saturated {
 		fmt.Println("status        SATURATED — offered load exceeds sustainable throughput")
+	}
+	if r.WarmupUnstable {
+		fmt.Println("status        WARMUP-UNSTABLE — warm-up hit its cycle cap before queues settled; treat measurements with care")
 	}
 	if sum.MetricsPath != "" {
 		fmt.Printf("metrics       %s\n", sum.MetricsPath)
@@ -202,6 +241,9 @@ func main() {
 	}
 	if sum.TracePath != "" {
 		fmt.Printf("trace         %s (%d events buffered, %d overwritten)\n", sum.TracePath, sum.TraceEvents, sum.TraceDropped)
+	}
+	if sum.TimeSeriesPath != "" {
+		fmt.Printf("timeseries    %s (%d points, %d dropped)\n", sum.TimeSeriesPath, sum.TimeSeriesPoints, sum.TimeSeriesDropped)
 	}
 }
 
@@ -221,6 +263,9 @@ type summary struct {
 	TracePath          string      `json:"tracePath,omitempty"`
 	TraceEvents        int         `json:"traceEvents,omitempty"`
 	TraceDropped       uint64      `json:"traceDropped,omitempty"`
+	TimeSeriesPath     string      `json:"timeSeriesPath,omitempty"`
+	TimeSeriesPoints   int         `json:"timeSeriesPoints,omitempty"`
+	TimeSeriesDropped  int64       `json:"timeSeriesDropped,omitempty"`
 }
 
 // writeTo creates path and streams one export into it, failing the run on any

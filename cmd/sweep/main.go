@@ -67,12 +67,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Uint64("seed", 0, "random seed (0 = default)")
 		csv     = fs.Bool("csv", false, "emit comma-separated values (load%, then avg latency per config; empty cell = saturated)")
 
-		workers  = fs.Int("workers", 0, "worker pool size (0 = NumCPU); results are identical for any value")
-		out      = fs.String("out", "", "append results to this JSONL store as points complete")
-		resume   = fs.Bool("resume", false, "reload -out first and skip already-computed points (default: truncate it)")
-		timeout  = fs.Duration("timeout", 0, "per-point wall-clock budget (0 = none); a point over budget fails alone")
-		adaptive = fs.Bool("adaptive", false, "bisect each config's saturation throughput instead of sweeping the load grid")
-		progress = fs.Bool("progress", false, "stream progress (done/total, ETA) to stderr")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = NumCPU); results are identical for any value")
+		out        = fs.String("out", "", "append results to this JSONL store as points complete")
+		resume     = fs.Bool("resume", false, "reload -out first and skip already-computed points (default: truncate it)")
+		timeout    = fs.Duration("timeout", 0, "per-point wall-clock budget (0 = none); a point over budget fails alone")
+		adaptive   = fs.Bool("adaptive", false, "bisect each config's saturation throughput instead of sweeping the load grid")
+		progress   = fs.Bool("progress", false, "stream progress (done/total, ETA) to stderr")
+		statusAddr = fs.String("status-addr", "", "serve live campaign status over HTTP on this host:port (/status JSON snapshot, /metrics Prometheus exposition); results stay byte-identical")
 
 		faults     = fs.Bool("faults", false, "sweep data-flit loss rates on FR6 instead of offered loads, comparing detection-only vs end-to-end retry")
 		retryLimit = fs.Int("retrylimit", 8, "retry budget of the -faults retry arm")
@@ -182,6 +183,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *progress {
 		popts.Progress = func(p frfc.Progress) { fmt.Fprintf(stderr, "sweep: %s\n", p) }
+	}
+	if *statusAddr != "" {
+		st, err := frfc.ServeStatus(*statusAddr)
+		if err != nil {
+			return fail("status server: %v", err)
+		}
+		defer st.Close()
+		fmt.Fprintf(stderr, "sweep: status on http://%s/status, metrics on http://%s/metrics\n", st.Addr(), st.Addr())
+		popts.Status = st
 	}
 
 	if *adaptive {

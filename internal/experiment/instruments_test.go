@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"frfc/internal/metrics"
+	"frfc/internal/timeseries"
+)
+
+func TestRunInstrumentedMatchesRun(t *testing.T) {
+	s := tiny(FR6(FastControl, 5))
+	plain := Run(s, 0.30)
+
+	probe := &metrics.Probe{Reg: metrics.NewRegistry(0)}
+	series := timeseries.New(0, 0)
+	published := 0
+	instr, err := RunInstrumented(context.Background(), s, 0.30, Instruments{
+		Probe:        probe,
+		Series:       series,
+		Publish:      func(Live) { published++ },
+		PublishEvery: 256,
+	})
+	if err != nil {
+		t.Fatalf("RunInstrumented: %v", err)
+	}
+	if instr != plain {
+		t.Fatalf("instrumented result differs from plain run:\nplain: %+v\ninstr: %+v", plain, instr)
+	}
+	if published < 2 {
+		t.Fatalf("Publish fired %d times over %d cycles at every 256", published, instr.Cycles)
+	}
+	if series.Len() == 0 {
+		t.Fatal("series recorded no points")
+	}
+}
+
+func TestTimeSeriesAcceptedSumsToEjectedTotal(t *testing.T) {
+	s := tiny(FR6(FastControl, 5))
+	probe := &metrics.Probe{Reg: metrics.NewRegistry(0)}
+	series := timeseries.New(metrics.DefaultEpoch, 0)
+	res, err := RunInstrumented(context.Background(), s, 0.30, Instruments{Probe: probe, Series: series})
+	if err != nil {
+		t.Fatalf("RunInstrumented: %v", err)
+	}
+
+	var total int64
+	for i := range probe.Reg.Nodes {
+		total += probe.Reg.Nodes[i].Ejected
+	}
+	if total == 0 {
+		t.Fatal("registry recorded no ejected flits")
+	}
+	var sum int64
+	for _, p := range series.Points() {
+		sum += p.Ejected
+	}
+	if sum != total {
+		t.Fatalf("series ejected sums to %d, registry total %d", sum, total)
+	}
+	// One point per epoch: full windows plus the flushed partial one.
+	want := int(res.Cycles / metrics.DefaultEpoch)
+	if res.Cycles%metrics.DefaultEpoch != 0 {
+		want++
+	}
+	if series.Len() != want {
+		t.Fatalf("series has %d points over %d cycles at epoch %d, want %d",
+			series.Len(), res.Cycles, metrics.DefaultEpoch, want)
+	}
+	last := series.Points()[series.Len()-1]
+	if int(last.Packets) != res.SampledDelivered {
+		t.Fatalf("final point packets = %d, want %d delivered", last.Packets, res.SampledDelivered)
+	}
+}
+
+func TestBatchMeansFieldsPopulated(t *testing.T) {
+	r := Run(tiny(FR6(FastControl, 5)), 0.30)
+	if r.Batches == 0 || r.BatchCI95 <= 0 {
+		t.Fatalf("batch-means interval missing: batches=%d half=%v", r.Batches, r.BatchCI95)
+	}
+	if r.CI95 <= 0 {
+		t.Fatal("i.i.d. CI95 no longer populated")
+	}
+	// Queueing latencies are positively autocorrelated, which is exactly why
+	// the batch interval exists; it should be the wider of the two here.
+	if r.CISuspect && r.BatchCI95 < r.CI95 {
+		t.Errorf("CI flagged suspect but batch interval %v narrower than i.i.d. %v", r.BatchCI95, r.CI95)
+	}
+}
+
+func TestWarmupUnstableFlag(t *testing.T) {
+	s := tiny(FR6(FastControl, 5))
+	if r := Run(s, 0.20); r.WarmupUnstable {
+		t.Error("light load flagged WarmupUnstable")
+	}
+	// Beyond saturation source queues grow without bound, so the stabilizer
+	// cannot settle before the cap.
+	s.MaxWarmupCycles = s.WarmupCycles
+	s.DrainFactor = 2
+	if r := Run(s, 1.5); !r.WarmupUnstable {
+		t.Error("run at 150% load with capped warmup not flagged WarmupUnstable")
+	}
+}
+
+func TestPublishSnapshots(t *testing.T) {
+	s := tiny(FR6(FastControl, 5))
+	probe := &metrics.Probe{Reg: metrics.NewRegistry(0)}
+	var snaps []Live
+	res, err := RunInstrumented(context.Background(), s, 0.30, Instruments{
+		Probe:        probe,
+		Publish:      func(lv Live) { snaps = append(snaps, lv) },
+		PublishEvery: 512,
+	})
+	if err != nil {
+		t.Fatalf("RunInstrumented: %v", err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("got %d snapshots, want several", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Cycle <= snaps[i-1].Cycle {
+			t.Fatalf("snapshot cycles not increasing: %d then %d", snaps[i-1].Cycle, snaps[i].Cycle)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Phase != "done" || last.Cycle != res.Cycles || last.Delivered != res.SampledDelivered {
+		t.Fatalf("final snapshot wrong: %+v vs result cycles=%d delivered=%d", last, res.Cycles, res.SampledDelivered)
+	}
+	if last.Reg == nil {
+		t.Fatal("snapshot registry missing")
+	}
+	// Snapshots are clones: the earliest must hold fewer ejections than the
+	// final registry, not alias it.
+	if last.Reg == probe.Reg {
+		t.Fatal("snapshot aliases the live registry")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/stats"
+	"frfc/internal/timeseries"
 	"frfc/internal/topology"
 	"frfc/internal/traffic"
 )
@@ -29,9 +30,24 @@ type Result struct {
 	// their source queue before injection began; AvgLatency minus
 	// AvgQueueDelay is pure network time.
 	AvgQueueDelay float64
-	// CI95 is the half-width of the 95% confidence interval on
-	// AvgLatency.
+	// CI95 is the half-width of the naive 95% confidence interval on
+	// AvgLatency, computed as if the sampled latencies were independent.
+	// Successive latencies out of one run are strongly positively
+	// correlated, so this interval is optimistic; it is kept for
+	// comparison against BatchCI95.
 	CI95 float64
+	// BatchCI95 is the half-width of the batch-means 95% confidence
+	// interval on AvgLatency over Batches non-overlapping batches — the
+	// honest interval for autocorrelated sequences, and the one summaries
+	// report. Zero (with Batches 0) when the sample is too small to batch.
+	BatchCI95 float64
+	Batches   int
+	// Lag1Autocorr estimates the lag-1 autocorrelation of the sampled
+	// latency sequence; CISuspect is set when it is positive and
+	// statistically significant, meaning CI95 understates the real
+	// uncertainty.
+	Lag1Autocorr float64
+	CISuspect    bool
 	// MinLatency and MaxLatency bound the sampled latencies; P50, P95 and
 	// P99 are exact quantiles of the sample.
 	MinLatency, MaxLatency sim.Cycle
@@ -46,6 +62,11 @@ type Result struct {
 	// short of offered — either way the offered load exceeds sustainable
 	// throughput.
 	Saturated bool
+	// WarmupUnstable is set when warm-up hit MaxWarmupCycles without the
+	// queue-length stabilizer settling: measurements began from a
+	// non-steady state (typical beyond saturation) and steady-state
+	// averages should be read with that in mind.
+	WarmupUnstable bool
 	// SampledDelivered / SampleSize report sample completion.
 	SampledDelivered, SampleSize int
 	// Cycles is the total simulated length of the run.
@@ -82,14 +103,23 @@ type Result struct {
 	AvgRetryLatency float64
 }
 
-// String renders the result as one sweep row.
+// String renders the result as one sweep row. The reported ± half-width is
+// the batch-means interval when one exists (the i.i.d. CI95 stays available
+// in the struct for comparison).
 func (r Result) String() string {
+	ci := r.CI95
+	if r.Batches > 0 {
+		ci = r.BatchCI95
+	}
 	sat := ""
 	if r.Saturated {
 		sat = "  SATURATED"
 	}
+	if r.WarmupUnstable {
+		sat += "  WARMUP-UNSTABLE"
+	}
 	return fmt.Sprintf("%-12s load=%5.1f%%  latency=%8.2f ±%5.2f  accepted=%5.1f%%%s",
-		r.Spec, r.Load*100, r.AvgLatency, r.CI95, r.AcceptedLoad*100, sat)
+		r.Spec, r.Load*100, r.AvgLatency, ci, r.AcceptedLoad*100, sat)
 }
 
 // Run simulates one spec at one offered load (fraction of capacity) through
@@ -119,13 +149,81 @@ func RunObserved(s Spec, load float64, probe *metrics.Probe) Result {
 
 // RunObservedCtx is RunObserved with cooperative cancellation (see RunCtx).
 func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Probe) (Result, error) {
+	return RunInstrumented(ctx, s, load, Instruments{Probe: probe})
+}
+
+// Live is a point-in-time view of a run in flight, delivered to an
+// Instruments.Publish hook. The registry is a deep clone, safe to retain or
+// serve from another goroutine.
+type Live struct {
+	// Cycle is the simulation time of the snapshot; Phase names the run
+	// phase it was taken in: "warmup", "measure", "drain" or "done".
+	Cycle sim.Cycle
+	Phase string
+	// Tagged and Delivered report sample progress; Packets and MeanLatency
+	// the running latency measurement over delivered sampled packets.
+	Tagged, Delivered int
+	Packets           int64
+	MeanLatency       float64
+	// Reg is a deep clone of the probe's registry at the snapshot (nil when
+	// the probe has none).
+	Reg *metrics.Registry
+}
+
+// DefaultPublishEvery is the cycle period between Publish snapshots when
+// Instruments leaves PublishEvery unset.
+const DefaultPublishEvery = 4096
+
+// Instruments bundles the optional observers of one run. Everything here is
+// observation-only: enabling any combination never perturbs simulation state,
+// so the Result stays bit-identical to an uninstrumented run.
+type Instruments struct {
+	// Probe collects per-router counters, occupancy gauges and flit traces
+	// for the whole run.
+	Probe *metrics.Probe
+	// Series records a per-epoch time series. It samples the probe's
+	// registry, so when the probe has no registry one is created (with the
+	// recorder's epoch) for the duration of the run.
+	Series *timeseries.Recorder
+	// Publish, when set, receives a Live snapshot every PublishEvery cycles
+	// (non-positive = DefaultPublishEvery) and once more when the run ends.
+	// It is called from the simulation goroutine; keep it fast.
+	Publish      func(Live)
+	PublishEvery sim.Cycle
+}
+
+// RunInstrumented is the fully instrumented run: RunObservedCtx plus a
+// per-epoch time-series recorder and a periodic live-snapshot hook. Zero
+// Instruments make it identical to Run.
+func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments) (Result, error) {
 	s = s.withDefaults()
 	if load < 0 || load > 2 {
 		panic(fmt.Sprintf("experiment: offered load %.3f out of range", load))
 	}
 
+	probe := ins.Probe
+	series := ins.Series
+	if series != nil && (probe == nil || probe.Reg == nil) {
+		// The recorder reads counter totals out of a registry; give it one
+		// when the caller did not.
+		reg := metrics.NewRegistry(series.Epoch())
+		if probe == nil {
+			probe = &metrics.Probe{Reg: reg}
+		} else {
+			p := *probe
+			p.Reg = reg
+			probe = &p
+		}
+	}
+	pub := ins.Publish
+	pubEvery := ins.PublishEvery
+	if pubEvery <= 0 {
+		pubEvery = DefaultPublishEvery
+	}
+
 	lat := stats.NewLatencyStats()
 	retryLat := stats.NewRetryLatency()
+	var bm stats.BatchMeans
 	var queueDelay stats.Welford
 	var tput stats.Throughput
 	sampledDelivered := 0
@@ -139,6 +237,7 @@ func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Pr
 		PacketDelivered: func(p *noc.Packet, now sim.Cycle) {
 			if p.Sampled {
 				lat.Record(now - p.CreatedAt)
+				bm.Add(float64(now - p.CreatedAt))
 				retryLat.Record(now-p.CreatedAt, p.Attempts)
 				queueDelay.Add(float64(p.InjectedAt - p.CreatedAt))
 				sampledDelivered++
@@ -192,11 +291,26 @@ func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Pr
 
 	now := sim.Cycle(0)
 	tagged := 0
+	phase := "warmup"
 	// cancelled polls ctx every 1024 cycles; the check never alters
 	// simulation state, so a run that finishes is bit-identical whether or
 	// not a cancellable context was supplied.
 	cancelled := func() bool {
 		return now&1023 == 0 && ctx.Err() != nil
+	}
+	snapshot := func() Live {
+		lv := Live{
+			Cycle:       now,
+			Phase:       phase,
+			Tagged:      tagged,
+			Delivered:   sampledDelivered,
+			Packets:     lat.N(),
+			MeanLatency: lat.Mean(),
+		}
+		if probe != nil {
+			lv.Reg = probe.Reg.Clone()
+		}
+		return lv
 	}
 	step := func(tagging, observe bool) {
 		for _, g := range gens {
@@ -215,6 +329,15 @@ func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Pr
 		if observe {
 			used, _ := net.PoolUsage(center, topology.West)
 			occ.Observe(used)
+		}
+		// Post-increment: the fabric's gauge sample for this epoch has
+		// already landed in the registry, so the closing window covers
+		// exactly one occupancy sample.
+		if series.Due(now) {
+			series.Observe(now, probe.Reg, lat.N(), lat.Mean())
+		}
+		if pub != nil && now%pubEvery == 0 {
+			pub(snapshot())
 		}
 	}
 
@@ -235,8 +358,13 @@ func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Pr
 		step(false, false)
 		stab.Observe(net.SourceQueueLen())
 	}
+	// If the loop above gave up at the cap rather than settling, the
+	// measurement starts from a non-steady state — flag it instead of
+	// silently proceeding.
+	warmupUnstable := !stab.Stable()
 
 	// Phase 2: tag the sample while traffic keeps flowing.
+	phase = "measure"
 	tput.Open(now)
 	sampleStart := now
 	for tagged < s.SamplePackets && rate > 0 {
@@ -253,6 +381,7 @@ func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Pr
 	// Phase 3: background traffic continues until the whole sample is
 	// delivered or the drain bound trips (the saturation signal).
 	deadline := now + creationCycles*sim.Cycle(s.DrainFactor) + 10*s.WarmupCycles
+	phase = "drain"
 	for sampledDelivered < tagged && now < deadline {
 		if cancelled() {
 			return Result{}, ctx.Err()
@@ -263,6 +392,13 @@ func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Pr
 	if probe != nil && probe.Reg != nil {
 		probe.Reg.Cycles = now
 	}
+	// The final window is usually partial; flush it so the series' ejected
+	// counts sum to the run's total ejected flits.
+	series.Flush(now, regOf(probe), lat.N(), lat.Mean())
+	phase = "done"
+	if pub != nil {
+		pub(snapshot())
+	}
 
 	res := Result{
 		Spec:             s.Name,
@@ -271,6 +407,8 @@ func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Pr
 		AvgLatency:       lat.Mean(),
 		AvgQueueDelay:    queueDelay.Mean(),
 		CI95:             lat.CI95(),
+		Lag1Autocorr:     bm.Lag1(),
+		WarmupUnstable:   warmupUnstable,
 		MinLatency:       lat.Min(),
 		MaxLatency:       lat.Max(),
 		P50:              lat.Quantile(0.50),
@@ -282,6 +420,8 @@ func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Pr
 		Cycles:           now,
 		PoolFullFraction: occ.FullFraction(),
 	}
+	res.BatchCI95, res.Batches = bm.CI95(0)
+	res.CISuspect = res.Lag1Autocorr > 0 && bm.Lag1Significant()
 	res.AcceptedLoad = tput.AcceptedFlitsPerCycle() / (float64(mesh.N()) * mesh.CapacityPerNode())
 	if res.AcceptedLoad < 0.90*load {
 		res.Saturated = true
@@ -297,6 +437,14 @@ func RunObservedCtx(ctx context.Context, s Spec, load float64, probe *metrics.Pr
 		res.AvgRetryLatency = retryLat.Retried().Mean()
 	}
 	return res, nil
+}
+
+// regOf reads a probe's registry without dereferencing a nil probe.
+func regOf(p *metrics.Probe) *metrics.Registry {
+	if p == nil {
+		return nil
+	}
+	return p.Reg
 }
 
 // Sweep runs the spec at each offered load and returns one result per point.

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"frfc/internal/experiment"
+	"frfc/internal/metrics"
 )
 
 // Job is one unit of work: a configuration simulated at one offered load.
@@ -49,7 +50,8 @@ func (j Job) EffectiveSpec() experiment.Spec {
 
 // hashVersion is baked into every job hash; bump it when Result fields or
 // simulator semantics change so stale caches miss instead of lying.
-const hashVersion = "frfc-job-v1"
+// v2: Result gained batch-means/autocorrelation fields and WarmupUnstable.
+const hashVersion = "frfc-job-v2"
 
 // Hash is the job's stable content hash: a digest of the normalized spec
 // (every field, including nested router configs and the traffic pattern's
@@ -99,6 +101,21 @@ type Options struct {
 	// Progress, when non-nil, is called after every job completion (it
 	// must be fast; it runs under the campaign's bookkeeping lock).
 	Progress func(Progress)
+	// JobStarted, when non-nil, is called from the worker about to simulate
+	// a job — after the store lookup misses, before the run. JobFinished,
+	// when non-nil, is called with every job's outcome (simulated, cached,
+	// skipped or failed). Both fire concurrently from worker goroutines and
+	// must be safe for that; neither may mutate the job. They exist to feed
+	// live status displays and never influence results.
+	JobStarted  func(Job)
+	JobFinished func(JobResult)
+	// Collect, when non-nil, receives each simulated job's metrics registry
+	// immediately after its run, from the worker goroutine. Attaching the
+	// collector probes every run; the probe is observation-only, so results
+	// stay bit-identical to an uninstrumented campaign (the contract
+	// TestRunObservedMatchesRun enforces). Cached and skipped jobs carry no
+	// registry and are not reported.
+	Collect func(Job, *metrics.Registry)
 }
 
 func (o Options) workers() int {

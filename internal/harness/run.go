@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"frfc/internal/experiment"
+	"frfc/internal/metrics"
 )
 
 // RunJobs executes the jobs on the worker pool and returns one JobResult per
@@ -27,6 +28,9 @@ func RunJobs(ctx context.Context, jobs []Job, o Options) ([]JobResult, error) {
 			// captured inside execJob.
 			jr := JobResult{Job: jobs[i], Err: out.Err.Error(), Panicked: out.Panicked}
 			tr.finish(&jr)
+			if o.JobFinished != nil {
+				o.JobFinished(jr)
+			}
 			results[i] = jr
 			continue
 		}
@@ -40,7 +44,12 @@ func RunJobs(ctx context.Context, jobs []Job, o Options) ([]JobResult, error) {
 // tracker exactly once.
 func execJob(ctx context.Context, j Job, o Options, tr *tracker) JobResult {
 	jr := JobResult{Job: j, Hash: j.Hash()}
-	defer tr.finish(&jr)
+	defer func() {
+		tr.finish(&jr)
+		if o.JobFinished != nil {
+			o.JobFinished(jr)
+		}
+	}()
 
 	if o.Store != nil {
 		if r, ok := o.Store.Get(jr.Hash); ok {
@@ -56,8 +65,11 @@ func execJob(ctx context.Context, j Job, o Options, tr *tracker) JobResult {
 		runCtx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
 	}
+	if o.JobStarted != nil {
+		o.JobStarted(j)
+	}
 	start := time.Now()
-	res, panicked, stack, err := runJobIsolated(runCtx, j)
+	res, panicked, stack, err := runJobIsolated(runCtx, j, o.Collect)
 	jr.Elapsed = time.Since(start)
 	if err != nil {
 		jr.Err = err.Error()
@@ -80,8 +92,9 @@ func execJob(ctx context.Context, j Job, o Options, tr *tracker) JobResult {
 
 // runJobIsolated runs the simulation with panic capture, so a bug tripped by
 // one parameter point becomes that point's failure rather than a crashed
-// campaign.
-func runJobIsolated(ctx context.Context, j Job) (res experiment.Result, panicked bool, stack string, err error) {
+// campaign. When a collector is supplied the run is probed and the registry
+// handed over on success — observation only, results unchanged.
+func runJobIsolated(ctx context.Context, j Job, collect func(Job, *metrics.Registry)) (res experiment.Result, panicked bool, stack string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
@@ -89,6 +102,14 @@ func runJobIsolated(ctx context.Context, j Job) (res experiment.Result, panicked
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	res, err = experiment.RunCtx(ctx, j.EffectiveSpec(), j.Load)
+	if collect == nil {
+		res, err = experiment.RunCtx(ctx, j.EffectiveSpec(), j.Load)
+		return res, panicked, stack, err
+	}
+	probe := &metrics.Probe{Reg: metrics.NewRegistry(0)}
+	res, err = experiment.RunObservedCtx(ctx, j.EffectiveSpec(), j.Load, probe)
+	if err == nil {
+		collect(j, probe.Reg)
+	}
 	return res, panicked, stack, err
 }

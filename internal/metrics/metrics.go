@@ -123,6 +123,11 @@ type Registry struct {
 	Radix  int           `json:"radix"`
 	Cycles sim.Cycle     `json:"cycles"`
 	Nodes  []NodeMetrics `json:"nodes"`
+	// Cols and Rows, when both positive, describe a rectangular cols×rows
+	// layout (node id = y*cols + x) and take precedence over the square
+	// Radix in grid exports. Set by InitRect; zero for square meshes.
+	Cols int `json:"cols,omitempty"`
+	Rows int `json:"rows,omitempty"`
 }
 
 // NewRegistry returns an empty registry sampling gauges every epoch cycles
@@ -146,6 +151,92 @@ func (r *Registry) Init(radix int) {
 		r.Nodes = nodes
 	}
 	r.Radix = radix
+}
+
+// InitRect sizes the registry for a rectangular cols×rows layout with nodes
+// numbered row-major (id = y*cols + x). Like Init it is idempotent and keeps
+// existing counts; grid exports then emit rows lines of cols cells.
+func (r *Registry) InitRect(cols, rows int) {
+	if r == nil || cols <= 0 || rows <= 0 {
+		return
+	}
+	if len(r.Nodes) < cols*rows {
+		nodes := make([]NodeMetrics, cols*rows)
+		copy(nodes, r.Nodes)
+		r.Nodes = nodes
+	}
+	r.Cols, r.Rows = cols, rows
+}
+
+// dims reports the grid layout: the rectangular one when set, else the square
+// radix on both axes.
+func (r *Registry) dims() (cols, rows int) {
+	if r.Cols > 0 && r.Rows > 0 {
+		return r.Cols, r.Rows
+	}
+	return r.Radix, r.Radix
+}
+
+// Clone returns a deep copy of the registry, safe to hand to another
+// goroutine while the original keeps accumulating. A nil registry clones to
+// nil.
+func (r *Registry) Clone() *Registry {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Nodes = append([]NodeMetrics(nil), r.Nodes...)
+	return &c
+}
+
+// Merge folds another registry's counts into this one: counters and gauge
+// accumulators add, gauge maxima and layout dimensions take the larger, and
+// Cycles accumulates (the merged registry describes the union of simulated
+// work). Merging nil is a no-op.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	if o.Radix > r.Radix {
+		r.Radix = o.Radix
+	}
+	if o.Cols > r.Cols {
+		r.Cols = o.Cols
+	}
+	if o.Rows > r.Rows {
+		r.Rows = o.Rows
+	}
+	r.Cycles += o.Cycles
+	if len(o.Nodes) > len(r.Nodes) {
+		nodes := make([]NodeMetrics, len(o.Nodes))
+		copy(nodes, r.Nodes)
+		r.Nodes = nodes
+	}
+	for i := range o.Nodes {
+		dst, src := &r.Nodes[i], &o.Nodes[i]
+		dst.ResHits += src.ResHits
+		dst.ResMisses += src.ResMisses
+		dst.LateReservations += src.LateReservations
+		dst.ArbConflicts += src.ArbConflicts
+		dst.CreditStalls += src.CreditStalls
+		dst.Retries += src.Retries
+		dst.Nacks += src.Nacks
+		dst.Injected += src.Injected
+		dst.Ejected += src.Ejected
+		for p := 0; p < int(topology.NumPorts); p++ {
+			dst.Links[p].Flits += src.Links[p].Flits
+			dst.Links[p].Ctrl += src.Links[p].Ctrl
+			dg, sg := &dst.Occ[p], &src.Occ[p]
+			dg.Samples += sg.Samples
+			dg.Sum += sg.Sum
+			if sg.Max > dg.Max {
+				dg.Max = sg.Max
+			}
+			if sg.Cap > dg.Cap {
+				dg.Cap = sg.Cap
+			}
+		}
+	}
 }
 
 // at returns the node's metrics, growing the registry if an ID beyond the
@@ -206,21 +297,22 @@ func (r *Registry) WriteUtilizationCSV(w io.Writer) error {
 }
 
 func (r *Registry) writeGrid(w io.Writer, header string, cell func(*NodeMetrics) float64) error {
-	if r.Radix <= 0 {
-		return fmt.Errorf("metrics: registry not initialised (radix %d)", r.Radix)
+	cols, rows := r.dims()
+	if cols <= 0 || rows <= 0 {
+		return fmt.Errorf("metrics: registry not initialised (cols %d, rows %d)", cols, rows)
 	}
 	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
-	for y := 0; y < r.Radix; y++ {
-		for x := 0; x < r.Radix; x++ {
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
 			if x > 0 {
 				if _, err := io.WriteString(w, ","); err != nil {
 					return err
 				}
 			}
 			var v float64
-			if id := y*r.Radix + x; id < len(r.Nodes) {
+			if id := y*cols + x; id < len(r.Nodes) {
 				v = cell(&r.Nodes[id])
 			}
 			if _, err := fmt.Fprintf(w, "%.4f", v); err != nil {

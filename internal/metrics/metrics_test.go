@@ -244,3 +244,158 @@ func TestProbeTracesThroughTracer(t *testing.T) {
 		t.Errorf("reserve departure arg = %d, want 9", evs[2].Arg)
 	}
 }
+
+func TestHeatmapCSVNonSquare(t *testing.T) {
+	// 8 columns x 4 rows, row-major ids: node id = y*8 + x.
+	r := NewRegistry(0)
+	r.InitRect(8, 4)
+	r.Cycles = 100
+	// Distinct cells: (x=5,y=0) id 5, (x=2,y=3) id 26.
+	r.at(5).Occ[topology.Local].Sample(4, 8)
+	r.at(26).Occ[topology.Local].Sample(8, 8)
+	r.at(26).Links[topology.East].Flits = 40
+
+	var occ bytes.Buffer
+	if err := r.WriteOccupancyCSV(&occ); err != nil {
+		t.Fatalf("WriteOccupancyCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(occ.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("4x8 heatmap has %d lines, want 5 (header + 4 rows):\n%s", len(lines), occ.String())
+	}
+	for i, row := range lines[1:] {
+		if cells := strings.Split(row, ","); len(cells) != 8 {
+			t.Fatalf("row %d has %d cells, want 8: %q", i, len(cells), row)
+		}
+	}
+	if lines[1] != "0.0000,0.0000,0.0000,0.0000,0.0000,0.5000,0.0000,0.0000" {
+		t.Fatalf("row y=0 = %q, want 0.5 in column x=5", lines[1])
+	}
+	if lines[4] != "0.0000,0.0000,1.0000,0.0000,0.0000,0.0000,0.0000,0.0000" {
+		t.Fatalf("row y=3 = %q, want 1.0 in column x=2", lines[4])
+	}
+
+	var util bytes.Buffer
+	if err := r.WriteUtilizationCSV(&util); err != nil {
+		t.Fatalf("WriteUtilizationCSV: %v", err)
+	}
+	lines = strings.Split(strings.TrimSpace(util.String()), "\n")
+	// 40 flits / (100 cycles * 4 direction links) = 0.1 at (x=2, y=3).
+	if lines[4] != "0.0000,0.0000,0.1000,0.0000,0.0000,0.0000,0.0000,0.0000" {
+		t.Fatalf("utilization row y=3 = %q, want 0.1 in column x=2", lines[4])
+	}
+}
+
+func TestInitRectIdempotent(t *testing.T) {
+	r := NewRegistry(0)
+	r.InitRect(8, 4)
+	r.at(26).ResHits = 9
+	r.InitRect(8, 4)
+	if r.Nodes[26].ResHits != 9 {
+		t.Fatal("re-InitRect dropped existing counts")
+	}
+}
+
+func TestRegistryClone(t *testing.T) {
+	r := NewRegistry(32)
+	r.Init(2)
+	r.Cycles = 50
+	r.at(1).ResHits = 7
+	r.at(1).Occ[topology.East].Sample(2, 8)
+
+	c := r.Clone()
+	if c.Epoch != 32 || c.Cycles != 50 || c.Nodes[1].ResHits != 7 {
+		t.Fatalf("clone lost state: %+v", c)
+	}
+	// Mutating the original must not reach the clone.
+	r.at(1).ResHits = 99
+	r.at(1).Occ[topology.East].Sample(8, 8)
+	if c.Nodes[1].ResHits != 7 || c.Nodes[1].Occ[topology.East].Samples != 1 {
+		t.Fatal("clone shares node storage with the original")
+	}
+	var nilReg *Registry
+	if nilReg.Clone() != nil {
+		t.Fatal("nil registry cloned to non-nil")
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a := NewRegistry(0)
+	a.Init(2)
+	a.Cycles = 100
+	a.at(1).ResHits = 3
+	a.at(1).Occ[topology.East].Sample(2, 8)
+
+	b := NewRegistry(0)
+	b.Init(2)
+	b.Cycles = 60
+	b.at(1).ResHits = 4
+	b.at(1).Injected = 10
+	b.at(1).Occ[topology.East].Sample(6, 8)
+	b.at(1).Occ[topology.East].Sample(4, 8)
+
+	a.Merge(b)
+	if a.Cycles != 160 {
+		t.Fatalf("merged cycles = %d, want 160", a.Cycles)
+	}
+	n := &a.Nodes[1]
+	if n.ResHits != 7 || n.Injected != 10 {
+		t.Fatalf("merged counters wrong: hits=%d inj=%d", n.ResHits, n.Injected)
+	}
+	g := &n.Occ[topology.East]
+	if g.Samples != 3 || g.Sum != 12 || g.Max != 6 || g.Cap != 8 {
+		t.Fatalf("merged gauge wrong: %+v", g)
+	}
+	// Merging a larger registry grows the destination.
+	big := NewRegistry(0)
+	big.Init(4)
+	big.at(15).Ejected = 5
+	a.Merge(big)
+	if len(a.Nodes) != 16 || a.Nodes[15].Ejected != 5 || a.Nodes[1].ResHits != 7 {
+		t.Fatalf("merge with larger registry lost state: len=%d", len(a.Nodes))
+	}
+	// Nil operands are no-ops, not panics.
+	a.Merge(nil)
+	var nilReg *Registry
+	nilReg.Merge(a)
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry(32)
+	r.InitRect(4, 2)
+	r.Cycles = 500
+	r.at(6).ResHits = 11 // x=2, y=1
+	r.at(6).Links[topology.East].Flits = 40
+	r.at(6).Occ[topology.East].Sample(4, 8)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE frfc_res_hits_total counter",
+		`frfc_res_hits_total{node="6",x="2",y="1"} 11`,
+		`frfc_link_flits_total{node="6",x="2",y="1",port="E"} 40`,
+		`frfc_occupancy_mean_fraction{node="6",x="2",y="1",port="E"} 0.5`,
+		"frfc_cycles 500",
+		"frfc_epoch 32",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+	// Unsampled gauges are omitted; node 0's occupancy must not appear.
+	if strings.Contains(out, `frfc_occupancy_mean_fraction{node="0"`) {
+		t.Error("unsampled occupancy gauge exported")
+	}
+	// Text exposition: every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+}

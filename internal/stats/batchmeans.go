@@ -1,0 +1,122 @@
+package stats
+
+import "math"
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30 degrees of
+// freedom. Beyond 30 degrees the t distribution is within ~1.5% of the
+// normal, and the table gives way to 1.96.
+var tCrit95 = [31]float64{
+	0, // df 0 is meaningless; guarded by callers
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 reports the two-sided 95% Student-t critical value for df degrees
+// of freedom: an exact table lookup up to df=30, 1.96 beyond (where the
+// normal approximation is accurate), and 0 for df < 1 (no interval exists).
+func TCrit95(df int) float64 {
+	switch {
+	case df < 1:
+		return 0
+	case df <= 30:
+		return tCrit95[df]
+	default:
+		return 1.96
+	}
+}
+
+// DefaultBatches is the batch count BatchMeans aims for: around 30 batches is
+// the classic compromise between enough degrees of freedom for a stable t
+// interval and batches long enough to swallow the autocorrelation.
+const DefaultBatches = 30
+
+// BatchMeans retains a sequence of observations in arrival order and computes
+// a non-overlapping batch-means confidence interval on the mean. Successive
+// packet latencies out of one simulation are strongly positively correlated
+// (they queue behind each other), so the i.i.d. interval t·s/√n is far too
+// optimistic; grouping the sequence into k long batches and treating the
+// batch means as the (approximately independent) sample restores an honest
+// interval. Memory is one float64 per observation.
+type BatchMeans struct {
+	xs []float64
+}
+
+// Add appends one observation. Order matters: batching only de-correlates a
+// sequence when batches are contiguous runs of it.
+func (b *BatchMeans) Add(x float64) { b.xs = append(b.xs, x) }
+
+// N reports the number of observations.
+func (b *BatchMeans) N() int { return len(b.xs) }
+
+// CI95 reports the half-width of the 95% batch-means confidence interval on
+// the mean, using at most the requested number of non-overlapping batches
+// (<= 0 means DefaultBatches), along with the batch count actually used.
+// With fewer than 4 observations — or fewer than 2 per batch after shrinking
+// the batch count to the data — no meaningful interval exists and it reports
+// (0, 0). Trailing observations that do not fill the final batch are dropped,
+// as is conventional.
+func (b *BatchMeans) CI95(batches int) (half float64, used int) {
+	if batches <= 0 {
+		batches = DefaultBatches
+	}
+	n := len(b.xs)
+	if n < 4 {
+		return 0, 0
+	}
+	if batches > n/2 {
+		batches = n / 2 // at least 2 observations per batch
+	}
+	size := n / batches
+	var means Welford
+	for i := 0; i < batches; i++ {
+		sum := 0.0
+		for _, x := range b.xs[i*size : (i+1)*size] {
+			sum += x
+		}
+		means.Add(sum / float64(size))
+	}
+	return TCrit95(batches-1) * means.StdDev() / math.Sqrt(float64(batches)), batches
+}
+
+// Lag1 estimates the lag-1 autocorrelation of the sequence: the correlation
+// between consecutive observations, in [-1, 1]. Values near zero mean the
+// i.i.d. CI95 can be trusted; strongly positive values (typical of queueing
+// systems) mean it understates the real uncertainty and the batch-means
+// interval should be reported instead. Returns 0 with fewer than 2
+// observations or zero variance.
+func (b *BatchMeans) Lag1() float64 {
+	n := len(b.xs)
+	if n < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range b.xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i, x := range b.xs {
+		d := x - mean
+		den += d * d
+		if i+1 < n {
+			num += d * (b.xs[i+1] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Lag1Significant reports whether the estimated lag-1 autocorrelation is
+// statistically distinguishable from zero at roughly the 95% level, using the
+// large-sample bound |r| > 2/√n. When it is positive and significant, the
+// naive i.i.d. confidence interval is untrustworthy.
+func (b *BatchMeans) Lag1Significant() bool {
+	n := len(b.xs)
+	if n < 8 {
+		return false // too little data to call either way
+	}
+	return math.Abs(b.Lag1()) > 2/math.Sqrt(float64(n))
+}

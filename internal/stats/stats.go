@@ -49,14 +49,18 @@ func (w *Welford) Variance() float64 {
 // StdDev reports the sample standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
-// CI95 reports the half-width of the 95% confidence interval on the mean
-// under the normal approximation (1.96·s/√n), which is what the paper uses to
-// bound its latency measurements within 1%.
+// CI95 reports the half-width of the 95% confidence interval on the mean:
+// t·s/√n with the Student-t critical value for n-1 degrees of freedom. For
+// the paper's sample sizes (thousands of packets) t is indistinguishable from
+// the normal approximation's 1.96, but for small n the normal value badly
+// understates the interval — at n=2 the true critical value is 12.7, not
+// 1.96. Samples are assumed independent; for autocorrelated sequences use
+// BatchMeans, which does not share that assumption.
 func (w *Welford) CI95() float64 {
 	if w.n < 2 {
 		return 0
 	}
-	return 1.96 * w.StdDev() / math.Sqrt(float64(w.n))
+	return TCrit95(int(w.n-1)) * w.StdDev() / math.Sqrt(float64(w.n))
 }
 
 // LatencyStats accumulates end-to-end packet latencies. Latency spans packet

@@ -393,3 +393,150 @@ func TestRetryLatencySeparatesPaths(t *testing.T) {
 		t.Errorf("retried mean = %v, want 300", m)
 	}
 }
+
+// TestCI95UsesStudentT: for small n the half-width must carry the Student-t
+// critical value, not the normal 1.96 — at n=2 the difference is ~6.5×.
+func TestCI95UsesStudentT(t *testing.T) {
+	var w Welford
+	w.Add(0)
+	w.Add(10)
+	// n=2: s = 7.0710678, t(1) = 12.706 → half-width = 12.706·s/√2 = 63.53.
+	want := 12.706 * w.StdDev() / math.Sqrt(2)
+	if got := w.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 at n=2 = %v, want %v (Student-t)", got, want)
+	}
+	if normal := 1.96 * w.StdDev() / math.Sqrt(2); w.CI95() < 6*normal {
+		t.Fatalf("CI95 at n=2 = %v barely above normal approximation %v", w.CI95(), normal)
+	}
+	// Large n: t converges to 1.96.
+	var big Welford
+	for i := 0; i < 1000; i++ {
+		big.Add(float64(i % 7))
+	}
+	want = 1.96 * big.StdDev() / math.Sqrt(1000)
+	if got := big.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 at n=1000 = %v, want normal-regime %v", got, want)
+	}
+}
+
+func TestTCrit95Table(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{{0, 0}, {-3, 0}, {1, 12.706}, {2, 4.303}, {10, 2.228}, {30, 2.042}, {31, 1.96}, {100000, 1.96}}
+	for _, c := range cases {
+		if got := TCrit95(c.df); got != c.want {
+			t.Errorf("TCrit95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// The table must decrease monotonically toward the normal value.
+	for df := 2; df <= 30; df++ {
+		if TCrit95(df) >= TCrit95(df-1) {
+			t.Errorf("TCrit95 not decreasing at df=%d", df)
+		}
+		if TCrit95(df) < 1.96 {
+			t.Errorf("TCrit95(%d) = %v below the normal limit", df, TCrit95(df))
+		}
+	}
+}
+
+// TestBatchMeansIIDAgreement: on genuinely independent data the batch-means
+// interval and the i.i.d. interval must agree to well within 2× — batching
+// loses degrees of freedom but estimates the same variance.
+func TestBatchMeansIIDAgreement(t *testing.T) {
+	var bm BatchMeans
+	var w Welford
+	rng := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 3000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		x := float64(rng>>33) / float64(1<<31) // uniform [0,1)
+		bm.Add(x)
+		w.Add(x)
+	}
+	half, used := bm.CI95(30)
+	if used != 30 {
+		t.Fatalf("used %d batches, want 30", used)
+	}
+	iid := w.CI95()
+	if half <= 0 || half > 2*iid || iid > 2*half {
+		t.Fatalf("batch-means CI %v disagrees with i.i.d. CI %v on independent data", half, iid)
+	}
+	if bm.Lag1Significant() {
+		t.Fatalf("independent data flagged as autocorrelated (lag1=%v)", bm.Lag1())
+	}
+}
+
+// TestBatchMeansWidensOnCorrelatedData: on a strongly autocorrelated sequence
+// the i.i.d. interval is far too narrow; batch means must report a wider,
+// honest one and the lag-1 estimate must flag the sequence.
+func TestBatchMeansWidensOnCorrelatedData(t *testing.T) {
+	var bm BatchMeans
+	var w Welford
+	rng := uint64(12345)
+	x := 0.0
+	for i := 0; i < 3000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		noise := float64(rng>>33)/float64(1<<31) - 0.5
+		x = 0.98*x + noise // AR(1), lag-1 autocorrelation ~0.98
+		bm.Add(x)
+		w.Add(x)
+	}
+	if r := bm.Lag1(); r < 0.9 {
+		t.Fatalf("lag-1 estimate %v, want ~0.98", r)
+	}
+	if !bm.Lag1Significant() {
+		t.Fatal("strong autocorrelation not flagged")
+	}
+	half, _ := bm.CI95(30)
+	if iid := w.CI95(); half < 2*iid {
+		t.Fatalf("batch-means CI %v not meaningfully wider than i.i.d. %v on AR(1) data", half, iid)
+	}
+}
+
+func TestBatchMeansEdgeCases(t *testing.T) {
+	var bm BatchMeans
+	if half, used := bm.CI95(30); half != 0 || used != 0 {
+		t.Fatal("empty batch means produced an interval")
+	}
+	if bm.Lag1() != 0 || bm.Lag1Significant() {
+		t.Fatal("empty batch means produced a lag-1 estimate")
+	}
+	for i := 0; i < 3; i++ {
+		bm.Add(1)
+	}
+	if half, used := bm.CI95(30); half != 0 || used != 0 {
+		t.Fatal("3 observations produced an interval")
+	}
+	// 10 observations, 30 requested: shrink to 5 batches of 2.
+	bm = BatchMeans{}
+	for i := 0; i < 10; i++ {
+		bm.Add(float64(i))
+	}
+	if _, used := bm.CI95(30); used != 5 {
+		t.Fatalf("used %d batches on 10 observations, want 5", used)
+	}
+	// Constant data: zero-width interval, no NaN.
+	bm = BatchMeans{}
+	for i := 0; i < 100; i++ {
+		bm.Add(7)
+	}
+	if half, used := bm.CI95(0); half != 0 || used != DefaultBatches {
+		t.Fatalf("constant data CI = (%v, %d), want (0, %d)", half, used, DefaultBatches)
+	}
+	if bm.Lag1() != 0 {
+		t.Fatalf("constant data lag-1 = %v, want 0", bm.Lag1())
+	}
+}
+
+// TestBatchMeansDropsRemainder: 31 observations into 30 batches of 1 is
+// refused (needs 2 per batch) and shrinks to 15 batches of 2, dropping the
+// 31st observation.
+func TestBatchMeansDropsRemainder(t *testing.T) {
+	var bm BatchMeans
+	for i := 0; i < 31; i++ {
+		bm.Add(float64(i))
+	}
+	if _, used := bm.CI95(30); used != 15 {
+		t.Fatalf("used %d batches on 31 observations, want 15", used)
+	}
+}

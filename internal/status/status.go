@@ -1,0 +1,241 @@
+// Package status serves a live, read-only view of a running campaign or
+// single simulation over HTTP: a JSON snapshot of progress on /status and
+// Prometheus text exposition of the merged per-router counter registry on
+// /metrics.
+//
+// The server is fed through callback methods shaped to plug straight into
+// harness.Options (OnProgress, OnJobStarted, OnJobFinished, OnCollect) and
+// experiment.Instruments (OnLive). Every feed method and every request
+// handler synchronizes on one mutex and touches only the server's own copies
+// of the data, so serving never perturbs the simulation: the bit-identical
+// result contract holds with the server enabled.
+package status
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"frfc/internal/experiment"
+	"frfc/internal/harness"
+	"frfc/internal/metrics"
+)
+
+// JobView describes one in-flight job in the /status snapshot.
+type JobView struct {
+	Spec string  `json:"spec"`
+	Load float64 `json:"load"`
+	Seed uint64  `json:"seed,omitempty"`
+	// Since is how long the job has been running, in seconds.
+	Since float64 `json:"sinceSeconds"`
+}
+
+// CampaignView is the harness progress portion of the /status snapshot.
+type CampaignView struct {
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Cached  int `json:"cached"`
+	Skipped int `json:"skipped"`
+	Failed  int `json:"failed"`
+	// ElapsedSeconds and ETASeconds mirror harness.Progress; ETA is a naive
+	// projection, display only.
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	ETASeconds     float64 `json:"etaSeconds"`
+}
+
+// RunView is the single-run portion of the /status snapshot, fed from
+// experiment.Live snapshots (cmd/frsim).
+type RunView struct {
+	Cycle       int64   `json:"cycle"`
+	Phase       string  `json:"phase"`
+	Tagged      int     `json:"tagged"`
+	Delivered   int     `json:"delivered"`
+	Packets     int64   `json:"packets"`
+	MeanLatency float64 `json:"meanLatency"`
+}
+
+// Snapshot is the /status response body.
+type Snapshot struct {
+	UptimeSeconds float64       `json:"uptimeSeconds"`
+	Campaign      *CampaignView `json:"campaign,omitempty"`
+	Run           *RunView      `json:"run,omitempty"`
+	Running       []JobView     `json:"running,omitempty"`
+}
+
+// Server is the live status HTTP server. The zero value is not usable; call
+// Serve.
+type Server struct {
+	srv   *http.Server
+	ln    net.Listener
+	start time.Time
+
+	mu       sync.Mutex
+	campaign *CampaignView
+	run      *RunView
+	running  map[string]time.Time // job key -> start time
+	jobs     map[string]JobView
+	reg      *metrics.Registry // merged (campaign) or latest (single run)
+}
+
+// Serve starts a status server listening on addr (host:port; host may be
+// empty, port 0 picks a free one). It serves until Close.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("status: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:      ln,
+		start:   time.Now(),
+		running: map[string]time.Time{},
+		jobs:    map[string]JobView{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/status", http.StatusFound)
+	})
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr reports the address the server is listening on (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func jobKey(j harness.Job) string {
+	return fmt.Sprintf("%s|%.12g|%d", j.Spec.Name, j.Load, j.Seed)
+}
+
+// OnProgress feeds a harness progress snapshot; plug into Options.Progress.
+func (s *Server) OnProgress(p harness.Progress) {
+	s.mu.Lock()
+	s.campaign = &CampaignView{
+		Total:          p.Total,
+		Done:           p.Done,
+		Cached:         p.Cached,
+		Skipped:        p.Skipped,
+		Failed:         p.Failed,
+		ElapsedSeconds: p.Elapsed.Seconds(),
+		ETASeconds:     p.ETA.Seconds(),
+	}
+	s.mu.Unlock()
+}
+
+// OnJobStarted records a job as in flight; plug into Options.JobStarted.
+func (s *Server) OnJobStarted(j harness.Job) {
+	k := jobKey(j)
+	s.mu.Lock()
+	s.running[k] = time.Now()
+	s.jobs[k] = JobView{Spec: j.Spec.Name, Load: j.Load, Seed: j.Seed}
+	s.mu.Unlock()
+}
+
+// OnJobFinished retires a job from the in-flight set; plug into
+// Options.JobFinished.
+func (s *Server) OnJobFinished(jr harness.JobResult) {
+	k := jobKey(jr.Job)
+	s.mu.Lock()
+	delete(s.running, k)
+	delete(s.jobs, k)
+	s.mu.Unlock()
+}
+
+// OnCollect merges one finished job's registry into the server's aggregate;
+// plug into Options.Collect. The registry is handed over by the worker after
+// its run completes, so the merge races with nothing.
+func (s *Server) OnCollect(_ harness.Job, reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry(reg.Epoch)
+	}
+	s.reg.Merge(reg)
+	s.mu.Unlock()
+}
+
+// OnLive replaces the single-run view and registry snapshot; plug into
+// experiment's Instruments.Publish. The Live registry is already a clone
+// owned by the receiver.
+func (s *Server) OnLive(lv experiment.Live) {
+	s.mu.Lock()
+	s.run = &RunView{
+		Cycle:       int64(lv.Cycle),
+		Phase:       lv.Phase,
+		Tagged:      lv.Tagged,
+		Delivered:   lv.Delivered,
+		Packets:     lv.Packets,
+		MeanLatency: lv.MeanLatency,
+	}
+	if lv.Reg != nil {
+		s.reg = lv.Reg
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	snap := Snapshot{UptimeSeconds: time.Since(s.start).Seconds()}
+	if s.campaign != nil {
+		c := *s.campaign
+		snap.Campaign = &c
+	}
+	if s.run != nil {
+		r := *s.run
+		snap.Run = &r
+	}
+	now := time.Now()
+	for k, started := range s.running {
+		jv := s.jobs[k]
+		jv.Since = now.Sub(started).Seconds()
+		snap.Running = append(snap.Running, jv)
+	}
+	s.mu.Unlock()
+
+	// Stable ordering for humans and tests.
+	for i := 1; i < len(snap.Running); i++ {
+		for j := i; j > 0 && less(snap.Running[j], snap.Running[j-1]); j-- {
+			snap.Running[j], snap.Running[j-1] = snap.Running[j-1], snap.Running[j]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // client gone is not our problem
+}
+
+func less(a, b JobView) bool {
+	if a.Spec != b.Spec {
+		return a.Spec < b.Spec
+	}
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	return a.Seed < b.Seed
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.reg == nil {
+		// No registry yet: an empty exposition is still valid scrape output.
+		fmt.Fprintf(w, "# HELP frfc_up Status server is running.\n# TYPE frfc_up gauge\nfrfc_up 1\n")
+		return
+	}
+	fmt.Fprintf(w, "# HELP frfc_up Status server is running.\n# TYPE frfc_up gauge\nfrfc_up 1\n")
+	s.reg.WritePrometheus(w) //nolint:errcheck // client gone is not our problem
+}

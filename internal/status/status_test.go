@@ -1,0 +1,142 @@
+package status
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"frfc/internal/experiment"
+	"frfc/internal/harness"
+	"frfc/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	spec := experiment.FR6(experiment.FastControl, 5)
+	s.OnProgress(harness.Progress{Total: 10, Done: 3, Cached: 1, Failed: 1,
+		Elapsed: 2 * time.Second, ETA: 5 * time.Second})
+	s.OnJobStarted(harness.Job{Spec: spec, Load: 0.4})
+	s.OnJobStarted(harness.Job{Spec: spec, Load: 0.2})
+
+	code, body := get(t, "http://"+s.Addr()+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/status is not JSON: %v\n%s", err, body)
+	}
+	if snap.Campaign == nil || snap.Campaign.Done != 3 || snap.Campaign.Total != 10 {
+		t.Fatalf("campaign view wrong: %+v", snap.Campaign)
+	}
+	if len(snap.Running) != 2 || snap.Running[0].Load != 0.2 || snap.Running[1].Load != 0.4 {
+		t.Fatalf("running jobs wrong (want sorted by load): %+v", snap.Running)
+	}
+
+	// Finishing a job retires it from the running set.
+	s.OnJobFinished(harness.JobResult{Job: harness.Job{Spec: spec, Load: 0.2}})
+	_, body = get(t, "http://"+s.Addr()+"/status")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Running) != 1 || snap.Running[0].Load != 0.4 {
+		t.Fatalf("finished job still listed: %+v", snap.Running)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Before any registry arrives the exposition is valid but minimal.
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "frfc_up 1") {
+		t.Fatalf("empty /metrics = %d:\n%s", code, body)
+	}
+
+	reg := metrics.NewRegistry(0)
+	reg.Init(2)
+	reg.Nodes[1].Ejected = 10
+	reg.Cycles = 100
+	s.OnCollect(harness.Job{}, reg)
+	reg2 := metrics.NewRegistry(0)
+	reg2.Init(2)
+	reg2.Nodes[1].Ejected = 5
+	reg2.Cycles = 50
+	s.OnCollect(harness.Job{}, reg2)
+
+	_, body = get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, `frfc_ejected_flits_total{node="1",x="1",y="0"} 15`) {
+		t.Fatalf("/metrics did not merge registries:\n%s", body)
+	}
+	if !strings.Contains(body, "frfc_cycles 150") {
+		t.Fatalf("/metrics cycles not merged:\n%s", body)
+	}
+	// Every non-comment line is "name{labels} value" — valid exposition.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestLiveRunView(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	reg := metrics.NewRegistry(0)
+	reg.Init(2)
+	reg.Nodes[0].Injected = 7
+	s.OnLive(experiment.Live{Cycle: 4096, Phase: "measure", Tagged: 50, Delivered: 20,
+		Packets: 20, MeanLatency: 31.5, Reg: reg})
+
+	_, body := get(t, "http://"+s.Addr()+"/status")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Run == nil || snap.Run.Phase != "measure" || snap.Run.Cycle != 4096 {
+		t.Fatalf("run view wrong: %+v", snap.Run)
+	}
+	_, body = get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, `frfc_injected_flits_total{node="0",x="0",y="0"} 7`) {
+		t.Fatalf("/metrics missing live registry:\n%s", body)
+	}
+
+	// Root redirects to /status.
+	code, _ := get(t, "http://"+s.Addr()+"/")
+	if code != http.StatusOK { // after following the redirect
+		t.Fatalf("/ = %d", code)
+	}
+}

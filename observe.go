@@ -1,11 +1,13 @@
 package frfc
 
 import (
+	"context"
 	"io"
 
 	"frfc/internal/experiment"
 	"frfc/internal/metrics"
 	"frfc/internal/sim"
+	"frfc/internal/timeseries"
 	"frfc/internal/trace"
 )
 
@@ -21,37 +23,72 @@ type ObserverOptions struct {
 	// newest when it overflows.
 	Trace         bool
 	TraceCapacity int
+	// TimeSeries enables the per-epoch telemetry recorder: injected and
+	// accepted flit rates, running mean latency, reservation hit/miss
+	// counts, retries and aggregate buffer occupancy, one point per
+	// MetricsEpoch. It implies Metrics (the recorder reads the registry).
+	// TimeSeriesCapacity bounds the retained points, dropping the oldest
+	// when exceeded; 0 keeps every epoch of the run.
+	TimeSeries         bool
+	TimeSeriesCapacity int
 }
 
-// Observer collects per-router metrics and/or flit-level traces from a run.
-// Create one with NewObserver, pass it to RunObserved, then export with the
-// Write methods. A zero-valued or nil Observer collects nothing and costs
-// the simulation hot path one nil check per event site.
+// Observer collects per-router metrics, flit-level traces and/or a per-epoch
+// time series from a run. Create one with NewObserver, pass it to
+// RunObserved, then export with the Write methods. A zero-valued or nil
+// Observer collects nothing and costs the simulation hot path one nil check
+// per event site.
 type Observer struct {
-	probe *metrics.Probe
+	probe  *metrics.Probe
+	series *timeseries.Recorder
 }
 
-// NewObserver builds an observer per the options. With both options off it
+// NewObserver builds an observer per the options. With every option off it
 // returns a valid observer that collects nothing.
 func NewObserver(o ObserverOptions) *Observer {
 	p := &metrics.Probe{}
-	if o.Metrics {
+	if o.Metrics || o.TimeSeries {
 		p.Reg = metrics.NewRegistry(sim.Cycle(o.MetricsEpoch))
 	}
 	if o.Trace {
 		p.Tracer = trace.New(o.TraceCapacity)
 	}
-	return &Observer{probe: p}
+	obs := &Observer{probe: p}
+	if o.TimeSeries {
+		obs.series = timeseries.New(p.Reg.Epoch, o.TimeSeriesCapacity)
+	}
+	return obs
+}
+
+// instruments bundles the observer's collectors (and an optional live-status
+// publisher) for the experiment layer.
+func (o *Observer) instruments(st *StatusServer) experiment.Instruments {
+	var ins experiment.Instruments
+	if o != nil {
+		ins.Probe = o.probe
+		ins.Series = o.series
+	}
+	if st != nil {
+		ins.Publish = st.srv.OnLive
+	}
+	return ins
 }
 
 // RunObserved is Run with the observer attached to the network for the whole
-// simulation. A nil observer makes it identical to Run.
+// simulation. A nil observer makes it identical to Run; instrumentation is
+// observation-only, so the Result is bit-identical either way.
 func RunObserved(s Spec, load float64, obs *Observer) Result {
-	var p *metrics.Probe
-	if obs != nil {
-		p = obs.probe
-	}
-	return fromInternal(experiment.RunObserved(s.inner, load, p))
+	return RunLive(s, load, obs, nil)
+}
+
+// RunLive is RunObserved additionally publishing periodic live snapshots —
+// run phase, sample progress, a clone of the counter registry — to a status
+// server, whose /status and /metrics endpoints then track the run as it
+// executes. Either obs or st may be nil. Publishing never perturbs the
+// simulation: the Result stays bit-identical to Run.
+func RunLive(s Spec, load float64, obs *Observer, st *StatusServer) Result {
+	r, _ := experiment.RunInstrumented(context.Background(), s.inner, load, obs.instruments(st))
+	return fromInternal(r)
 }
 
 // WriteMetricsJSON exports the collected registry as indented JSON. It
@@ -86,6 +123,36 @@ func (o *Observer) needMetrics() error {
 		return errNoMetrics
 	}
 	return nil
+}
+
+// WriteTimeSeriesCSV exports the per-epoch telemetry series as CSV, one row
+// per epoch window. The ejected column is the accepted-flit count per window;
+// over an unbounded recorder its sum equals the run's total ejected flits. It
+// errors when the observer was not recording a time series.
+func (o *Observer) WriteTimeSeriesCSV(w io.Writer) error {
+	if o == nil || o.series == nil {
+		return errNoTimeSeries
+	}
+	return o.series.WriteCSV(w)
+}
+
+// WriteTimeSeriesJSON exports the per-epoch telemetry series as one indented
+// JSON object: the epoch length, the dropped-point count (bounded recorders)
+// and the points in chronological order.
+func (o *Observer) WriteTimeSeriesJSON(w io.Writer) error {
+	if o == nil || o.series == nil {
+		return errNoTimeSeries
+	}
+	return o.series.WriteJSON(w)
+}
+
+// TimeSeriesLen reports retained points and how many a bounded recorder
+// discarded (0 dropped means the whole run is covered).
+func (o *Observer) TimeSeriesLen() (points int, dropped int64) {
+	if o == nil {
+		return 0, 0
+	}
+	return o.series.Len(), o.series.Dropped()
 }
 
 // TraceFilter narrows a trace export.
@@ -135,6 +202,7 @@ type observeErr string
 func (e observeErr) Error() string { return string(e) }
 
 const (
-	errNoMetrics = observeErr("frfc: observer was not collecting metrics (set ObserverOptions.Metrics)")
-	errNoTrace   = observeErr("frfc: observer was not tracing (set ObserverOptions.Trace)")
+	errNoMetrics    = observeErr("frfc: observer was not collecting metrics (set ObserverOptions.Metrics)")
+	errNoTrace      = observeErr("frfc: observer was not tracing (set ObserverOptions.Trace)")
+	errNoTimeSeries = observeErr("frfc: observer was not recording a time series (set ObserverOptions.TimeSeries)")
 )

@@ -95,19 +95,39 @@ type ParallelOptions struct {
 	ResultPath string
 	// Progress, when non-nil, receives a snapshot after every completion.
 	Progress func(Progress)
+	// Status, when non-nil, feeds the campaign to a live status server:
+	// progress and in-flight jobs appear on /status, and every simulated
+	// job's per-router counters are merged into the /metrics exposition as
+	// it finishes. Serving is observation-only — results are bit-identical
+	// with or without it.
+	Status *StatusServer
 }
 
 func (o ParallelOptions) internal() (harness.Options, *harness.Store, error) {
 	ho := harness.Options{Workers: o.Workers, Timeout: o.Timeout}
-	if o.Progress != nil {
+	if o.Progress != nil || o.Status != nil {
 		cb := o.Progress
-		ho.Progress = func(p harness.Progress) {
-			cb(Progress{
-				Total: p.Total, Done: p.Done, Cached: p.Cached,
-				Skipped: p.Skipped, Failed: p.Failed,
-				Elapsed: p.Elapsed, ETA: p.ETA,
-			})
+		var st func(harness.Progress)
+		if o.Status != nil {
+			st = o.Status.srv.OnProgress
 		}
+		ho.Progress = func(p harness.Progress) {
+			if st != nil {
+				st(p)
+			}
+			if cb != nil {
+				cb(Progress{
+					Total: p.Total, Done: p.Done, Cached: p.Cached,
+					Skipped: p.Skipped, Failed: p.Failed,
+					Elapsed: p.Elapsed, ETA: p.ETA,
+				})
+			}
+		}
+	}
+	if o.Status != nil {
+		ho.JobStarted = o.Status.srv.OnJobStarted
+		ho.JobFinished = o.Status.srv.OnJobFinished
+		ho.Collect = o.Status.srv.OnCollect
 	}
 	if o.ResultPath == "" {
 		return ho, nil, nil

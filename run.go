@@ -15,20 +15,35 @@ type Result struct {
 	// bandwidth overhead (Table 2), the paper's comparison basis.
 	EffectiveLoad float64
 	// AvgLatency is mean packet latency — creation to last-flit ejection,
-	// including source queueing — with CI95 the half-width of its 95%
-	// confidence interval. AvgQueueDelay is the source-queueing component
-	// alone.
+	// including source queueing. AvgQueueDelay is the source-queueing
+	// component alone.
 	AvgLatency    float64
 	AvgQueueDelay float64
-	CI95          float64
-	MinLatency    int64
-	MaxLatency    int64
+	// CI95 is the half-width of the naive 95% confidence interval on
+	// AvgLatency, computed as if sampled latencies were independent. They
+	// are not — successive latencies are positively correlated — so prefer
+	// BatchCI95, the non-overlapping batch-means interval over Batches
+	// batches (zero when the sample was too small to batch). Lag1Autocorr
+	// estimates the sequence's lag-1 autocorrelation; CISuspect is set when
+	// it is positive and significant, i.e. when CI95 understates the real
+	// uncertainty.
+	CI95         float64
+	BatchCI95    float64
+	Batches      int
+	Lag1Autocorr float64
+	CISuspect    bool
+	MinLatency   int64
+	MaxLatency   int64
 	// P50, P95 and P99 are exact latency quantiles of the sample.
 	P50, P95, P99 int64
 	// AcceptedLoad is delivered throughput as a fraction of capacity.
 	AcceptedLoad float64
 	// Saturated marks offered loads the configuration could not sustain.
 	Saturated bool
+	// WarmupUnstable is set when warm-up hit its cycle cap without source
+	// queues stabilizing: measurement began from a non-steady state
+	// (typical beyond saturation).
+	WarmupUnstable bool
 	// SampledDelivered of SampleSize tagged packets completed.
 	SampledDelivered int
 	SampleSize       int
@@ -73,6 +88,11 @@ func fromInternal(r experiment.Result) Result {
 		AvgLatency:       r.AvgLatency,
 		AvgQueueDelay:    r.AvgQueueDelay,
 		CI95:             r.CI95,
+		BatchCI95:        r.BatchCI95,
+		Batches:          r.Batches,
+		Lag1Autocorr:     r.Lag1Autocorr,
+		CISuspect:        r.CISuspect,
+		WarmupUnstable:   r.WarmupUnstable,
 		MinLatency:       int64(r.MinLatency),
 		MaxLatency:       int64(r.MaxLatency),
 		P50:              int64(r.P50),

@@ -1,0 +1,35 @@
+package frfc
+
+import (
+	"frfc/internal/status"
+)
+
+// StatusServer serves a live, read-only HTTP view of running work: a JSON
+// progress snapshot on /status and Prometheus text exposition of the merged
+// per-router counter registry on /metrics.
+//
+// Feed it by setting ParallelOptions.Status on a campaign (RunJobs,
+// SweepParallel, SaturationSearch) or by passing it to RunLive for a single
+// simulation. Feeding is observation-only — snapshots are taken from cloned
+// or handed-over data under the server's own lock — so results remain
+// bit-identical with the server enabled.
+type StatusServer struct {
+	srv *status.Server
+}
+
+// ServeStatus starts a status server on addr ("host:port"; an empty host
+// binds every interface, port 0 picks a free one — see Addr). The server
+// runs until Close.
+func ServeStatus(addr string) (*StatusServer, error) {
+	s, err := status.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &StatusServer{srv: s}, nil
+}
+
+// Addr reports the address the server is listening on.
+func (s *StatusServer) Addr() string { return s.srv.Addr() }
+
+// Close stops the server immediately.
+func (s *StatusServer) Close() error { return s.srv.Close() }

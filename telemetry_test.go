@@ -1,0 +1,201 @@
+package frfc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestTimeSeriesExport(t *testing.T) {
+	obs := NewObserver(ObserverOptions{TimeSeries: true})
+	r := RunObserved(smallSpec(t, FR6(FastControl, 5)), 0.3, obs)
+
+	// TimeSeries implies Metrics; read the registry total for the invariant.
+	var mj bytes.Buffer
+	if err := obs.WriteMetricsJSON(&mj); err != nil {
+		t.Fatalf("TimeSeries did not imply Metrics: %v", err)
+	}
+	var reg struct {
+		Nodes []struct {
+			Ejected int64 `json:"ejected"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(mj.Bytes(), &reg); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, n := range reg.Nodes {
+		total += n.Ejected
+	}
+
+	var csv bytes.Buffer
+	if err := obs.WriteTimeSeriesCSV(&csv); err != nil {
+		t.Fatalf("WriteTimeSeriesCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	header := strings.Split(lines[0], ",")
+	ejCol := -1
+	for i, h := range header {
+		if h == "ejected" {
+			ejCol = i
+		}
+	}
+	if ejCol < 0 {
+		t.Fatalf("no ejected column in %v", header)
+	}
+	var sum int64
+	for _, line := range lines[1:] {
+		v, err := strconv.ParseInt(strings.Split(line, ",")[ejCol], 10, 64)
+		if err != nil {
+			t.Fatalf("bad ejected cell in %q: %v", line, err)
+		}
+		sum += v
+	}
+	if total == 0 || sum != total {
+		t.Fatalf("CSV ejected column sums to %d, registry total %d", sum, total)
+	}
+	// One row per epoch, partial final window included.
+	wantRows := int(r.Cycles) / 64
+	if r.Cycles%64 != 0 {
+		wantRows++
+	}
+	if len(lines)-1 != wantRows {
+		t.Fatalf("CSV has %d rows over %d cycles at epoch 64, want %d", len(lines)-1, r.Cycles, wantRows)
+	}
+	if pts, dropped := obs.TimeSeriesLen(); pts != wantRows || dropped != 0 {
+		t.Fatalf("TimeSeriesLen = %d/%d, want %d/0", pts, dropped, wantRows)
+	}
+
+	var js bytes.Buffer
+	if err := obs.WriteTimeSeriesJSON(&js); err != nil {
+		t.Fatalf("WriteTimeSeriesJSON: %v", err)
+	}
+	var doc struct {
+		Epoch  int64 `json:"epoch"`
+		Points []struct {
+			Ejected int64 `json:"ejected"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatalf("time-series JSON invalid: %v", err)
+	}
+	if doc.Epoch != 64 || len(doc.Points) != wantRows {
+		t.Fatalf("JSON export wrong: epoch=%d points=%d", doc.Epoch, len(doc.Points))
+	}
+}
+
+func TestTimeSeriesErrorsWhenOff(t *testing.T) {
+	var buf bytes.Buffer
+	obs := NewObserver(ObserverOptions{Metrics: true})
+	if err := obs.WriteTimeSeriesCSV(&buf); err == nil {
+		t.Fatal("time-series CSV export succeeded with recording off")
+	}
+	var nilObs *Observer
+	if err := nilObs.WriteTimeSeriesJSON(&buf); err == nil {
+		t.Fatal("nil observer time-series export succeeded")
+	}
+	if p, d := nilObs.TimeSeriesLen(); p != 0 || d != 0 {
+		t.Fatal("nil observer reported time-series points")
+	}
+}
+
+func TestRunLiveMatchesRunAndServes(t *testing.T) {
+	st, err := ServeStatus("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	spec := smallSpec(t, FR6(FastControl, 5))
+	base := Run(spec, 0.3)
+	obs := NewObserver(ObserverOptions{Metrics: true})
+	live := RunLive(spec, 0.3, obs, st)
+	if base != live {
+		t.Fatalf("live publishing changed the simulation:\nbase: %+v\nlive: %+v", base, live)
+	}
+
+	body := httpGet(t, "http://"+st.Addr()+"/status")
+	var snap struct {
+		Run *struct {
+			Phase     string `json:"phase"`
+			Delivered int    `json:"delivered"`
+		} `json:"run"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if snap.Run == nil || snap.Run.Phase != "done" || snap.Run.Delivered != base.SampledDelivered {
+		t.Fatalf("run view wrong: %s", body)
+	}
+	mbody := httpGet(t, "http://"+st.Addr()+"/metrics")
+	if !strings.Contains(mbody, "frfc_ejected_flits_total") {
+		t.Fatalf("/metrics missing counters:\n%s", mbody[:min(len(mbody), 400)])
+	}
+}
+
+func TestCampaignWithStatusBitIdentical(t *testing.T) {
+	spec := FR6(FastControl, 5).WithMeshRadix(4).WithSampling(150, 300)
+	jobs := []Job{{Spec: spec, Load: 0.2}, {Spec: spec, Load: 0.4}}
+
+	bare, err := RunJobs(context.Background(), jobs, ParallelOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := ServeStatus("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	served, err := RunJobs(context.Background(), jobs, ParallelOptions{Workers: 2, Status: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bare {
+		// Elapsed is wall-clock and legitimately varies; everything the
+		// simulation computed must match exactly.
+		if !reflect.DeepEqual(bare[i].Result, served[i].Result) || bare[i].Hash != served[i].Hash {
+			t.Fatalf("status server perturbed job %d:\nbare:   %+v\nserved: %+v", i, bare[i].Result, served[i].Result)
+		}
+	}
+
+	body := httpGet(t, "http://"+st.Addr()+"/status")
+	var snap struct {
+		Campaign *struct {
+			Total, Done int
+		} `json:"campaign"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Campaign == nil || snap.Campaign.Done != 2 || snap.Campaign.Total != 2 {
+		t.Fatalf("campaign view wrong: %s", body)
+	}
+	mbody := httpGet(t, "http://"+st.Addr()+"/metrics")
+	if !strings.Contains(mbody, "frfc_res_hits_total") {
+		t.Fatalf("/metrics missing merged campaign counters:\n%s", mbody[:min(len(mbody), 400)])
+	}
+}
