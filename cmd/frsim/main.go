@@ -14,6 +14,13 @@
 //	frsim -config FR6 -load 0.5 -timeseries series.csv
 //	frsim -config FR6 -load 0.5 -status-addr :8080
 //	frsim -config FR6 -load 0.9 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Hard-fault scenarios (flit-reservation configurations):
+//
+//	frsim -config FR6 -radix 4 -load 0.3 -retry 8 -fail-link 5-6 -fail-at 2000 -recover-at 6000
+//	frsim -config FR6 -radix 4 -load 0.3 -retry 8 -fail-router 9 -fail-at 2000
+//	frsim -config FR6 -radix 4 -load 0.3 -retry 8 -scenario "down 5-6 @2000; up 5-6 @6000" -check
+//	frsim -config FR6 -routing yx -load 0.5
 package main
 
 import (
@@ -50,6 +57,15 @@ func main() {
 		leads   = flag.Int("leads", 1, "custom FR: data flits led per control flit")
 		vcs     = flag.Int("vcs", 2, "custom VC: virtual channels")
 		bufVC   = flag.Int("bufpervc", 4, "custom VC: buffers per virtual channel")
+
+		routing    = flag.String("routing", "", "routing algorithm: xy (default), yx, or table (fault-aware lookup tables); FR configs only")
+		scenario   = flag.String("scenario", "", `hard-fault schedule, e.g. "down 5-6 @2000; up 5-6 @6000; kill 9 @8000"; FR configs only`)
+		failLink   = flag.String("fail-link", "", "shorthand: sever the link between these neighbor nodes (A-B) at -fail-at")
+		failRouter = flag.Int("fail-router", -1, "shorthand: permanently fail this node's router at -fail-at")
+		failAt     = flag.Int64("fail-at", 2000, "cycle at which -fail-link/-fail-router strikes")
+		recoverAt  = flag.Int64("recover-at", 0, "cycle at which the -fail-link link is restored (0 = never)")
+		retry      = flag.Int("retry", 0, "end-to-end retry budget per packet (0 = off; fault scenarios need it to recover in-flight losses)")
+		check      = flag.Bool("check", false, "run the per-cycle invariant checker (credit conservation, table accounting); FR configs only")
 
 		traceOut     = flag.String("trace", "", "write a Perfetto-loadable Chrome trace-event JSON flit trace to this file")
 		traceCap     = flag.Int("trace-cap", 0, "trace ring capacity in events, newest kept on overflow (0 = default)")
@@ -103,6 +119,25 @@ func main() {
 			// use -custom for other patterns.
 			fatal(fmt.Errorf("named configs use uniform traffic; use -custom for pattern %q", p))
 		}
+	}
+	scn, err := scenarioOf(*scenario, *failLink, *failRouter, *failAt, *recoverAt)
+	if err != nil {
+		fatal(err)
+	}
+	if scn != "" {
+		spec, err = spec.WithScenario(scn)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *routing != "" {
+		spec = spec.WithRouting(*routing)
+	}
+	if *retry > 0 {
+		spec = spec.WithRetry(*retry)
+	}
+	if *check {
+		spec = spec.WithCheck(true)
 	}
 	spec = spec.WithSampling(*sample, *warmup)
 	if *seed != 0 {
@@ -162,13 +197,15 @@ func main() {
 	}
 
 	sum := summary{
-		Config:  spec.Name(),
-		Wiring:  *wiring,
-		PktLen:  *pktLen,
-		Radix:   *radix,
-		Seed:    *seed,
-		Pattern: *pattern,
-		Result:  r,
+		Config:   spec.Name(),
+		Wiring:   *wiring,
+		PktLen:   *pktLen,
+		Radix:    *radix,
+		Seed:     *seed,
+		Pattern:  *pattern,
+		Routing:  *routing,
+		Scenario: scn,
+		Result:   r,
 	}
 	if *metricsOut != "" {
 		writeTo(*metricsOut, obs.WriteMetricsJSON)
@@ -227,6 +264,11 @@ func main() {
 	fmt.Printf("accepted      %.1f%% of capacity\n", r.AcceptedLoad*100)
 	fmt.Printf("sample        %d/%d packets delivered over %d cycles\n", r.SampledDelivered, r.SampleSize, r.Cycles)
 	fmt.Printf("pool full     %.1f%% of measured cycles (central router)\n", r.PoolFullFraction*100)
+	if scn != "" {
+		fmt.Printf("scenario      %s\n", scn)
+		fmt.Printf("degradation   %.1f%% of resolved packets delivered, %d unreachable, %d flits dropped, %d retried, %d abandoned\n",
+			r.DeliveredFraction*100, r.UnreachablePackets, r.DroppedFlits, r.RetriedPackets, r.AbandonedPackets)
+	}
 	if r.Saturated {
 		fmt.Println("status        SATURATED — offered load exceeds sustainable throughput")
 	}
@@ -256,6 +298,8 @@ type summary struct {
 	Radix              int         `json:"radix"`
 	Seed               uint64      `json:"seed,omitempty"`
 	Pattern            string      `json:"pattern"`
+	Routing            string      `json:"routing,omitempty"`
+	Scenario           string      `json:"scenario,omitempty"`
 	Result             frfc.Result `json:"result"`
 	MetricsPath        string      `json:"metricsPath,omitempty"`
 	OccupancyCSVPath   string      `json:"occupancyCsvPath,omitempty"`
@@ -282,6 +326,27 @@ func writeTo(path string, write func(io.Writer) error) {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// scenarioOf merges the -scenario grammar with the -fail-link/-fail-router
+// shorthands into one schedule string.
+func scenarioOf(scenario, failLink string, failRouter int, failAt, recoverAt int64) (string, error) {
+	var parts []string
+	if scenario != "" {
+		parts = append(parts, scenario)
+	}
+	if failLink != "" {
+		parts = append(parts, fmt.Sprintf("down %s @%d", failLink, failAt))
+		if recoverAt > 0 {
+			parts = append(parts, fmt.Sprintf("up %s @%d", failLink, recoverAt))
+		}
+	} else if recoverAt > 0 {
+		return "", fmt.Errorf("-recover-at needs -fail-link")
+	}
+	if failRouter >= 0 {
+		parts = append(parts, fmt.Sprintf("kill %d @%d", failRouter, failAt))
+	}
+	return strings.Join(parts, "; "), nil
 }
 
 func wiringOf(s string) (frfc.Wiring, error) {

@@ -31,6 +31,15 @@
 // fan out over -workers):
 //
 //	sweep -faults -retrylimit 8 -packets 400
+//
+// With -reliability it sweeps hard-fault scenarios — scheduled link and
+// router outages under fault-aware table routing — and reports graceful
+// degradation: delivered fraction, fast-failed unreachable packets, and how
+// completely latency recovers after a repair. -scenario substitutes a custom
+// schedule for the default set:
+//
+//	sweep -reliability -retrylimit 8 -check
+//	sweep -scenario "down 5-6 @400; up 5-6 @900" -retrylimit 8
 package main
 
 import (
@@ -76,9 +85,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		statusAddr = fs.String("status-addr", "", "serve live campaign status over HTTP on this host:port (/status JSON snapshot, /metrics Prometheus exposition); results stay byte-identical")
 
 		faults     = fs.Bool("faults", false, "sweep data-flit loss rates on FR6 instead of offered loads, comparing detection-only vs end-to-end retry")
-		retryLimit = fs.Int("retrylimit", 8, "retry budget of the -faults retry arm")
-		packets    = fs.Int("packets", 400, "packets offered per -faults row")
+		retryLimit = fs.Int("retrylimit", 8, "retry budget of the -faults retry arm and of -reliability rows")
+		packets    = fs.Int("packets", 0, "packets offered per -faults or -reliability row (0 = mode default: 400 for -faults, 600 for -reliability)")
 		rates      = fs.String("rates", "", "comma-separated loss rates for -faults (default 0,0.01,0.02,0.05,0.10,0.20)")
+
+		reliability = fs.Bool("reliability", false, "sweep hard-fault scenarios on FR6 (healthy, link-down, link-flap, router-down) and report graceful degradation")
+		scenario    = fs.String("scenario", "", `custom hard-fault schedule for the reliability sweep, e.g. "down 5-6 @400; up 5-6 @900" (implies -reliability)`)
+		routing     = fs.String("routing", "", "routing algorithm for FR configs: xy (default), yx, or table (fault-aware lookup tables)")
+		check       = fs.Bool("check", false, "run FR points under the per-cycle invariant checker")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
@@ -91,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweep: "+format+"\n", a...)
 		return 2
 	}
-	if !*faults {
+	if !*faults && !*reliability && *scenario == "" {
 		// Flag validation: a non-positive -step would loop the load
 		// grid forever, and the measurement protocol needs a positive
 		// load window and sample.
@@ -153,6 +167,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *faults {
 		return runFaultSweep(stdout, stderr, *retryLimit, *packets, *pktLen, *rates, *seed, *workers, *csv)
 	}
+	if *reliability || *scenario != "" {
+		o := frfc.ReliabilitySweepOptions{
+			RetryLimit: *retryLimit, Packets: *packets, PacketLen: *pktLen,
+			Routing: *routing, Check: *check, Seed: *seed, Workers: *workers,
+		}
+		if *scenario != "" {
+			o.Scenarios = []frfc.ReliabilityScenario{{Name: "custom", Scenario: *scenario}}
+		}
+		return runReliabilitySweep(stdout, stderr, o, *csv)
+	}
 
 	w := frfc.FastControl
 	if *wiring == "leading" {
@@ -172,6 +196,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		spec = spec.WithSampling(*sample, *warmup)
 		if *seed != 0 {
 			spec = spec.WithSeed(*seed)
+		}
+		if *routing != "" {
+			spec = spec.WithRouting(*routing)
+		}
+		if *check {
+			spec = spec.WithCheck(true)
 		}
 		specs = append(specs, spec)
 	}
@@ -364,7 +394,7 @@ func runFaultSweep(stdout, stderr io.Writer, retryLimit, packets, pktLen int, ra
 		}
 		return 0
 	}
-	fmt.Fprintf(stdout, "# end-to-end delivery vs data-flit loss; FR6, %d-flit packets, %d packets per row\n", pktLen, packets)
+	fmt.Fprintf(stdout, "# end-to-end delivery vs data-flit loss; FR6, %d-flit packets, %d packets per row\n", pktLen, points[0].Offered)
 	for _, p := range points {
 		wedged := ""
 		if p.Wedged {
@@ -373,6 +403,43 @@ func runFaultSweep(stdout, stderr io.Writer, retryLimit, packets, pktLen int, ra
 		fmt.Fprintf(stdout, "%s%s\n", p, wedged)
 	}
 	return 0
+}
+
+// runReliabilitySweep is the -reliability / -scenario mode: graceful
+// degradation under scheduled hard faults, rows fanned over the worker pool.
+func runReliabilitySweep(stdout, stderr io.Writer, o frfc.ReliabilitySweepOptions, csv bool) int {
+	points, err := frfc.ReliabilitySweep(o)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, p := range points {
+		if p.Wedged {
+			fmt.Fprintf(stderr, "sweep: scenario %s wedged (no-progress watchdog fired)\n", p.Scenario)
+			exit = 1
+		}
+	}
+	if csv {
+		fmt.Fprintln(stdout, "scenario,retrylimit,offered,delivered,unreachable,abandoned,dropped,retried,avglatency,prefault,outage,postrecovery,recovery")
+		for _, p := range points {
+			fmt.Fprintf(stdout, "%s,%d,%d,%d,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%.3f\n",
+				p.Scenario, p.RetryLimit, p.Offered, p.Delivered, p.Unreachable, p.Abandoned,
+				p.DroppedFlits, p.Retried, p.AvgLatency,
+				p.PreFaultLatency, p.OutageLatency, p.PostRecoveryLatency, p.LatencyRecovery)
+		}
+		return exit
+	}
+	fmt.Fprintf(stdout, "# graceful degradation under hard faults; FR6, table routing, retry<=%d, %d packets per row\n",
+		points[0].RetryLimit, points[0].Offered)
+	for _, p := range points {
+		wedged := ""
+		if p.Wedged {
+			wedged = "  WEDGED"
+		}
+		fmt.Fprintf(stdout, "%s%s\n", p, wedged)
+	}
+	return exit
 }
 
 func specFor(name string, w frfc.Wiring, pktLen int) (frfc.Spec, error) {

@@ -258,3 +258,36 @@ func TestAdaptiveMode(t *testing.T) {
 		t.Fatalf("resumed adaptive search re-simulated: %s", stderr2.String())
 	}
 }
+
+// TestReliabilityModeByteIdentical: the hard-fault scenario sweep must emit
+// byte-identical tables for any worker count — the fault schedule rides the
+// job spec, so it replays identically wherever a row lands. Also covers the
+// custom -scenario path and its parse-error exit.
+func TestReliabilityModeByteIdentical(t *testing.T) {
+	for _, mode := range [][]string{
+		{"-reliability", "-packets", "150", "-check"},
+		{"-scenario", "down 5-6 @300; up 5-6 @700", "-packets", "150", "-csv"},
+	} {
+		var ref []byte
+		for _, workers := range []string{"1", "4"} {
+			var stdout, stderr bytes.Buffer
+			args := append([]string{"-workers", workers}, mode...)
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("mode %v workers=%s exit %d: %s", mode, workers, code, stderr.String())
+			}
+			if ref == nil {
+				ref = stdout.Bytes()
+				continue
+			}
+			if !bytes.Equal(stdout.Bytes(), ref) {
+				t.Errorf("mode %v: -workers=4 output differs from -workers=1:\n--- workers=1\n%s--- workers=4\n%s",
+					mode, ref, stdout.Bytes())
+			}
+		}
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", "explode 5 @100"}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed scenario exited %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}

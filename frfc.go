@@ -187,6 +187,20 @@ type Options struct {
 	// Bernoulli switches injection from the paper's constant-rate source
 	// to a Bernoulli process.
 	Bernoulli bool
+
+	// Routing selects the routing algorithm: "xy" (default), "yx", or
+	// "table" (fault-aware per-node lookup tables, recomputed on topology
+	// events). Flit-reservation configurations only.
+	Routing string
+	// Scenario is a hard-fault schedule in the scenario grammar —
+	// semicolon-separated events "down A-B @C", "up A-B @C", "kill N @C" —
+	// applied deterministically mid-run. Scenarios force table routing.
+	// Flit-reservation configurations only.
+	Scenario string
+	// Check runs the per-cycle invariant checker (credit conservation,
+	// table accounting, severed-link silence); it panics on first
+	// violation. Observation-only: results are unchanged.
+	Check bool
 }
 
 // Custom builds a Spec from explicit options. It returns an error for
@@ -222,6 +236,15 @@ func Custom(name string, o Options) (Spec, error) {
 			return Spec{}, err
 		}
 		inner.Pattern = p
+	}
+	inner.Routing = o.Routing
+	inner.Check = o.Check
+	if o.Scenario != "" {
+		events, err := core.ParseScenario(o.Scenario)
+		if err != nil {
+			return Spec{}, err
+		}
+		inner.Faults = events
 	}
 	return Spec{inner: inner}, nil
 }
@@ -350,5 +373,43 @@ func (s Spec) WithMeshRadix(k int) Spec {
 // WithName returns the spec relabeled.
 func (s Spec) WithName(name string) Spec {
 	s.inner.Name = name
+	return s
+}
+
+// WithRetry returns the spec with the end-to-end retry budget: a destination
+// that detects a lost packet notifies the source, which re-injects it up to
+// limit times. Ignored by non-flit-reservation specs.
+func (s Spec) WithRetry(limit int) Spec {
+	s.inner.FR.RetryLimit = limit
+	return s
+}
+
+// WithRouting returns the spec routed by the named algorithm: "xy" (the
+// default dimension order), "yx", or "table" (fault-aware per-node lookup
+// tables). Flit-reservation specs only; Run panics otherwise.
+func (s Spec) WithRouting(name string) Spec {
+	s.inner.Routing = name
+	return s
+}
+
+// WithScenario returns the spec with a hard-fault schedule parsed from the
+// scenario grammar — semicolon-separated events "down A-B @C", "up A-B @C",
+// "kill N @C" — applied deterministically mid-run. The scenario rides the
+// spec, so harness campaigns replay it bit-identically on any worker count.
+// Flit-reservation specs only; Run panics otherwise.
+func (s Spec) WithScenario(scenario string) (Spec, error) {
+	events, err := core.ParseScenario(scenario)
+	if err != nil {
+		return Spec{}, err
+	}
+	s.inner.Faults = events
+	return s, nil
+}
+
+// WithCheck returns the spec with the per-cycle invariant checker enabled;
+// a violation panics with a diagnostic. Observation-only — results are
+// unchanged. Flit-reservation specs only; Run panics otherwise.
+func (s Spec) WithCheck(on bool) Spec {
+	s.inner.Check = on
 	return s
 }

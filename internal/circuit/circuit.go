@@ -34,7 +34,7 @@ type Config struct {
 	// LocalLatency is the injection/ejection link delay.
 	LocalLatency sim.Cycle
 
-	Routing routing.Function
+	Routing routing.Algorithm
 }
 
 func (c Config) withDefaults() Config {
@@ -213,7 +213,10 @@ func (r *Router) grantProbes(now sim.Cycle) {
 	for _, p := range r.cands {
 		in := &r.in[p]
 		pr := in.q[0]
-		out := r.cfg.Routing(r.mesh, r.id, pr.p.Dst)
+		out, reachable := r.cfg.Routing.NextPort(r.mesh, r.id, pr.p.Dst)
+		if !reachable {
+			panic(fmt.Sprintf("circuit: node %d: destination %d unreachable", r.id, pr.p.Dst))
+		}
 		o := &r.out[out]
 		if o.owned {
 			continue // channel held by another circuit: wait

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"frfc/internal/noc"
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// check is the runtime invariant checker (Config.Check): at the end of every
+// cycle it audits the conservation laws the protocol's correctness rests on.
+// A violation is a simulator bug — or fault-handling that leaked state — and
+// panics with a diagnostic dump.
+func (n *Network) check(now sim.Cycle) {
+	for i := range n.links {
+		n.checkLink(now, &n.links[i])
+	}
+	for id := range n.routers {
+		if n.isDead(topology.NodeID(id)) {
+			continue
+		}
+		n.checkLocal(now, topology.NodeID(id))
+		n.checkRouter(now, topology.NodeID(id))
+	}
+}
+
+func (n *Network) fail(now sim.Cycle, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	panic(fmt.Sprintf("core: invariant violated at cycle %d: %s\n%s", now, msg, n.DumpState()))
+}
+
+// checkLink audits one directed inter-router link. A severed link must be
+// empty; a live one must conserve control credits per VC: sender credit
+// counter + credits on the wire + flits queued downstream + flits on the wire
+// always equals the downstream VC's buffer depth.
+func (n *Network) checkLink(now sim.Cycle, l *linkPipes) {
+	if l.data.Severed() {
+		empty := 0
+		l.data.Each(func(noc.DataFlit) { empty++ })
+		l.resvCredit.Each(func(noc.ReservationCredit) { empty++ })
+		l.ctrl.Each(func(noc.ControlFlit) { empty++ })
+		l.ctrlCredit.Each(func(noc.VCCredit) { empty++ })
+		if empty != 0 {
+			n.fail(now, "severed link %d->%d carries %d in-flight items", l.a, l.b, empty)
+		}
+		return
+	}
+	co := &n.routers[l.a].ctrlOut[l.p]
+	ci := &n.routers[l.b].ctrlIn[l.p.Opposite()]
+	for v := 0; v < n.cfg.CtrlVCs; v++ {
+		total := co.credits[v] + len(ci.vcs[v].q)
+		l.ctrlCredit.Each(func(c noc.VCCredit) {
+			if c.VC == v {
+				total++
+			}
+		})
+		l.ctrl.Each(func(f noc.ControlFlit) {
+			if f.VC == v {
+				total++
+			}
+		})
+		if total != n.cfg.CtrlBufPerVC {
+			n.fail(now, "link %d->%d vc %d: control credits not conserved: %d accounted, want %d",
+				l.a, l.b, v, total, n.cfg.CtrlBufPerVC)
+		}
+	}
+}
+
+// checkLocal audits the injection control link between a node's interface and
+// its router, which conserves credits the same way as an inter-router link.
+func (n *Network) checkLocal(now sim.Cycle, id topology.NodeID) {
+	ni := n.nis[id]
+	ci := &n.routers[id].ctrlIn[topology.Local]
+	for v := 0; v < n.cfg.CtrlVCs; v++ {
+		total := ni.ctrlCredits[v] + len(ci.vcs[v].q)
+		ni.ctrlCreditIn.Each(func(c noc.VCCredit) {
+			if c.VC == v {
+				total++
+			}
+		})
+		ni.ctrlOut.Each(func(f noc.ControlFlit) {
+			if f.VC == v {
+				total++
+			}
+		})
+		if total != n.cfg.CtrlBufPerVC {
+			n.fail(now, "node %d injection vc %d: control credits not conserved: %d accounted, want %d",
+				id, v, total, n.cfg.CtrlBufPerVC)
+		}
+	}
+	n.checkTable(now, fmt.Sprintf("NI %d injection table", id), ni.injTable)
+}
+
+// checkRouter audits one router's reservation tables and buffer pools.
+func (n *Network) checkRouter(now sim.Cycle, id topology.NodeID) {
+	r := n.routers[id]
+	for p := range r.outTables {
+		if t := r.outTables[p]; t != nil {
+			n.checkTable(now, fmt.Sprintf("node %d out %s", id, topology.Port(p)), t)
+		}
+	}
+	for p := range r.inputs {
+		in := r.inputs[p]
+		if in == nil {
+			continue
+		}
+		occ := 0
+		for i := range in.pool {
+			if in.pool[i].occupied {
+				occ++
+			}
+		}
+		if occ != in.occupied {
+			n.fail(now, "node %d input %s: occupied counter %d but %d slots in use",
+				id, topology.Port(p), in.occupied, occ)
+		}
+		for ta, slot := range in.parked {
+			s := &in.pool[slot]
+			if !s.occupied || s.departAt != sim.Never {
+				n.fail(now, "node %d input %s: schedule-list entry for arrival %d points at a non-parked slot",
+					id, topology.Port(p), ta)
+			}
+		}
+	}
+}
+
+// checkTable audits one output reservation table's bookkeeping ranges.
+func (n *Network) checkTable(now sim.Cycle, what string, t *outResTable) {
+	if t.infinite {
+		return
+	}
+	if t.steady < 0 || t.steady > t.cap {
+		n.fail(now, "%s: steady free count %d outside [0,%d]", what, t.steady, t.cap)
+	}
+	for i, f := range t.free {
+		if f < 0 || f > t.cap {
+			n.fail(now, "%s: free-buffer cell %d holds %d, outside [0,%d]", what, i, f, t.cap)
+		}
+	}
+	for v := range t.outstanding {
+		if t.outstanding[v] < 0 {
+			n.fail(now, "%s: vc %d outstanding residency count %d is negative", what, v, t.outstanding[v])
+		}
+		if t.claims[v] < 0 {
+			n.fail(now, "%s: vc %d claim count %d is negative", what, v, t.claims[v])
+		}
+	}
+}

@@ -138,9 +138,26 @@ type Config struct {
 	// surfaces it through the Wedged hook.
 	WatchdogCycles sim.Cycle
 
-	// Routing selects the route function; nil means dimension-ordered
-	// XY routing, the paper's choice.
-	Routing routing.Function
+	// Routing selects the routing algorithm; nil means dimension-ordered
+	// XY routing, the paper's choice. Hard-fault scenarios (Faults) need
+	// fault-aware routing and force a per-topology lookup table unless one
+	// was supplied.
+	Routing routing.Algorithm
+
+	// Faults is the deterministic hard-fault scenario: scheduled link and
+	// router outages applied between cycles, severing wires and destroying
+	// whatever they carry. Events must be in non-decreasing cycle order and
+	// are validated against the mesh by New. The scenario is part of the
+	// configuration — and therefore of the harness job hash — so runs stay
+	// bit-identical across worker counts.
+	Faults []FaultEvent
+
+	// Check enables the per-cycle runtime invariant checker: control-credit
+	// conservation per link, reservation-table consistency, buffer-pool
+	// consistency, and emptiness of severed pipes. A violation panics with
+	// a diagnostic snapshot. Roughly doubles per-cycle cost; meant for CI
+	// smoke runs and debugging, not sweeps.
+	Check bool
 }
 
 // withDefaults fills unset fields with the paper's FR6 values.
@@ -184,6 +201,12 @@ func (c Config) withDefaults() Config {
 		}
 		if c.NackLatency == 0 {
 			c.NackLatency = 16
+		}
+		if len(c.Faults) > 0 && c.RetryTimeout == 0 {
+			// A hard fault can destroy a packet so completely that no
+			// destination ever learns it existed, so NACK-based detection
+			// alone never fires; scenario runs need the source timer.
+			c.RetryTimeout = 1024
 		}
 	}
 	return c

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"frfc/internal/noc"
+	"frfc/internal/routing"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 )
@@ -67,7 +68,7 @@ func TestControlFlitsStayOrderedPerPacket(t *testing.T) {
 func TestYXRoutingWorksEndToEnd(t *testing.T) {
 	mesh := topology.NewMesh(4)
 	cfg := fastControl()
-	cfg.Routing = func(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
+	cfg.Routing = routing.Function(func(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
 		cc, cd := m.Coord(cur), m.Coord(dst)
 		switch {
 		case cd.Y > cc.Y:
@@ -81,7 +82,7 @@ func TestYXRoutingWorksEndToEnd(t *testing.T) {
 		default:
 			return topology.Local
 		}
-	}
+	})
 	rec, hooks := newRecorder()
 	net := New(mesh, cfg, 5, hooks)
 	rng := sim.NewRNG(9)

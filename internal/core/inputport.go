@@ -44,6 +44,10 @@ type inputPort struct {
 	// schedule list, a measure of how often data overtakes its control
 	// flit.
 	parkedTotal int64
+	// condemned marks arrival cycles whose control stream a hard fault
+	// destroyed: the data flit, if it still arrives, is dropped on sight
+	// instead of parking forever on the schedule list.
+	condemned map[sim.Cycle]bool
 
 	dataIn    *sim.Pipe[noc.DataFlit]
 	creditOut *sim.Pipe[noc.ReservationCredit]
@@ -68,6 +72,7 @@ func newInputPort(buffers int, ledger *eagerLedger, faultTolerant bool) *inputPo
 		pool:          make([]poolSlot, buffers),
 		expected:      make(map[sim.Cycle]reservation),
 		parked:        make(map[sim.Cycle]int),
+		condemned:     make(map[sim.Cycle]bool),
 		ledger:        ledger,
 		faultTolerant: faultTolerant,
 	}
@@ -172,9 +177,95 @@ func (p *inputPort) departures(now sim.Cycle, fn func(f noc.DataFlit, out topolo
 // expireExpected discards a reservation whose data flit failed to arrive at
 // its scheduled cycle (destroyed by a fault upstream): the channel slot the
 // departure reserved simply goes idle and no buffer was ever bound, so
-// accounting stays consistent. It must run after the cycle's arrivals.
+// accounting stays consistent. It must run after the cycle's arrivals. A
+// condemned cycle whose flit never showed up expires the same way.
 func (p *inputPort) expireExpected(now sim.Cycle) {
 	delete(p.expected, now)
+	delete(p.condemned, now)
+}
+
+// condemn marks a future arrival cycle as orphaned: the control flit that
+// was to schedule the arriving data flit has been destroyed by a hard fault,
+// so the flit must be dropped on arrival rather than parked forever.
+func (p *inputPort) condemn(ta sim.Cycle) { p.condemned[ta] = true }
+
+// condemnedArrival reports (and consumes) whether the flit arriving at now
+// belongs to a destroyed control stream.
+func (p *inputPort) condemnedArrival(now sim.Cycle) bool {
+	if p.condemned[now] {
+		delete(p.condemned, now)
+		return true
+	}
+	return false
+}
+
+// dropParked removes and returns the flit parked under arrival cycle ta, if
+// any: its control flit has been destroyed by a hard fault, so it can never
+// be scheduled out of the pool.
+func (p *inputPort) dropParked(ta sim.Cycle) (noc.DataFlit, bool) {
+	slot, ok := p.parked[ta]
+	if !ok {
+		return noc.DataFlit{}, false
+	}
+	delete(p.parked, ta)
+	s := &p.pool[slot]
+	f := s.flit
+	s.occupied = false
+	p.occupied--
+	s.flit = noc.DataFlit{}
+	s.departAt = sim.Never
+	return f, true
+}
+
+// purgeOutput erases every reservation and buffered flit bound for output
+// port out. It runs when the link behind out is repaired and the output's
+// reservation table is rebuilt from scratch: departures committed on the old
+// table would collide with the fresh table's bookkeeping, so their flits are
+// destroyed (reported through drop) and their not-yet-arrived brethren are
+// condemned. Parked flits stay — their control flit will schedule them on
+// the fresh table.
+func (p *inputPort) purgeOutput(out topology.Port, drop func(noc.DataFlit)) {
+	for ta, r := range p.expected {
+		if r.outPort == out {
+			delete(p.expected, ta)
+			p.condemned[ta] = true
+		}
+	}
+	for i := range p.pool {
+		s := &p.pool[i]
+		if s.occupied && s.departAt != sim.Never && s.outPort == out {
+			s.occupied = false
+			p.occupied--
+			drop(s.flit)
+			s.flit = noc.DataFlit{}
+			s.departAt = sim.Never
+		}
+	}
+}
+
+// reset returns the input port to its just-built state, destroying every
+// buffered flit (reported through drop) and every reservation. It runs when
+// the link feeding this input is repaired: the upstream router restarts with
+// a fresh reservation table that believes every buffer here is free, so the
+// port must actually be empty or its pool would be overcommitted.
+func (p *inputPort) reset(drop func(noc.DataFlit)) {
+	for i := range p.pool {
+		s := &p.pool[i]
+		if s.occupied {
+			drop(s.flit)
+		}
+		*s = poolSlot{departAt: sim.Never}
+	}
+	p.occupied = 0
+	for ta := range p.expected {
+		delete(p.expected, ta)
+	}
+	for ta := range p.parked {
+		delete(p.parked, ta)
+	}
+	for ta := range p.condemned {
+		delete(p.condemned, ta)
+	}
 }
 
 // pending reports buffered flits plus outstanding expectations, used by the

@@ -7,6 +7,7 @@ import (
 
 	"frfc/internal/metrics"
 	"frfc/internal/noc"
+	"frfc/internal/routing"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 )
@@ -19,6 +20,18 @@ type notif struct {
 	ack     bool
 	pkt     *noc.Packet
 	attempt int
+}
+
+// linkPipes names the four wires of one directed inter-router link — node a's
+// output port p into node b — so the fault engine can sever and restore them
+// as a unit and the invariant checker can audit their conservation laws.
+type linkPipes struct {
+	a, b       topology.NodeID
+	p          topology.Port
+	data       *sim.Pipe[noc.DataFlit]
+	resvCredit *sim.Pipe[noc.ReservationCredit]
+	ctrl       *sim.Pipe[noc.ControlFlit]
+	ctrlCredit *sim.Pipe[noc.VCCredit]
 }
 
 // Network is a complete mesh of flit-reservation routers with per-node
@@ -48,6 +61,22 @@ type Network struct {
 	afterRetry    int64 // packets delivered on an attempt > 0
 	dropped       int64 // data flits destroyed on links
 	ctrlCorrupted int64 // control flits corrupted (and retransmitted) on links
+	unreachable   int64 // packets failed fast: no surviving route to their destination
+
+	// links is the directed inter-router link registry built by wire, the
+	// handle the hard-fault engine severs through and the invariant checker
+	// audits; linkIdx maps an unordered node pair to its two entries.
+	links   []linkPipes
+	linkIdx map[[2]topology.NodeID][]int
+
+	// Hard-fault scenario state, live when cfg.Faults is non-empty.
+	// nextFault indexes the first unapplied event; table is the shared
+	// fault-aware routing table rebuilt on every topology change; linkDown
+	// and deadNode record the current outage set.
+	nextFault int
+	table     *routing.Table
+	linkDown  map[[2]topology.NodeID]bool
+	deadNode  []bool
 
 	// notifs holds in-flight end-to-end notifications keyed by the cycle
 	// they reach the source interface.
@@ -76,10 +105,27 @@ var _ noc.Network = (*Network)(nil)
 func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network {
 	cfg = cfg.withDefaults()
 	cfg.validate()
+	if len(cfg.Faults) > 0 {
+		if err := ValidateFaults(mesh, cfg.Faults, cfg.RetryLimit > 0); err != nil {
+			panic("core: " + err.Error())
+		}
+		// Hard faults change the topology mid-run; only the lookup table
+		// can route around them, so any fixed algorithm is replaced.
+		if _, ok := cfg.Routing.(*routing.Table); !ok {
+			cfg.Routing = routing.NewTable(mesh)
+		}
+	}
 	if hooks == nil {
 		hooks = &noc.Hooks{}
 	}
 	n := &Network{mesh: mesh, cfg: cfg, progress: new(int64)}
+	if t, ok := cfg.Routing.(*routing.Table); ok {
+		n.table = t
+	}
+	if len(cfg.Faults) > 0 {
+		n.linkDown = make(map[[2]topology.NodeID]bool)
+		n.deadNode = make([]bool, mesh.N())
+	}
 	if cfg.RetryLimit > 0 {
 		n.notifs = make(map[sim.Cycle][]notif)
 		n.resolved = make(map[noc.PacketID]bool)
@@ -135,6 +181,19 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 			inner.FlitDropped(p, now)
 		}
 	}
+	wrapped.PacketUnreachable = func(p *noc.Packet, now sim.Cycle) {
+		if n.resolved != nil {
+			if n.resolved[p.ID] {
+				return // a delivery or abandonment already settled this packet
+			}
+			n.resolved[p.ID] = true
+		}
+		n.unreachable++
+		n.probe.Unreachable(int(p.Src))
+		if inner.PacketUnreachable != nil {
+			inner.PacketUnreachable(p, now)
+		}
+	}
 	n.hooks = &wrapped
 
 	root := sim.NewRNG(seed)
@@ -153,6 +212,12 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 		n.sinks[id] = newSink(topology.NodeID(id), n.hooks)
 		if cfg.RetryLimit > 0 {
 			n.sinks[id].notifyLoss = n.noteLoss
+		}
+		if len(cfg.Faults) > 0 {
+			src := topology.NodeID(id)
+			n.nis[id].unreachable = func(dst topology.NodeID) bool {
+				return !n.pairConnected(src, dst)
+			}
 		}
 	}
 	n.wire()
@@ -206,9 +271,11 @@ func (n *Network) onCtrlCorrupt() {
 // resvCreditWidth bounds the reservation credits one input port can emit in
 // a cycle: every output scheduler may process CtrlFlitsPerCycle control flits
 // each leading up to LeadsPerCtrl data flits, all potentially from the same
-// input.
+// input. Under hard faults, each of the input's control VCs may additionally
+// discard a destroyed stream's flit in the same cycle, releasing its leads'
+// upstream residencies.
 func (c Config) resvCreditWidth() int {
-	return int(topology.NumPorts) * c.CtrlFlitsPerCycle * c.LeadsPerCtrl
+	return (int(topology.NumPorts)*c.CtrlFlitsPerCycle + c.CtrlVCs) * c.LeadsPerCtrl
 }
 
 // newCtrlLink builds one inter-router control link: a plain pipe, or — under
@@ -253,6 +320,16 @@ func (n *Network) wire() {
 			ctrlCredit := sim.NewPipe[noc.VCCredit](cfg.CreditLatency, cfg.CtrlVCs)
 			r.ctrlOut[p].creditIn = ctrlCredit
 			far.ctrlIn[op].creditOut = ctrlCredit
+
+			if n.linkIdx == nil {
+				n.linkIdx = make(map[[2]topology.NodeID][]int)
+			}
+			key := normLink(topology.NodeID(id), nb)
+			n.linkIdx[key] = append(n.linkIdx[key], len(n.links))
+			n.links = append(n.links, linkPipes{
+				a: topology.NodeID(id), b: nb, p: p,
+				data: data, resvCredit: resvCredit, ctrl: ctrl, ctrlCredit: ctrlCredit,
+			})
 		}
 
 		ni := n.nis[id]
@@ -285,19 +362,48 @@ func (n *Network) wire() {
 	}
 }
 
-// Offer implements noc.Network.
+// Offer implements noc.Network. A packet whose destination has no surviving
+// route is failed fast — counted offered, reported unreachable, never queued.
 func (n *Network) Offer(p *noc.Packet) {
 	n.offered++
+	if n.table != nil && !n.pairConnected(p.Src, p.Dst) {
+		n.hooks.Unreachable(p, n.now)
+		return
+	}
 	n.nis[p.Src].offer(p)
+}
+
+// isDead reports whether a hard fault has killed the given router.
+func (n *Network) isDead(id topology.NodeID) bool {
+	return n.deadNode != nil && n.deadNode[id]
+}
+
+// pairConnected reports whether src can currently reach dst over the
+// surviving topology. Without a routing table (no fault scenario) every pair
+// is connected.
+func (n *Network) pairConnected(src, dst topology.NodeID) bool {
+	if n.isDead(src) || n.isDead(dst) {
+		return false
+	}
+	if n.table == nil {
+		return true
+	}
+	return n.table.Reachable(src, dst)
 }
 
 // Tick implements noc.Network.
 func (n *Network) Tick(now sim.Cycle) {
 	n.now = now
+	if n.nextFault < len(n.cfg.Faults) {
+		n.applyFaults(now)
+	}
 	if n.notifs != nil {
 		if due, ok := n.notifs[now]; ok {
 			delete(n.notifs, now)
 			for _, nt := range due {
+				if n.isDead(nt.pkt.Src) {
+					continue
+				}
 				ni := n.nis[nt.pkt.Src]
 				if nt.ack {
 					ni.ack(nt.pkt.ID)
@@ -307,17 +413,29 @@ func (n *Network) Tick(now sim.Cycle) {
 			}
 		}
 	}
-	for _, ni := range n.nis {
+	for id, ni := range n.nis {
+		if n.isDead(topology.NodeID(id)) {
+			continue
+		}
 		ni.Tick(now)
 	}
-	for _, r := range n.routers {
+	for id, r := range n.routers {
+		if n.isDead(topology.NodeID(id)) {
+			continue
+		}
 		r.Tick(now)
 	}
-	for _, s := range n.sinks {
+	for id, s := range n.sinks {
+		if n.isDead(topology.NodeID(id)) {
+			continue
+		}
 		s.Tick(now)
 	}
 	if n.probe.SampleDue(now) {
 		n.sampleOccupancy(n.probe)
+	}
+	if n.cfg.Check {
+		n.check(now)
 	}
 	n.watch(now)
 }
@@ -332,10 +450,11 @@ func (n *Network) SourceQueueLen() int {
 }
 
 // InFlightPackets implements noc.Network. A packet is resolved when it is
-// delivered, abandoned after exhausting its retries, or — with retry
-// disabled — detected lost; its fate is then known.
+// delivered, abandoned after exhausting its retries, reported unreachable
+// after a hard fault disconnected its pair, or — with retry disabled —
+// detected lost; its fate is then known.
 func (n *Network) InFlightPackets() int {
-	return int(n.offered - n.delivered - n.lostResolved - n.abandoned)
+	return int(n.offered - n.delivered - n.lostResolved - n.abandoned - n.unreachable)
 }
 
 // FaultStats reports fault-injection activity: data flits destroyed on links
@@ -356,6 +475,10 @@ type RecoveryStats struct {
 	// LostDetected counts loss events at destinations — per packet without
 	// retry, per lost transmission attempt with it.
 	LostDetected int64
+	// Unreachable counts packets failed fast because a hard fault left no
+	// surviving route between their endpoints; with outages in the scenario,
+	// Offered == Delivered + Abandoned + Unreachable once the network drains.
+	Unreachable int64
 	// Retried counts re-injections; DeliveredAfterRetry counts packets
 	// whose delivering attempt was a retry.
 	Retried             int64
@@ -374,6 +497,7 @@ func (n *Network) Recovery() RecoveryStats {
 		Delivered:           n.delivered,
 		Abandoned:           n.abandoned,
 		LostDetected:        n.lostDetected,
+		Unreachable:         n.unreachable,
 		Retried:             n.retried,
 		DeliveredAfterRetry: n.afterRetry,
 		DroppedFlits:        n.dropped,
@@ -391,10 +515,16 @@ func (n *Network) pendingRecovery() int {
 	for _, nts := range n.notifs {
 		total += len(nts)
 	}
-	for _, ni := range n.nis {
+	for id, ni := range n.nis {
+		if n.isDead(topology.NodeID(id)) {
+			continue
+		}
 		total += ni.pendingRecovery()
 	}
-	for _, s := range n.sinks {
+	for id, s := range n.sinks {
+		if n.isDead(topology.NodeID(id)) {
+			continue
+		}
 		total += len(s.expect)
 	}
 	return total

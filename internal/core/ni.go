@@ -53,6 +53,13 @@ type NI struct {
 	// progress points at the network-wide movement counter the watchdog
 	// monitors; the NI bumps it whenever it puts a flit on a wire.
 	progress *int64
+
+	// unreachable, when set, reports whether a destination is currently
+	// disconnected from this node over the surviving topology. The NI fails
+	// such packets fast — PacketUnreachable instead of burning the retry
+	// budget — at queue admission, on every topology change, and whenever a
+	// loss signal or retry would otherwise re-inject one.
+	unreachable func(dst topology.NodeID) bool
 }
 
 // retryState tracks one offered packet awaiting its end-to-end outcome.
@@ -128,6 +135,13 @@ func (n *NI) loss(pid noc.PacketID, attempt int, now sim.Cycle) {
 	if st == nil || st.retryPending || attempt != st.attempt {
 		return
 	}
+	if n.unreachable != nil && n.unreachable(st.pkt.Dst) {
+		// The loss was no accident: the destination is cut off. Resolve
+		// the packet now instead of retrying into a void.
+		delete(n.awaiting, pid)
+		n.hooks.Unreachable(st.pkt, now)
+		return
+	}
 	if st.attempt >= n.cfg.RetryLimit {
 		delete(n.awaiting, pid)
 		n.hooks.Abandoned(st.pkt, now)
@@ -146,6 +160,11 @@ func (n *NI) tickRetries(now sim.Cycle) {
 		for _, p := range ps {
 			st := n.awaiting[p.ID]
 			if st == nil || !st.retryPending {
+				continue
+			}
+			if n.unreachable != nil && n.unreachable(p.Dst) {
+				delete(n.awaiting, p.ID)
+				n.hooks.Unreachable(p, now)
 				continue
 			}
 			st.retryPending = false
@@ -178,6 +197,31 @@ func (n *NI) pendingRecovery() int {
 		total += len(ps)
 	}
 	return total
+}
+
+// failUnreachable fails fast every queued packet whose destination is no
+// longer reachable over the surviving topology; the network calls it after
+// each topology change. Packets mid-injection are left alone — their loss
+// surfaces through the normal timers and resolves through loss().
+func (n *NI) failUnreachable(now sim.Cycle) {
+	if n.unreachable == nil {
+		return
+	}
+	kept := n.queue[:0]
+	for _, p := range n.queue {
+		if n.unreachable(p.Dst) {
+			if n.awaiting != nil {
+				delete(n.awaiting, p.ID)
+			}
+			n.hooks.Unreachable(p, now)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(n.queue); i++ {
+		n.queue[i] = nil
+	}
+	n.queue = kept
 }
 
 func (n *NI) activeCount() int {

@@ -11,34 +11,47 @@ import (
 
 // leadState tracks the scheduling progress of one data flit led by a control
 // flit resident in this router: its announced arrival at this node and, once
-// the output scheduler succeeds, its reserved departure.
+// the output scheduler succeeds, its reserved departure. dead marks a lead
+// whose reservation was made toward an output a hard fault severed: its data
+// flit departs into the dead wire and is destroyed, so the lead must not be
+// announced downstream when the stream re-routes — the new output's table
+// never committed it, and the downstream router must not schedule (and
+// credit) a flit that can never arrive.
 type leadState struct {
 	seq       int
 	arrival   sim.Cycle
 	scheduled bool
+	dead      bool
 	departAt  sim.Cycle
 }
 
 // queuedCtrl is a control flit buffered in a control VC queue together with
 // its mutable per-lead scheduling state. admitted records that the output
 // reservation table has set aside buffers for all of its leads (per-flit
-// scheduling's strand-free admission).
+// scheduling's strand-free admission). routedHere marks the head that
+// established the VC's current routing entry, distinguishing a head still
+// being scheduled from a fresh head following a stream whose tail a hard
+// fault destroyed.
 type queuedCtrl struct {
-	flit      noc.ControlFlit
-	leads     []leadState
-	arrivedAt sim.Cycle
-	admitted  bool
+	flit       noc.ControlFlit
+	leads      []leadState
+	arrivedAt  sim.Cycle
+	admitted   bool
+	routedHere bool
 }
 
 // ctrlVC is one control virtual channel of one control input: a small FIFO
 // plus the routing-table entry (output port) and downstream-VC allocation of
-// the packet currently holding the channel.
+// the packet currently holding the channel. drain marks a stream a hard
+// fault destroyed mid-flight: followers are discarded until the tail passes
+// (or a fresh head shows the tail itself was destroyed).
 type ctrlVC struct {
 	q         []queuedCtrl
 	routed    bool
 	route     topology.Port
 	allocated bool
 	outVC     int
+	drain     bool
 }
 
 // ctrlInput is the control-network side of one router input.
@@ -119,7 +132,7 @@ func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG)
 		if cfg.TrackEagerTransfers {
 			ledger = newEagerLedger(cfg.DataBuffers)
 		}
-		r.inputs[p] = newInputPort(cfg.DataBuffers, ledger, cfg.DataFaultRate > 0)
+		r.inputs[p] = newInputPort(cfg.DataBuffers, ledger, cfg.DataFaultRate > 0 || len(cfg.Faults) > 0)
 		r.inputs[p].node = int(id)
 		r.inputs[p].portIndex = int(p)
 		r.outTables[p] = newOutResTable(cfg.Horizon, cfg.DataBuffers, cfg.CtrlVCs, p == topology.Local)
@@ -223,6 +236,13 @@ func (r *Router) Tick(now sim.Cycle) {
 			continue
 		}
 		in.dataIn.RecvEach(now, func(f noc.DataFlit) {
+			if in.condemnedArrival(now) {
+				// The control flit that was to schedule this data flit
+				// was destroyed by a hard fault; the flit has nowhere to
+				// go and would park forever.
+				r.hooks.Dropped(f.Packet, now)
+				return
+			}
 			in.arrive(now, f, func(f noc.DataFlit, out topology.Port) {
 				r.sendData(now, f, out)
 			})
@@ -278,12 +298,46 @@ func (r *Router) processControl(now sim.Cycle) {
 		ci := &r.ctrlIn[cand.port]
 		vc := &ci.vcs[cand.vc]
 		qc := &vc.q[0]
+		if vc.drain {
+			if qc.flit.Type.IsHead() {
+				// A fresh head while draining means the old stream's
+				// tail was itself destroyed; the new stream is intact.
+				vc.drain = false
+			} else {
+				r.discardCtrl(now, ci, vc, cand.vc, cand.port)
+				continue
+			}
+		}
+		if vc.routed && !qc.routedHere && qc.flit.Type.IsHead() && len(r.cfg.Faults) > 0 {
+			// The previous stream's tail died on a severed wire before it
+			// could close the channel; a new head can only follow a
+			// complete (or destroyed) stream, so close the old one out.
+			if vc.allocated {
+				r.ctrlOut[vc.route].owned[vc.outVC] = false
+			}
+			vc.routed, vc.allocated = false, false
+		}
 		if !vc.routed {
 			if !qc.flit.Type.IsHead() {
+				if len(r.cfg.Faults) > 0 {
+					// Mid-stream loss on a severed wire broke the
+					// wormhole framing; discard to the tail.
+					r.discardCtrl(now, ci, vc, cand.vc, cand.port)
+					continue
+				}
 				panic(fmt.Sprintf("core: node %d: %s at front of unrouted control VC", r.id, qc.flit))
 			}
-			vc.route = r.cfg.Routing(r.mesh, r.id, qc.flit.Dst)
+			route, ok := r.cfg.Routing.NextPort(r.mesh, r.id, qc.flit.Dst)
+			if !ok {
+				// No surviving route to the destination. Destroy the
+				// stream here; the source resolves the packet through
+				// the unreachable fast path or its retry budget.
+				r.discardCtrl(now, ci, vc, cand.vc, cand.port)
+				continue
+			}
+			vc.route = route
 			vc.routed = true
+			qc.routedHere = true
 			r.probe.Route(now, int(r.id), int(vc.route), uint64(qc.flit.Packet.ID))
 		}
 		out := vc.route
@@ -465,9 +519,12 @@ func (r *Router) forward(now sim.Cycle, ci *ctrlInput, vc *ctrlVC, vcIdx int, ou
 	r.probe.CtrlForward(int(r.id), int(out))
 	nf := qc.flit
 	nf.VC = vc.outVC
-	nf.Leads = make([]noc.LeadEntry, len(qc.leads))
-	for i, ld := range qc.leads {
-		nf.Leads[i] = noc.LeadEntry{Seq: ld.seq, Arrival: ld.departAt + r.cfg.DataLinkLatency}
+	nf.Leads = make([]noc.LeadEntry, 0, len(qc.leads))
+	for _, ld := range qc.leads {
+		if ld.dead {
+			continue // scheduled into a severed wire; the flit dies there
+		}
+		nf.Leads = append(nf.Leads, noc.LeadEntry{Seq: ld.seq, Arrival: ld.departAt + r.cfg.DataLinkLatency})
 	}
 	co.out.Send(now, nf)
 	co.credits[vc.outVC]--
@@ -477,6 +534,85 @@ func (r *Router) forward(now sim.Cycle, ci *ctrlInput, vc *ctrlVC, vcIdx int, ou
 		co.owned[vc.outVC] = false
 		vc.allocated = false
 		vc.routed = false
+	}
+}
+
+// discardCtrl destroys the control flit at the front of vc after a hard
+// fault cut its route or broke its stream. Its unscheduled leads' data flits
+// are destroyed too: ones already parked are dropped now, future arrivals
+// are condemned so they are dropped on sight. Scheduled leads keep their
+// reservations — that data is real and departs normally (dying on the
+// severed wire if its route is gone). The flit's buffer credit flows
+// upstream as usual, and the VC drains until the stream's tail passes.
+//
+// Each destroyed unscheduled lead still holds a buffer residency in the
+// upstream scheduler's table (debited at commit, normally released by
+// finalizeLead's credit). The lead will never be finalized, so the residency
+// is released here — otherwise every discarded stream would leak upstream
+// buffers until its source wedges.
+func (r *Router) discardCtrl(now sim.Cycle, ci *ctrlInput, vc *ctrlVC, vcIdx int, inPort topology.Port) {
+	qc := &vc.q[0]
+	in := r.inputs[inPort]
+	for i := range qc.leads {
+		ld := &qc.leads[i]
+		if ld.scheduled {
+			continue
+		}
+		if f, ok := in.dropParked(ld.arrival); ok {
+			r.hooks.Dropped(f.Packet, now)
+		} else if ld.arrival >= now {
+			in.condemn(ld.arrival)
+		}
+		if in.creditOut != nil && !in.creditOut.Severed() {
+			freeFrom := now
+			if ld.arrival > freeFrom {
+				freeFrom = ld.arrival
+			}
+			in.creditOut.Send(now, noc.ReservationCredit{FreeFrom: freeFrom, VC: qc.flit.VC})
+		}
+	}
+	isTail := qc.flit.Type.IsTail()
+	r.popCtrl(now, ci, vc, vcIdx)
+	vc.drain = !isTail
+}
+
+// severOutput reacts to output port p's link dying: every control stream
+// routed to p is cut loose — its channel state cleared and its remaining
+// flits marked for draining — because the stream can never make progress
+// again (routes computed after the fault avoid p, and everything the stream
+// already sent into the wire is destroyed).
+func (r *Router) severOutput(p topology.Port) {
+	co := &r.ctrlOut[p]
+	for ip := range r.ctrlIn {
+		ci := &r.ctrlIn[ip]
+		if !ci.exists {
+			continue
+		}
+		for v := range ci.vcs {
+			vc := &ci.vcs[v]
+			if !vc.routed || vc.route != p {
+				continue
+			}
+			if vc.allocated && co.exists {
+				co.owned[vc.outVC] = false
+			}
+			vc.routed, vc.allocated = false, false
+			vc.drain = true
+			// Claims the queued flits held on the dying output's table die
+			// with the table; if a still-queued head survives to re-route,
+			// it must be re-admitted on the new output from scratch. Leads
+			// already scheduled into the dying output die with it too —
+			// their data is destroyed on the wire, so the re-routed stream
+			// must not announce them downstream.
+			for i := range vc.q {
+				vc.q[i].admitted = false
+				for j := range vc.q[i].leads {
+					if vc.q[i].leads[j].scheduled {
+						vc.q[i].leads[j].dead = true
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// FaultKind names one kind of scheduled hard fault.
+type FaultKind int
+
+const (
+	// LinkDown severs the bidirectional link A—B: both data wires, both
+	// control wires and all four credit wires die, destroying everything in
+	// flight on them.
+	LinkDown FaultKind = iota
+	// LinkUp repairs a link previously taken down by LinkDown.
+	LinkUp
+	// RouterDown kills node A permanently: all incident links plus the
+	// node's injection and ejection channels are severed and the router,
+	// its interface and its sink stop operating.
+	RouterDown
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case LinkDown:
+		return "down"
+	case LinkUp:
+		return "up"
+	case RouterDown:
+		return "kill"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultEvent is one scheduled topology fault. Events are plain values —
+// every field is comparable and prints stably under %#v — so a scenario can
+// live inside an experiment spec and participate in the harness job hash,
+// keeping campaign results bit-identical across worker counts.
+type FaultEvent struct {
+	// At is the cycle the event fires, applied before any component ticks.
+	At sim.Cycle
+	// Kind selects the fault.
+	Kind FaultKind
+	// A and B are the link endpoints for LinkDown/LinkUp; RouterDown uses
+	// only A.
+	A, B topology.NodeID
+}
+
+func (e FaultEvent) String() string {
+	if e.Kind == RouterDown {
+		return fmt.Sprintf("kill %d @%d", e.A, e.At)
+	}
+	return fmt.Sprintf("%s %d-%d @%d", e.Kind, e.A, e.B, e.At)
+}
+
+// normLink orders a link's endpoints so both directions map to one key.
+func normLink(a, b topology.NodeID) [2]topology.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topology.NodeID{a, b}
+}
+
+// ValidateFaults rejects structurally impossible fault scenarios against a
+// concrete mesh: events out of cycle order, endpoints outside the mesh or not
+// adjacent, a LinkUp with no strictly earlier LinkDown of the same link
+// (which also catches recover-at <= fail-at), double faults, events touching
+// a dead router, and RouterDown without end-to-end retries — a dead router
+// strands every packet its node has offered or will offer, so the scenario
+// is only meaningful when sources can detect the loss and fail over.
+func ValidateFaults(m topology.Mesh, events []FaultEvent, retryEnabled bool) error {
+	down := make(map[[2]topology.NodeID]sim.Cycle)
+	dead := make(map[topology.NodeID]bool)
+	last := sim.Cycle(0)
+	inMesh := func(n topology.NodeID) bool { return n >= 0 && int(n) < m.N() }
+	for i, e := range events {
+		if e.At < 1 {
+			return fmt.Errorf("fault %d (%s): events must fire at cycle >= 1", i, e)
+		}
+		if e.At < last {
+			return fmt.Errorf("fault %d (%s): events must be in non-decreasing cycle order", i, e)
+		}
+		last = e.At
+		if !inMesh(e.A) {
+			return fmt.Errorf("fault %d (%s): node %d is outside the %dx%d mesh", i, e, e.A, m.Radix(), m.Radix())
+		}
+		switch e.Kind {
+		case LinkDown, LinkUp:
+			if !inMesh(e.B) {
+				return fmt.Errorf("fault %d (%s): node %d is outside the %dx%d mesh", i, e, e.B, m.Radix(), m.Radix())
+			}
+			if m.Hops(e.A, e.B) != 1 {
+				return fmt.Errorf("fault %d (%s): nodes %d and %d are not adjacent — no such link", i, e, e.A, e.B)
+			}
+			if dead[e.A] || dead[e.B] {
+				return fmt.Errorf("fault %d (%s): link touches a dead router", i, e)
+			}
+			key := normLink(e.A, e.B)
+			downAt, isDown := down[key]
+			if e.Kind == LinkDown {
+				if isDown {
+					return fmt.Errorf("fault %d (%s): link is already down", i, e)
+				}
+				down[key] = e.At
+			} else {
+				if !isDown {
+					return fmt.Errorf("fault %d (%s): link is not down", i, e)
+				}
+				if e.At <= downAt {
+					return fmt.Errorf("fault %d (%s): recovery at cycle %d must come strictly after the failure at cycle %d", i, e, e.At, downAt)
+				}
+				delete(down, key)
+			}
+		case RouterDown:
+			if dead[e.A] {
+				return fmt.Errorf("fault %d (%s): router %d is already dead", i, e, e.A)
+			}
+			if !retryEnabled {
+				return fmt.Errorf("fault %d (%s): RouterDown strands the node's pending source traffic; enable end-to-end retries (RetryLimit > 0)", i, e)
+			}
+			dead[e.A] = true
+		default:
+			return fmt.Errorf("fault %d: unknown fault kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// ParseScenario parses the textual scenario grammar: semicolon-separated
+// events of the form
+//
+//	down A-B @CYCLE    sever link A—B
+//	up   A-B @CYCLE    repair link A—B
+//	kill N   @CYCLE    kill router N permanently
+//
+// e.g. "down 5-6 @2000; up 5-6 @6000". Whitespace is free; node ids are
+// row-major. Structural validation against a mesh happens separately in
+// ValidateFaults.
+func ParseScenario(s string) ([]FaultEvent, error) {
+	var events []FaultEvent
+	for _, stmt := range strings.Split(s, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		fields := strings.Fields(stmt)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("scenario: %q: want `down A-B @CYCLE`, `up A-B @CYCLE` or `kill N @CYCLE`", stmt)
+		}
+		at, err := parseAt(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %q: %v", stmt, err)
+		}
+		ev := FaultEvent{At: at}
+		switch fields[0] {
+		case "down", "up":
+			ev.Kind = LinkDown
+			if fields[0] == "up" {
+				ev.Kind = LinkUp
+			}
+			ab := strings.SplitN(fields[1], "-", 2)
+			if len(ab) != 2 {
+				return nil, fmt.Errorf("scenario: %q: link must be A-B", stmt)
+			}
+			a, errA := strconv.Atoi(ab[0])
+			b, errB := strconv.Atoi(ab[1])
+			if errA != nil || errB != nil {
+				return nil, fmt.Errorf("scenario: %q: bad link endpoints", stmt)
+			}
+			ev.A, ev.B = topology.NodeID(a), topology.NodeID(b)
+		case "kill":
+			ev.Kind = RouterDown
+			a, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %q: bad node id", stmt)
+			}
+			ev.A = topology.NodeID(a)
+		default:
+			return nil, fmt.Errorf("scenario: %q: unknown event %q", stmt, fields[0])
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+func parseAt(s string) (sim.Cycle, error) {
+	if !strings.HasPrefix(s, "@") {
+		return 0, fmt.Errorf("cycle must be written @CYCLE, got %q", s)
+	}
+	v, err := strconv.ParseInt(s[1:], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad cycle %q", s)
+	}
+	return sim.Cycle(v), nil
+}

@@ -96,6 +96,14 @@ type Result struct {
 	// retransmission).
 	RetriedPackets, AbandonedPackets   int64
 	DeliveredAfterRetry, CtrlCorrupted int64
+	// UnreachablePackets counts packets failed fast because a hard-fault
+	// scenario disconnected their destination; DeliveredFraction is
+	// delivered over resolved (delivered, abandoned or unreachable —
+	// packets still in flight when the sampling run stops don't count
+	// against it) — the graceful-degradation headline under Faults, 1.0 on
+	// a healthy network.
+	UnreachablePackets int64
+	DeliveredFraction  float64
 	// AvgRetryLatency is the mean creation-to-delivery latency of sampled
 	// packets that needed at least one retry (0 when none did); their
 	// latency includes the loss detection, notification round-trip and
@@ -254,6 +262,14 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 		},
 		// With retry, abandonment is the resolution of last resort.
 		PacketAbandoned: func(p *noc.Packet, now sim.Cycle) {
+			if p.Sampled {
+				sampledDelivered++
+			}
+		},
+		// A hard fault disconnecting a sampled packet's destination
+		// resolves its fate too; without this a scenario run would wait
+		// out the drain bound for deliveries that cannot happen.
+		PacketUnreachable: func(p *noc.Packet, now sim.Cycle) {
 			if p.Sampled {
 				sampledDelivered++
 			}
@@ -435,6 +451,10 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 		res.DeliveredAfterRetry = rec.DeliveredAfterRetry
 		res.CtrlCorrupted = rec.CtrlCorrupted
 		res.AvgRetryLatency = retryLat.Retried().Mean()
+		res.UnreachablePackets = rec.Unreachable
+		if resolved := rec.Delivered + rec.Abandoned + rec.Unreachable; resolved > 0 {
+			res.DeliveredFraction = float64(rec.Delivered) / float64(resolved)
+		}
 	}
 	return res, nil
 }

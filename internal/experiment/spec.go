@@ -14,6 +14,7 @@ import (
 	"frfc/internal/noc"
 	"frfc/internal/overhead"
 	"frfc/internal/packetswitch"
+	"frfc/internal/routing"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 	"frfc/internal/traffic"
@@ -87,6 +88,20 @@ type Spec struct {
 	// baseline; reported throughput is debited by it, as the paper does
 	// for flit reservation's arrival-time stamps (~2%).
 	BandwidthPenalty float64
+
+	// Routing names the routing algorithm for flit-reservation runs: ""
+	// or "xy" (dimension-ordered, the paper's choice), "yx" (transposed
+	// dimension order), or "table" (per-node lookup table with up*/down*
+	// turn restrictions — the fault-aware option scenarios force). A string
+	// rather than a routing.Algorithm so specs stay hashable by value.
+	Routing string
+	// Faults is the deterministic hard-fault scenario applied to
+	// flit-reservation runs: scheduled link and router outages, part of the
+	// spec — and therefore of the harness job hash — so scenario results
+	// are bit-identical across worker counts.
+	Faults []core.FaultEvent
+	// Check enables the core runtime invariant checker for the run.
+	Check bool
 }
 
 // withDefaults fills unset measurement parameters with values scaled for
@@ -302,13 +317,44 @@ func CircuitSpec(name string, w Wiring, pktLen int) Spec {
 	return s.withDefaults()
 }
 
+// ResolveRouting maps a spec's routing name onto a core routing algorithm
+// for the given mesh; it panics on unknown names. Nil means the core default
+// (dimension-ordered XY).
+func ResolveRouting(name string, mesh topology.Mesh) routing.Algorithm {
+	switch name {
+	case "", "xy":
+		return nil
+	case "yx":
+		return routing.YX
+	case "table":
+		return routing.NewTable(mesh)
+	default:
+		panic(fmt.Sprintf("experiment: unknown routing %q (want xy, yx or table)", name))
+	}
+}
+
 // NewNetwork builds the network a spec describes, with the given hooks.
 func NewNetwork(s Spec, hooks *noc.Hooks) (noc.Network, topology.Mesh) {
 	s = s.withDefaults()
 	mesh := topology.NewMesh(s.MeshRadix)
+	if s.Flow != FlitReservation && (len(s.Faults) > 0 || s.Check || (s.Routing != "" && s.Routing != "xy")) {
+		// Silently dropping a scenario would report a healthy run as a
+		// degraded one's result.
+		panic(fmt.Sprintf("experiment: routing/fault/check options are implemented for %s only, not %s", FlitReservation, s.Flow))
+	}
 	switch s.Flow {
 	case FlitReservation:
-		return core.New(mesh, s.FR, s.Seed, hooks), mesh
+		cfg := s.FR
+		if alg := ResolveRouting(s.Routing, mesh); alg != nil {
+			cfg.Routing = alg
+		}
+		if len(s.Faults) > 0 {
+			cfg.Faults = append([]core.FaultEvent(nil), s.Faults...)
+		}
+		if s.Check {
+			cfg.Check = true
+		}
+		return core.New(mesh, cfg, s.Seed, hooks), mesh
 	case VirtualChannel:
 		return vcrouter.New(mesh, s.VC, s.Seed, hooks), mesh
 	case Wormhole:

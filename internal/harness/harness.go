@@ -51,7 +51,9 @@ func (j Job) EffectiveSpec() experiment.Spec {
 // hashVersion is baked into every job hash; bump it when Result fields or
 // simulator semantics change so stale caches miss instead of lying.
 // v2: Result gained batch-means/autocorrelation fields and WarmupUnstable.
-const hashVersion = "frfc-job-v2"
+// v3: Spec gained Routing/Faults/Check (hard-fault scenarios change the
+// simulation), Result gained UnreachablePackets and DeliveredFraction.
+const hashVersion = "frfc-job-v3"
 
 // Hash is the job's stable content hash: a digest of the normalized spec
 // (every field, including nested router configs and the traffic pattern's

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"frfc/internal/core"
 	"frfc/internal/experiment"
 )
 
@@ -67,11 +68,20 @@ func TestJobHashStability(t *testing.T) {
 	if implicit.Hash() != explicit.Hash() {
 		t.Errorf("hash differs between implicit and explicit defaults")
 	}
+	faulty := experiment.FR6(experiment.FastControl, 5)
+	faulty.Faults = []core.FaultEvent{{At: 100, Kind: core.LinkDown, A: 5, B: 6}}
+	routed := experiment.FR6(experiment.FastControl, 5)
+	routed.Routing = "yx"
+	checked := experiment.FR6(experiment.FastControl, 5)
+	checked.Check = true
 	perturbed := []Job{
 		{Spec: experiment.FR6(experiment.FastControl, 5), Load: 0.6},
 		{Spec: experiment.FR6(experiment.FastControl, 21), Load: 0.5},
 		{Spec: experiment.FR13(experiment.FastControl, 5), Load: 0.5},
 		{Spec: experiment.FR6(experiment.FastControl, 5), Load: 0.5, Seed: 7},
+		{Spec: faulty, Load: 0.5},
+		{Spec: routed, Load: 0.5},
+		{Spec: checked, Load: 0.5},
 	}
 	for i, j := range perturbed {
 		if j.Hash() == implicit.Hash() {

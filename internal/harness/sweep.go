@@ -128,3 +128,33 @@ func FaultSweep(ctx context.Context, fo experiment.FaultSweepOptions, o Options)
 	}
 	return points, err
 }
+
+// ReliabilitySweep is experiment.ReliabilitySweep fanned over the worker
+// pool: each hard-fault scenario owns its own network and RNG, so the points
+// come back bit-identical to the serial sweep, in scenario order. The first
+// cell failure (an invalid scenario, cancellation, or a captured panic) is
+// returned as the error alongside whatever completed.
+func ReliabilitySweep(ctx context.Context, ro experiment.ReliabilitySweepOptions, o Options) ([]experiment.ReliabilityPoint, error) {
+	ro = ro.WithDefaults()
+	tr := newTracker(len(ro.Scenarios), o.workers(), o.Progress)
+	outs := mapPool(ctx, o.workers(), ro.Scenarios, func(ctx context.Context, _ int, sc experiment.ReliabilityScenario) (pt experiment.ReliabilityPoint, err error) {
+		defer func() {
+			jr := JobResult{}
+			if err != nil {
+				jr.Err = err.Error()
+			}
+			tr.finish(&jr)
+		}()
+		pt, err = experiment.ReliabilityCell(ctx, ro, sc)
+		return pt, err
+	})
+	points := make([]experiment.ReliabilityPoint, len(ro.Scenarios))
+	var err error
+	for i, out := range outs {
+		points[i] = out.Value
+		if out.Err != nil && err == nil {
+			err = fmt.Errorf("reliability scenario %q: %w", ro.Scenarios[i].Name, out.Err)
+		}
+	}
+	return points, err
+}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"frfc/internal/core"
 	"frfc/internal/experiment"
 )
 
@@ -103,5 +104,61 @@ func TestFaultSweepParallelMatchesSerial(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("parallel fault sweep diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestReliabilitySweepParallelMatchesSerial: the hard-fault scenario sweep
+// fanned over workers must reproduce the serial sweep exactly, in scenario
+// order.
+func TestReliabilitySweepParallelMatchesSerial(t *testing.T) {
+	o := experiment.ReliabilitySweepOptions{Packets: 200, Check: true}
+	serial := experiment.ReliabilitySweep(o)
+	parallel, err := ReliabilitySweep(context.Background(), o, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel reliability sweep diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestScenarioJobsDeterministicAcrossWorkers: a campaign whose specs carry a
+// hard-fault scenario must stay bit-identical across worker counts — faults
+// ride the job spec, so the schedule replays identically wherever the job
+// lands.
+func TestScenarioJobsDeterministicAcrossWorkers(t *testing.T) {
+	s := tinySpec()
+	s.Name = "FR6-linkflap"
+	s.FR.RetryLimit = 4
+	s.Routing = "table"
+	s.Check = true
+	s.Faults = []core.FaultEvent{
+		{At: 300, Kind: core.LinkDown, A: 5, B: 6},
+		{At: 900, Kind: core.LinkUp, A: 5, B: 6},
+	}
+	jobs := []Job{{Spec: s, Load: 0.2}, {Spec: s, Load: 0.4, Seed: 2}, {Spec: s, Load: 0.4, Seed: 3}}
+	ref, err := RunJobs(context.Background(), jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range ref {
+		if jr.Err != "" {
+			t.Fatalf("job %d failed: %s", i, jr.Err)
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := RunJobs(context.Background(), jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range jobs {
+			if got[i].Err != "" {
+				t.Fatalf("workers=%d job %d failed: %s", workers, i, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Result, ref[i].Result) {
+				t.Errorf("workers=%d job %d diverged from serial:\nparallel: %+v\nserial:   %+v",
+					workers, i, got[i].Result, ref[i].Result)
+			}
+		}
 	}
 }

@@ -83,9 +83,11 @@ type NodeMetrics struct {
 	ArbConflicts int64 `json:"arbConflicts"`
 	CreditStalls int64 `json:"creditStalls"`
 	// Recovery activity attributed to this node's NI: end-to-end retries
-	// issued and loss detections (NACK path).
-	Retries int64 `json:"retries"`
-	Nacks   int64 `json:"nacks"`
+	// issued, loss detections (NACK path), and packets failed fast because
+	// a hard fault disconnected their destination.
+	Retries     int64 `json:"retries"`
+	Nacks       int64 `json:"nacks"`
+	Unreachable int64 `json:"unreachable,omitempty"`
 	// Injected and Ejected count data flits entering and leaving the
 	// network at this node.
 	Injected int64 `json:"injected"`
@@ -99,7 +101,7 @@ type NodeMetrics struct {
 // active reports whether the node recorded anything at all.
 func (n *NodeMetrics) active() bool {
 	if n.ResHits|n.ResMisses|n.LateReservations|n.ArbConflicts|n.CreditStalls|
-		n.Retries|n.Nacks|n.Injected|n.Ejected != 0 {
+		n.Retries|n.Nacks|n.Unreachable|n.Injected|n.Ejected != 0 {
 		return true
 	}
 	for p := 0; p < int(topology.NumPorts); p++ {
@@ -221,6 +223,7 @@ func (r *Registry) Merge(o *Registry) {
 		dst.CreditStalls += src.CreditStalls
 		dst.Retries += src.Retries
 		dst.Nacks += src.Nacks
+		dst.Unreachable += src.Unreachable
 		dst.Injected += src.Injected
 		dst.Ejected += src.Ejected
 		for p := 0; p < int(topology.NumPorts); p++ {
@@ -360,6 +363,9 @@ func (r *Registry) WedgeSummary(stalled []int) string {
 			n.ResHits, n.ResMisses, n.LateReservations, n.ArbConflicts, n.CreditStalls)
 		if n.Retries != 0 || n.Nacks != 0 {
 			fmt.Fprintf(&b, ", retries %d, nacks %d", n.Retries, n.Nacks)
+		}
+		if n.Unreachable != 0 {
+			fmt.Fprintf(&b, ", unreachable %d", n.Unreachable)
 		}
 		fmt.Fprintf(&b, ", inj %d, ej %d", n.Injected, n.Ejected)
 		var occ []string

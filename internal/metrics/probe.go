@@ -179,6 +179,15 @@ func (p *Probe) Nack(node int) {
 	p.Reg.at(node).Nacks++
 }
 
+// Unreachable records node's NI failing a packet fast because a hard fault
+// disconnected its destination.
+func (p *Probe) Unreachable(node int) {
+	if p == nil || p.Reg == nil {
+		return
+	}
+	p.Reg.at(node).Unreachable++
+}
+
 // Wedge records the watchdog declaring the network wedged.
 func (p *Probe) Wedge(now sim.Cycle) {
 	if p == nil || p.Tracer == nil {

@@ -22,6 +22,7 @@ var promCounters = []counterCol{
 	{"frfc_credit_stalls_total", "Cycles an arbitration winner stalled on credit or link bandwidth.", func(n *NodeMetrics) int64 { return n.CreditStalls }},
 	{"frfc_retries_total", "End-to-end packet retries issued by this node's NI.", func(n *NodeMetrics) int64 { return n.Retries }},
 	{"frfc_nacks_total", "Loss detections (NACK path) at this node's NI.", func(n *NodeMetrics) int64 { return n.Nacks }},
+	{"frfc_unreachable_total", "Packets failed fast at this node's NI because a hard fault disconnected their destination.", func(n *NodeMetrics) int64 { return n.Unreachable }},
 	{"frfc_injected_flits_total", "Data flits injected into the network at this node.", func(n *NodeMetrics) int64 { return n.Injected }},
 	{"frfc_ejected_flits_total", "Data flits ejected from the network at this node.", func(n *NodeMetrics) int64 { return n.Ejected }},
 }

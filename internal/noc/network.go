@@ -33,6 +33,13 @@ type Hooks struct {
 	// PacketAbandoned fires when a source exhausts its retry budget for a
 	// packet; the packet's fate is resolved as undeliverable.
 	PacketAbandoned func(p *Packet, now sim.Cycle)
+	// PacketUnreachable fires when a source interface fails a packet fast
+	// because no route to its destination exists over the surviving
+	// topology (a hard fault disconnected the pair or killed one of its
+	// endpoints). It resolves the packet's fate without burning the retry
+	// budget; if the topology later heals, subsequent packets between the
+	// pair flow again.
+	PacketUnreachable func(p *Packet, now sim.Cycle)
 	// CtrlFlitCorrupted fires when fault injection corrupts a control flit
 	// on an inter-router control link; the flit is recovered by link-level
 	// detection-and-retransmission, so the event costs latency but never
@@ -92,6 +99,13 @@ func (h *Hooks) Retried(p *Packet, now sim.Cycle) {
 func (h *Hooks) Abandoned(p *Packet, now sim.Cycle) {
 	if h != nil && h.PacketAbandoned != nil {
 		h.PacketAbandoned(p, now)
+	}
+}
+
+// Unreachable invokes PacketUnreachable if set.
+func (h *Hooks) Unreachable(p *Packet, now sim.Cycle) {
+	if h != nil && h.PacketUnreachable != nil {
+		h.PacketUnreachable(p, now)
 	}
 }
 

@@ -58,7 +58,7 @@ type Config struct {
 	CreditLatency sim.Cycle
 	LocalLatency  sim.Cycle
 
-	Routing routing.Function
+	Routing routing.Algorithm
 }
 
 func (c Config) withDefaults() Config {
@@ -256,7 +256,11 @@ func (r *Router) allocate(now sim.Cycle) {
 				continue
 			}
 			if !sl.routed {
-				sl.route = r.cfg.Routing(r.mesh, r.id, sl.flits[0].Packet.Dst)
+				route, ok := r.cfg.Routing.NextPort(r.mesh, r.id, sl.flits[0].Packet.Dst)
+				if !ok {
+					panic(fmt.Sprintf("packetswitch: node %d: destination %d unreachable", r.id, sl.flits[0].Packet.Dst))
+				}
+				sl.route = route
 				sl.routed = true
 			}
 			r.cands = append(r.cands, p*len(in.slots)+s)

@@ -1,20 +1,36 @@
-// Package routing implements the routing functions used by the simulator.
+// Package routing implements the routing algorithms used by the simulator.
 // The paper uses deterministic dimension-ordered (X-then-Y) routing on a 2-D
-// mesh; the Function type lets experiments substitute other deterministic
-// routes without touching the routers.
+// mesh; the Algorithm interface lets experiments substitute other
+// deterministic routes — including per-node lookup tables recomputed over a
+// damaged topology — without touching the routers.
 package routing
 
 import "frfc/internal/topology"
 
-// Function maps (current node, destination node) to the output port a packet
-// must take next. Implementations must return topology.Local when cur == dst
-// and must be deterministic: the paper's flow-control comparison isolates
-// flow control by fixing routing.
+// Algorithm maps (current node, destination node) to the output port a packet
+// must take next. The boolean reports whether dst is reachable from cur at
+// all; algorithms over a healthy mesh always return true, while table-based
+// algorithms over a damaged topology return false for severed pairs so
+// routers and NIs can fail those packets fast instead of looping.
+// Implementations must return topology.Local when cur == dst and must be
+// deterministic: the paper's flow-control comparison isolates flow control by
+// fixing routing.
+type Algorithm interface {
+	NextPort(m topology.Mesh, cur, dst topology.NodeID) (topology.Port, bool)
+}
+
+// Function adapts a plain routing function to the Algorithm interface. A
+// Function assumes a healthy mesh: every destination is reachable.
 type Function func(m topology.Mesh, cur, dst topology.NodeID) topology.Port
+
+// NextPort implements Algorithm.
+func (f Function) NextPort(m topology.Mesh, cur, dst topology.NodeID) (topology.Port, bool) {
+	return f(m, cur, dst), true
+}
 
 // XY is dimension-ordered routing: correct the X offset first, then the Y
 // offset, then eject. On a mesh this is minimal and deadlock-free.
-func XY(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
+var XY Function = func(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
 	cc, cd := m.Coord(cur), m.Coord(dst)
 	switch {
 	case cd.X > cc.X:
@@ -33,7 +49,7 @@ func XY(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
 // YX is dimension-ordered routing with the dimensions corrected in the
 // opposite order. It is provided for routing-sensitivity experiments; like
 // XY it is minimal and deadlock-free on a mesh.
-func YX(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
+var YX Function = func(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
 	cc, cd := m.Coord(cur), m.Coord(dst)
 	switch {
 	case cd.Y > cc.Y:
@@ -50,13 +66,17 @@ func YX(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
 }
 
 // PathLength returns the number of routers a packet visits from src to dst
-// (inclusive of both) under fn. It is used by tests to validate minimality
-// and by analytic base-latency estimates.
-func PathLength(m topology.Mesh, fn Function, src, dst topology.NodeID) int {
+// (inclusive of both) under a. It is used by tests to validate minimality
+// and by analytic base-latency estimates. It panics if a reports dst
+// unreachable from any node on the walk.
+func PathLength(m topology.Mesh, a Algorithm, src, dst topology.NodeID) int {
 	cur := src
 	n := 1
 	for cur != dst {
-		p := fn(m, cur, dst)
+		p, ok := a.NextPort(m, cur, dst)
+		if !ok {
+			panic("routing: destination unreachable")
+		}
 		next, ok := m.Neighbor(cur, p)
 		if !ok {
 			panic("routing: function routed off the mesh edge")

@@ -1,0 +1,216 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"frfc/internal/topology"
+)
+
+// walk returns the sequence of ports a packet takes from src to dst under a,
+// failing the test if the route does not converge.
+func walk(t *testing.T, m topology.Mesh, a Algorithm, src, dst topology.NodeID) []topology.Port {
+	t.Helper()
+	var ports []topology.Port
+	cur := src
+	for cur != dst {
+		p, ok := a.NextPort(m, cur, dst)
+		if !ok {
+			t.Fatalf("route %d->%d: unreachable at %d", src, dst, cur)
+		}
+		next, ok := m.Neighbor(cur, p)
+		if !ok {
+			t.Fatalf("route %d->%d: routed off mesh at %d via %s", src, dst, cur, p)
+		}
+		ports = append(ports, p)
+		cur = next
+		if len(ports) > 4*m.N() {
+			t.Fatalf("route %d->%d does not converge", src, dst)
+		}
+	}
+	return ports
+}
+
+func TestTableHealthyMeshDeliversAllPairs(t *testing.T) {
+	for _, k := range []int{2, 4, 5} {
+		m := topology.NewMesh(k)
+		tab := NewTable(m)
+		for src := 0; src < m.N(); src++ {
+			for dst := 0; dst < m.N(); dst++ {
+				if !tab.Reachable(topology.NodeID(src), topology.NodeID(dst)) {
+					t.Fatalf("%dx%d healthy mesh: %d->%d unreachable", k, k, src, dst)
+				}
+				walk(t, m, tab, topology.NodeID(src), topology.NodeID(dst))
+			}
+		}
+	}
+}
+
+// TestTableUpDownLegality verifies the deadlock-freedom invariant: no route
+// ever takes an up hop after a down hop, where up/down is defined by the
+// BFS levels the table itself computes (level = hop distance from node 0 on
+// the healthy mesh, ties by id).
+func TestTableUpDownLegality(t *testing.T) {
+	m := topology.NewMesh(4)
+	tab := NewTable(m)
+	level := func(n topology.NodeID) int { return m.Hops(0, n) }
+	above := func(v, u topology.NodeID) bool {
+		return level(v) < level(u) || (level(v) == level(u) && v < u)
+	}
+	for src := 0; src < m.N(); src++ {
+		for dst := 0; dst < m.N(); dst++ {
+			cur := topology.NodeID(src)
+			wentDown := false
+			for _, p := range walk(t, m, tab, cur, topology.NodeID(dst)) {
+				next, _ := m.Neighbor(cur, p)
+				up := above(next, cur)
+				if up && wentDown {
+					t.Fatalf("route %d->%d turns up at %d after going down", src, dst, cur)
+				}
+				if !up {
+					wentDown = true
+				}
+				cur = next
+			}
+		}
+	}
+}
+
+func TestTableRoutesAroundDeadLink(t *testing.T) {
+	m := topology.NewMesh(4)
+	tab := NewTable(m)
+	// Kill the link 5—6 (middle of the mesh); everything stays connected.
+	a, b := topology.NodeID(5), topology.NodeID(6)
+	linkAlive := func(x, y topology.NodeID) bool {
+		return !(x == a && y == b) && !(x == b && y == a)
+	}
+	tab.Rebuild(m, linkAlive, func(topology.NodeID) bool { return true })
+	for src := 0; src < m.N(); src++ {
+		for dst := 0; dst < m.N(); dst++ {
+			if !tab.Reachable(topology.NodeID(src), topology.NodeID(dst)) {
+				t.Fatalf("one dead link must not disconnect %d->%d", src, dst)
+			}
+			cur := topology.NodeID(src)
+			for _, p := range walk(t, m, tab, cur, topology.NodeID(dst)) {
+				next, _ := m.Neighbor(cur, p)
+				if (cur == a && next == b) || (cur == b && next == a) {
+					t.Fatalf("route %d->%d crosses the dead link", src, dst)
+				}
+				cur = next
+			}
+		}
+	}
+}
+
+func TestTableDeadRouterIsUnreachable(t *testing.T) {
+	m := topology.NewMesh(4)
+	tab := NewTable(m)
+	dead := topology.NodeID(9)
+	tab.Rebuild(m,
+		func(x, y topology.NodeID) bool { return true },
+		func(n topology.NodeID) bool { return n != dead })
+	for src := 0; src < m.N(); src++ {
+		for dst := 0; dst < m.N(); dst++ {
+			s, d := topology.NodeID(src), topology.NodeID(dst)
+			want := s != dead && d != dead
+			if got := tab.Reachable(s, d); got != want {
+				t.Fatalf("Reachable(%d,%d) = %v, want %v with router %d dead", src, dst, got, want, dead)
+			}
+			if want {
+				cur := s
+				for _, p := range walk(t, m, tab, s, d) {
+					next, _ := m.Neighbor(cur, p)
+					if next == dead {
+						t.Fatalf("route %d->%d passes through dead router", src, dst)
+					}
+					cur = next
+				}
+			}
+		}
+	}
+}
+
+func TestTablePartitionSeparatesHalves(t *testing.T) {
+	k := 4
+	m := topology.NewMesh(k)
+	tab := NewTable(m)
+	// Sever every link between columns x=1 and x=2: two 2x4 halves.
+	linkAlive := func(x, y topology.NodeID) bool {
+		cx, cy := m.Coord(x), m.Coord(y)
+		return !(cx.X == 1 && cy.X == 2) && !(cx.X == 2 && cy.X == 1)
+	}
+	tab.Rebuild(m, linkAlive, func(topology.NodeID) bool { return true })
+	for src := 0; src < m.N(); src++ {
+		for dst := 0; dst < m.N(); dst++ {
+			s, d := topology.NodeID(src), topology.NodeID(dst)
+			sameHalf := (m.Coord(s).X <= 1) == (m.Coord(d).X <= 1)
+			if got := tab.Reachable(s, d); got != sameHalf {
+				t.Fatalf("Reachable(%d,%d) = %v, want %v across partition", src, dst, got, sameHalf)
+			}
+			if sameHalf {
+				walk(t, m, tab, s, d)
+			}
+		}
+	}
+}
+
+func TestTableRebuildDeterministic(t *testing.T) {
+	m := topology.NewMesh(5)
+	linkAlive := func(x, y topology.NodeID) bool {
+		return !(x == 7 && y == 12) && !(x == 12 && y == 7)
+	}
+	nodeAlive := func(n topology.NodeID) bool { return n != 20 }
+	t1, t2 := NewTable(m), NewTable(m)
+	t1.Rebuild(m, linkAlive, nodeAlive)
+	t2.Rebuild(m, linkAlive, nodeAlive)
+	if !reflect.DeepEqual(t1.next, t2.next) || !reflect.DeepEqual(t1.ok, t2.ok) {
+		t.Fatal("identical rebuilds produced different tables")
+	}
+	if t1.Version() != t2.Version() || t1.Version() == 0 {
+		t.Fatalf("version mismatch: %d vs %d", t1.Version(), t2.Version())
+	}
+}
+
+// TestXYandYXDifferOnTranspose pins the satellite requirement: on transpose
+// traffic XY and YX take different paths, yet each respects its own
+// dimension order (which is what makes both deadlock-free: neither ever
+// turns from its second dimension back into its first).
+func TestXYandYXDifferOnTranspose(t *testing.T) {
+	m := topology.NewMesh(8)
+	differed := false
+	for src := 0; src < m.N(); src++ {
+		s := topology.NodeID(src)
+		c := m.Coord(s)
+		dst := m.ID(topology.Coord{X: c.Y, Y: c.X})
+		px := walk(t, m, XY, s, dst)
+		py := walk(t, m, YX, s, dst)
+		if len(px) != len(py) {
+			t.Fatalf("transpose %d->%d: XY %d hops vs YX %d hops (both must be minimal)",
+				src, dst, len(px), len(py))
+		}
+		if c.X != c.Y && !reflect.DeepEqual(px, py) {
+			differed = true
+		}
+		// XY: once it moves in Y it never moves in X again.
+		moved := false
+		for _, p := range px {
+			vertical := p == topology.North || p == topology.South
+			if moved && !vertical {
+				t.Fatalf("XY %d->%d turned back into X after Y", src, dst)
+			}
+			moved = moved || vertical
+		}
+		// YX: once it moves in X it never moves in Y again.
+		moved = false
+		for _, p := range py {
+			horizontal := p == topology.East || p == topology.West
+			if moved && !horizontal {
+				t.Fatalf("YX %d->%d turned back into Y after X", src, dst)
+			}
+			moved = moved || horizontal
+		}
+	}
+	if !differed {
+		t.Fatal("XY and YX never differed on transpose traffic")
+	}
+}

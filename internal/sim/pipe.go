@@ -29,6 +29,14 @@ type Pipe[T any] struct {
 	rng         *RNG
 	onCorrupt   func()
 	retransmits int64
+
+	// Hard-fault state (Sever/Restore). A severed pipe models a dead wire:
+	// items already in flight are destroyed at sever time and every
+	// subsequent Send is discarded (through onDrop when set) instead of
+	// enqueued. Senders keep their normal bandwidth accounting so model
+	// bugs still surface while a link is down.
+	severed bool
+	onDrop  func(T)
 }
 
 type pipeEntry[T any] struct {
@@ -106,6 +114,12 @@ func (p *Pipe[T]) Send(now Cycle, item T) {
 		p.lastSendCycle = now
 		p.sentThisCycle = 1
 	}
+	if p.severed {
+		if p.onDrop != nil {
+			p.onDrop(item)
+		}
+		return
+	}
 	readyAt := now + p.latency
 	if p.faultRate > 0 {
 		for p.rng.Bool(p.faultRate) {
@@ -166,3 +180,40 @@ func (p *Pipe[T]) Len() int { return len(p.q) }
 
 // Empty reports whether nothing is in flight.
 func (p *Pipe[T]) Empty() bool { return len(p.q) == 0 }
+
+// Each visits every in-flight item in FIFO order without consuming it; it
+// exists for invariant checkers that audit conservation across a link.
+func (p *Pipe[T]) Each(fn func(T)) {
+	for i := range p.q {
+		fn(p.q[i].item)
+	}
+}
+
+// Sever cuts the wire: everything in flight is destroyed — each destroyed
+// item is reported to onDrop when non-nil — and every Send until Restore is
+// likewise discarded. Severing an already-severed pipe only replaces the
+// drop callback.
+func (p *Pipe[T]) Sever(onDrop func(T)) {
+	p.onDrop = onDrop
+	if p.severed {
+		return
+	}
+	p.severed = true
+	for i := range p.q {
+		if onDrop != nil {
+			onDrop(p.q[i].item)
+		}
+		p.q[i] = pipeEntry[T]{}
+	}
+	p.q = p.q[:0]
+}
+
+// Restore repairs a severed wire; the pipe resumes carrying items. Items
+// destroyed while it was down stay destroyed.
+func (p *Pipe[T]) Restore() {
+	p.severed = false
+	p.onDrop = nil
+}
+
+// Severed reports whether the pipe is currently cut.
+func (p *Pipe[T]) Severed() bool { return p.severed }

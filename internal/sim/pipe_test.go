@@ -238,3 +238,62 @@ func TestFaultyPipeRejectsBadRates(t *testing.T) {
 }
 
 func nan() float64 { z := 0.0; return z / z }
+
+// TestSeverDestroysInFlightAndBlocksSends: a severed pipe drops everything it
+// held and everything sent while down, reporting each loss; Restore resumes
+// normal delivery without resurrecting destroyed items.
+func TestSeverDestroysInFlightAndBlocksSends(t *testing.T) {
+	p := NewPipe[string](3, 2)
+	p.Send(0, "a")
+	p.Send(0, "b")
+	var dropped []string
+	p.Sever(func(s string) { dropped = append(dropped, s) })
+	if !p.Severed() || !p.Empty() {
+		t.Fatalf("after Sever: severed=%v len=%d", p.Severed(), p.Len())
+	}
+	p.Send(1, "c")
+	if got := len(dropped); got != 3 {
+		t.Fatalf("dropped %v, want [a b c]", dropped)
+	}
+	if _, ok := p.Recv(10); ok {
+		t.Fatal("severed pipe delivered an item")
+	}
+	p.Restore()
+	if p.Severed() {
+		t.Fatal("Restore left the pipe severed")
+	}
+	p.Send(2, "d")
+	if v, ok := p.Recv(5); !ok || v != "d" {
+		t.Fatalf("Recv after restore = %q, %v", v, ok)
+	}
+	if len(dropped) != 3 {
+		t.Fatalf("restore resurrected drops: %v", dropped)
+	}
+}
+
+// TestSeverKeepsBandwidthAccounting: sends into a severed pipe still count
+// against per-cycle width, so model bugs surface even while a link is down.
+func TestSeverKeepsBandwidthAccounting(t *testing.T) {
+	p := NewPipe[int](1, 1)
+	p.Sever(nil)
+	p.Send(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-width send on severed pipe did not panic")
+		}
+	}()
+	p.Send(0, 2)
+}
+
+// TestEachVisitsWithoutConsuming: Each sees every in-flight item in order and
+// leaves the pipe untouched.
+func TestEachVisitsWithoutConsuming(t *testing.T) {
+	p := NewPipe[int](5, 3)
+	p.Send(0, 1)
+	p.Send(0, 2)
+	var seen []int
+	p.Each(func(v int) { seen = append(seen, v) })
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 || p.Len() != 2 {
+		t.Fatalf("Each saw %v, len=%d", seen, p.Len())
+	}
+}

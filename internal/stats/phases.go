@@ -1,0 +1,62 @@
+package stats
+
+import "frfc/internal/sim"
+
+// PhaseLatency buckets delivery latencies into consecutive cycle phases split
+// at the given boundaries, the degradation measurement behind hard-fault
+// scenarios: phase 0 is healthy operation before the first fault, the middle
+// phases cover the outage, and the last phase is post-recovery. Comparing the
+// first and last phase means quantifies how completely latency recovers once
+// the topology heals.
+type PhaseLatency struct {
+	bounds []sim.Cycle
+	phases []Welford
+}
+
+// NewPhaseLatency splits time at the given strictly increasing cycle
+// boundaries, yielding len(bounds)+1 phases: phase i covers
+// [bounds[i-1], bounds[i]).
+func NewPhaseLatency(bounds ...sim.Cycle) *PhaseLatency {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: phase boundaries must be strictly increasing")
+		}
+	}
+	return &PhaseLatency{bounds: bounds, phases: make([]Welford, len(bounds)+1)}
+}
+
+// phaseOf locates the phase containing cycle now.
+func (p *PhaseLatency) phaseOf(now sim.Cycle) int {
+	for i, b := range p.bounds {
+		if now < b {
+			return i
+		}
+	}
+	return len(p.bounds)
+}
+
+// Record attributes one delivery at cycle now with the given latency to the
+// phase containing now.
+func (p *PhaseLatency) Record(now, latency sim.Cycle) {
+	p.phases[p.phaseOf(now)].Add(float64(latency))
+}
+
+// Phases reports the number of phases.
+func (p *PhaseLatency) Phases() int { return len(p.phases) }
+
+// N reports the deliveries recorded in phase i.
+func (p *PhaseLatency) N(i int) int64 { return p.phases[i].N() }
+
+// Mean reports the mean latency of phase i, 0 when empty.
+func (p *PhaseLatency) Mean(i int) float64 { return p.phases[i].Mean() }
+
+// RecoveryRatio compares the last phase's mean latency against the first's:
+// 1.0 is full recovery, above 1 is residual degradation. It reports 0 when
+// either phase recorded nothing (no basis for comparison).
+func (p *PhaseLatency) RecoveryRatio() float64 {
+	first, last := &p.phases[0], &p.phases[len(p.phases)-1]
+	if first.N() == 0 || last.N() == 0 || first.Mean() == 0 {
+		return 0
+	}
+	return last.Mean() / first.Mean()
+}

@@ -33,10 +33,12 @@ type Point struct {
 	// points it equals the run's total ejected flits.
 	Injected int64 `json:"injected"`
 	Ejected  int64 `json:"ejected"`
-	// Reservation-table outcomes and end-to-end retries during the window.
-	ResHits   int64 `json:"resHits"`
-	ResMisses int64 `json:"resMisses"`
-	Retries   int64 `json:"retries"`
+	// Reservation-table outcomes, end-to-end retries, and packets failed
+	// fast as unreachable (hard-fault scenarios) during the window.
+	ResHits     int64 `json:"resHits"`
+	ResMisses   int64 `json:"resMisses"`
+	Retries     int64 `json:"retries"`
+	Unreachable int64 `json:"unreachable,omitempty"`
 	// Packets is the cumulative delivered-packet count at the window's close;
 	// MeanLatency is the running mean latency (cycles) over those packets.
 	Packets     int64   `json:"packets"`
@@ -77,7 +79,7 @@ func (p *Point) HitRate() float64 {
 type totals struct {
 	injected, ejected    int64
 	resHits, resMisses   int64
-	retries              int64
+	retries, unreachable int64
 	occSum, occCapCycles int64 // Σ gauge sums; Σ samples×capacity (bounded pools)
 }
 
@@ -90,6 +92,7 @@ func snapshot(reg *metrics.Registry) totals {
 		t.resHits += n.ResHits
 		t.resMisses += n.ResMisses
 		t.retries += n.Retries
+		t.unreachable += n.Unreachable
 		for p := range n.Occ {
 			if g := &n.Occ[p]; g.Cap > 0 {
 				t.occSum += g.Sum
@@ -170,6 +173,7 @@ func (r *Recorder) record(now sim.Cycle, t totals, packets int64, meanLatency fl
 		ResHits:     t.resHits - r.last.resHits,
 		ResMisses:   t.resMisses - r.last.resMisses,
 		Retries:     t.retries - r.last.retries,
+		Unreachable: t.unreachable - r.last.unreachable,
 		Packets:     packets,
 		MeanLatency: meanLatency,
 	}
@@ -218,7 +222,7 @@ func (r *Recorder) Points() []Point {
 
 // csvHeader documents every column; derived-rate columns are included so the
 // file plots directly without post-processing.
-const csvHeader = "epoch,start,cycles,injected,ejected,injected_per_cycle,accepted_per_cycle,res_hits,res_misses,hit_rate,retries,packets,mean_latency,occ_fraction"
+const csvHeader = "epoch,start,cycles,injected,ejected,injected_per_cycle,accepted_per_cycle,res_hits,res_misses,hit_rate,retries,unreachable,packets,mean_latency,occ_fraction"
 
 // WriteCSV exports the series as CSV, one row per epoch window. The ejected
 // column is the accepted-flit count per window; its sum equals the run's
@@ -231,11 +235,11 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, p := range r.Points() {
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.6f,%d,%d,%.4f,%.6f\n",
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.6f,%d,%d,%d,%.4f,%.6f\n",
 			p.Epoch, p.Start, p.Cycles, p.Injected, p.Ejected,
 			p.InjectedRate(), p.AcceptedRate(),
 			p.ResHits, p.ResMisses, p.HitRate(),
-			p.Retries, p.Packets, p.MeanLatency, p.OccFraction); err != nil {
+			p.Retries, p.Unreachable, p.Packets, p.MeanLatency, p.OccFraction); err != nil {
 			return err
 		}
 	}

@@ -52,7 +52,7 @@ type Config struct {
 
 	// Routing selects the route function; nil means dimension-ordered
 	// XY routing, the paper's choice.
-	Routing routing.Function
+	Routing routing.Algorithm
 }
 
 // withDefaults fills unset fields with the paper's values and validates.

@@ -184,7 +184,11 @@ func (r *Router) allocateVCs(now sim.Cycle) {
 				panic(fmt.Sprintf("vcrouter: node %d in %s vc %d: %s at front of unallocated channel", r.id, topology.Port(p), v, head))
 			}
 			if !vc.routed {
-				vc.route = r.cfg.Routing(r.mesh, r.id, head.Packet.Dst)
+				route, ok := r.cfg.Routing.NextPort(r.mesh, r.id, head.Packet.Dst)
+				if !ok {
+					panic(fmt.Sprintf("vcrouter: node %d: destination %d unreachable", r.id, head.Packet.Dst))
+				}
+				vc.route = route
 				vc.routed = true
 			}
 			r.vcReqs = append(r.vcReqs, portVC{topology.Port(p), v})

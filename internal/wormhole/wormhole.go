@@ -30,7 +30,7 @@ type Config struct {
 	// LocalLatency is the injection/ejection link delay.
 	LocalLatency sim.Cycle
 	// Routing selects the route function; nil means XY.
-	Routing routing.Function
+	Routing routing.Algorithm
 }
 
 // New assembles a wormhole network over the given mesh.

@@ -1,0 +1,144 @@
+package frfc
+
+import (
+	"context"
+	"fmt"
+
+	"frfc/internal/core"
+	"frfc/internal/experiment"
+	"frfc/internal/harness"
+)
+
+// ReliabilityScenario names one hard-fault schedule of a ReliabilitySweep,
+// written in the scenario grammar: semicolon-separated events "down A-B @C"
+// (sever the link between neighbor nodes A and B at cycle C), "up A-B @C"
+// (restore it), and "kill N @C" (permanently fail node N's router).
+type ReliabilityScenario struct {
+	Name     string
+	Scenario string
+}
+
+// ReliabilityPoint is one row of a ReliabilitySweep: one scenario run to
+// full resolution, with graceful-degradation measurements split around the
+// outage.
+type ReliabilityPoint struct {
+	Scenario   string
+	RetryLimit int
+
+	Offered   int64
+	Delivered int64
+	// Abandoned counts packets given up on after exhausting the retry
+	// budget; under hard faults it should stay zero — losses either
+	// recover through retry or fail fast as Unreachable.
+	Abandoned int64
+	// Unreachable counts packets failed fast at the source because a fault
+	// disconnected their destination.
+	Unreachable int64
+
+	DroppedFlits        int64
+	Retried             int64
+	DeliveredAfterRetry int64
+
+	// AvgLatency is the mean creation-to-delivery latency over every
+	// delivered packet; the phase means split the run at the first fault
+	// and after the last scheduled event settles. LatencyRecovery is
+	// PostRecoveryLatency over PreFaultLatency — 1.0 is full recovery, 0
+	// means a phase delivered nothing.
+	AvgLatency          float64
+	PreFaultLatency     float64
+	OutageLatency       float64
+	PostRecoveryLatency float64
+	LatencyRecovery     float64
+
+	// Cycles is how long the row took to resolve everything.
+	Cycles int64
+	// Wedged is set if the no-progress watchdog fired — it never should.
+	Wedged bool
+}
+
+// DeliveredFraction is the end-to-end delivery probability of the row —
+// delivered over offered, counting fast-failed unreachable packets against
+// the scenario.
+func (p ReliabilityPoint) DeliveredFraction() float64 {
+	if p.Offered == 0 {
+		return 0
+	}
+	return float64(p.Delivered) / float64(p.Offered)
+}
+
+// String renders the point as one sweep row.
+func (p ReliabilityPoint) String() string {
+	rec := "-"
+	if p.LatencyRecovery > 0 {
+		rec = fmt.Sprintf("%.2f", p.LatencyRecovery)
+	}
+	return fmt.Sprintf("%-12s delivered=%5.1f%%  unreachable=%3d  dropped=%4d  retried=%4d  latency=%8.2f  recovery=%s",
+		p.Scenario, p.DeliveredFraction()*100, p.Unreachable, p.DroppedFlits, p.Retried, p.AvgLatency, rec)
+}
+
+// ReliabilitySweepOptions parameterizes a ReliabilitySweep. Zero fields take
+// defaults: a 4×4 mesh, 600 packets of 5 flits per row, retry budget 8,
+// fault-aware table routing, and the standard scenario set (healthy
+// baseline, permanent link outage, repaired link outage, router killed).
+type ReliabilitySweepOptions struct {
+	Radix      int
+	Packets    int
+	PacketLen  int
+	RetryLimit int
+	// Routing names the routing algorithm every row runs ("table" by
+	// default, so the healthy baseline is comparable to the fault rows).
+	Routing string
+	// Scenarios overrides the default rows; each entry's Scenario string
+	// is parsed with the scenario grammar.
+	Scenarios []ReliabilityScenario
+	// Check runs every row under the per-cycle invariant checker.
+	Check bool
+	Seed  uint64
+	// Workers sizes the pool the sweep's scenarios fan out over; 0 means
+	// runtime.NumCPU(). Each row owns its own network and RNG, so any
+	// worker count produces identical points in identical order.
+	Workers int
+}
+
+// ReliabilitySweep measures graceful degradation under scheduled hard
+// faults: each scenario severs links or kills routers mid-run while the
+// network reroutes around the damage and end-to-end retry recovers the
+// destroyed in-flight flits. Still-connected traffic is delivered in full,
+// disconnected traffic fails fast as unreachable, and after a repair the
+// latency returns to its pre-fault level — the LatencyRecovery column.
+// The rows execute concurrently on the harness worker pool; the points are
+// identical to a serial sweep. A malformed scenario string is an error.
+func ReliabilitySweep(o ReliabilitySweepOptions) ([]ReliabilityPoint, error) {
+	ro := experiment.ReliabilitySweepOptions{
+		Radix: o.Radix, Packets: o.Packets, PacketLen: o.PacketLen,
+		RetryLimit: o.RetryLimit, Routing: o.Routing, Check: o.Check, Seed: o.Seed,
+	}
+	if o.Scenarios != nil {
+		ro.Scenarios = make([]experiment.ReliabilityScenario, len(o.Scenarios))
+		for i, sc := range o.Scenarios {
+			events, err := core.ParseScenario(sc.Scenario)
+			if err != nil {
+				return nil, fmt.Errorf("frfc: scenario %q: %w", sc.Name, err)
+			}
+			ro.Scenarios[i] = experiment.ReliabilityScenario{Name: sc.Name, Events: events}
+		}
+	}
+	pts, err := harness.ReliabilitySweep(context.Background(), ro, harness.Options{Workers: o.Workers})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReliabilityPoint, len(pts))
+	for i, p := range pts {
+		out[i] = ReliabilityPoint{
+			Scenario: p.Scenario, RetryLimit: p.RetryLimit,
+			Offered: p.Offered, Delivered: p.Delivered, Abandoned: p.Abandoned,
+			Unreachable: p.Unreachable, DroppedFlits: p.DroppedFlits,
+			Retried: p.Retried, DeliveredAfterRetry: p.DeliveredAfterRetry,
+			AvgLatency: p.AvgLatency, PreFaultLatency: p.PreFaultLatency,
+			OutageLatency: p.OutageLatency, PostRecoveryLatency: p.PostRecoveryLatency,
+			LatencyRecovery: p.LatencyRecovery,
+			Cycles:          int64(p.Cycles), Wedged: p.Wedged,
+		}
+	}
+	return out, nil
+}

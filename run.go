@@ -78,6 +78,13 @@ type Result struct {
 	// because it includes loss detection, the notification round-trip and
 	// backoff.
 	AvgRetryLatency float64
+	// UnreachablePackets counts packets failed fast at the source because a
+	// hard fault (Options.Scenario) disconnected their destination, and
+	// DeliveredFraction is delivered over resolved (packets still in flight
+	// when the run stops don't count against it) — the graceful-degradation
+	// headline under a fault scenario, 1.0 on a healthy network.
+	UnreachablePackets int64
+	DeliveredFraction  float64
 }
 
 func fromInternal(r experiment.Result) Result {
@@ -114,6 +121,9 @@ func fromInternal(r experiment.Result) Result {
 		DeliveredAfterRetry: r.DeliveredAfterRetry,
 		CtrlCorrupted:       r.CtrlCorrupted,
 		AvgRetryLatency:     r.AvgRetryLatency,
+
+		UnreachablePackets: r.UnreachablePackets,
+		DeliveredFraction:  r.DeliveredFraction,
 	}
 }
 
