@@ -21,6 +21,13 @@
 //	frsim -config FR6 -radix 4 -load 0.3 -retry 8 -fail-router 9 -fail-at 2000
 //	frsim -config FR6 -radix 4 -load 0.3 -retry 8 -scenario "down 5-6 @2000; up 5-6 @6000" -check
 //	frsim -config FR6 -routing yx -load 0.5
+//
+// Data integrity and chaos (bit errors are delivered, not lost; the hop CRC
+// and the end-to-end check hunt them):
+//
+//	frsim -config FR6 -radix 4 -load 0.3 -retry 8 -ber 1e-3 -crc-bits 4 -e2e-check
+//	frsim -config VC8 -radix 4 -load 0.3 -ber 1e-3
+//	frsim -config FR6 -radix 4 -load 0.3 -chaos 0.5 -chaos-seed 7 -check
 package main
 
 import (
@@ -66,6 +73,11 @@ func main() {
 		recoverAt  = flag.Int64("recover-at", 0, "cycle at which the -fail-link link is restored (0 = never)")
 		retry      = flag.Int("retry", 0, "end-to-end retry budget per packet (0 = off; fault scenarios need it to recover in-flight losses)")
 		check      = flag.Bool("check", false, "run the per-cycle invariant checker (credit conservation, table accounting); FR configs only")
+		ber        = flag.Float64("ber", 0, "per-flit bit-error probability on inter-router links (delivered corrupted, not lost)")
+		crcBits    = flag.Int("crc-bits", 0, "modeled per-hop CRC width: corruption detected with probability 1-2^-bits (0 = default 16 under -ber, negative = no hop detection)")
+		e2eCheck   = flag.Bool("e2e-check", false, "arm the end-to-end payload checksum: corrupted packets are retried instead of delivered; FR configs only")
+		chaos      = flag.Float64("chaos", 0, "chaos campaign intensity in (0,1]: composed loss, bit errors, link flaps, corruption spikes and (>=0.75) router kills; FR configs only")
+		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos plan generator seed (0 = default)")
 
 		traceOut     = flag.String("trace", "", "write a Perfetto-loadable Chrome trace-event JSON flit trace to this file")
 		traceCap     = flag.Int("trace-cap", 0, "trace ring capacity in events, newest kept on overflow (0 = default)")
@@ -139,6 +151,21 @@ func main() {
 	if *check {
 		spec = spec.WithCheck(true)
 	}
+	if *ber > 0 {
+		spec = spec.WithBER(*ber)
+	}
+	if *crcBits != 0 {
+		spec = spec.WithCRC(*crcBits)
+	}
+	if *e2eCheck {
+		spec = spec.WithE2ECheck(true)
+	}
+	if *chaos > 0 {
+		if scn != "" {
+			fatal(fmt.Errorf("-chaos and -scenario/-fail-* are mutually exclusive: the chaos plan generates its own fault schedule"))
+		}
+		spec = spec.WithChaos(*chaos, *chaosSeed)
+	}
 	spec = spec.WithSampling(*sample, *warmup)
 	if *seed != 0 {
 		spec = spec.WithSeed(*seed)
@@ -197,15 +224,18 @@ func main() {
 	}
 
 	sum := summary{
-		Config:   spec.Name(),
-		Wiring:   *wiring,
-		PktLen:   *pktLen,
-		Radix:    *radix,
-		Seed:     *seed,
-		Pattern:  *pattern,
-		Routing:  *routing,
-		Scenario: scn,
-		Result:   r,
+		Config:    spec.Name(),
+		Wiring:    *wiring,
+		PktLen:    *pktLen,
+		Radix:     *radix,
+		Seed:      *seed,
+		Pattern:   *pattern,
+		Routing:   *routing,
+		Scenario:  scn,
+		BER:       *ber,
+		Chaos:     *chaos,
+		ChaosSeed: *chaosSeed,
+		Result:    r,
 	}
 	if *metricsOut != "" {
 		writeTo(*metricsOut, obs.WriteMetricsJSON)
@@ -269,6 +299,14 @@ func main() {
 		fmt.Printf("degradation   %.1f%% of resolved packets delivered, %d unreachable, %d flits dropped, %d retried, %d abandoned\n",
 			r.DeliveredFraction*100, r.UnreachablePackets, r.DroppedFlits, r.RetriedPackets, r.AbandonedPackets)
 	}
+	if *chaos > 0 {
+		fmt.Printf("chaos         intensity %.2f (seed %d): %.1f%% of resolved packets delivered, %d unreachable, %d retried, %d abandoned\n",
+			*chaos, *chaosSeed, r.DeliveredFraction*100, r.UnreachablePackets, r.RetriedPackets, r.AbandonedPackets)
+	}
+	if *ber > 0 || *chaos > 0 {
+		fmt.Printf("integrity     %d flits corrupted, %d caught by hop CRC, %d escaped to destination, %d phantom reservations, %d slots reclaimed\n",
+			r.CorruptedFlits, r.CrcDetected, r.CorruptEscapes, r.PhantomReservations, r.ReclaimedSlots)
+	}
 	if r.Saturated {
 		fmt.Println("status        SATURATED — offered load exceeds sustainable throughput")
 	}
@@ -300,6 +338,9 @@ type summary struct {
 	Pattern            string      `json:"pattern"`
 	Routing            string      `json:"routing,omitempty"`
 	Scenario           string      `json:"scenario,omitempty"`
+	BER                float64     `json:"ber,omitempty"`
+	Chaos              float64     `json:"chaos,omitempty"`
+	ChaosSeed          uint64      `json:"chaosSeed,omitempty"`
 	Result             frfc.Result `json:"result"`
 	MetricsPath        string      `json:"metricsPath,omitempty"`
 	OccupancyCSVPath   string      `json:"occupancyCsvPath,omitempty"`

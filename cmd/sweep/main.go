@@ -40,6 +40,23 @@
 //
 //	sweep -reliability -retrylimit 8 -check
 //	sweep -scenario "down 5-6 @400; up 5-6 @900" -retrylimit 8
+//
+// With -integrity it sweeps link bit-error rates on the FR6 network and
+// reports silent-corruption tolerance: each rate runs once with the
+// end-to-end payload check on and once with it off, alongside the full
+// corruption ledger (flits corrupted, hop-CRC catches, escapes, phantom
+// reservations, reclaimed slots):
+//
+//	sweep -integrity -check
+//	sweep -integrity -bers 0,1e-3,1e-2 -crc-bits 8 -retrylimit 8
+//
+// With -chaos it runs one deterministic chaos campaign per intensity —
+// composed soft loss, bit errors, link flaps, corruption spikes and (at
+// intensity >= 0.75) router kills, all expanded from -chaos-seed — and
+// reports how much traffic survived:
+//
+//	sweep -chaos -check
+//	sweep -chaos -intensities 0.25,0.5,1 -chaos-seed 7
 package main
 
 import (
@@ -86,8 +103,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		faults     = fs.Bool("faults", false, "sweep data-flit loss rates on FR6 instead of offered loads, comparing detection-only vs end-to-end retry")
 		retryLimit = fs.Int("retrylimit", 8, "retry budget of the -faults retry arm and of -reliability rows")
-		packets    = fs.Int("packets", 0, "packets offered per -faults or -reliability row (0 = mode default: 400 for -faults, 600 for -reliability)")
+		packets    = fs.Int("packets", 0, "packets offered per -faults, -reliability, -integrity or -chaos row (0 = mode default: 400 for -faults/-integrity, 600 for -reliability/-chaos)")
 		rates      = fs.String("rates", "", "comma-separated loss rates for -faults (default 0,0.01,0.02,0.05,0.10,0.20)")
+
+		integrity = fs.Bool("integrity", false, "sweep link bit-error rates on FR6, comparing the end-to-end payload check on vs off")
+		bers      = fs.String("bers", "", "comma-separated bit-error rates for -integrity (default 0,1e-4,1e-3,5e-3,1e-2)")
+		crcBits   = fs.Int("crc-bits", 0, "modeled hop CRC width in bits for -integrity (0 = default 4; negative disables hop detection)")
+
+		chaos       = fs.Bool("chaos", false, "run one deterministic chaos campaign per intensity on FR6 and report surviving traffic")
+		intensities = fs.String("intensities", "", "comma-separated chaos intensities in (0,1] for -chaos (default 0.25,0.5,1)")
+		chaosSeed   = fs.Uint64("chaos-seed", 0, "chaos plan seed for -chaos (0 = default); the campaign is a pure function of it")
+		noE2E       = fs.Bool("no-e2e", false, "disable the end-to-end payload check in -chaos rows, so escaped corruption is silently accepted")
 
 		reliability = fs.Bool("reliability", false, "sweep hard-fault scenarios on FR6 (healthy, link-down, link-flap, router-down) and report graceful degradation")
 		scenario    = fs.String("scenario", "", `custom hard-fault schedule for the reliability sweep, e.g. "down 5-6 @400; up 5-6 @900" (implies -reliability)`)
@@ -105,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweep: "+format+"\n", a...)
 		return 2
 	}
-	if !*faults && !*reliability && *scenario == "" {
+	if !*faults && !*reliability && !*integrity && !*chaos && *scenario == "" {
 		// Flag validation: a non-positive -step would loop the load
 		// grid forever, and the measurement protocol needs a positive
 		// load window and sample.
@@ -166,6 +192,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *faults {
 		return runFaultSweep(stdout, stderr, *retryLimit, *packets, *pktLen, *rates, *seed, *workers, *csv)
+	}
+	if *integrity {
+		o := frfc.IntegritySweepOptions{
+			RetryLimit: *retryLimit, Packets: *packets, PacketLen: *pktLen,
+			CrcBits: *crcBits, Check: *check, Seed: *seed, Workers: *workers,
+		}
+		if *bers != "" {
+			for _, s := range strings.Split(*bers, ",") {
+				var b float64
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &b); err != nil || b != b || b < 0 || b >= 1 {
+					return fail("bad bit-error rate %q (want a probability in [0,1))", s)
+				}
+				o.BERs = append(o.BERs, b)
+			}
+		}
+		return runIntegritySweep(stdout, stderr, o, *csv)
+	}
+	if *chaos {
+		o := frfc.ChaosSweepOptions{
+			Packets: *packets, PacketLen: *pktLen, ChaosSeed: *chaosSeed,
+			Seed: *seed, DisableE2E: *noE2E, Check: *check, Workers: *workers,
+		}
+		if *intensities != "" {
+			for _, s := range strings.Split(*intensities, ",") {
+				var in float64
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &in); err != nil || in != in || in <= 0 || in > 1 {
+					return fail("bad chaos intensity %q (want a value in (0,1])", s)
+				}
+				o.Intensities = append(o.Intensities, in)
+			}
+		}
+		return runChaosSweep(stdout, stderr, o, *csv)
 	}
 	if *reliability || *scenario != "" {
 		o := frfc.ReliabilitySweepOptions{
@@ -432,6 +490,82 @@ func runReliabilitySweep(stdout, stderr io.Writer, o frfc.ReliabilitySweepOption
 	}
 	fmt.Fprintf(stdout, "# graceful degradation under hard faults; FR6, table routing, retry<=%d, %d packets per row\n",
 		points[0].RetryLimit, points[0].Offered)
+	for _, p := range points {
+		wedged := ""
+		if p.Wedged {
+			wedged = "  WEDGED"
+		}
+		fmt.Fprintf(stdout, "%s%s\n", p, wedged)
+	}
+	return exit
+}
+
+// runIntegritySweep is the -integrity mode: silent-corruption tolerance
+// versus link bit-error rate, end-to-end check on versus off, cells fanned
+// over the worker pool.
+func runIntegritySweep(stdout, stderr io.Writer, o frfc.IntegritySweepOptions, csv bool) int {
+	points, err := frfc.IntegritySweep(o)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, p := range points {
+		if p.Wedged {
+			fmt.Fprintf(stderr, "sweep: integrity cell ber=%g e2e=%v wedged (no-progress watchdog fired)\n", p.BER, p.E2ECheck)
+			exit = 1
+		}
+	}
+	if csv {
+		fmt.Fprintln(stdout, "ber,crcbits,e2e,offered,delivered,abandoned,corrupted,crcdetected,escapes,phantom,reclaimed,retried,avglatency")
+		for _, p := range points {
+			fmt.Fprintf(stdout, "%g,%d,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.2f\n",
+				p.BER, p.CrcBits, p.E2ECheck, p.Offered, p.Delivered, p.Abandoned,
+				p.Corrupted, p.CrcDetected, p.CorruptEscapes,
+				p.PhantomReservations, p.ReclaimedSlots, p.Retried, p.AvgLatency)
+		}
+		return exit
+	}
+	fmt.Fprintf(stdout, "# silent-corruption tolerance vs link bit-error rate; FR6, %d-bit hop CRC, %d packets per row\n",
+		points[0].CrcBits, points[0].Offered)
+	for _, p := range points {
+		wedged := ""
+		if p.Wedged {
+			wedged = "  WEDGED"
+		}
+		fmt.Fprintf(stdout, "%s%s\n", p, wedged)
+	}
+	return exit
+}
+
+// runChaosSweep is the -chaos mode: one deterministic chaos campaign per
+// intensity, rows fanned over the worker pool.
+func runChaosSweep(stdout, stderr io.Writer, o frfc.ChaosSweepOptions, csv bool) int {
+	points, err := frfc.ChaosSweep(o)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, p := range points {
+		if p.Wedged {
+			fmt.Fprintf(stderr, "sweep: chaos campaign intensity=%g wedged (no-progress watchdog fired)\n", p.Intensity)
+			exit = 1
+		}
+	}
+	if csv {
+		fmt.Fprintln(stdout, "intensity,seed,events,offered,delivered,abandoned,unreachable,dropped,corrupted,crcdetected,escapes,phantom,reclaimed,retried,avglatency")
+		for _, p := range points {
+			fmt.Fprintf(stdout, "%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.2f\n",
+				p.Intensity, p.Seed, p.Events, p.Offered, p.Delivered, p.Abandoned,
+				p.Unreachable, p.DroppedFlits, p.Corrupted, p.CrcDetected,
+				p.CorruptEscapes, p.PhantomReservations, p.ReclaimedSlots,
+				p.Retried, p.AvgLatency)
+		}
+		return exit
+	}
+	fmt.Fprintf(stdout, "# surviving traffic under deterministic chaos campaigns; FR6, seed %d, %d packets per row\n",
+		points[0].Seed, points[0].Offered)
 	for _, p := range points {
 		wedged := ""
 		if p.Wedged {

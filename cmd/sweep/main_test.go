@@ -291,3 +291,62 @@ func TestReliabilityModeByteIdentical(t *testing.T) {
 		t.Errorf("malformed scenario exited %d, want 2 (stderr: %s)", code, stderr.String())
 	}
 }
+
+// TestIntegrityAndChaosModesByteIdentical: the bit-error and chaos sweeps
+// must emit byte-identical tables for any worker count — every cell owns its
+// own network and RNG, and the chaos plan is a pure function of its seed.
+func TestIntegrityAndChaosModesByteIdentical(t *testing.T) {
+	for _, mode := range [][]string{
+		{"-integrity", "-packets", "80", "-bers", "0,5e-3", "-check"},
+		{"-integrity", "-packets", "80", "-bers", "5e-3", "-crc-bits", "2", "-csv"},
+		{"-chaos", "-packets", "120", "-intensities", "0.3,0.6", "-check"},
+		{"-chaos", "-packets", "120", "-intensities", "0.5", "-chaos-seed", "7", "-no-e2e", "-csv"},
+	} {
+		var ref []byte
+		for _, workers := range []string{"1", "4"} {
+			var stdout, stderr bytes.Buffer
+			args := append([]string{"-workers", workers}, mode...)
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("mode %v workers=%s exit %d: %s", mode, workers, code, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Fatalf("mode %v produced no output", mode)
+			}
+			if ref == nil {
+				ref = stdout.Bytes()
+				continue
+			}
+			if !bytes.Equal(stdout.Bytes(), ref) {
+				t.Errorf("mode %v: -workers=4 output differs from -workers=1:\n--- workers=1\n%s--- workers=4\n%s",
+					mode, ref, stdout.Bytes())
+			}
+		}
+	}
+}
+
+// TestIntegrityChaosFlagValidation: malformed rates and intensities fail fast
+// with exit code 2 and a message naming the offending value.
+func TestIntegrityChaosFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"ber too high", []string{"-integrity", "-bers", "1.5"}, "bad bit-error rate"},
+		{"ber negative", []string{"-integrity", "-bers", "-0.1"}, "bad bit-error rate"},
+		{"ber garbage", []string{"-integrity", "-bers", "0,zebra"}, "bad bit-error rate"},
+		{"intensity zero", []string{"-chaos", "-intensities", "0"}, "bad chaos intensity"},
+		{"intensity too high", []string{"-chaos", "-intensities", "0.5,1.2"}, "bad chaos intensity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q does not explain %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}

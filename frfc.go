@@ -169,6 +169,38 @@ type Options struct {
 	// and interface is produced (and the run is flagged).
 	WatchdogCycles int
 
+	// BER is the per-flit bit-error probability on inter-router links —
+	// the corruption mode distinct from loss: the flit is delivered on
+	// time with wrong payload, and only the modeled hop CRC or the
+	// end-to-end check can notice. Works for both flow-control methods.
+	BER float64
+	// CrcBits is the modeled per-hop CRC width c: a corrupted flit is
+	// detected with probability 1 - 2^-c. 0 defaults to 16 when bit errors
+	// are in play; negative disables hop detection so every corruption
+	// escapes to the destination.
+	CrcBits int
+	// E2ECheck arms the end-to-end payload checksum at the destination
+	// interface: a packet that completes with corrupted payload is treated
+	// as lost — NACKed and retried under RetryLimit — instead of delivered.
+	// Flit-reservation configurations only.
+	E2ECheck bool
+	// ReclaimCycles bounds how long a parked data flit may wait for a
+	// reservation that never materializes (the wake of an escaped-corrupt
+	// control flit) before the router reclaims its buffer into the loss
+	// path. 0 defaults to 8× the scheduling horizon when bit errors are in
+	// play. Flit-reservation configurations only.
+	ReclaimCycles int
+	// ChaosIntensity, in (0, 1], expands a deterministic chaos campaign —
+	// composed soft loss, background bit errors, link flaps, corruption
+	// spikes and (at >= 0.75) router kills — and installs it into the run,
+	// overwriting Scenario and the fault rates. The plan is a pure function
+	// of (intensity, horizon, seed). Flit-reservation configurations only.
+	ChaosIntensity float64
+	// ChaosHorizon is the cycle window chaos events land in (0 takes the
+	// default); ChaosSeed drives the plan generator.
+	ChaosHorizon int
+	ChaosSeed    uint64
+
 	// Virtual-channel knobs.
 	VCs        int // virtual channels per physical channel (default 2)
 	BufPerVC   int // flit queue depth per VC (default 4)
@@ -246,6 +278,9 @@ func Custom(name string, o Options) (Spec, error) {
 		}
 		inner.Faults = events
 	}
+	inner.ChaosIntensity = o.ChaosIntensity
+	inner.ChaosHorizon = sim.Cycle(o.ChaosHorizon)
+	inner.ChaosSeed = o.ChaosSeed
 	return Spec{inner: inner}, nil
 }
 
@@ -292,6 +327,10 @@ func applyFR(cfg core.Config, o Options) core.Config {
 	cfg.RetryTimeout = sim.Cycle(o.RetryTimeout)
 	cfg.NackLatency = sim.Cycle(o.NackLatency)
 	cfg.WatchdogCycles = sim.Cycle(o.WatchdogCycles)
+	cfg.BER = o.BER
+	cfg.CrcBits = o.CrcBits
+	cfg.E2ECheck = o.E2ECheck
+	cfg.ReclaimCycles = sim.Cycle(o.ReclaimCycles)
 	return cfg
 }
 
@@ -303,6 +342,8 @@ func applyVC(cfg vcrouter.Config, o Options) vcrouter.Config {
 		cfg.BufPerVC = o.BufPerVC
 	}
 	cfg.SharedPool = o.SharedPool
+	cfg.BER = o.BER
+	cfg.CrcBits = o.CrcBits
 	if o.DataLinkLatency != 0 {
 		cfg.LinkLatency = sim.Cycle(o.DataLinkLatency)
 	}
@@ -411,5 +452,49 @@ func (s Spec) WithScenario(scenario string) (Spec, error) {
 // unchanged. Flit-reservation specs only; Run panics otherwise.
 func (s Spec) WithCheck(on bool) Spec {
 	s.inner.Check = on
+	return s
+}
+
+// WithBER returns the spec with a per-flit bit-error probability on
+// inter-router links: each flit is delivered on time but corrupted with this
+// probability, and only the modeled hop CRC (see WithCRC) or the end-to-end
+// check (see WithE2ECheck) can notice. Works for flit-reservation and
+// virtual-channel specs.
+func (s Spec) WithBER(ber float64) Spec {
+	s.inner.FR.BER = ber
+	s.inner.VC.BER = ber
+	return s
+}
+
+// WithCRC returns the spec with a modeled per-hop CRC of the given width:
+// a corrupted flit is detected at each hop with probability 1 - 2^-bits.
+// Negative disables hop detection entirely, so every corruption escapes to
+// its destination.
+func (s Spec) WithCRC(bits int) Spec {
+	s.inner.FR.CrcBits = bits
+	s.inner.VC.CrcBits = bits
+	return s
+}
+
+// WithE2ECheck returns the spec with the end-to-end payload checksum armed:
+// a packet completing with corrupted payload is treated as lost — NACKed and,
+// under WithRetry, retransmitted — instead of delivered. Flit-reservation
+// specs only (the virtual-channel baseline has no recovery layer; its escapes
+// are only counted).
+func (s Spec) WithE2ECheck(on bool) Spec {
+	s.inner.FR.E2ECheck = on
+	return s
+}
+
+// WithChaos returns the spec running under a deterministic chaos campaign of
+// the given intensity in (0, 1]: composed soft loss, background bit errors,
+// link flaps, mid-run corruption spikes and (at intensity >= 0.75) router
+// kills, all expanded from (intensity, seed) by core.NewChaosPlan. The
+// campaign overwrites any WithScenario schedule and rides the spec, so
+// harness campaigns replay it bit-identically at any worker count.
+// Flit-reservation specs only; Run panics otherwise.
+func (s Spec) WithChaos(intensity float64, seed uint64) Spec {
+	s.inner.ChaosIntensity = intensity
+	s.inner.ChaosSeed = seed
 	return s
 }

@@ -1,0 +1,142 @@
+package frfc
+
+import (
+	"context"
+	"fmt"
+
+	"frfc/internal/experiment"
+	"frfc/internal/harness"
+	"frfc/internal/stats"
+)
+
+// IntegrityPoint is one row of an IntegritySweep: a flit-reservation network
+// run under a given link bit-error rate, with or without the end-to-end
+// payload check, until every offered packet's fate is resolved.
+type IntegrityPoint struct {
+	BER      float64
+	CrcBits  int
+	E2ECheck bool
+
+	Offered   int64
+	Delivered int64
+	// Abandoned counts packets given up on after exhausting the retry
+	// budget; it should stay zero — corruption either recovers through the
+	// hop CRC's loss path or the end-to-end retry.
+	Abandoned int64
+
+	// The corruption ledger: flits delivered corrupted, corrupted flits the
+	// hop CRC caught, corrupted payload that escaped every hop CRC to its
+	// destination, phantom reservations installed by escaped-corrupt
+	// control flits, and orphaned parked flits the reclamation timeout
+	// freed.
+	Corrupted           int64
+	CrcDetected         int64
+	CorruptEscapes      int64
+	PhantomReservations int64
+	ReclaimedSlots      int64
+
+	Retried             int64
+	DeliveredAfterRetry int64
+
+	// AvgLatency is the mean creation-to-delivery latency over every
+	// delivered packet; Cycles is how long the row took to resolve them.
+	AvgLatency float64
+	Cycles     int64
+	// Wedged is set if the no-progress watchdog fired — it never should.
+	Wedged bool
+}
+
+// DeliveredFraction is the end-to-end delivery probability of the row.
+func (p IntegrityPoint) DeliveredFraction() float64 {
+	if p.Offered == 0 {
+		return 0
+	}
+	return float64(p.Delivered) / float64(p.Offered)
+}
+
+// EscapeRate is corrupted-payload escapes per offered packet — the silent-
+// corruption exposure. With the end-to-end check on, an escape is caught and
+// retried, so exposure does not imply wrong data was accepted; with it off,
+// every escape is accepted as-is.
+func (p IntegrityPoint) EscapeRate() float64 {
+	if p.Offered == 0 {
+		return 0
+	}
+	return float64(p.CorruptEscapes) / float64(p.Offered)
+}
+
+// EscapeRateCI is the 95% Wilson interval around EscapeRate. Escape counts
+// are single digits out of a few hundred offered packets, so the interval —
+// not the point estimate — is the honest statement of exposure; at zero
+// observed escapes it still has positive width (the rule of three).
+func (p IntegrityPoint) EscapeRateCI() (lo, hi float64) {
+	return stats.WilsonCI95(p.CorruptEscapes, p.Offered)
+}
+
+// String renders the point as one sweep row.
+func (p IntegrityPoint) String() string {
+	e2e := "off"
+	if p.E2ECheck {
+		e2e = "on"
+	}
+	return fmt.Sprintf("ber=%-7.0e e2e=%-3s delivered=%6.2f%%  corrupted=%5d  crc=%5d  escapes=%4d  retried=%4d",
+		p.BER, e2e, p.DeliveredFraction()*100, p.Corrupted, p.CrcDetected, p.CorruptEscapes, p.Retried)
+}
+
+// IntegritySweepOptions parameterizes an IntegritySweep. Zero fields take
+// defaults: a 4×4 mesh, 400 packets of 5 flits per row, retry budget 8, a
+// deliberately weak 4-bit hop CRC (so escapes actually occur), and bit-error
+// rates {0, 1e-4, 1e-3, 5e-3, 1e-2}.
+type IntegritySweepOptions struct {
+	Radix      int
+	Packets    int
+	PacketLen  int
+	RetryLimit int
+	// CrcBits is the modeled hop CRC width (negative disables hop
+	// detection entirely).
+	CrcBits int
+	// BERs are the bit-error rates swept; each runs once with the
+	// end-to-end check on and once with it off.
+	BERs []float64
+	// Check runs every row under the per-cycle invariant checker.
+	Check bool
+	Seed  uint64
+	// Workers sizes the pool the sweep's cells fan out over; 0 means
+	// runtime.NumCPU(). Each cell owns its own network and RNG, so any
+	// worker count produces identical points in identical order.
+	Workers int
+}
+
+// IntegritySweep measures silent-corruption tolerance: for each bit-error
+// rate it runs the flit-reservation network twice — end-to-end check on and
+// off — until every offered packet resolves, and reports delivered fraction
+// alongside the corruption ledger. With the check on, every escaped
+// corruption is caught and retried, so delivery stays total even at bit-error
+// rates far above realistic links; with it off, EscapeRate is exactly the
+// silently accepted corruption. The cells execute concurrently on the
+// harness worker pool; the points are identical to a serial sweep.
+func IntegritySweep(o IntegritySweepOptions) ([]IntegrityPoint, error) {
+	io := experiment.IntegritySweepOptions{
+		Radix: o.Radix, Packets: o.Packets, PacketLen: o.PacketLen,
+		RetryLimit: o.RetryLimit, CrcBits: o.CrcBits, BERs: o.BERs,
+		Check: o.Check, Seed: o.Seed,
+	}
+	pts, err := harness.IntegritySweep(context.Background(), io, harness.Options{Workers: o.Workers})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IntegrityPoint, len(pts))
+	for i, p := range pts {
+		out[i] = IntegrityPoint{
+			BER: p.BER, CrcBits: p.CrcBits, E2ECheck: p.E2ECheck,
+			Offered: p.Offered, Delivered: p.Delivered, Abandoned: p.Abandoned,
+			Corrupted: p.Corrupted, CrcDetected: p.CrcDetected,
+			CorruptEscapes:      p.CorruptEscapes,
+			PhantomReservations: p.PhantomReservations,
+			ReclaimedSlots:      p.ReclaimedSlots,
+			Retried:             p.Retried, DeliveredAfterRetry: p.DeliveredAfterRetry,
+			AvgLatency: p.AvgLatency, Cycles: int64(p.Cycles), Wedged: p.Wedged,
+		}
+	}
+	return out, nil
+}

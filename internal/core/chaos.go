@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"frfc/internal/sim"
+	"frfc/internal/topology"
+)
+
+// This file is the chaos campaign generator: a single knob — intensity —
+// deterministically expanded into a composed fault scenario that exercises
+// every error model the simulator has at once. A chaos plan mixes
+//
+//   - soft data loss (DataFaultRate) and control corruption-as-delay
+//     (CtrlFaultRate), the paper's Section 5 error story;
+//   - silent bit errors on every link (BER), hunted by the hop CRC and the
+//     end-to-end check;
+//   - link flaps: scheduled down/up windows on distinct links;
+//   - scheduled "corrupt" events that spike one link's bit-error rate far
+//     above the background BER mid-run;
+//   - at high intensity, permanent router kills on nodes kept disjoint from
+//     every flapped or corruption-spiked link, so the scenario always passes
+//     ValidateFaults by construction.
+//
+// The same (intensity, horizon, seed) triple always yields the identical
+// plan, so chaos campaigns hash stably in the experiment harness and replay
+// bit-identically at any worker count.
+
+// ChaosOptions selects a deterministic chaos campaign.
+type ChaosOptions struct {
+	// Intensity in (0, 1] scales every fault dimension: rates scale
+	// linearly, event counts scale with the mesh size, and router kills
+	// only appear at Intensity >= 0.75. Values above 1 are rejected.
+	Intensity float64
+	// Horizon is the cycle window the scheduled events land in; it should
+	// cover the measured portion of the run. 0 takes 20000.
+	Horizon sim.Cycle
+	// Seed drives the plan generator (not the network itself). The same
+	// seed always yields the same plan.
+	Seed uint64
+}
+
+// ChaosPlan is a fully expanded chaos campaign: the scheduled event list
+// plus the background fault rates, ready to apply to a Config.
+type ChaosPlan struct {
+	Events        []FaultEvent
+	DataFaultRate float64
+	CtrlFaultRate float64
+	BER           float64
+}
+
+// NewChaosPlan expands the options into a concrete plan for the given mesh.
+// It panics on out-of-range options; the produced event list always passes
+// ValidateFaults for that mesh with retries enabled.
+func NewChaosPlan(mesh topology.Mesh, o ChaosOptions) ChaosPlan {
+	if o.Intensity != o.Intensity || o.Intensity <= 0 || o.Intensity > 1 {
+		panic(fmt.Sprintf("core: chaos intensity must lie in (0,1], got %v", o.Intensity))
+	}
+	if o.Horizon < 0 {
+		panic("core: chaos horizon must be >= 0")
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 20000
+	}
+	if o.Horizon < 16 {
+		panic(fmt.Sprintf("core: chaos horizon %d is too short to schedule a flap window", o.Horizon))
+	}
+	rng := sim.NewRNG(o.Seed ^ 0xC5A0C5A0C5A0C5A0)
+
+	// Undirected link inventory in (a, b) order — index order is the only
+	// iteration the generator uses, so the plan is reproducible.
+	type link struct{ a, b topology.NodeID }
+	var links []link
+	for id := 0; id < mesh.N(); id++ {
+		for p := topology.Port(0); p < topology.Local; p++ {
+			if nb, ok := mesh.Neighbor(topology.NodeID(id), p); ok && nb > topology.NodeID(id) {
+				links = append(links, link{topology.NodeID(id), nb})
+			}
+		}
+	}
+	perm := make([]int, len(links))
+	rng.Perm(perm)
+
+	plan := ChaosPlan{
+		DataFaultRate: 0.002 * o.Intensity,
+		CtrlFaultRate: 0.002 * o.Intensity,
+		BER:           0.001 * o.Intensity,
+	}
+
+	// Scale event counts with the mesh, floor one flap and one corruption
+	// spike so even the gentlest campaign exercises both engines.
+	nFlaps := 1 + int(o.Intensity*float64(len(links))/8)
+	nSpikes := 1 + int(o.Intensity*float64(len(links))/12)
+	if nFlaps+nSpikes > len(links) {
+		nFlaps = len(links) / 2
+		nSpikes = len(links) - nFlaps
+	}
+	touched := make(map[topology.NodeID]bool)
+	pick := 0
+	window := func() (down, up sim.Cycle) {
+		down = 1 + sim.Cycle(rng.Intn(int(o.Horizon/2)))
+		up = down + 1 + sim.Cycle(rng.Intn(int(o.Horizon-down)))
+		if up > o.Horizon {
+			up = o.Horizon
+		}
+		return down, up
+	}
+	for i := 0; i < nFlaps; i++ {
+		l := links[perm[pick]]
+		pick++
+		touched[l.a], touched[l.b] = true, true
+		down, up := window()
+		plan.Events = append(plan.Events,
+			FaultEvent{At: down, Kind: LinkDown, A: l.a, B: l.b},
+			FaultEvent{At: up, Kind: LinkUp, A: l.a, B: l.b})
+	}
+	for i := 0; i < nSpikes; i++ {
+		l := links[perm[pick]]
+		pick++
+		touched[l.a], touched[l.b] = true, true
+		on, off := window()
+		spike := 0.05 + 0.15*o.Intensity
+		plan.Events = append(plan.Events,
+			FaultEvent{At: on, Kind: LinkCorrupt, A: l.a, B: l.b, Rate: spike},
+			FaultEvent{At: off, Kind: LinkCorrupt, A: l.a, B: l.b, Rate: plan.BER})
+	}
+
+	// Router kills are the harshest fault — they strand traffic until the
+	// end-to-end retry writes it off — so they only join at high intensity,
+	// and only on nodes no scheduled link event touches (a link event on a
+	// dead router's link would invalidate the scenario).
+	if o.Intensity >= 0.75 {
+		nKills := 1 + int((o.Intensity-0.75)*float64(mesh.N())/8)
+		var candidates []topology.NodeID
+		for id := 0; id < mesh.N(); id++ {
+			if !touched[topology.NodeID(id)] {
+				candidates = append(candidates, topology.NodeID(id))
+			}
+		}
+		for i := 0; i < nKills && len(candidates) > 0; i++ {
+			j := rng.Intn(len(candidates))
+			v := candidates[j]
+			candidates = append(candidates[:j], candidates[j+1:]...)
+			at := o.Horizon/2 + sim.Cycle(rng.Intn(int(o.Horizon/2)))
+			plan.Events = append(plan.Events, FaultEvent{At: at, Kind: RouterDown, A: v})
+		}
+	}
+
+	sort.SliceStable(plan.Events, func(i, j int) bool {
+		a, b := plan.Events[i], plan.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return plan
+}
+
+// Apply installs the plan into a configuration, overwriting its fault
+// scenario and fault rates. Chaos only makes sense with recovery armed, so a
+// zero RetryLimit is raised to 8 (the plan's kills would not validate
+// without it).
+func (p ChaosPlan) Apply(cfg Config) Config {
+	cfg.Faults = append([]FaultEvent(nil), p.Events...)
+	cfg.DataFaultRate = p.DataFaultRate
+	cfg.CtrlFaultRate = p.CtrlFaultRate
+	cfg.BER = p.BER
+	if cfg.RetryLimit == 0 {
+		cfg.RetryLimit = 8
+	}
+	return cfg
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"frfc/internal/topology"
+)
+
+// TestChaosPlanDeterministic: the plan is a pure function of
+// (intensity, horizon, seed) — the property the harness job hash rests on.
+func TestChaosPlanDeterministic(t *testing.T) {
+	mesh := topology.NewMesh(4)
+	o := ChaosOptions{Intensity: 0.6, Horizon: 2000, Seed: 42}
+	a := NewChaosPlan(mesh, o)
+	b := NewChaosPlan(mesh, o)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical options produced different plans:\n%+v\n%+v", a, b)
+	}
+	c := NewChaosPlan(mesh, ChaosOptions{Intensity: 0.6, Horizon: 2000, Seed: 43})
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical event schedules")
+	}
+}
+
+// TestChaosPlanAlwaysValidates: whatever the dice land on, the generated
+// schedule must pass ValidateFaults by construction — kills land only on
+// nodes no link event touches, flaps pair down with a later up, and spike
+// rates stay in range.
+func TestChaosPlanAlwaysValidates(t *testing.T) {
+	for _, radix := range []int{3, 4, 6} {
+		mesh := topology.NewMesh(radix)
+		for _, intensity := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 1.0} {
+			for seed := uint64(0); seed < 20; seed++ {
+				plan := NewChaosPlan(mesh, ChaosOptions{Intensity: intensity, Horizon: 1500, Seed: seed})
+				if err := ValidateFaults(mesh, plan.Events, true); err != nil {
+					t.Fatalf("radix=%d intensity=%g seed=%d: generated invalid plan: %v\nevents: %v",
+						radix, intensity, seed, err, plan.Events)
+				}
+				if len(plan.Events) == 0 {
+					t.Fatalf("radix=%d intensity=%g seed=%d: empty plan", radix, intensity, seed)
+				}
+				if plan.DataFaultRate <= 0 || plan.BER <= 0 {
+					t.Fatalf("intensity=%g: background rates not armed: %+v", intensity, plan)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosPlanKillsOnlyAtHighIntensity: router kills are the harshest fault
+// and must stay out of moderate campaigns — that is what makes "delivered
+// stays total below intensity 0.75" a meaningful guarantee.
+func TestChaosPlanKillsOnlyAtHighIntensity(t *testing.T) {
+	mesh := topology.NewMesh(4)
+	kills := func(intensity float64) int {
+		n := 0
+		for _, e := range NewChaosPlan(mesh, ChaosOptions{Intensity: intensity, Seed: 9}).Events {
+			if e.Kind == RouterDown {
+				n++
+			}
+		}
+		return n
+	}
+	if n := kills(0.5); n != 0 {
+		t.Fatalf("moderate intensity scheduled %d router kills", n)
+	}
+	if n := kills(1.0); n == 0 {
+		t.Fatal("full intensity scheduled no router kills")
+	}
+}
+
+// TestChaosPlanApply: applying a plan overwrites the fault scenario and
+// rates, and arms the retry budget chaos depends on without clobbering an
+// explicit one.
+func TestChaosPlanApply(t *testing.T) {
+	mesh := topology.NewMesh(4)
+	plan := NewChaosPlan(mesh, ChaosOptions{Intensity: 0.5, Seed: 1})
+	cfg := fastControl()
+	got := plan.Apply(cfg)
+	if !reflect.DeepEqual(got.Faults, plan.Events) {
+		t.Fatal("Apply did not install the event schedule")
+	}
+	if got.DataFaultRate != plan.DataFaultRate || got.CtrlFaultRate != plan.CtrlFaultRate || got.BER != plan.BER {
+		t.Fatalf("Apply did not install the rates: %+v", got)
+	}
+	if got.RetryLimit != 8 {
+		t.Fatalf("Apply left RetryLimit at %d, want the 8 default", got.RetryLimit)
+	}
+	cfg.RetryLimit = 3
+	if got := plan.Apply(cfg); got.RetryLimit != 3 {
+		t.Fatalf("Apply clobbered an explicit RetryLimit: %d", got.RetryLimit)
+	}
+}
+
+// TestChaosOptionsRejected: out-of-range knobs panic immediately rather than
+// generating a quietly degenerate campaign.
+func TestChaosOptionsRejected(t *testing.T) {
+	mesh := topology.NewMesh(4)
+	for _, o := range []ChaosOptions{
+		{Intensity: 0},
+		{Intensity: -0.5},
+		{Intensity: 1.5},
+		{Intensity: nan()},
+		{Intensity: 0.5, Horizon: -1},
+		{Intensity: 0.5, Horizon: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("options %+v did not panic", o)
+				}
+			}()
+			NewChaosPlan(mesh, o)
+		}()
+	}
+}

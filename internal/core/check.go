@@ -121,6 +121,23 @@ func (n *Network) checkRouter(now sim.Cycle, id topology.NodeID) {
 				n.fail(now, "node %d input %s: schedule-list entry for arrival %d points at a non-parked slot",
 					id, topology.Port(p), ta)
 			}
+			// The leak invariant reclamation exists to enforce: no parked
+			// flit outlives the reclamation timeout. Phantom-orphaned
+			// flits must be collected the very cycle they go stale, so any
+			// older survivor is a leaked buffer slot.
+			if n.cfg.ReclaimCycles > 0 && now-ta > n.cfg.ReclaimCycles {
+				n.fail(now, "node %d input %s: parked flit from cycle %d outlived the %d-cycle reclamation timeout — reservation slot leaked",
+					id, topology.Port(p), ta, n.cfg.ReclaimCycles)
+			}
+		}
+		// Expected arrivals are installed at most one control-flit journey
+		// ahead of their data and expire the cycle they fall due, so every
+		// surviving entry — phantom ones included — must lie in the future.
+		for ta := range in.expected {
+			if ta < now {
+				n.fail(now, "node %d input %s: expected-arrival entry for past cycle %d survived its expiry",
+					id, topology.Port(p), ta)
+			}
 		}
 	}
 }

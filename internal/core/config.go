@@ -109,6 +109,39 @@ type Config struct {
 	// simply park on the downstream schedule list until it catches up.
 	CtrlFaultRate float64
 
+	// BER is the per-link residual bit-error rate: each flit transmission
+	// (data or control) on an inter-router link is delivered on time but
+	// with its Corrupted flag set with this probability — corruption as
+	// delivery, distinct from the loss of DataFaultRate and the delay of
+	// CtrlFaultRate. Corrupted flits are hunted by the modeled hop-level CRC
+	// (CrcBits) and, for payload, the end-to-end check (E2ECheck); whatever
+	// escapes both is a silent-corruption delivery. Must be < 1.
+	BER float64
+	// CrcBits is c, the modeled strength of the hop-level CRC: a receiving
+	// router catches a corrupted flit with probability 1 − 2^−c. A detected
+	// corrupt data flit is discarded into the existing loss path (hole
+	// detection, NACK, retry); a detected corrupt control flit is discarded
+	// with its reservations released, exactly like the hard-fault discard
+	// path. 0 takes the default of 16 bits; negative disables the hop CRC
+	// entirely so every corruption escapes to the end-to-end layer.
+	CrcBits int
+	// E2ECheck verifies the reassembled packet's payload checksum at the
+	// destination interface: a packet any of whose delivered flits were
+	// corrupted is treated as lost (and retried under RetryLimit) instead
+	// of delivered. With the check off such packets are delivered anyway
+	// and counted as corrupt escapes, making the residual-error rate
+	// measurable.
+	E2ECheck bool
+	// ReclaimCycles hardens the reservation tables against escaped control
+	// corruption: a data flit parked on an input's schedule list longer
+	// than this many cycles can no longer be claimed by any truthful
+	// control flit (phantom reservation damage), so it is reclaimed — the
+	// buffer freed and the flit dropped into the loss path. 0 takes the
+	// default of 8×Horizon when BER > 0, otherwise reclamation is off.
+	// Reclamation also bounds the checker's leak invariant: with it active
+	// no parked flit may outlive the timeout.
+	ReclaimCycles sim.Cycle
+
 	// RetryLimit enables end-to-end packet retry when positive: the
 	// destination's hole detection sends a loss notification (NACK) back
 	// to the source, which re-offers the packet, up to RetryLimit times
@@ -195,6 +228,15 @@ func (c Config) withDefaults() Config {
 	if c.Routing == nil {
 		c.Routing = routing.XY
 	}
+	corrupt := c.BER > 0 || hasCorruptFaults(c.Faults)
+	if corrupt {
+		if c.CrcBits == 0 {
+			c.CrcBits = 16
+		}
+		if c.ReclaimCycles == 0 {
+			c.ReclaimCycles = 8 * c.Horizon
+		}
+	}
 	if c.RetryLimit > 0 {
 		if c.RetryBackoffBase == 0 {
 			c.RetryBackoffBase = 64
@@ -202,10 +244,12 @@ func (c Config) withDefaults() Config {
 		if c.NackLatency == 0 {
 			c.NackLatency = 16
 		}
-		if len(c.Faults) > 0 && c.RetryTimeout == 0 {
+		if (len(c.Faults) > 0 || corrupt) && c.RetryTimeout == 0 {
 			// A hard fault can destroy a packet so completely that no
-			// destination ever learns it existed, so NACK-based detection
-			// alone never fires; scenario runs need the source timer.
+			// destination ever learns it existed, and a CRC-discarded
+			// control stream can die before the destination is told to
+			// expect anything — in both cases NACK-based detection alone
+			// never fires, so these runs need the source timer.
 			c.RetryTimeout = 1024
 		}
 	}
@@ -246,8 +290,18 @@ func (c Config) validate() {
 	}
 	validateRate("DataFaultRate", c.DataFaultRate)
 	validateRate("CtrlFaultRate", c.CtrlFaultRate)
+	validateRate("BER", c.BER)
 	if c.CtrlFaultRate == 1 {
 		panic("core: CtrlFaultRate must be < 1 — a link that corrupts every transmission can never deliver")
+	}
+	if c.BER == 1 {
+		panic("core: BER must be < 1 — a link that corrupts every transmission carries no information")
+	}
+	if c.CrcBits > 62 {
+		panic(fmt.Sprintf("core: CrcBits must be <= 62, got %d", c.CrcBits))
+	}
+	if c.ReclaimCycles < 0 {
+		panic("core: ReclaimCycles must be >= 0")
 	}
 	if c.RetryLimit < 0 {
 		panic(fmt.Sprintf("core: RetryLimit must be >= 0, got %d", c.RetryLimit))

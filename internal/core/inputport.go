@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"frfc/internal/metrics"
 	"frfc/internal/noc"
@@ -25,6 +26,12 @@ type poolSlot struct {
 type reservation struct {
 	departAt sim.Cycle
 	outPort  topology.Port
+	// phantom marks a reservation installed by a corrupted control flit
+	// that escaped the hop CRC: its schedule is garbage the real traffic
+	// must never act on. The arriving data flit is not claimed by it — the
+	// flit parks until timeout reclamation collects it — and the entry
+	// itself dissolves unclaimed through the ordinary expiry path.
+	phantom bool
 }
 
 // inputPort is the data-network side of one router input: the buffer pool,
@@ -44,6 +51,13 @@ type inputPort struct {
 	// schedule list, a measure of how often data overtakes its control
 	// flit.
 	parkedTotal int64
+	// phantoms counts reservations installed by corrupted control flits
+	// that escaped the hop CRC — table state no real traffic ever claims.
+	phantoms int64
+	// reclaimed counts parked flits collected by timeout reclamation:
+	// their control flit was corrupted, so nothing would ever have
+	// scheduled them out of the pool.
+	reclaimed int64
 	// condemned marks arrival cycles whose control stream a hard fault
 	// destroyed: the data flit, if it still arrives, is dropped on sight
 	// instead of parking forever on the schedule list.
@@ -82,7 +96,25 @@ func newInputPort(buffers int, ledger *eagerLedger, faultTolerant bool) *inputPo
 // flit arriving at ta departs at departAt through outPort. If the flit has
 // already arrived it is claimed from the schedule list; otherwise the input
 // reservation table notes the expected arrival.
-func (p *inputPort) reserve(now, ta, departAt sim.Cycle, outPort topology.Port) {
+//
+// phantom marks a reservation made by a corrupted control flit that escaped
+// the hop CRC. Its announced schedule is garbage, so it must never capture
+// real data: an already-parked flit stays parked (timeout reclamation
+// collects it), and a future arrival gets a phantom table entry that
+// dissolves unclaimed — the arriving flit parks beside it instead.
+func (p *inputPort) reserve(now, ta, departAt sim.Cycle, outPort topology.Port, phantom bool) {
+	if phantom {
+		p.phantoms++
+		if _, parked := p.parked[ta]; parked || ta < now {
+			return
+		}
+		if _, dup := p.expected[ta]; dup {
+			// Never overwrite a real reservation with a phantom one.
+			return
+		}
+		p.expected[ta] = reservation{departAt: departAt, outPort: outPort, phantom: true}
+		return
+	}
 	if slot, ok := p.parked[ta]; ok {
 		delete(p.parked, ta)
 		s := &p.pool[slot]
@@ -116,13 +148,18 @@ func (p *inputPort) reserve(now, ta, departAt sim.Cycle, outPort topology.Port) 
 // reserved to depart this same cycle bypasses the buffer pool entirely and is
 // handed straight to fn (the paper's bypass path — zero buffer residency);
 // otherwise it is bound to a free pool buffer. Reservation accounting
-// guarantees a buffer is free; running out indicates a scheduling bug and
-// panics.
-func (p *inputPort) arrive(now sim.Cycle, f noc.DataFlit, bypass func(f noc.DataFlit, out topology.Port)) {
-	if r, ok := p.expected[now]; ok && r.departAt == now {
+// guarantees a buffer is free in a corruption-free run; running out then
+// indicates a scheduling bug and panics. Under fault injection the pool can
+// be transiently overcommitted — a phantom-orphaned flit occupies its slot
+// until reclamation while the credit its control flit sent upstream already
+// promised the slot free — so the arriving flit is refused (return false)
+// and the caller drops it into the loss path. A phantom reservation for this
+// cycle is ignored: the flit parks beside it as if unannounced.
+func (p *inputPort) arrive(now sim.Cycle, f noc.DataFlit, bypass func(f noc.DataFlit, out topology.Port)) bool {
+	if r, ok := p.expected[now]; ok && !r.phantom && r.departAt == now {
 		delete(p.expected, now)
 		bypass(f, r.outPort)
-		return
+		return true
 	}
 	slot := -1
 	for i := range p.pool {
@@ -132,17 +169,20 @@ func (p *inputPort) arrive(now sim.Cycle, f noc.DataFlit, bypass func(f noc.Data
 		}
 	}
 	if slot == -1 {
+		if p.faultTolerant {
+			return false
+		}
 		panic(fmt.Sprintf("core: data flit %s arrived at cycle %d with no free buffer — reservation accounting violated", f, now))
 	}
 	s := &p.pool[slot]
 	s.occupied = true
 	s.flit = f
 	p.occupied++
-	if r, ok := p.expected[now]; ok {
+	if r, ok := p.expected[now]; ok && !r.phantom {
 		delete(p.expected, now)
 		s.departAt = r.departAt
 		s.outPort = r.outPort
-		return
+		return true
 	}
 	// Arrived before its control flit finished scheduling: park it on the
 	// schedule list.
@@ -155,6 +195,7 @@ func (p *inputPort) arrive(now sim.Cycle, f noc.DataFlit, bypass func(f noc.Data
 	p.parkedTotal++
 	p.probe.Late(now, p.node, p.portIndex, uint64(f.Packet.ID), f.Seq)
 	p.ledger.onParkedArrival(now)
+	return true
 }
 
 // departures invokes fn for every flit scheduled to leave at cycle now and
@@ -215,6 +256,33 @@ func (p *inputPort) dropParked(ta sim.Cycle) (noc.DataFlit, bool) {
 	s.flit = noc.DataFlit{}
 	s.departAt = sim.Never
 	return f, true
+}
+
+// reclaim collects parked flits no control flit will ever schedule: a flit
+// parked longer than timeout cycles is dropped into the loss path. In a
+// corruption-free run nothing waits that long — a healthy flit's schedule-
+// list residency is bounded by the control network's worst queueing delay —
+// so only phantom-orphaned flits are ever collected. Stale slots are
+// processed in arrival order so a run replays bit-identically.
+func (p *inputPort) reclaim(now, timeout sim.Cycle, drop func(noc.DataFlit)) {
+	if len(p.parked) == 0 {
+		return
+	}
+	var stale []sim.Cycle
+	for ta := range p.parked {
+		if now-ta >= timeout {
+			stale = append(stale, ta)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, ta := range stale {
+		f, _ := p.dropParked(ta)
+		p.reclaimed++
+		drop(f)
+	}
 }
 
 // purgeOutput erases every reservation and buffered flit bound for output

@@ -22,7 +22,7 @@ func noBypass(t *testing.T) func(noc.DataFlit, topology.Port) {
 
 func TestInputPortReserveThenArriveThenDepart(t *testing.T) {
 	p := newInputPort(3, nil, false)
-	p.reserve(0, 5, 9, topology.East)
+	p.reserve(0, 5, 9, topology.East, false)
 	p.arrive(5, testFlit(1, 0), noBypass(t))
 	if p.occupied != 1 {
 		t.Fatalf("occupied = %d, want 1", p.occupied)
@@ -45,7 +45,7 @@ func TestInputPortReserveThenArriveThenDepart(t *testing.T) {
 
 func TestInputPortBypass(t *testing.T) {
 	p := newInputPort(1, nil, false)
-	p.reserve(0, 7, 7, topology.South) // depart the same cycle it arrives
+	p.reserve(0, 7, 7, topology.South, false) // depart the same cycle it arrives
 	hit := false
 	p.arrive(7, testFlit(2, 0), func(f noc.DataFlit, out topology.Port) {
 		hit = true
@@ -69,7 +69,7 @@ func TestInputPortParkThenSchedule(t *testing.T) {
 		t.Fatal("flit not parked")
 	}
 	// The reservation signal claims it later.
-	p.reserve(10, 4, 13, topology.West)
+	p.reserve(10, 4, 13, topology.West, false)
 	if len(p.parked) != 0 {
 		t.Fatal("schedule list entry not claimed")
 	}
@@ -103,8 +103,8 @@ func TestInputPortDuplicateReservationPanics(t *testing.T) {
 		}
 	}()
 	p := newInputPort(2, nil, false)
-	p.reserve(0, 5, 9, topology.East)
-	p.reserve(0, 5, 10, topology.West)
+	p.reserve(0, 5, 9, topology.East, false)
+	p.reserve(0, 5, 10, topology.West, false)
 }
 
 func TestInputPortPastReservationWithoutFlitPanics(t *testing.T) {
@@ -114,12 +114,12 @@ func TestInputPortPastReservationWithoutFlitPanics(t *testing.T) {
 		}
 	}()
 	p := newInputPort(2, nil, false)
-	p.reserve(10, 4, 13, topology.East)
+	p.reserve(10, 4, 13, topology.East, false)
 }
 
 func TestInputPortPending(t *testing.T) {
 	p := newInputPort(4, nil, false)
-	p.reserve(0, 6, 9, topology.East)
+	p.reserve(0, 6, 9, topology.East, false)
 	if p.pending() != 1 {
 		t.Fatalf("pending = %d with one expectation, want 1", p.pending())
 	}
@@ -183,7 +183,7 @@ func TestDeferredAllocationNeverFragments(t *testing.T) {
 			rs = append(rs, res{ta, td})
 		}
 		for _, r := range rs {
-			p.reserve(0, r.ta, r.td, topology.East)
+			p.reserve(0, r.ta, r.td, topology.East, false)
 		}
 		// Replay in time order; arrive panics if ever out of buffers.
 		for c := sim.Cycle(0); c <= 140; c++ {
@@ -204,7 +204,7 @@ func TestInputPortFaultTolerantLateReservation(t *testing.T) {
 	// In fault-tolerant mode a reservation for a past arrival with no
 	// parked flit (the flit was destroyed upstream) dissolves quietly.
 	p := newInputPort(2, nil, true)
-	p.reserve(10, 4, 13, topology.East)
+	p.reserve(10, 4, 13, topology.East, false)
 	if p.pending() != 0 {
 		t.Fatalf("dissolved reservation left pending state: %d", p.pending())
 	}

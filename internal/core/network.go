@@ -52,16 +52,19 @@ type Network struct {
 	// split off the root seed so fault patterns are reproducible.
 	linkRNG *sim.RNG
 
-	offered       int64
-	delivered     int64
-	lostDetected  int64 // loss events at destinations (per attempt under retry)
-	lostResolved  int64 // packets whose fate "lost" is final (retry disabled)
-	abandoned     int64 // packets that exhausted their retry budget
-	retried       int64 // re-injections
-	afterRetry    int64 // packets delivered on an attempt > 0
-	dropped       int64 // data flits destroyed on links
-	ctrlCorrupted int64 // control flits corrupted (and retransmitted) on links
-	unreachable   int64 // packets failed fast: no surviving route to their destination
+	offered        int64
+	delivered      int64
+	lostDetected   int64 // loss events at destinations (per attempt under retry)
+	lostResolved   int64 // packets whose fate "lost" is final (retry disabled)
+	abandoned      int64 // packets that exhausted their retry budget
+	retried        int64 // re-injections
+	afterRetry     int64 // packets delivered on an attempt > 0
+	dropped        int64 // data flits destroyed on links
+	ctrlCorrupted  int64 // control flits corrupted (and retransmitted) on links
+	unreachable    int64 // packets failed fast: no surviving route to their destination
+	corruptedFlits int64 // flits delivered with bit errors (data + control)
+	crcDetected    int64 // corrupted flits caught by the hop-level CRC
+	corruptEscapes int64 // corrupted payload that reached its destination uncaught
 
 	// links is the directed inter-router link registry built by wire, the
 	// handle the hard-fault engine severs through and the invariant checker
@@ -105,14 +108,19 @@ var _ noc.Network = (*Network)(nil)
 func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network {
 	cfg = cfg.withDefaults()
 	cfg.validate()
+	topoFaults := hasTopologyFaults(cfg.Faults)
 	if len(cfg.Faults) > 0 {
 		if err := ValidateFaults(mesh, cfg.Faults, cfg.RetryLimit > 0); err != nil {
 			panic("core: " + err.Error())
 		}
 		// Hard faults change the topology mid-run; only the lookup table
 		// can route around them, so any fixed algorithm is replaced.
-		if _, ok := cfg.Routing.(*routing.Table); !ok {
-			cfg.Routing = routing.NewTable(mesh)
+		// Corruption-only scenarios leave the topology (and therefore the
+		// routing choice) alone.
+		if topoFaults {
+			if _, ok := cfg.Routing.(*routing.Table); !ok {
+				cfg.Routing = routing.NewTable(mesh)
+			}
 		}
 	}
 	if hooks == nil {
@@ -122,7 +130,7 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 	if t, ok := cfg.Routing.(*routing.Table); ok {
 		n.table = t
 	}
-	if len(cfg.Faults) > 0 {
+	if topoFaults {
 		n.linkDown = make(map[[2]topology.NodeID]bool)
 		n.deadNode = make([]bool, mesh.N())
 	}
@@ -181,6 +189,24 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 			inner.FlitDropped(p, now)
 		}
 	}
+	wrapped.FlitCorrupted = func(now sim.Cycle) {
+		n.corruptedFlits++
+		if inner.FlitCorrupted != nil {
+			inner.FlitCorrupted(now)
+		}
+	}
+	wrapped.CorruptionDetected = func(now sim.Cycle) {
+		n.crcDetected++
+		if inner.CorruptionDetected != nil {
+			inner.CorruptionDetected(now)
+		}
+	}
+	wrapped.CorruptionEscaped = func(p *noc.Packet, now sim.Cycle) {
+		n.corruptEscapes++
+		if inner.CorruptionEscaped != nil {
+			inner.CorruptionEscaped(p, now)
+		}
+	}
 	wrapped.PacketUnreachable = func(p *noc.Packet, now sim.Cycle) {
 		if n.resolved != nil {
 			if n.resolved[p.ID] {
@@ -210,10 +236,11 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 		n.nis[id] = newNI(topology.NodeID(id), cfg, root.Split(), n.hooks)
 		n.nis[id].progress = n.progress
 		n.sinks[id] = newSink(topology.NodeID(id), n.hooks)
+		n.sinks[id].e2eCheck = cfg.E2ECheck
 		if cfg.RetryLimit > 0 {
 			n.sinks[id].notifyLoss = n.noteLoss
 		}
-		if len(cfg.Faults) > 0 {
+		if topoFaults {
 			src := topology.NodeID(id)
 			n.nis[id].unreachable = func(dst topology.NodeID) bool {
 				return !n.pairConnected(src, dst)
@@ -280,13 +307,54 @@ func (c Config) resvCreditWidth() int {
 
 // newCtrlLink builds one inter-router control link: a plain pipe, or — under
 // CtrlFaultRate — a fault-injecting pipe whose corrupted flits are delayed by
-// the link-level retransmission round trip.
+// the link-level retransmission round trip. Under the bit-error model the
+// pipe additionally delivers flits with their Corrupted flag set at rate BER.
 func (n *Network) newCtrlLink() *sim.Pipe[noc.ControlFlit] {
 	cfg := n.cfg
+	var p *sim.Pipe[noc.ControlFlit]
 	if cfg.CtrlFaultRate > 0 {
-		return sim.NewFaultyPipe[noc.ControlFlit](cfg.CtrlLinkLatency, cfg.CtrlFlitsPerCycle, cfg.CtrlFaultRate, n.linkRNG, n.onCtrlCorrupt)
+		p = sim.NewFaultyPipe[noc.ControlFlit](cfg.CtrlLinkLatency, cfg.CtrlFlitsPerCycle, cfg.CtrlFaultRate, n.linkRNG, n.onCtrlCorrupt)
+	} else {
+		p = sim.NewPipe[noc.ControlFlit](cfg.CtrlLinkLatency, cfg.CtrlFlitsPerCycle)
 	}
-	return sim.NewPipe[noc.ControlFlit](cfg.CtrlLinkLatency, cfg.CtrlFlitsPerCycle)
+	if n.berArmed() {
+		p.WithBitErrors(cfg.BER, n.linkRNG, n.corruptCtrl)
+	}
+	return p
+}
+
+// newDataLink builds one inter-router data link, armed with the bit-error
+// model when the configuration or a scenario "corrupt" event needs it.
+// (DataFaultRate loss is injected at the sending router, not in the pipe.)
+func (n *Network) newDataLink() *sim.Pipe[noc.DataFlit] {
+	p := sim.NewPipe[noc.DataFlit](n.cfg.DataLinkLatency, 1)
+	if n.berArmed() {
+		p.WithBitErrors(n.cfg.BER, n.linkRNG, n.corruptData)
+	}
+	return p
+}
+
+// berArmed reports whether inter-router links need the bit-error machinery:
+// either a static BER is configured or the fault scenario retunes one with a
+// "corrupt" event. Arming with rate zero draws no randomness, so a corrupt
+// event's pre-onset behavior is bit-identical to an unarmed run.
+func (n *Network) berArmed() bool {
+	return n.cfg.BER > 0 || hasCorruptFaults(n.cfg.Faults)
+}
+
+// corruptData and corruptCtrl are the links' bit-error transforms: the flit
+// is delivered, its payload is wrong, and only the flag — invisible to the
+// routers until a CRC check looks — records the damage.
+func (n *Network) corruptData(f noc.DataFlit) noc.DataFlit {
+	f.Corrupted = true
+	n.hooks.Corrupted(n.now)
+	return f
+}
+
+func (n *Network) corruptCtrl(f noc.ControlFlit) noc.ControlFlit {
+	f.Corrupted = true
+	n.hooks.Corrupted(n.now)
+	return f
 }
 
 // wire connects routers, NIs and sinks: data links (one flit/cycle,
@@ -305,7 +373,7 @@ func (n *Network) wire() {
 			far := n.routers[nb]
 			op := p.Opposite()
 
-			data := sim.NewPipe[noc.DataFlit](cfg.DataLinkLatency, 1)
+			data := n.newDataLink()
 			r.dataOut[p] = data
 			far.inputs[op].dataIn = data
 
@@ -488,11 +556,25 @@ type RecoveryStats struct {
 	// retransmission).
 	DroppedFlits  int64
 	CtrlCorrupted int64
+	// CorruptedFlits counts flits (data and control) delivered with bit
+	// errors by the BER model; CrcDetected counts those caught by the
+	// hop-level CRC; CorruptEscapes counts corrupted payload that reached
+	// its destination past every hop CRC (and, when the end-to-end check is
+	// off, was delivered as-is).
+	CorruptedFlits int64
+	CrcDetected    int64
+	CorruptEscapes int64
+	// PhantomReservations counts reservations installed by escaped-corrupt
+	// control flits that failed to match their real data flit;
+	// ReclaimedSlots counts orphaned parked flits the reclamation timeout
+	// freed back into the loss path.
+	PhantomReservations int64
+	ReclaimedSlots      int64
 }
 
 // Recovery reports the recovery layer's counters.
 func (n *Network) Recovery() RecoveryStats {
-	return RecoveryStats{
+	st := RecoveryStats{
 		Offered:             n.offered,
 		Delivered:           n.delivered,
 		Abandoned:           n.abandoned,
@@ -502,7 +584,19 @@ func (n *Network) Recovery() RecoveryStats {
 		DeliveredAfterRetry: n.afterRetry,
 		DroppedFlits:        n.dropped,
 		CtrlCorrupted:       n.ctrlCorrupted,
+		CorruptedFlits:      n.corruptedFlits,
+		CrcDetected:         n.crcDetected,
+		CorruptEscapes:      n.corruptEscapes,
 	}
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			if in := r.inputs[p]; in != nil {
+				st.PhantomReservations += in.phantoms
+				st.ReclaimedSlots += in.reclaimed
+			}
+		}
+	}
+	return st
 }
 
 // pendingRecovery counts recovery actions that will fire on their own at a

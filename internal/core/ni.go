@@ -395,6 +395,10 @@ type Sink struct {
 	state  map[noc.PacketID]*sinkPkt
 	hooks  *noc.Hooks
 	probe  *metrics.Probe
+	// e2eCheck arms the end-to-end payload checksum: a reassembled packet
+	// any of whose flits arrived corrupted is rejected as lost (retried
+	// under RetryLimit) instead of delivered.
+	e2eCheck bool
 	// notifyLoss, when set, reports each detected loss of a transmission
 	// attempt to the notification plane (which relays it to the source NI
 	// after the configured control-plane latency).
@@ -414,6 +418,10 @@ type sinkPkt struct {
 	got     int
 	lost    bool // current attempt had a detected hole
 	done    bool // delivered; every later signal for the packet is stale
+	// corrupt records that a flit of the current attempt arrived with
+	// payload damage no hop CRC caught; the end-to-end check turns it
+	// into a rejection at completion time.
+	corrupt bool
 }
 
 func newSink(node topology.NodeID, hooks *noc.Hooks) *Sink {
@@ -465,13 +473,31 @@ func (s *Sink) Tick(now sim.Cycle) {
 			return // straggler of a resolved packet or superseded attempt
 		}
 		if f.Attempt > st.attempt {
-			st.attempt, st.got, st.lost = f.Attempt, 0, false
+			st.attempt, st.got, st.lost, st.corrupt = f.Attempt, 0, false, false
 		}
 		if st.lost {
 			return
 		}
+		if f.Corrupted {
+			// Damage that escaped every hop CRC has reached the
+			// destination — the silent-corruption event. With the
+			// end-to-end check off this packet is delivered as-is.
+			st.corrupt = true
+			s.hooks.CorruptEscape(f.Packet, now)
+		}
 		st.got++
 		if st.got == f.Packet.Len {
+			if st.corrupt && s.e2eCheck {
+				// The payload checksum rejects the reassembled packet;
+				// the established loss path takes over.
+				st.lost = true
+				s.probe.Nack(int(s.node))
+				s.hooks.Lost(f.Packet, now)
+				if s.notifyLoss != nil {
+					s.notifyLoss(f.Packet, f.Attempt, now)
+				}
+				return
+			}
 			st.done = true
 			s.hooks.Delivered(f.Packet, now)
 		}
@@ -483,7 +509,7 @@ func (s *Sink) Tick(now sim.Cycle) {
 			return // the packet's fate no longer depends on this attempt
 		}
 		if e.attempt > st.attempt {
-			st.attempt, st.got = e.attempt, 0
+			st.attempt, st.got, st.corrupt = e.attempt, 0, false
 		}
 		st.lost = true
 		s.probe.Nack(int(s.node))

@@ -26,17 +26,35 @@ func (n *Network) applyFaults(now sim.Cycle) {
 		switch e.Kind {
 		case LinkDown:
 			n.failLink(e.A, e.B)
+			changed = true
 		case LinkUp:
 			n.repairLink(e.A, e.B)
+			changed = true
 		case RouterDown:
 			n.killRouter(now, e.A)
+			changed = true
+		case LinkCorrupt:
+			// A soft fault: the topology is untouched, only the link's
+			// bit-error rate changes.
+			n.corruptLink(e.A, e.B, e.Rate)
 		default:
 			panic(fmt.Sprintf("core: unknown fault kind %d", e.Kind))
 		}
-		changed = true
 	}
 	if changed {
 		n.topoChanged(now)
+	}
+}
+
+// corruptLink retunes the undirected link a—b's bit-error rate: both
+// directions' data and control wires start delivering corrupted flits at the
+// given probability. The pipes were armed at wire time (berArmed), so the
+// retune never perturbs RNG draw order.
+func (n *Network) corruptLink(a, b topology.NodeID, rate float64) {
+	for _, i := range n.linkIdx[normLink(a, b)] {
+		l := &n.links[i]
+		l.data.SetBitErrorRate(rate)
+		l.ctrl.SetBitErrorRate(rate)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"frfc/internal/metrics"
 	"frfc/internal/noc"
@@ -38,6 +39,11 @@ type queuedCtrl struct {
 	arrivedAt  sim.Cycle
 	admitted   bool
 	routedHere bool
+	// detectedCorrupt marks a flit the modeled hop CRC caught on receive;
+	// it is destroyed — stream and leads included, exactly as a hard fault
+	// would — once it reaches its queue head, where the per-lead cleanup
+	// machinery can run.
+	detectedCorrupt bool
 }
 
 // ctrlVC is one control virtual channel of one control input: a small FIFO
@@ -132,7 +138,7 @@ func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG)
 		if cfg.TrackEagerTransfers {
 			ledger = newEagerLedger(cfg.DataBuffers)
 		}
-		r.inputs[p] = newInputPort(cfg.DataBuffers, ledger, cfg.DataFaultRate > 0 || len(cfg.Faults) > 0)
+		r.inputs[p] = newInputPort(cfg.DataBuffers, ledger, cfg.DataFaultRate > 0 || cfg.BER > 0 || len(cfg.Faults) > 0)
 		r.inputs[p].node = int(id)
 		r.inputs[p].portIndex = int(p)
 		r.outTables[p] = newOutResTable(cfg.Horizon, cfg.DataBuffers, cfg.CtrlVCs, p == topology.Local)
@@ -212,7 +218,17 @@ func (r *Router) Tick(now sim.Cycle) {
 			for i, le := range cf.Leads {
 				leads[i] = leadState{seq: le.Seq, arrival: le.Arrival, departAt: sim.Never}
 			}
-			vc.q = append(vc.q, queuedCtrl{flit: cf, leads: leads, arrivedAt: now})
+			qc := queuedCtrl{flit: cf, leads: leads, arrivedAt: now}
+			if cf.Corrupted {
+				r.probe.Corrupt(int(r.id))
+				// The detection draw happens at receive so RNG order is
+				// a function of link traffic alone, not of queueing.
+				if r.crcDetect() {
+					qc.detectedCorrupt = true
+					r.hooks.CrcDetected(now)
+				}
+			}
+			vc.q = append(vc.q, qc)
 			if len(vc.q) > r.cfg.CtrlBufPerVC {
 				panic(fmt.Sprintf("core: node %d control buffer overflow on %s vc %d", r.id, topology.Port(p), cf.VC))
 			}
@@ -236,6 +252,18 @@ func (r *Router) Tick(now sim.Cycle) {
 			continue
 		}
 		in.dataIn.RecvEach(now, func(f noc.DataFlit) {
+			if f.Corrupted {
+				r.probe.Corrupt(int(r.id))
+				if r.crcDetect() {
+					// The hop CRC caught the damage: the flit is
+					// discarded into the established loss path — its
+					// reservation expires unclaimed and the destination's
+					// no-show detection triggers the end-to-end retry.
+					r.hooks.CrcDetected(now)
+					r.hooks.Dropped(f.Packet, now)
+					return
+				}
+			}
 			if in.condemnedArrival(now) {
 				// The control flit that was to schedule this data flit
 				// was destroyed by a hard fault; the flit has nowhere to
@@ -243,16 +271,46 @@ func (r *Router) Tick(now sim.Cycle) {
 				r.hooks.Dropped(f.Packet, now)
 				return
 			}
-			in.arrive(now, f, func(f noc.DataFlit, out topology.Port) {
+			if !in.arrive(now, f, func(f noc.DataFlit, out topology.Port) {
 				r.sendData(now, f, out)
-			})
+			}) {
+				// Phantom-orphaned flits overcommitted the pool; the
+				// refused flit is destroyed and recovered end to end.
+				r.hooks.Dropped(f.Packet, now)
+			}
 		})
 		// Any reservation for this cycle still unclaimed means the
 		// flit was destroyed en route — an idle pattern arrived in its
 		// place. Drop the reservation; every later table the control
 		// flit touched cleans itself up the same way.
 		in.expireExpected(now)
+		if r.cfg.ReclaimCycles > 0 {
+			in.reclaim(now, r.cfg.ReclaimCycles, func(f noc.DataFlit) {
+				r.hooks.Dropped(f.Packet, now)
+			})
+		}
 	}
+}
+
+// crcDetect draws whether the modeled c-bit hop CRC catches a corrupted
+// flit: detection probability 1 − 2⁻ᶜ. CrcBits < 0 disables hop checking
+// entirely (every corruption escapes to the end-to-end layer). The draw
+// consumes the router's RNG only when a corrupted flit is actually
+// examined, so corruption-free traffic replays bit-identically whether or
+// not CRC modeling is configured.
+func (r *Router) crcDetect() bool {
+	if r.cfg.CrcBits < 0 {
+		return false
+	}
+	return r.rng.Bool(1 - math.Exp2(-float64(r.cfg.CrcBits)))
+}
+
+// ctrlLossy reports whether control flits can be destroyed in flight in
+// this configuration — by hard faults or by CRC-discarded corruption. The
+// stream-repair paths it gates would mask real scheduling defects in a
+// loss-free run, so they stay panics otherwise.
+func (r *Router) ctrlLossy() bool {
+	return len(r.cfg.Faults) > 0 || r.cfg.BER > 0
 }
 
 // sendData launches a data flit onto an output link, subject to fault
@@ -308,7 +366,15 @@ func (r *Router) processControl(now sim.Cycle) {
 				continue
 			}
 		}
-		if vc.routed && !qc.routedHere && qc.flit.Type.IsHead() && len(r.cfg.Faults) > 0 {
+		if qc.detectedCorrupt {
+			// CRC-caught corruption: destroy the flit and its stream's
+			// remainder exactly as a hard fault would — the leads'
+			// no-shows surface at the destination as losses and the
+			// end-to-end retry recovers the packet.
+			r.discardCtrl(now, ci, vc, cand.vc, cand.port)
+			continue
+		}
+		if vc.routed && !qc.routedHere && qc.flit.Type.IsHead() && r.ctrlLossy() {
 			// The previous stream's tail died on a severed wire before it
 			// could close the channel; a new head can only follow a
 			// complete (or destroyed) stream, so close the old one out.
@@ -319,9 +385,10 @@ func (r *Router) processControl(now sim.Cycle) {
 		}
 		if !vc.routed {
 			if !qc.flit.Type.IsHead() {
-				if len(r.cfg.Faults) > 0 {
-					// Mid-stream loss on a severed wire broke the
-					// wormhole framing; discard to the tail.
+				if r.ctrlLossy() {
+					// Mid-stream loss (a severed wire or a CRC-discarded
+					// flit) broke the wormhole framing; discard to the
+					// tail.
 					r.discardCtrl(now, ci, vc, cand.vc, cand.port)
 					continue
 				}
@@ -474,7 +541,12 @@ func (r *Router) scheduleLeads(now sim.Cycle, qc *queuedCtrl, vc *ctrlVC, out, i
 // the ejection channel will deliver and when.
 func (r *Router) finalizeLead(now sim.Cycle, qc *queuedCtrl, ld *leadState, td sim.Cycle, out, inPort topology.Port) {
 	in := r.inputs[inPort]
-	in.reserve(now, ld.arrival, td, out)
+	// A corrupted control flit that escaped the hop CRC installs phantom
+	// reservations: table state the real data flit must never be claimed
+	// by, because the announced schedule is garbage. Everything else about
+	// the flit's progress — credits, forwarding, sink notification —
+	// proceeds normally, which is exactly the silent-corruption hazard.
+	in.reserve(now, ld.arrival, td, out, qc.flit.Corrupted)
 	if in.creditOut != nil {
 		// The freed residency is attributed to the control VC this
 		// flit arrived on, which is the upstream scheduler's VC for

@@ -23,6 +23,11 @@ const (
 	// node's injection and ejection channels are severed and the router,
 	// its interface and its sink stop operating.
 	RouterDown
+	// LinkCorrupt retunes the bidirectional link A—B's bit-error rate to
+	// Rate: from the event's cycle on, each flit (data or control) crossing
+	// the link is delivered with its Corrupted flag set with that
+	// probability. Rate 0 heals the link.
+	LinkCorrupt
 )
 
 func (k FaultKind) String() string {
@@ -33,6 +38,8 @@ func (k FaultKind) String() string {
 		return "up"
 	case RouterDown:
 		return "kill"
+	case LinkCorrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -47,16 +54,50 @@ type FaultEvent struct {
 	At sim.Cycle
 	// Kind selects the fault.
 	Kind FaultKind
-	// A and B are the link endpoints for LinkDown/LinkUp; RouterDown uses
-	// only A.
+	// A and B are the link endpoints for LinkDown/LinkUp/LinkCorrupt;
+	// RouterDown uses only A.
 	A, B topology.NodeID
+	// Rate is the bit-error probability installed by LinkCorrupt (a plain
+	// comparable float, so the event still prints stably under %#v); unused
+	// by the other kinds.
+	Rate float64
 }
 
 func (e FaultEvent) String() string {
-	if e.Kind == RouterDown {
+	switch e.Kind {
+	case RouterDown:
 		return fmt.Sprintf("kill %d @%d", e.A, e.At)
+	case LinkCorrupt:
+		return fmt.Sprintf("corrupt %d-%d rate %g @%d", e.A, e.B, e.Rate, e.At)
+	default:
+		return fmt.Sprintf("%s %d-%d @%d", e.Kind, e.A, e.B, e.At)
 	}
-	return fmt.Sprintf("%s %d-%d @%d", e.Kind, e.A, e.B, e.At)
+}
+
+// hasTopologyFaults reports whether the scenario contains any event that
+// changes the topology (down/up/kill). LinkCorrupt is a soft fault: it needs
+// no fault-aware routing table, no unreachable-pair tracking, and no outage
+// maps, so a corruption-only scenario keeps the configured routing intact.
+func hasTopologyFaults(events []FaultEvent) bool {
+	for _, e := range events {
+		if e.Kind != LinkCorrupt {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCorruptFaults reports whether the scenario contains any LinkCorrupt
+// event — i.e. whether the corruption machinery (hop CRC defaults, parked-
+// flit reclamation, bit-error pipes) must be armed even when Config.BER is
+// zero.
+func hasCorruptFaults(events []FaultEvent) bool {
+	for _, e := range events {
+		if e.Kind == LinkCorrupt {
+			return true
+		}
+	}
+	return false
 }
 
 // normLink orders a link's endpoints so both directions map to one key.
@@ -117,6 +158,19 @@ func ValidateFaults(m topology.Mesh, events []FaultEvent, retryEnabled bool) err
 				}
 				delete(down, key)
 			}
+		case LinkCorrupt:
+			if !inMesh(e.B) {
+				return fmt.Errorf("fault %d (%s): node %d is outside the %dx%d mesh", i, e, e.B, m.Radix(), m.Radix())
+			}
+			if m.Hops(e.A, e.B) != 1 {
+				return fmt.Errorf("fault %d (%s): nodes %d and %d are not adjacent — no such link", i, e, e.A, e.B)
+			}
+			if dead[e.A] || dead[e.B] {
+				return fmt.Errorf("fault %d (%s): link touches a dead router", i, e)
+			}
+			if e.Rate != e.Rate || e.Rate < 0 || e.Rate >= 1 {
+				return fmt.Errorf("fault %d (%s): corruption rate must lie in [0,1), got %v", i, e, e.Rate)
+			}
 		case RouterDown:
 			if dead[e.A] {
 				return fmt.Errorf("fault %d (%s): router %d is already dead", i, e, e.A)
@@ -135,13 +189,14 @@ func ValidateFaults(m topology.Mesh, events []FaultEvent, retryEnabled bool) err
 // ParseScenario parses the textual scenario grammar: semicolon-separated
 // events of the form
 //
-//	down A-B @CYCLE    sever link A—B
-//	up   A-B @CYCLE    repair link A—B
-//	kill N   @CYCLE    kill router N permanently
+//	down A-B @CYCLE            sever link A—B
+//	up   A-B @CYCLE            repair link A—B
+//	kill N   @CYCLE            kill router N permanently
+//	corrupt A-B rate R @CYCLE  set link A—B's bit-error rate to R in [0,1)
 //
-// e.g. "down 5-6 @2000; up 5-6 @6000". Whitespace is free; node ids are
-// row-major. Structural validation against a mesh happens separately in
-// ValidateFaults.
+// e.g. "down 5-6 @2000; up 5-6 @6000" or "corrupt 5-6 rate 0.01 @400".
+// Whitespace is free; node ids are row-major. Structural validation against a
+// mesh happens separately in ValidateFaults.
 func ParseScenario(s string) ([]FaultEvent, error) {
 	var events []FaultEvent
 	for _, stmt := range strings.Split(s, ";") {
@@ -150,10 +205,14 @@ func ParseScenario(s string) ([]FaultEvent, error) {
 			continue
 		}
 		fields := strings.Fields(stmt)
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("scenario: %q: want `down A-B @CYCLE`, `up A-B @CYCLE` or `kill N @CYCLE`", stmt)
+		want := 3
+		if len(fields) > 0 && fields[0] == "corrupt" {
+			want = 5
 		}
-		at, err := parseAt(fields[2])
+		if len(fields) != want {
+			return nil, fmt.Errorf("scenario: %q: want `down A-B @CYCLE`, `up A-B @CYCLE`, `kill N @CYCLE` or `corrupt A-B rate R @CYCLE`", stmt)
+		}
+		at, err := parseAt(fields[len(fields)-1])
 		if err != nil {
 			return nil, fmt.Errorf("scenario: %q: %v", stmt, err)
 		}
@@ -164,16 +223,27 @@ func ParseScenario(s string) ([]FaultEvent, error) {
 			if fields[0] == "up" {
 				ev.Kind = LinkUp
 			}
-			ab := strings.SplitN(fields[1], "-", 2)
-			if len(ab) != 2 {
-				return nil, fmt.Errorf("scenario: %q: link must be A-B", stmt)
+			ev.A, ev.B, err = parseLink(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %q: %v", stmt, err)
 			}
-			a, errA := strconv.Atoi(ab[0])
-			b, errB := strconv.Atoi(ab[1])
-			if errA != nil || errB != nil {
-				return nil, fmt.Errorf("scenario: %q: bad link endpoints", stmt)
+		case "corrupt":
+			ev.Kind = LinkCorrupt
+			ev.A, ev.B, err = parseLink(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %q: %v", stmt, err)
 			}
-			ev.A, ev.B = topology.NodeID(a), topology.NodeID(b)
+			if fields[2] != "rate" {
+				return nil, fmt.Errorf("scenario: %q: want `corrupt A-B rate R @CYCLE`, got %q where `rate` belongs", stmt, fields[2])
+			}
+			rate, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %q: bad corruption rate %q", stmt, fields[3])
+			}
+			if rate != rate || rate < 0 || rate >= 1 {
+				return nil, fmt.Errorf("scenario: %q: corruption rate must lie in [0,1), got %v", stmt, rate)
+			}
+			ev.Rate = rate
 		case "kill":
 			ev.Kind = RouterDown
 			a, err := strconv.Atoi(fields[1])
@@ -187,6 +257,20 @@ func ParseScenario(s string) ([]FaultEvent, error) {
 		events = append(events, ev)
 	}
 	return events, nil
+}
+
+// parseLink splits an "A-B" link operand into its endpoints.
+func parseLink(s string) (a, b topology.NodeID, err error) {
+	ab := strings.SplitN(s, "-", 2)
+	if len(ab) != 2 {
+		return 0, 0, fmt.Errorf("link must be A-B")
+	}
+	ai, errA := strconv.Atoi(ab[0])
+	bi, errB := strconv.Atoi(ab[1])
+	if errA != nil || errB != nil {
+		return 0, 0, fmt.Errorf("bad link endpoints")
+	}
+	return topology.NodeID(ai), topology.NodeID(bi), nil
 }
 
 func parseAt(s string) (sim.Cycle, error) {

@@ -12,6 +12,7 @@ import (
 	"frfc/internal/timeseries"
 	"frfc/internal/topology"
 	"frfc/internal/traffic"
+	"frfc/internal/vcrouter"
 )
 
 // Result reports one simulated (configuration, load) point.
@@ -109,6 +110,15 @@ type Result struct {
 	// latency includes the loss detection, notification round-trip and
 	// backoff, so it is reported apart from AvgLatency.
 	AvgRetryLatency float64
+
+	// Bit-error-model activity, populated for flit-reservation and
+	// virtual-channel configurations with a BER: flits delivered corrupted,
+	// corrupted flits the hop CRC caught, and corrupted payload that
+	// escaped detection all the way to its destination. Phantom
+	// reservations and reclaimed slots (escaped-corrupt control damage and
+	// its repair) exist only in flit-reservation runs.
+	CorruptedFlits, CrcDetected, CorruptEscapes int64
+	PhantomReservations, ReclaimedSlots         int64
 }
 
 // String renders the result as one sweep row. The reported ± half-width is
@@ -455,6 +465,14 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 		if resolved := rec.Delivered + rec.Abandoned + rec.Unreachable; resolved > 0 {
 			res.DeliveredFraction = float64(rec.Delivered) / float64(resolved)
 		}
+		res.CorruptedFlits = rec.CorruptedFlits
+		res.CrcDetected = rec.CrcDetected
+		res.CorruptEscapes = rec.CorruptEscapes
+		res.PhantomReservations = rec.PhantomReservations
+		res.ReclaimedSlots = rec.ReclaimedSlots
+	}
+	if vcNet, ok := net.(*vcrouter.Network); ok {
+		res.CorruptedFlits, res.CrcDetected, res.CorruptEscapes = vcNet.IntegrityCounts()
 	}
 	return res, nil
 }

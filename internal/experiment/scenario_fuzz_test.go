@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"frfc/internal/core"
+	"frfc/internal/topology"
+)
+
+// FuzzParseScenario throws arbitrary strings at the scenario grammar and
+// checks the parser's contract: parse-then-validate never panics, a parse
+// error never comes with events attached, and every accepted scenario
+// round-trips — formatting the parsed events with their own String() methods
+// and reparsing yields the identical event list.
+func FuzzParseScenario(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"down 5-6 @2000; up 5-6 @6000",
+		"kill 10 @400",
+		"corrupt 5-6 rate 0.01 @400",
+		"corrupt 0-1 rate 1e-3 @1; corrupt 0-1 rate 0 @900",
+		"down 5-6 @400; corrupt 1-2 rate 0.5 @500; kill 0 @600",
+		"corrupt 5-6 rate NaN @1",
+		"corrupt 5-6 rate -0.5 @1",
+		"corrupt 5-6 rate @1",
+		"down 5-6 @-3",
+		"up @ down",
+		"corrupt 5-6 rate 0.01 @99999999999999999999",
+		";;; ",
+		"kill x @7",
+	} {
+		f.Add(seed)
+	}
+	mesh := topology.NewMesh(4)
+	f.Fuzz(func(t *testing.T, s string) {
+		events, err := core.ParseScenario(s)
+		if err != nil {
+			if events != nil {
+				t.Fatalf("parse error came with events attached: %v", err)
+			}
+			return
+		}
+		// Structural validation must never panic, whatever shape the
+		// accepted events take; rejecting them is fine.
+		_ = core.ValidateFaults(mesh, events, true)
+		_ = core.ValidateFaults(mesh, events, false)
+
+		parts := make([]string, len(events))
+		for i, e := range events {
+			parts[i] = e.String()
+		}
+		again, err := core.ParseScenario(strings.Join(parts, "; "))
+		if err != nil {
+			t.Fatalf("round-trip reparse failed: %v\nevents: %v", err, events)
+		}
+		if !reflect.DeepEqual(events, again) {
+			t.Fatalf("round-trip changed events:\n first: %#v\nsecond: %#v", events, again)
+		}
+	})
+}

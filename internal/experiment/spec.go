@@ -102,6 +102,19 @@ type Spec struct {
 	Faults []core.FaultEvent
 	// Check enables the core runtime invariant checker for the run.
 	Check bool
+
+	// ChaosIntensity, when positive, expands a deterministic chaos campaign
+	// — composed soft loss, background bit errors, link flaps, mid-run
+	// corruption spikes and (at intensity >= 0.75) router kills — and
+	// installs it into flit-reservation runs, overwriting Faults and the
+	// fault rates (see core.NewChaosPlan). The plan is a pure function of
+	// (intensity, horizon, seed), so chaos specs hash stably and replay
+	// bit-identically at any worker count. Mutually exclusive with Faults.
+	ChaosIntensity float64
+	// ChaosHorizon is the cycle window chaos events land in (0 takes the
+	// core default); ChaosSeed drives the plan generator.
+	ChaosHorizon sim.Cycle
+	ChaosSeed    uint64
 }
 
 // withDefaults fills unset measurement parameters with values scaled for
@@ -337,10 +350,13 @@ func ResolveRouting(name string, mesh topology.Mesh) routing.Algorithm {
 func NewNetwork(s Spec, hooks *noc.Hooks) (noc.Network, topology.Mesh) {
 	s = s.withDefaults()
 	mesh := topology.NewMesh(s.MeshRadix)
-	if s.Flow != FlitReservation && (len(s.Faults) > 0 || s.Check || (s.Routing != "" && s.Routing != "xy")) {
+	if s.Flow != FlitReservation && (len(s.Faults) > 0 || s.Check || s.ChaosIntensity > 0 || (s.Routing != "" && s.Routing != "xy")) {
 		// Silently dropping a scenario would report a healthy run as a
 		// degraded one's result.
-		panic(fmt.Sprintf("experiment: routing/fault/check options are implemented for %s only, not %s", FlitReservation, s.Flow))
+		panic(fmt.Sprintf("experiment: routing/fault/check/chaos options are implemented for %s only, not %s", FlitReservation, s.Flow))
+	}
+	if s.ChaosIntensity > 0 && len(s.Faults) > 0 {
+		panic("experiment: ChaosIntensity and Faults are mutually exclusive — the chaos plan overwrites the fault scenario")
 	}
 	switch s.Flow {
 	case FlitReservation:
@@ -350,6 +366,12 @@ func NewNetwork(s Spec, hooks *noc.Hooks) (noc.Network, topology.Mesh) {
 		}
 		if len(s.Faults) > 0 {
 			cfg.Faults = append([]core.FaultEvent(nil), s.Faults...)
+		}
+		if s.ChaosIntensity > 0 {
+			plan := core.NewChaosPlan(mesh, core.ChaosOptions{
+				Intensity: s.ChaosIntensity, Horizon: s.ChaosHorizon, Seed: s.ChaosSeed,
+			})
+			cfg = plan.Apply(cfg)
 		}
 		if s.Check {
 			cfg.Check = true

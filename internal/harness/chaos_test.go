@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"frfc/internal/experiment"
+)
+
+// TestChaosSoakSerialVsParallel is the chaos soak: seeded campaigns over a
+// short horizon with the per-cycle invariant checker armed — credit
+// conservation and reservation-table consistency panic the run if violated,
+// and each cell drains to zero in-flight packets before reporting, so a
+// leaked reservation slot cannot hide. The parallel sweep must reproduce the
+// serial one bit for bit, and moderate intensity must lose nothing.
+func TestChaosSoakSerialVsParallel(t *testing.T) {
+	o := experiment.ChaosSweepOptions{
+		Packets:     250,
+		Intensities: []float64{0.25, 0.6, 1.0},
+		Check:       true,
+	}
+	serial := experiment.ChaosSweep(o)
+	parallel, err := ChaosSweep(context.Background(), o, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel chaos sweep diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	for _, p := range serial {
+		if p.Wedged {
+			t.Errorf("intensity=%g: watchdog fired", p.Intensity)
+		}
+		if p.Delivered+p.Abandoned+p.Unreachable != p.Offered {
+			t.Errorf("intensity=%g: packet fates don't conserve: %+v", p.Intensity, p)
+		}
+		if p.Abandoned != 0 {
+			t.Errorf("intensity=%g: %d packets abandoned under the default retry budget", p.Intensity, p.Abandoned)
+		}
+		if p.Intensity < 0.75 {
+			if p.DeliveredFraction() != 1.0 {
+				t.Errorf("intensity=%g (no router kills) lost traffic: delivered %d of %d",
+					p.Intensity, p.Delivered, p.Offered)
+			}
+		} else if p.DeliveredFraction() < 0.95 {
+			t.Errorf("intensity=%g delivered only %.1f%%", p.Intensity, p.DeliveredFraction()*100)
+		}
+	}
+}
+
+// TestIntegritySweepParallelMatchesSerial: the bit-error grid fanned over
+// workers must reproduce the serial sweep exactly, in the same cell order.
+func TestIntegritySweepParallelMatchesSerial(t *testing.T) {
+	o := experiment.IntegritySweepOptions{Packets: 80, BERs: []float64{0, 5e-3}, Check: true}
+	serial := experiment.IntegritySweep(o)
+	parallel, err := IntegritySweep(context.Background(), o, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel integrity sweep diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestChaosJobsHashStably: chaos fields ride the spec, so identical chaos
+// jobs hit the result cache and different intensities or seeds do not.
+func TestChaosJobsHashStably(t *testing.T) {
+	s := tinySpec()
+	s.Name = "FR6-chaos"
+	s.ChaosIntensity = 0.4
+	s.ChaosHorizon = 1500
+	s.ChaosSeed = 9
+	h1 := Job{Spec: s, Load: 0.2}.Hash()
+	h2 := Job{Spec: s, Load: 0.2}.Hash()
+	if h1 != h2 {
+		t.Fatal("identical chaos jobs hashed differently")
+	}
+	s2 := s
+	s2.ChaosSeed = 10
+	if h3 := (Job{Spec: s2, Load: 0.2}.Hash()); h3 == h1 {
+		t.Fatal("different chaos seeds collided — the seed is not in the job hash")
+	}
+}

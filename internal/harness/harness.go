@@ -53,7 +53,10 @@ func (j Job) EffectiveSpec() experiment.Spec {
 // v2: Result gained batch-means/autocorrelation fields and WarmupUnstable.
 // v3: Spec gained Routing/Faults/Check (hard-fault scenarios change the
 // simulation), Result gained UnreachablePackets and DeliveredFraction.
-const hashVersion = "frfc-job-v3"
+// v4: the bit-error model (Config BER/CrcBits/E2ECheck/ReclaimCycles, Spec
+// chaos fields) changes simulator semantics, and Result gained the
+// corruption ledger.
+const hashVersion = "frfc-job-v4"
 
 // Hash is the job's stable content hash: a digest of the normalized spec
 // (every field, including nested router configs and the traffic pattern's

@@ -129,6 +129,76 @@ func FaultSweep(ctx context.Context, fo experiment.FaultSweepOptions, o Options)
 	return points, err
 }
 
+// IntegritySweep is experiment.IntegritySweep fanned over the worker pool:
+// each (BER, end-to-end check) cell owns its own network and RNG, so the
+// points come back bit-identical to the serial sweep, in the same order. The
+// first cell failure (cancellation or a captured panic) is returned as the
+// error alongside whatever completed.
+func IntegritySweep(ctx context.Context, io experiment.IntegritySweepOptions, o Options) ([]experiment.IntegrityPoint, error) {
+	io = io.WithDefaults()
+	type cell struct {
+		ber float64
+		e2e bool
+	}
+	cells := make([]cell, 0, 2*len(io.BERs))
+	for _, ber := range io.BERs {
+		for _, e2e := range []bool{true, false} {
+			cells = append(cells, cell{ber, e2e})
+		}
+	}
+	tr := newTracker(len(cells), o.workers(), o.Progress)
+	outs := mapPool(ctx, o.workers(), cells, func(ctx context.Context, _ int, c cell) (pt experiment.IntegrityPoint, err error) {
+		defer func() {
+			jr := JobResult{}
+			if err != nil {
+				jr.Err = err.Error()
+			}
+			tr.finish(&jr)
+		}()
+		pt, err = experiment.IntegrityCell(ctx, io, c.ber, c.e2e)
+		return pt, err
+	})
+	points := make([]experiment.IntegrityPoint, len(cells))
+	var err error
+	for i, out := range outs {
+		points[i] = out.Value
+		if out.Err != nil && err == nil {
+			err = fmt.Errorf("integrity cell (ber=%g, e2e=%v): %w", cells[i].ber, cells[i].e2e, out.Err)
+		}
+	}
+	return points, err
+}
+
+// ChaosSweep is experiment.ChaosSweep fanned over the worker pool: each
+// intensity's campaign owns its own network and RNG (and the chaos plan is a
+// pure function of the options), so the points come back bit-identical to the
+// serial sweep, in intensity order. The first cell failure (cancellation or a
+// captured panic) is returned as the error alongside whatever completed.
+func ChaosSweep(ctx context.Context, co experiment.ChaosSweepOptions, o Options) ([]experiment.ChaosPoint, error) {
+	co = co.WithDefaults()
+	tr := newTracker(len(co.Intensities), o.workers(), o.Progress)
+	outs := mapPool(ctx, o.workers(), co.Intensities, func(ctx context.Context, _ int, intensity float64) (pt experiment.ChaosPoint, err error) {
+		defer func() {
+			jr := JobResult{}
+			if err != nil {
+				jr.Err = err.Error()
+			}
+			tr.finish(&jr)
+		}()
+		pt, err = experiment.ChaosCell(ctx, co, intensity)
+		return pt, err
+	})
+	points := make([]experiment.ChaosPoint, len(co.Intensities))
+	var err error
+	for i, out := range outs {
+		points[i] = out.Value
+		if out.Err != nil && err == nil {
+			err = fmt.Errorf("chaos cell (intensity=%g): %w", co.Intensities[i], out.Err)
+		}
+	}
+	return points, err
+}
+
 // ReliabilitySweep is experiment.ReliabilitySweep fanned over the worker
 // pool: each hard-fault scenario owns its own network and RNG, so the points
 // come back bit-identical to the serial sweep, in scenario order. The first

@@ -88,6 +88,11 @@ type NodeMetrics struct {
 	Retries     int64 `json:"retries"`
 	Nacks       int64 `json:"nacks"`
 	Unreachable int64 `json:"unreachable,omitempty"`
+	// Corrupt counts corrupted flit receptions observed at this node: a
+	// bit-errored data or control flit arriving at one of the router's
+	// inputs, counted at every hop it survives and whether or not the hop
+	// CRC then catches it.
+	Corrupt int64 `json:"corrupt,omitempty"`
 	// Injected and Ejected count data flits entering and leaving the
 	// network at this node.
 	Injected int64 `json:"injected"`
@@ -101,7 +106,7 @@ type NodeMetrics struct {
 // active reports whether the node recorded anything at all.
 func (n *NodeMetrics) active() bool {
 	if n.ResHits|n.ResMisses|n.LateReservations|n.ArbConflicts|n.CreditStalls|
-		n.Retries|n.Nacks|n.Unreachable|n.Injected|n.Ejected != 0 {
+		n.Retries|n.Nacks|n.Unreachable|n.Corrupt|n.Injected|n.Ejected != 0 {
 		return true
 	}
 	for p := 0; p < int(topology.NumPorts); p++ {
@@ -224,6 +229,7 @@ func (r *Registry) Merge(o *Registry) {
 		dst.Retries += src.Retries
 		dst.Nacks += src.Nacks
 		dst.Unreachable += src.Unreachable
+		dst.Corrupt += src.Corrupt
 		dst.Injected += src.Injected
 		dst.Ejected += src.Ejected
 		for p := 0; p < int(topology.NumPorts); p++ {
@@ -366,6 +372,9 @@ func (r *Registry) WedgeSummary(stalled []int) string {
 		}
 		if n.Unreachable != 0 {
 			fmt.Fprintf(&b, ", unreachable %d", n.Unreachable)
+		}
+		if n.Corrupt != 0 {
+			fmt.Fprintf(&b, ", corrupt %d", n.Corrupt)
 		}
 		fmt.Fprintf(&b, ", inj %d, ej %d", n.Injected, n.Ejected)
 		var occ []string

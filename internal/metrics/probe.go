@@ -179,6 +179,15 @@ func (p *Probe) Nack(node int) {
 	p.Reg.at(node).Nacks++
 }
 
+// Corrupt records a corrupted flit (data or control) arriving at node — a
+// bit-errored delivery, counted whether or not the hop CRC catches it.
+func (p *Probe) Corrupt(node int) {
+	if p == nil || p.Reg == nil {
+		return
+	}
+	p.Reg.at(node).Corrupt++
+}
+
 // Unreachable records node's NI failing a packet fast because a hard fault
 // disconnected its destination.
 func (p *Probe) Unreachable(node int) {

@@ -94,6 +94,13 @@ type DataFlit struct {
 	// Fields carried on the wire only by the VC/wormhole baselines.
 	Type FlitType
 	VC   int
+
+	// Corrupted marks payload damaged by a link bit error (sim.Pipe's
+	// bit-error model). The flag is simulator bookkeeping for damage the
+	// wire cannot announce: routers only learn of it through a modeled CRC
+	// check, and an escape that reaches the destination uncaught is a
+	// silent-corruption delivery.
+	Corrupted bool
 }
 
 // String renders the flit for diagnostics.
@@ -129,6 +136,14 @@ type ControlFlit struct {
 	// flit announces (0 = first try); it flows into the destination's
 	// reassembly schedule so retries are never confused with stragglers.
 	Attempt int
+
+	// Corrupted marks a control flit damaged by a link bit error. This is
+	// the uniquely dangerous corruption under flit reservation: the flit's
+	// arrival-time stamps are garbled, so a router that fails to detect it
+	// installs reservations that no longer describe the real data stream
+	// (phantom reservations). Each hop's modeled CRC gets a chance to catch
+	// it; an escape is processed as if valid.
+	Corrupted bool
 }
 
 // String renders the control flit for diagnostics.

@@ -45,6 +45,19 @@ type Hooks struct {
 	// detection-and-retransmission, so the event costs latency but never
 	// loses information.
 	CtrlFlitCorrupted func(now sim.Cycle)
+	// FlitCorrupted fires when a link bit error delivers a flit (data or
+	// control) with damaged payload — corruption as delivery, not loss.
+	FlitCorrupted func(now sim.Cycle)
+	// CorruptionDetected fires when a receiver's modeled hop-level CRC
+	// catches a corrupted flit; the flit is then discarded into the loss
+	// path (flit reservation) or repaired by modeled link retransmission
+	// (the baselines, which have no loss tolerance).
+	CorruptionDetected func(now sim.Cycle)
+	// CorruptionEscaped fires when corrupted payload reaches its
+	// destination undetected by every hop CRC — the silent-corruption
+	// event the end-to-end check exists to catch. It fires whether or not
+	// the end-to-end check then rejects the packet.
+	CorruptionEscaped func(p *Packet, now sim.Cycle)
 	// Wedged fires when the network's no-progress watchdog trips: packets
 	// are in flight, no recovery action is pending, and no flit has moved
 	// for the configured number of cycles. The snapshot is a rendered
@@ -113,6 +126,27 @@ func (h *Hooks) Unreachable(p *Packet, now sim.Cycle) {
 func (h *Hooks) CtrlCorrupted(now sim.Cycle) {
 	if h != nil && h.CtrlFlitCorrupted != nil {
 		h.CtrlFlitCorrupted(now)
+	}
+}
+
+// Corrupted invokes FlitCorrupted if set.
+func (h *Hooks) Corrupted(now sim.Cycle) {
+	if h != nil && h.FlitCorrupted != nil {
+		h.FlitCorrupted(now)
+	}
+}
+
+// CrcDetected invokes CorruptionDetected if set.
+func (h *Hooks) CrcDetected(now sim.Cycle) {
+	if h != nil && h.CorruptionDetected != nil {
+		h.CorruptionDetected(now)
+	}
+}
+
+// CorruptEscape invokes CorruptionEscaped if set.
+func (h *Hooks) CorruptEscape(p *Packet, now sim.Cycle) {
+	if h != nil && h.CorruptionEscaped != nil {
+		h.CorruptionEscaped(p, now)
 	}
 }
 

@@ -37,6 +37,16 @@ type Pipe[T any] struct {
 	// bugs still surface while a link is down.
 	severed bool
 	onDrop  func(T)
+
+	// Bit-error state (WithBitErrors). Distinct from faultRate above: a bit
+	// error does not delay or drop the item — it is delivered on time,
+	// transformed by corruptFn (which marks it corrupted), modeling residual
+	// errors that escape the link layer and must be caught by higher-level
+	// CRC or end-to-end checks.
+	ber       float64
+	berRNG    *RNG
+	corruptFn func(T) T
+	corrupted int64
 }
 
 type pipeEntry[T any] struct {
@@ -85,6 +95,43 @@ func NewFaultyPipe[T any](latency Cycle, width int, rate float64, rng *RNG, onCo
 // link-level recovery has performed.
 func (p *Pipe[T]) Retransmits() int64 { return p.retransmits }
 
+// WithBitErrors arms the pipe's bit-error model: each item sent is delivered
+// on time but passed through corrupt — which should mark it corrupted — with
+// probability ber. This is the corruption mode distinct from loss: the wire
+// still delivers, the payload is wrong, and it is the receiver's CRC or the
+// end-to-end check that must notice. ber must lie in [0,1); rng and corrupt
+// must be non-nil when ber > 0. It returns the pipe for chaining and composes
+// with the loss/delay fault model of NewFaultyPipe.
+func (p *Pipe[T]) WithBitErrors(ber float64, rng *RNG, corrupt func(T) T) *Pipe[T] {
+	if ber < 0 || ber >= 1 || ber != ber {
+		panic("sim: bit-error rate must lie in [0, 1)")
+	}
+	if ber > 0 && (rng == nil || corrupt == nil) {
+		panic("sim: bit-error pipe needs an RNG and a corrupting transform")
+	}
+	p.ber = ber
+	p.berRNG = rng
+	p.corruptFn = corrupt
+	return p
+}
+
+// SetBitErrorRate retunes the bit-error probability mid-run (scenario
+// "corrupt" events). The pipe must already have been armed by WithBitErrors
+// so the RNG draw order stays a pure function of the fault schedule.
+func (p *Pipe[T]) SetBitErrorRate(ber float64) {
+	if ber < 0 || ber >= 1 || ber != ber {
+		panic("sim: bit-error rate must lie in [0, 1)")
+	}
+	if ber > 0 && (p.berRNG == nil || p.corruptFn == nil) {
+		panic("sim: SetBitErrorRate on a pipe never armed with WithBitErrors")
+	}
+	p.ber = ber
+}
+
+// Corrupted reports how many items the bit-error model has delivered
+// corrupted.
+func (p *Pipe[T]) Corrupted() int64 { return p.corrupted }
+
 // Latency reports the pipe's propagation delay in cycles.
 func (p *Pipe[T]) Latency() Cycle { return p.latency }
 
@@ -119,6 +166,10 @@ func (p *Pipe[T]) Send(now Cycle, item T) {
 			p.onDrop(item)
 		}
 		return
+	}
+	if p.ber > 0 && p.berRNG.Bool(p.ber) {
+		item = p.corruptFn(item)
+		p.corrupted++
 	}
 	readyAt := now + p.latency
 	if p.faultRate > 0 {

@@ -1,0 +1,32 @@
+package stats
+
+import "math"
+
+// WilsonCI95 is the 95% Wilson score interval for a binomial proportion with
+// k successes in n trials. Unlike the normal (Wald) approximation it behaves
+// at the extremes this codebase actually hits — k = 0 or k in the single
+// digits out of a few hundred trials, exactly the regime of corruption-escape
+// counts — where the Wald interval collapses to a width of zero or goes
+// negative. n <= 0 returns (0, 1): no trials, no information.
+func WilsonCI95(k, n int64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // Φ⁻¹(0.975)
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo = center - half
+	hi = center + half
+	// At the exact endpoints the bound equals the estimate analytically
+	// ((1 + z²/n)/(1 + z²/n) = 1 for k = n); snap past the float rounding.
+	if lo < 0 || k == 0 {
+		lo = 0
+	}
+	if hi > 1 || k == n {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonCI95Basics(t *testing.T) {
+	// Degenerate inputs: no trials means no information.
+	if lo, hi := WilsonCI95(0, 0); lo != 0 || hi != 1 {
+		t.Fatalf("n=0 gave [%g, %g], want [0, 1]", lo, hi)
+	}
+
+	// k = 0 must still have positive width (the rule-of-three regime), and
+	// k = n must not reach past 1.
+	lo, hi := WilsonCI95(0, 400)
+	if lo != 0 || hi <= 0 || hi > 0.02 {
+		t.Fatalf("0/400 gave [%g, %g], want [0, ~0.0095]", lo, hi)
+	}
+	lo, hi = WilsonCI95(400, 400)
+	if hi != 1 || lo >= 1 || lo < 0.98 {
+		t.Fatalf("400/400 gave [%g, %g], want [~0.990, 1]", lo, hi)
+	}
+
+	// A textbook cell: 10/100 → Wilson [0.0552, 0.1744].
+	lo, hi = WilsonCI95(10, 100)
+	if math.Abs(lo-0.0552) > 5e-4 || math.Abs(hi-0.1744) > 5e-4 {
+		t.Fatalf("10/100 gave [%g, %g], want [0.0552, 0.1744]", lo, hi)
+	}
+
+	// The interval always contains the point estimate and is ordered.
+	for _, c := range []struct{ k, n int64 }{{0, 1}, {1, 1}, {1, 400}, {3, 400}, {200, 400}} {
+		lo, hi := WilsonCI95(c.k, c.n)
+		p := float64(c.k) / float64(c.n)
+		if !(lo <= p && p <= hi) || lo > hi {
+			t.Fatalf("%d/%d: p=%g outside [%g, %g]", c.k, c.n, p, lo, hi)
+		}
+	}
+
+	// Width shrinks as n grows at fixed p.
+	_, hiSmall := WilsonCI95(5, 100)
+	loSmall, _ := WilsonCI95(5, 100)
+	loBig, hiBig := WilsonCI95(50, 1000)
+	if hiBig-loBig >= hiSmall-loSmall {
+		t.Fatalf("interval did not narrow with n: n=100 width %g, n=1000 width %g",
+			hiSmall-loSmall, hiBig-loBig)
+	}
+}

@@ -39,6 +39,9 @@ type Point struct {
 	ResMisses   int64 `json:"resMisses"`
 	Retries     int64 `json:"retries"`
 	Unreachable int64 `json:"unreachable,omitempty"`
+	// Corrupt counts corrupted flit receptions observed across the fabric
+	// during the window (bit-errored deliveries, at every hop they reach).
+	Corrupt int64 `json:"corrupt,omitempty"`
 	// Packets is the cumulative delivered-packet count at the window's close;
 	// MeanLatency is the running mean latency (cycles) over those packets.
 	Packets     int64   `json:"packets"`
@@ -80,6 +83,7 @@ type totals struct {
 	injected, ejected    int64
 	resHits, resMisses   int64
 	retries, unreachable int64
+	corrupt              int64
 	occSum, occCapCycles int64 // Σ gauge sums; Σ samples×capacity (bounded pools)
 }
 
@@ -93,6 +97,7 @@ func snapshot(reg *metrics.Registry) totals {
 		t.resMisses += n.ResMisses
 		t.retries += n.Retries
 		t.unreachable += n.Unreachable
+		t.corrupt += n.Corrupt
 		for p := range n.Occ {
 			if g := &n.Occ[p]; g.Cap > 0 {
 				t.occSum += g.Sum
@@ -174,6 +179,7 @@ func (r *Recorder) record(now sim.Cycle, t totals, packets int64, meanLatency fl
 		ResMisses:   t.resMisses - r.last.resMisses,
 		Retries:     t.retries - r.last.retries,
 		Unreachable: t.unreachable - r.last.unreachable,
+		Corrupt:     t.corrupt - r.last.corrupt,
 		Packets:     packets,
 		MeanLatency: meanLatency,
 	}
@@ -222,7 +228,7 @@ func (r *Recorder) Points() []Point {
 
 // csvHeader documents every column; derived-rate columns are included so the
 // file plots directly without post-processing.
-const csvHeader = "epoch,start,cycles,injected,ejected,injected_per_cycle,accepted_per_cycle,res_hits,res_misses,hit_rate,retries,unreachable,packets,mean_latency,occ_fraction"
+const csvHeader = "epoch,start,cycles,injected,ejected,injected_per_cycle,accepted_per_cycle,res_hits,res_misses,hit_rate,retries,unreachable,corrupt,packets,mean_latency,occ_fraction"
 
 // WriteCSV exports the series as CSV, one row per epoch window. The ejected
 // column is the accepted-flit count per window; its sum equals the run's
@@ -235,11 +241,11 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, p := range r.Points() {
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.6f,%d,%d,%d,%.4f,%.6f\n",
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.6f,%d,%d,%d,%d,%.4f,%.6f\n",
 			p.Epoch, p.Start, p.Cycles, p.Injected, p.Ejected,
 			p.InjectedRate(), p.AcceptedRate(),
 			p.ResHits, p.ResMisses, p.HitRate(),
-			p.Retries, p.Unreachable, p.Packets, p.MeanLatency, p.OccFraction); err != nil {
+			p.Retries, p.Unreachable, p.Corrupt, p.Packets, p.MeanLatency, p.OccFraction); err != nil {
 			return err
 		}
 	}

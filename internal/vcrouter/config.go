@@ -53,6 +53,19 @@ type Config struct {
 	// Routing selects the route function; nil means dimension-ordered
 	// XY routing, the paper's choice.
 	Routing routing.Algorithm
+
+	// BER is the per-flit bit-error probability on inter-router data
+	// links: each flit is delivered on time but corrupted with this
+	// probability. The baseline has no loss machinery, so a hop CRC that
+	// catches a corrupted flit models a zero-cost link-level retransmit
+	// (the payload is repaired in place); corruption the CRC misses
+	// propagates and is counted when it reaches the ejection port.
+	BER float64
+	// CrcBits is the modeled per-hop CRC width c: a corrupted flit is
+	// detected with probability 1 - 2^-c. 0 defaults to 16 when BER > 0;
+	// negative disables hop detection entirely so every corrupted flit
+	// escapes to its destination.
+	CrcBits int
 }
 
 // withDefaults fills unset fields with the paper's values and validates.
@@ -75,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.Routing == nil {
 		c.Routing = routing.XY
 	}
+	if c.CrcBits == 0 && c.BER > 0 {
+		c.CrcBits = 16
+	}
 	return c
 }
 
@@ -89,6 +105,12 @@ func (c Config) validate() {
 	}
 	if c.LinkLatency < 1 || c.CreditLatency < 1 || c.LocalLatency < 1 {
 		panic("vcrouter: link latencies must be >= 1 cycle")
+	}
+	if c.BER < 0 || c.BER >= 1 || c.BER != c.BER {
+		panic(fmt.Sprintf("vcrouter: BER must lie in [0, 1), got %v", c.BER))
+	}
+	if c.CrcBits > 62 {
+		panic(fmt.Sprintf("vcrouter: CrcBits %d exceeds the modeled maximum of 62", c.CrcBits))
 	}
 }
 

@@ -24,8 +24,22 @@ type Network struct {
 	// probe is the attached observability sink; nil when disabled.
 	probe *metrics.Probe
 
+	// linkRNG drives the bit-error draws on every inter-router data link;
+	// it is split off the root seed only when BER > 0 so a zero-BER
+	// configuration keeps the exact RNG split order (and therefore the
+	// bit-identical behavior) of builds that predate the error model.
+	linkRNG *sim.RNG
+	// now mirrors the current tick so the link transform can timestamp
+	// corruption hooks.
+	now sim.Cycle
+
 	offered   int64
 	delivered int64
+
+	// Integrity counters, maintained by chaining the corruption hooks.
+	corrupted   int64 // flits delivered corrupted by the bit-error model
+	crcRepaired int64 // corrupted flits the hop CRC caught and repaired
+	escapes     int64 // corrupted flits that reached their destination
 }
 
 var _ noc.Network = (*Network)(nil)
@@ -51,14 +65,35 @@ func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network
 			inner.PacketDelivered(p, now)
 		}
 	}
+	wrapped.FlitCorrupted = func(now sim.Cycle) {
+		n.corrupted++
+		if inner.FlitCorrupted != nil {
+			inner.FlitCorrupted(now)
+		}
+	}
+	wrapped.CorruptionDetected = func(now sim.Cycle) {
+		n.crcRepaired++
+		if inner.CorruptionDetected != nil {
+			inner.CorruptionDetected(now)
+		}
+	}
+	wrapped.CorruptionEscaped = func(p *noc.Packet, now sim.Cycle) {
+		n.escapes++
+		if inner.CorruptionEscaped != nil {
+			inner.CorruptionEscaped(p, now)
+		}
+	}
 	n.hooks = &wrapped
 
 	root := sim.NewRNG(seed)
+	if cfg.BER > 0 {
+		n.linkRNG = root.Split()
+	}
 	n.routers = make([]*Router, mesh.N())
 	n.nis = make([]*ni, mesh.N())
 	n.sinks = make([]*sink, mesh.N())
 	for id := 0; id < mesh.N(); id++ {
-		n.routers[id] = newRouter(topology.NodeID(id), mesh, cfg, root.Split())
+		n.routers[id] = newRouter(topology.NodeID(id), mesh, cfg, root.Split(), n.hooks)
 	}
 	for id := 0; id < mesh.N(); id++ {
 		n.nis[id] = newNI(topology.NodeID(id), cfg, root.Split(), n.hooks)
@@ -99,6 +134,9 @@ func (n *Network) wire() {
 				continue
 			}
 			data := sim.NewPipe[noc.DataFlit](cfg.LinkLatency, 1)
+			if cfg.BER > 0 {
+				data.WithBitErrors(cfg.BER, n.linkRNG, n.corruptFlit)
+			}
 			credit := sim.NewPipe[noc.VCCredit](cfg.CreditLatency, 1)
 			r.out[p].data = data
 			r.out[p].creditIn = credit
@@ -121,6 +159,22 @@ func (n *Network) wire() {
 	}
 }
 
+// corruptFlit is the data links' bit-error transform: the flit is delivered
+// on schedule with its Corrupted flag set; only a CRC check downstream can
+// tell the payload is wrong.
+func (n *Network) corruptFlit(f noc.DataFlit) noc.DataFlit {
+	f.Corrupted = true
+	n.hooks.Corrupted(n.now)
+	return f
+}
+
+// IntegrityCounts reports the bit-error model's tallies: flits delivered
+// corrupted, corrupted flits the hop CRC repaired, and corrupted flits that
+// escaped detection all the way to their destination.
+func (n *Network) IntegrityCounts() (corrupted, crcRepaired, escaped int64) {
+	return n.corrupted, n.crcRepaired, n.escapes
+}
+
 // Offer implements noc.Network.
 func (n *Network) Offer(p *noc.Packet) {
 	n.offered++
@@ -129,6 +183,7 @@ func (n *Network) Offer(p *noc.Packet) {
 
 // Tick implements noc.Network: one cycle for every NI, router, and sink.
 func (n *Network) Tick(now sim.Cycle) {
+	n.now = now
 	for _, x := range n.nis {
 		x.Tick(now)
 	}

@@ -174,6 +174,12 @@ func newSink(node topology.NodeID, hooks *noc.Hooks) *sink {
 
 func (s *sink) Tick(now sim.Cycle) {
 	s.data.RecvEach(now, func(f noc.DataFlit) {
+		if f.Corrupted {
+			// The baseline has no end-to-end recovery: an escaped
+			// corruption is delivered as if it were good data, and only
+			// the counter records the silent damage.
+			s.hooks.CorruptEscape(f.Packet, now)
+		}
 		s.hooks.Ejected(now)
 		s.probe.Eject(now, int(s.node), uint64(f.Packet.ID), f.Seq)
 		s.got[f.Packet.ID]++

@@ -2,6 +2,7 @@ package vcrouter
 
 import (
 	"fmt"
+	"math"
 
 	"frfc/internal/metrics"
 	"frfc/internal/noc"
@@ -60,10 +61,11 @@ type outputState struct {
 // Network; the type is exported only for white-box testing within the
 // package tree.
 type Router struct {
-	id   topology.NodeID
-	mesh topology.Mesh
-	cfg  Config
-	rng  *sim.RNG
+	id    topology.NodeID
+	mesh  topology.Mesh
+	cfg   Config
+	rng   *sim.RNG
+	hooks *noc.Hooks
 
 	in  [topology.NumPorts]inputState
 	out [topology.NumPorts]outputState
@@ -86,8 +88,8 @@ type portVC struct {
 	vc   int
 }
 
-func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG) *Router {
-	r := &Router{id: id, mesh: mesh, cfg: cfg, rng: rng,
+func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG, hooks *noc.Hooks) *Router {
+	r := &Router{id: id, mesh: mesh, cfg: cfg, rng: rng, hooks: hooks,
 		outOrder: make([]int, topology.NumPorts)}
 	for p := topology.Port(0); p < topology.NumPorts; p++ {
 		if p != topology.Local && !mesh.HasLink(id, p) {
@@ -148,6 +150,18 @@ func (r *Router) recvFlits(now sim.Cycle) {
 			continue
 		}
 		in.data.RecvEach(now, func(f noc.DataFlit) {
+			if f.Corrupted {
+				r.probe.Corrupt(int(r.id))
+				if r.crcDetect() {
+					// The hop CRC caught the corruption. Credit-based
+					// flow control has no drop-and-recover path — a
+					// dropped flit would wedge its wormhole forever — so
+					// detection models a zero-cost link-level retransmit
+					// that restores the payload in place.
+					f.Corrupted = false
+					r.hooks.CrcDetected(now)
+				}
+			}
 			vc := &in.vcs[f.VC]
 			vc.q = append(vc.q, queuedFlit{flit: f, arrivedAt: now})
 			in.poolUsed++
@@ -160,6 +174,18 @@ func (r *Router) recvFlits(now sim.Cycle) {
 			}
 		})
 	}
+}
+
+// crcDetect reports whether the modeled c-bit hop CRC catches a corrupted
+// flit: probability 1 - 2^-c. It draws randomness only when a corrupted flit
+// is examined, so configurations without bit errors keep their RNG streams —
+// and their behavior — bit-identical to builds without the error model.
+func (r *Router) crcDetect() bool {
+	c := r.cfg.CrcBits
+	if c < 0 {
+		return false
+	}
+	return r.rng.Bool(1 - math.Exp2(-float64(c)))
 }
 
 // allocateVCs routes head flits and assigns them a free virtual channel on

@@ -13,7 +13,7 @@ import (
 func testRouter(cfg Config) (*Router, *sim.Pipe[noc.DataFlit], *sim.Pipe[noc.VCCredit], *sim.Pipe[noc.DataFlit], *sim.Pipe[noc.VCCredit]) {
 	cfg = cfg.withDefaults()
 	mesh := topology.NewMesh(2)
-	r := newRouter(0, mesh, cfg, sim.NewRNG(1))
+	r := newRouter(0, mesh, cfg, sim.NewRNG(1), &noc.Hooks{})
 	// Feed the East input (from node 1 westward — we play the neighbor).
 	inData := sim.NewPipe[noc.DataFlit](1, 1)
 	inCredit := sim.NewPipe[noc.VCCredit](1, 4)

@@ -85,6 +85,18 @@ type Result struct {
 	// headline under a fault scenario, 1.0 on a healthy network.
 	UnreachablePackets int64
 	DeliveredFraction  float64
+	// Bit-error-model activity (Options.BER): flits delivered corrupted,
+	// corrupted flits the modeled hop CRC caught, corrupted payload that
+	// escaped every hop CRC to its destination, phantom reservations an
+	// escaped-corrupt control flit installed, and orphaned parked flits the
+	// reclamation timeout freed back into the loss path. The last two are
+	// flit-reservation-only; the first three also populate for
+	// virtual-channel runs with a BER.
+	CorruptedFlits      int64
+	CrcDetected         int64
+	CorruptEscapes      int64
+	PhantomReservations int64
+	ReclaimedSlots      int64
 }
 
 func fromInternal(r experiment.Result) Result {
@@ -124,6 +136,12 @@ func fromInternal(r experiment.Result) Result {
 
 		UnreachablePackets: r.UnreachablePackets,
 		DeliveredFraction:  r.DeliveredFraction,
+
+		CorruptedFlits:      r.CorruptedFlits,
+		CrcDetected:         r.CrcDetected,
+		CorruptEscapes:      r.CorruptEscapes,
+		PhantomReservations: r.PhantomReservations,
+		ReclaimedSlots:      r.ReclaimedSlots,
 	}
 }
 

@@ -2,6 +2,12 @@
 # Run the repository benchmarks and record the result in benchmarks/latest.txt,
 # comparing ns/op against benchmarks/baseline.txt when one exists.
 #
+# The comparison is a gate, not a report: if any benchmark regresses by more
+# than BENCH_MAX_REGRESSION_PCT percent (default 20) against the baseline the
+# script exits nonzero. Benchmarks run -benchtime 1x, so single-run jitter is
+# real — tune the threshold up for noisy environments rather than ignoring
+# the exit status.
+#
 # Usage:
 #   scripts/bench.sh             run every benchmark (paper-scale; slow)
 #   scripts/bench.sh -short      analytic + reduced-scale subset (CI smoke)
@@ -9,6 +15,10 @@
 #   scripts/bench.sh -profile    also collect pprof profiles into benchmarks/
 #                                (cpu.pprof, mem.pprof; inspect with
 #                                `go tool pprof benchmarks/cpu.pprof`)
+#
+# Environment:
+#   BENCH_MAX_REGRESSION_PCT     fail threshold, percent ns/op over baseline
+#                                (default 20)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -55,16 +65,25 @@ if [ -n "$profileflags" ]; then
 fi
 
 if [ -f benchmarks/baseline.txt ]; then
+    max="${BENCH_MAX_REGRESSION_PCT:-20}"
     echo
-    echo "# vs baseline (ns/op; +/- is latest relative to baseline)"
-    awk '
+    echo "# vs baseline (ns/op; +/- is latest relative to baseline; fail above +${max}%)"
+    awk -v max="$max" '
         FNR == NR {
             if ($2 ~ /^[0-9]+$/ && $4 == "ns/op") base[$1] = $3
             next
         }
         $2 ~ /^[0-9]+$/ && $4 == "ns/op" && ($1 in base) {
             delta = base[$1] > 0 ? ($3 - base[$1]) * 100.0 / base[$1] : 0
-            printf "%-50s %14.0f -> %14.0f  %+6.1f%%\n", $1, base[$1], $3, delta
+            flag = ""
+            if (delta > max + 0) { flag = "  REGRESSED"; failed = 1 }
+            printf "%-50s %14.0f -> %14.0f  %+6.1f%%%s\n", $1, base[$1], $3, delta, flag
+        }
+        END {
+            if (failed) {
+                printf "bench.sh: regression above %s%% threshold (BENCH_MAX_REGRESSION_PCT)\n", max > "/dev/stderr"
+                exit 1
+            }
         }
     ' benchmarks/baseline.txt benchmarks/latest.txt
 fi
