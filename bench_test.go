@@ -9,8 +9,10 @@ package frfc_test
 import (
 	"context"
 	"math"
+	"os"
 	"reflect"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -335,6 +337,67 @@ func BenchmarkProbeDisabledOverhead(b *testing.B) {
 	if overhead > 2.0 {
 		b.Fatalf("disabled-probe hot path regressed %.1f%% over plain Run (budget 2%%): plain %v, disabled %v",
 			overhead, minPlain, minDisabled)
+	}
+}
+
+// BenchmarkProfileDisabledOverhead guards the self-profiler's cost contract:
+// the activity-accounting call sites added to the routers, interfaces and
+// sinks (RouterTick, ComponentTick, the per-phase work counters) are all
+// guarded by a cached nil registry pointer, so a metrics-observed run with
+// profiling off must stay within 2% of the same run before profiling existed.
+// Both arms attach a metrics observer — the profile guards fire either way —
+// and differ only in ObserverOptions.Profile; timed interleaved on their
+// minimum over several repetitions like BenchmarkProbeDisabledOverhead. The
+// profiled arm is reported as a metric, not asserted: counter increments are
+// cheap, but only the disabled path carries a hard budget. The budget
+// defaults to the 2% contract; heavily shared machines whose timing noise
+// exceeds that can widen it with BENCH_PROFILE_OVERHEAD_BUDGET_PCT (the same
+// escape hatch scripts/bench.sh offers via BENCH_MAX_REGRESSION_PCT).
+func BenchmarkProfileDisabledOverhead(b *testing.B) {
+	spec := benchScale(frfc.FR6(frfc.FastControl, 5))
+	budget := 2.0
+	if v := os.Getenv("BENCH_PROFILE_OVERHEAD_BUDGET_PCT"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			budget = f
+		}
+	}
+	const reps = 5
+	minPlain := time.Duration(math.MaxInt64)
+	minDisabled := time.Duration(math.MaxInt64)
+	minProfiled := time.Duration(math.MaxInt64)
+	round := func() {
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			frfc.Run(spec, 0.50)
+			if d := time.Since(t0); d < minPlain {
+				minPlain = d
+			}
+			t0 = time.Now()
+			frfc.RunObserved(spec, 0.50, frfc.NewObserver(frfc.ObserverOptions{}))
+			if d := time.Since(t0); d < minDisabled {
+				minDisabled = d
+			}
+			t0 = time.Now()
+			frfc.RunObserved(spec, 0.50, frfc.NewObserver(frfc.ObserverOptions{Profile: true}))
+			if d := time.Since(t0); d < minProfiled {
+				minProfiled = d
+			}
+		}
+	}
+	overhead := func() float64 { return (float64(minDisabled)/float64(minPlain) - 1) * 100 }
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	// A single-core machine under load can smear either arm past the budget;
+	// confirm an apparent regression with extra rounds before failing.
+	for extra := 0; overhead() > budget && extra < 2; extra++ {
+		round()
+	}
+	b.ReportMetric(overhead(), "disabled-profile-overhead-%")
+	b.ReportMetric((float64(minProfiled)/float64(minPlain)-1)*100, "enabled-profile-overhead-%")
+	if o := overhead(); o > budget {
+		b.Fatalf("profile-off hot path regressed %.1f%% over plain Run (budget %.1f%%): plain %v, disabled %v",
+			o, budget, minPlain, minDisabled)
 	}
 }
 

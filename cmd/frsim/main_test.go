@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRejectsBadObservabilityFlags: negative epochs and capacities used to
+// fall back silently to defaults; now they fail fast with a clear message.
+func TestRejectsBadObservabilityFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"metrics-epoch", []string{"-metrics-epoch", "-1"}, "-metrics-epoch must be >= 0"},
+		{"trace-cap", []string{"-trace-cap", "-5"}, "-trace-cap must be >= 0"},
+		{"timeseries-cap", []string{"-timeseries-cap", "-2"}, "-timeseries-cap must be >= 0"},
+		{"load-zero", []string{"-load", "0"}, "-load must be in (0,2]"},
+		{"load-high", []string{"-load", "2.5"}, "-load must be in (0,2]"},
+		{"sample", []string{"-sample", "0"}, "-sample must be > 0"},
+		{"warmup", []string{"-warmup", "-10"}, "-warmup must be > 0"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr = %q, want substring %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestRejectsUnknownConfigAndWiring(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-config", "XYZ"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown config exit = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown config") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-wiring", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown wiring exit = %d", code)
+	}
+}
+
+// TestProfileArtifacts drives a tiny profiled run end to end: the JSON
+// summary carries the Prof* result fields and artifact paths, and the
+// written profile JSON and idle-fraction CSV parse.
+func TestProfileArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "profile.json")
+	idlePath := filepath.Join(dir, "idle.csv")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-config", "FR6", "-radix", "4", "-load", "0.3",
+		"-sample", "150", "-warmup", "300",
+		"-profile", profPath, "-idle-csv", idlePath, "-json",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr:\n%s", code, stderr.String())
+	}
+	var sum struct {
+		Result struct {
+			ProfTicks        int64   `json:"ProfTicks"`
+			ProfIdleFraction float64 `json:"ProfIdleFraction"`
+			ProfSchedWork    int64   `json:"ProfSchedWork"`
+		} `json:"result"`
+		ProfilePath    string `json:"profilePath"`
+		IdleCSVPath    string `json:"idleCsvPath"`
+		ProfileSummary string `json:"profileSummary"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("summary JSON: %v\n%s", err, stdout.String())
+	}
+	if sum.Result.ProfTicks == 0 || sum.Result.ProfSchedWork == 0 {
+		t.Fatalf("profile summary empty: %+v", sum.Result)
+	}
+	if sum.ProfilePath != profPath || sum.IdleCSVPath != idlePath {
+		t.Fatalf("artifact paths wrong: %+v", sum)
+	}
+	if !strings.Contains(sum.ProfileSummary, "idle") {
+		t.Fatalf("profileSummary = %q", sum.ProfileSummary)
+	}
+
+	raw, err := os.ReadFile(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prof struct {
+		Radix int               `json:"radix"`
+		Nodes []json.RawMessage `json:"nodes"`
+	}
+	if err := json.Unmarshal(raw, &prof); err != nil {
+		t.Fatalf("profile JSON: %v", err)
+	}
+	if prof.Radix != 4 || len(prof.Nodes) != 16 {
+		t.Fatalf("profile header: radix=%d nodes=%d", prof.Radix, len(prof.Nodes))
+	}
+	csv, err := os.ReadFile(idlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) != 5 || !strings.HasPrefix(lines[0], "#") {
+		t.Fatalf("idle CSV shape:\n%s", csv)
+	}
+
+	// The text renderer prints the profile summary and hottest routers.
+	stdout.Reset()
+	code = run([]string{
+		"-config", "FR6", "-radix", "4", "-load", "0.3",
+		"-sample", "150", "-warmup", "300",
+		"-idle-csv", filepath.Join(dir, "idle2.csv"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "profile hot   router") {
+		t.Fatalf("text output missing hot-router lines:\n%s", stdout.String())
+	}
+}

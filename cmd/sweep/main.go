@@ -18,6 +18,7 @@
 //	sweep -configs FR6,VC32 -pktlen 21 -from 0.1 -to 0.9 -step 0.05
 //	sweep -configs FR6,VC8 -workers 8 -out results.jsonl -progress
 //	sweep -configs FR6,VC8 -out results.jsonl -resume   # finish a killed run
+//	sweep -configs FR6,VC8 -profile profile.json        # self-profiling campaign summary
 //
 // With -adaptive it skips the fixed load grid and bisects each
 // configuration's saturation throughput in O(log 1/resolution) runs,
@@ -61,6 +62,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -95,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		workers    = fs.Int("workers", 0, "worker pool size (0 = NumCPU); results are identical for any value")
 		out        = fs.String("out", "", "append results to this JSONL store as points complete")
+		profileOut = fs.String("profile", "", "arm self-profiling on every point and write the campaign activity summary (per-point and aggregate idle fractions, phase attribution) as JSON to this file; grid sweeps only")
 		resume     = fs.Bool("resume", false, "reload -out first and skip already-computed points (default: truncate it)")
 		timeout    = fs.Duration("timeout", 0, "per-point wall-clock budget (0 = none); a point over budget fails alone")
 		adaptive   = fs.Bool("adaptive", false, "bisect each config's saturation throughput instead of sweeping the load grid")
@@ -156,6 +159,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *resume && *out == "" {
 		return fail("-resume needs -out to name the store to resume from")
+	}
+	if *profileOut != "" && (*adaptive || *faults || *reliability || *integrity || *chaos || *scenario != "") {
+		return fail("-profile applies to grid sweeps only (not -adaptive or the fault/integrity/chaos modes)")
 	}
 	if *out != "" && !*resume {
 		// A fresh campaign: an existing store would otherwise silently
@@ -268,6 +274,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:    *workers,
 		Timeout:    *timeout,
 		ResultPath: *out,
+		Profile:    *profileOut != "",
 	}
 	if *progress {
 		popts.Progress = func(p frfc.Progress) { fmt.Fprintf(stderr, "sweep: %s\n", p) }
@@ -307,6 +314,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	exit := summarize(stderr, results)
+
+	if *profileOut != "" {
+		if err := writeCampaignProfile(*profileOut, results); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stderr, "sweep: campaign profile written to %s\n", *profileOut)
+	}
 
 	if *csv {
 		fmt.Fprintf(stdout, "load")
@@ -351,6 +365,79 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 	return exit
+}
+
+// profilePoint is one point's row in the -profile campaign summary.
+type profilePoint struct {
+	Spec         string  `json:"spec"`
+	Load         float64 `json:"load"`
+	Ticks        int64   `json:"ticks"`
+	ActiveTicks  int64   `json:"activeTicks"`
+	IdleFraction float64 `json:"idleFraction"`
+	SchedWork    int64   `json:"schedWork"`
+	ArbWork      int64   `json:"arbWork"`
+	SwitchWork   int64   `json:"switchWork"`
+	CreditWork   int64   `json:"creditWork"`
+}
+
+// campaignProfile is the -profile output: the aggregate activity accounting
+// over every simulated point, plus one row per point in job order. Every value
+// comes from the deterministic Prof* result fields, so the file is
+// byte-identical for any worker count.
+type campaignProfile struct {
+	Points       int            `json:"points"`
+	Simulated    int            `json:"simulated"`
+	Ticks        int64          `json:"ticks"`
+	ActiveTicks  int64          `json:"activeTicks"`
+	IdleFraction float64        `json:"idleFraction"`
+	SchedWork    int64          `json:"schedWork"`
+	ArbWork      int64          `json:"arbWork"`
+	SwitchWork   int64          `json:"switchWork"`
+	CreditWork   int64          `json:"creditWork"`
+	PerPoint     []profilePoint `json:"perPoint"`
+}
+
+func writeCampaignProfile(path string, results []frfc.JobResult) error {
+	cp := campaignProfile{Points: len(results)}
+	for _, jr := range results {
+		if jr.Err != "" {
+			continue
+		}
+		r := jr.Result
+		if r.ProfTicks == 0 {
+			// Cached points predate profiling (or were skipped); they
+			// carry no activity accounting.
+			continue
+		}
+		cp.Simulated++
+		cp.Ticks += r.ProfTicks
+		cp.ActiveTicks += r.ProfActiveTicks
+		cp.SchedWork += r.ProfSchedWork
+		cp.ArbWork += r.ProfArbWork
+		cp.SwitchWork += r.ProfSwitchWork
+		cp.CreditWork += r.ProfCreditWork
+		cp.PerPoint = append(cp.PerPoint, profilePoint{
+			Spec: jr.Job.Spec.Name(), Load: jr.Job.Load,
+			Ticks: r.ProfTicks, ActiveTicks: r.ProfActiveTicks,
+			IdleFraction: r.ProfIdleFraction,
+			SchedWork:    r.ProfSchedWork, ArbWork: r.ProfArbWork,
+			SwitchWork: r.ProfSwitchWork, CreditWork: r.ProfCreditWork,
+		})
+	}
+	if cp.Ticks > 0 {
+		cp.IdleFraction = 1 - float64(cp.ActiveTicks)/float64(cp.Ticks)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cp); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // summarize prints the campaign accounting line to stderr — the signal a
@@ -604,7 +691,9 @@ func specFor(name string, w frfc.Wiring, pktLen int) (frfc.Spec, error) {
 		return frfc.StoreAndForwardSpec(w, 2, pktLen), nil
 	case "VCT":
 		return frfc.CutThroughSpec(w, 2, pktLen), nil
+	case "CS":
+		return frfc.CircuitSpec(w, pktLen), nil
 	default:
-		return frfc.Spec{}, fmt.Errorf("unknown config %q (FR6, FR13, VC8, VC16, VC32, WH, SAF, VCT, FR6-leadN)", name)
+		return frfc.Spec{}, fmt.Errorf("unknown config %q (FR6, FR13, VC8, VC16, VC32, WH, SAF, VCT, CS, FR6-leadN)", name)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -321,6 +322,62 @@ func TestIntegrityAndChaosModesByteIdentical(t *testing.T) {
 					mode, ref, stdout.Bytes())
 			}
 		}
+	}
+}
+
+// TestProfileCampaignOutput: -profile arms self-profiling on every point and
+// writes a campaign activity summary that is byte-identical for any worker
+// count; the sweep table itself must also stay byte-identical to an
+// unprofiled run.
+func TestProfileCampaignOutput(t *testing.T) {
+	dir := t.TempDir()
+
+	var bare, bareErr bytes.Buffer
+	if code := run(sweepArgs("-workers", "2"), &bare, &bareErr); code != 0 {
+		t.Fatalf("bare exit %d: %s", code, bareErr.String())
+	}
+
+	var profiles [][]byte
+	for _, workers := range []string{"1", "4"} {
+		path := filepath.Join(dir, "profile-"+workers+".json")
+		var stdout, stderr bytes.Buffer
+		if code := run(sweepArgs("-workers", workers, "-profile", path), &stdout, &stderr); code != 0 {
+			t.Fatalf("workers=%s exit %d: %s", workers, code, stderr.String())
+		}
+		if !bytes.Equal(stdout.Bytes(), bare.Bytes()) {
+			t.Errorf("-profile changed the sweep table:\n--- bare\n%s--- profiled\n%s", bare.Bytes(), stdout.Bytes())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, raw)
+	}
+	if !bytes.Equal(profiles[0], profiles[1]) {
+		t.Errorf("campaign profile differs across worker counts:\n--- 1w\n%s--- 4w\n%s", profiles[0], profiles[1])
+	}
+
+	var cp campaignProfile
+	if err := json.Unmarshal(profiles[0], &cp); err != nil {
+		t.Fatalf("campaign profile JSON: %v", err)
+	}
+	if cp.Points != 4 || cp.Simulated != 4 || len(cp.PerPoint) != 4 {
+		t.Fatalf("campaign profile coverage wrong: %+v", cp)
+	}
+	if cp.Ticks == 0 || cp.IdleFraction <= 0 || cp.IdleFraction >= 1 {
+		t.Fatalf("campaign aggregate empty: %+v", cp)
+	}
+	if cp.SchedWork == 0 || cp.SwitchWork == 0 {
+		t.Fatalf("phase attribution missing (FR points present): %+v", cp)
+	}
+
+	// -profile applies to grid sweeps only.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-adaptive", "-profile", filepath.Join(dir, "x.json")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-adaptive -profile exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "grid sweeps only") {
+		t.Errorf("stderr = %q", stderr.String())
 	}
 }
 

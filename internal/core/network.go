@@ -261,9 +261,11 @@ func (n *Network) AttachProbe(p *metrics.Probe) {
 	}
 	for _, ni := range n.nis {
 		ni.probe = p
+		ni.prof = p.Profile()
 	}
 	for _, s := range n.sinks {
 		s.probe = p
+		s.prof = p.Profile()
 	}
 }
 

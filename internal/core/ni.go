@@ -5,6 +5,7 @@ import (
 
 	"frfc/internal/metrics"
 	"frfc/internal/noc"
+	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 )
@@ -22,6 +23,9 @@ type NI struct {
 	rng   *sim.RNG
 	hooks *noc.Hooks
 	probe *metrics.Probe
+	// prof is the self-profiling registry cached off the probe at attach
+	// time; nil when profiling is disabled.
+	prof *profile.Registry
 
 	queue []*noc.Packet
 
@@ -238,11 +242,14 @@ func (n *NI) queueLen() int { return len(n.queue) }
 
 // Tick advances the injection interface one cycle.
 func (n *NI) Tick(now sim.Cycle) {
+	// Self-profiling work counter: credits absorbed, packets started,
+	// control flits injected, data flits launched.
+	work := 0
 	n.injTable.advance(now)
-	n.resvCreditIn.RecvEach(now, func(c noc.ReservationCredit) {
+	work += n.resvCreditIn.RecvEach(now, func(c noc.ReservationCredit) {
 		n.injTable.creditFrom(c.FreeFrom, c.VC)
 	})
-	n.ctrlCreditIn.RecvEach(now, func(c noc.VCCredit) {
+	work += n.ctrlCreditIn.RecvEach(now, func(c noc.VCCredit) {
 		n.ctrlCredits[c.VC]++
 		if n.ctrlCredits[c.VC] > n.cfg.CtrlBufPerVC {
 			panic("core: NI control credit overflow")
@@ -270,6 +277,7 @@ func (n *NI) Tick(now sim.Cycle) {
 		n.ctrlOwned[v] = true
 		p.InjectedAt = now
 		n.active[v] = niPacket{active: true, pkt: p, data: noc.DataFlits(p), ctrl: noc.ControlFlits(p, n.cfg.LeadsPerCtrl)}
+		work++
 	}
 
 	// Schedule and inject control flits, up to the control channel's
@@ -293,7 +301,9 @@ func (n *NI) Tick(now sim.Cycle) {
 		n.dataOut.Send(now, f)
 		*n.progress++
 		n.hooks.Injected(now)
+		work++
 	}
+	n.prof.ComponentTick(profile.CompNI, int(n.node), work+injected > 0)
 }
 
 // tryInject attempts to schedule and inject the next control flit of the
@@ -395,6 +405,9 @@ type Sink struct {
 	state  map[noc.PacketID]*sinkPkt
 	hooks  *noc.Hooks
 	probe  *metrics.Probe
+	// prof is the self-profiling registry cached off the probe at attach
+	// time; nil when profiling is disabled.
+	prof *profile.Registry
 	// e2eCheck arms the end-to-end payload checksum: a reassembled packet
 	// any of whose flits arrived corrupted is rejected as lost (retried
 	// under RetryLimit) instead of delivered.
@@ -457,7 +470,7 @@ func (s *Sink) stateFor(id noc.PacketID, attempt int) *sinkPkt {
 // current attempt is reported lost, once, and stragglers of lost or superseded
 // attempts are ignored.
 func (s *Sink) Tick(now sim.Cycle) {
-	s.dataIn.RecvEach(now, func(f noc.DataFlit) {
+	work := s.dataIn.RecvEach(now, func(f noc.DataFlit) {
 		e, ok := s.expect[now]
 		if !ok {
 			panic(fmt.Sprintf("core: %s ejected at cycle %d with no reassembly schedule entry", f, now))
@@ -504,20 +517,23 @@ func (s *Sink) Tick(now sim.Cycle) {
 	})
 	if e, ok := s.expect[now]; ok {
 		delete(s.expect, now)
+		work++
 		st := s.stateFor(e.pkt.ID, e.attempt)
-		if st.done || e.attempt < st.attempt || (e.attempt == st.attempt && st.lost) {
-			return // the packet's fate no longer depends on this attempt
-		}
-		if e.attempt > st.attempt {
-			st.attempt, st.got, st.corrupt = e.attempt, 0, false
-		}
-		st.lost = true
-		s.probe.Nack(int(s.node))
-		s.hooks.Lost(e.pkt, now)
-		if s.notifyLoss != nil {
-			s.notifyLoss(e.pkt, e.attempt, now)
+		// A stale entry — the packet's fate no longer depends on this
+		// attempt — is dropped without a loss report.
+		if !(st.done || e.attempt < st.attempt || (e.attempt == st.attempt && st.lost)) {
+			if e.attempt > st.attempt {
+				st.attempt, st.got, st.corrupt = e.attempt, 0, false
+			}
+			st.lost = true
+			s.probe.Nack(int(s.node))
+			s.hooks.Lost(e.pkt, now)
+			if s.notifyLoss != nil {
+				s.notifyLoss(e.pkt, e.attempt, now)
+			}
 		}
 	}
+	s.prof.ComponentTick(profile.CompSink, int(s.node), work > 0)
 }
 
 // pendingWork reports flits expected but not yet ejected.

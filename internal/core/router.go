@@ -6,6 +6,7 @@ import (
 
 	"frfc/internal/metrics"
 	"frfc/internal/noc"
+	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 )
@@ -120,6 +121,10 @@ type Router struct {
 	// on a nil probe is a no-op.
 	probe *metrics.Probe
 
+	// prof is the self-profiling registry cached off the probe at attach
+	// time so the per-tick accounting costs one nil test when disabled.
+	prof *profile.Registry
+
 	// progress points at the network-wide movement counter the no-progress
 	// watchdog monitors; the router bumps it whenever a flit moves.
 	progress *int64
@@ -161,6 +166,7 @@ func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG)
 // probe; nil detaches.
 func (r *Router) attachProbe(p *metrics.Probe) {
 	r.probe = p
+	r.prof = p.Profile()
 	for i := range r.inputs {
 		if r.inputs[i] != nil {
 			r.inputs[i].probe = p
@@ -181,6 +187,10 @@ func (r *Router) dataLatencyFor(p topology.Port) sim.Cycle {
 // current, control flits are processed (possibly reserving an arrival
 // happening this very cycle), then data flits depart and finally arrive.
 func (r *Router) Tick(now sim.Cycle) {
+	// Self-profiling work counters: credit messages absorbed, arbitration
+	// work units, data flits through the crossbar. Plain integer adds, so
+	// the disabled-profiling cost is negligible.
+	var arb, sw, cred int
 	for p := range r.outTables {
 		if r.outTables[p] != nil {
 			r.outTables[p].advance(now)
@@ -191,7 +201,7 @@ func (r *Router) Tick(now sim.Cycle) {
 			continue
 		}
 		table := r.outTables[p]
-		r.dataCreditIn[p].RecvEach(now, func(c noc.ReservationCredit) {
+		cred += r.dataCreditIn[p].RecvEach(now, func(c noc.ReservationCredit) {
 			table.creditFrom(c.FreeFrom, c.VC)
 		})
 	}
@@ -200,7 +210,7 @@ func (r *Router) Tick(now sim.Cycle) {
 		if !co.exists || co.creditIn == nil {
 			continue
 		}
-		co.creditIn.RecvEach(now, func(c noc.VCCredit) {
+		cred += co.creditIn.RecvEach(now, func(c noc.VCCredit) {
 			co.credits[c.VC]++
 			if co.credits[c.VC] > r.cfg.CtrlBufPerVC {
 				panic("core: control credit overflow")
@@ -212,7 +222,7 @@ func (r *Router) Tick(now sim.Cycle) {
 		if !ci.exists || ci.in == nil {
 			continue
 		}
-		ci.in.RecvEach(now, func(cf noc.ControlFlit) {
+		arb += ci.in.RecvEach(now, func(cf noc.ControlFlit) {
 			vc := &ci.vcs[cf.VC]
 			leads := make([]leadState, len(cf.Leads))
 			for i, le := range cf.Leads {
@@ -235,7 +245,8 @@ func (r *Router) Tick(now sim.Cycle) {
 		})
 	}
 
-	r.processControl(now)
+	walked, sched := r.processControl(now)
+	arb += walked
 
 	for p := range r.inputs {
 		in := r.inputs[p]
@@ -243,6 +254,7 @@ func (r *Router) Tick(now sim.Cycle) {
 			continue
 		}
 		in.departures(now, func(f noc.DataFlit, out topology.Port) {
+			sw++
 			r.sendData(now, f, out)
 		})
 	}
@@ -251,7 +263,7 @@ func (r *Router) Tick(now sim.Cycle) {
 		if in == nil || in.dataIn == nil {
 			continue
 		}
-		in.dataIn.RecvEach(now, func(f noc.DataFlit) {
+		sw += in.dataIn.RecvEach(now, func(f noc.DataFlit) {
 			if f.Corrupted {
 				r.probe.Corrupt(int(r.id))
 				if r.crcDetect() {
@@ -290,6 +302,7 @@ func (r *Router) Tick(now sim.Cycle) {
 			})
 		}
 	}
+	r.prof.RouterTick(int(r.id), sched, arb, sw, cred)
 }
 
 // crcDetect draws whether the modeled c-bit hop CRC catches a corrupted
@@ -329,8 +342,10 @@ func (r *Router) sendData(now sim.Cycle, f noc.DataFlit, out topology.Port) {
 // random order — the paper's random arbitration — performing routing, output
 // scheduling, input scheduling, and forwarding. Each output scheduler
 // processes at most CtrlFlitsPerCycle control flits per cycle, matching the
-// control network's bandwidth.
-func (r *Router) processControl(now sim.Cycle) {
+// control network's bandwidth. It reports the self-profiling work counts:
+// arb candidates walked by the arbiter and sched output-scheduler
+// invocations.
+func (r *Router) processControl(now sim.Cycle) (arb, sched int) {
 	r.cands = r.cands[:0]
 	for p := range r.ctrlIn {
 		ci := &r.ctrlIn[p]
@@ -352,6 +367,7 @@ func (r *Router) processControl(now sim.Cycle) {
 	for p := range budget {
 		budget[p] = r.cfg.CtrlFlitsPerCycle
 	}
+	arb = len(r.cands)
 	for _, cand := range r.cands {
 		ci := &r.ctrlIn[cand.port]
 		vc := &ci.vcs[cand.vc]
@@ -422,6 +438,7 @@ func (r *Router) processControl(now sim.Cycle) {
 			r.probe.CreditStall(int(r.id), int(out))
 			continue
 		}
+		sched++
 		if !r.scheduleLeads(now, qc, vc, out, cand.port) {
 			continue
 		}
@@ -431,6 +448,7 @@ func (r *Router) processControl(now sim.Cycle) {
 			r.forward(now, ci, vc, cand.vc, out)
 		}
 	}
+	return arb, sched
 }
 
 // allocateCtrlVC gives the packet at the head of vc a downstream control VC

@@ -7,6 +7,7 @@ import (
 	"frfc/internal/core"
 	"frfc/internal/metrics"
 	"frfc/internal/noc"
+	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/stats"
 	"frfc/internal/timeseries"
@@ -119,6 +120,19 @@ type Result struct {
 	// its repair) exist only in flit-reservation runs.
 	CorruptedFlits, CrcDetected, CorruptEscapes int64
 	PhantomReservations, ReclaimedSlots         int64
+
+	// Self-profiling summary, populated only when the run carried a
+	// profile registry (Instruments.Probe.Prof). ProfTicks and
+	// ProfActiveTicks total component ticks executed vs. ticks that did
+	// work; ProfIdleFraction is their gap as a fraction. The ProfXxxWork
+	// fields are the FR router's per-phase work-unit attribution (zero for
+	// other substrates). Every value is a deterministic function of the
+	// simulation — host memory samples stay in the profile registry and
+	// never enter a Result — so profiled results remain byte-identical
+	// across worker counts.
+	ProfTicks, ProfActiveTicks                                 int64
+	ProfIdleFraction                                           float64
+	ProfSchedWork, ProfArbWork, ProfSwitchWork, ProfCreditWork int64
 }
 
 // String renders the result as one sweep row. The reported ± half-width is
@@ -186,6 +200,9 @@ type Live struct {
 	// Reg is a deep clone of the probe's registry at the snapshot (nil when
 	// the probe has none).
 	Reg *metrics.Registry
+	// Prof is a deep clone of the self-profiling registry (nil when the run
+	// is not profiled), its Cycles stamped with the snapshot time.
+	Prof *profile.Registry
 }
 
 // DefaultPublishEvery is the cycle period between Publish snapshots when
@@ -238,6 +255,10 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 	if pubEvery <= 0 {
 		pubEvery = DefaultPublishEvery
 	}
+	// The self-profiling registry, nil when profiling is off. Memory
+	// sampling happens on its epoch inside step(); everything else
+	// accumulates inside the fabric via the probe.
+	prof := probe.Profile()
 
 	lat := stats.NewLatencyStats()
 	retryLat := stats.NewRetryLatency()
@@ -336,6 +357,10 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 		if probe != nil {
 			lv.Reg = probe.Reg.Clone()
 		}
+		if prof != nil {
+			lv.Prof = prof.Clone()
+			lv.Prof.Cycles = now
+		}
 		return lv
 	}
 	step := func(tagging, observe bool) {
@@ -361,6 +386,9 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 		// exactly one occupancy sample.
 		if series.Due(now) {
 			series.Observe(now, probe.Reg, lat.N(), lat.Mean())
+		}
+		if prof.Due(now) {
+			prof.SampleMem()
 		}
 		if pub != nil && now%pubEvery == 0 {
 			pub(snapshot())
@@ -418,6 +446,9 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 	if probe != nil && probe.Reg != nil {
 		probe.Reg.Cycles = now
 	}
+	if prof != nil {
+		prof.Cycles = now
+	}
 	// The final window is usually partial; flush it so the series' ejected
 	// counts sum to the run's total ejected flits.
 	series.Flush(now, regOf(probe), lat.N(), lat.Mean())
@@ -473,6 +504,15 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 	}
 	if vcNet, ok := net.(*vcrouter.Network); ok {
 		res.CorruptedFlits, res.CrcDetected, res.CorruptEscapes = vcNet.IntegrityCounts()
+	}
+	if prof != nil {
+		res.ProfTicks, res.ProfActiveTicks = prof.Totals()
+		res.ProfIdleFraction = prof.IdleFraction()
+		ph := prof.PhaseTotals()
+		res.ProfSchedWork = ph[profile.PhaseSched]
+		res.ProfArbWork = ph[profile.PhaseArb]
+		res.ProfSwitchWork = ph[profile.PhaseSwitch]
+		res.ProfCreditWork = ph[profile.PhaseCredit]
 	}
 	return res, nil
 }

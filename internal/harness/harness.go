@@ -25,6 +25,7 @@ import (
 
 	"frfc/internal/experiment"
 	"frfc/internal/metrics"
+	"frfc/internal/profile"
 )
 
 // Job is one unit of work: a configuration simulated at one offered load.
@@ -56,7 +57,9 @@ func (j Job) EffectiveSpec() experiment.Spec {
 // v4: the bit-error model (Config BER/CrcBits/E2ECheck/ReclaimCycles, Spec
 // chaos fields) changes simulator semantics, and Result gained the
 // corruption ledger.
-const hashVersion = "frfc-job-v4"
+// v5: Result gained the self-profiling summary fields (ProfTicks,
+// ProfIdleFraction, per-phase work attribution).
+const hashVersion = "frfc-job-v5"
 
 // Hash is the job's stable content hash: a digest of the normalized spec
 // (every field, including nested router configs and the traffic pattern's
@@ -121,6 +124,16 @@ type Options struct {
 	// TestRunObservedMatchesRun enforces). Cached and skipped jobs carry no
 	// registry and are not reported.
 	Collect func(Job, *metrics.Registry)
+	// Profile arms self-profiling on every simulated job: each run carries
+	// a profile registry whose deterministic activity summary lands in the
+	// Result's Prof* fields. Observation-only like Collect — the shared
+	// fields of a profiled Result are bit-identical to an unprofiled run,
+	// and profiled campaigns are bit-identical across worker counts.
+	Profile bool
+	// CollectProfile, when non-nil, receives each simulated job's profile
+	// registry immediately after its run, from the worker goroutine
+	// (implies Profile). Cached and skipped jobs are not reported.
+	CollectProfile func(Job, *profile.Registry)
 }
 
 func (o Options) workers() int {

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"frfc/internal/experiment"
+	"frfc/internal/profile"
+)
+
+// TestProfiledParallelEqualsSerial extends the determinism contract to
+// profiled campaigns: with Options.Profile set, every worker count must
+// produce bit-identical Results — including the Prof* summary fields — and
+// the shared fields must match an unprofiled run exactly.
+func TestProfiledParallelEqualsSerial(t *testing.T) {
+	specs := []experiment.Spec{tinySpec(), tinyVC()}
+	loads := []float64{0.2, 0.4}
+	var jobs []Job
+	for _, s := range specs {
+		for _, l := range loads {
+			jobs = append(jobs, Job{Spec: s, Load: l})
+		}
+	}
+
+	serial, err := RunJobs(context.Background(), jobs, Options{Workers: 1, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range serial {
+		if jr.Err != "" {
+			t.Fatalf("serial job %d failed: %s", i, jr.Err)
+		}
+		if jr.Result.ProfTicks == 0 || jr.Result.ProfActiveTicks == 0 {
+			t.Errorf("job %d: profiled run reported no activity: ticks=%d active=%d",
+				i, jr.Result.ProfTicks, jr.Result.ProfActiveTicks)
+		}
+		if f := jr.Result.ProfIdleFraction; f <= 0 || f >= 1 {
+			t.Errorf("job %d: idle fraction %v out of (0,1)", i, f)
+		}
+	}
+
+	parallel, err := RunJobs(context.Background(), jobs, Options{Workers: 4, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if parallel[i].Err != "" {
+			t.Fatalf("parallel job %d failed: %s", i, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(parallel[i].Result, serial[i].Result) {
+			t.Errorf("job %d diverged between 1 and 4 workers:\n1w: %+v\n4w: %+v",
+				i, serial[i].Result, parallel[i].Result)
+		}
+	}
+
+	// Profiling is observation-only: strip the Prof* fields and the rest of
+	// the Result must be bit-identical to an unprofiled campaign.
+	plain, err := RunJobs(context.Background(), jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		stripped := serial[i].Result
+		stripped.ProfTicks, stripped.ProfActiveTicks = 0, 0
+		stripped.ProfIdleFraction = 0
+		stripped.ProfSchedWork, stripped.ProfArbWork = 0, 0
+		stripped.ProfSwitchWork, stripped.ProfCreditWork = 0, 0
+		if !reflect.DeepEqual(stripped, plain[i].Result) {
+			t.Errorf("job %d: profiled result (Prof* stripped) diverged from unprofiled:\nprofiled:   %+v\nunprofiled: %+v",
+				i, stripped, plain[i].Result)
+		}
+	}
+}
+
+// TestCollectProfileHandover: CollectProfile must receive one registry per
+// simulated job, each consistent with that job's Result summary.
+func TestCollectProfileHandover(t *testing.T) {
+	jobs := []Job{
+		{Spec: tinySpec(), Load: 0.3},
+		{Spec: tinyVC(), Load: 0.3},
+	}
+	var mu sync.Mutex
+	got := map[string]*profile.Registry{}
+	o := Options{
+		Workers: 2,
+		CollectProfile: func(j Job, p *profile.Registry) {
+			mu.Lock()
+			got[j.Hash()] = p
+			mu.Unlock()
+		},
+	}
+	results, err := RunJobs(context.Background(), jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("collected %d profile registries, want %d", len(got), len(jobs))
+	}
+	for i, jr := range results {
+		if jr.Err != "" {
+			t.Fatalf("job %d failed: %s", i, jr.Err)
+		}
+		p := got[jr.Hash]
+		if p == nil {
+			t.Fatalf("job %d: no profile registry handed over", i)
+		}
+		ticks, active := p.Totals()
+		if ticks != jr.Result.ProfTicks || active != jr.Result.ProfActiveTicks {
+			t.Errorf("job %d: registry totals (%d, %d) disagree with Result summary (%d, %d)",
+				i, ticks, active, jr.Result.ProfTicks, jr.Result.ProfActiveTicks)
+		}
+		if p.Cycles == 0 {
+			t.Errorf("job %d: registry Cycles not stamped", i)
+		}
+	}
+}

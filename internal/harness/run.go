@@ -8,6 +8,7 @@ import (
 
 	"frfc/internal/experiment"
 	"frfc/internal/metrics"
+	"frfc/internal/profile"
 )
 
 // RunJobs executes the jobs on the worker pool and returns one JobResult per
@@ -69,7 +70,7 @@ func execJob(ctx context.Context, j Job, o Options, tr *tracker) JobResult {
 		o.JobStarted(j)
 	}
 	start := time.Now()
-	res, panicked, stack, err := runJobIsolated(runCtx, j, o.Collect)
+	res, panicked, stack, err := runJobIsolated(runCtx, j, o)
 	jr.Elapsed = time.Since(start)
 	if err != nil {
 		jr.Err = err.Error()
@@ -92,9 +93,10 @@ func execJob(ctx context.Context, j Job, o Options, tr *tracker) JobResult {
 
 // runJobIsolated runs the simulation with panic capture, so a bug tripped by
 // one parameter point becomes that point's failure rather than a crashed
-// campaign. When a collector is supplied the run is probed and the registry
-// handed over on success — observation only, results unchanged.
-func runJobIsolated(ctx context.Context, j Job, collect func(Job, *metrics.Registry)) (res experiment.Result, panicked bool, stack string, err error) {
+// campaign. When a collector or the self-profiler is armed the run is probed
+// and the registries handed over on success — observation only, results
+// unchanged (profiling adds only the deterministic Prof* summary fields).
+func runJobIsolated(ctx context.Context, j Job, o Options) (res experiment.Result, panicked bool, stack string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
@@ -102,14 +104,26 @@ func runJobIsolated(ctx context.Context, j Job, collect func(Job, *metrics.Regis
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	if collect == nil {
+	profiled := o.Profile || o.CollectProfile != nil
+	if o.Collect == nil && !profiled {
 		res, err = experiment.RunCtx(ctx, j.EffectiveSpec(), j.Load)
 		return res, panicked, stack, err
 	}
-	probe := &metrics.Probe{Reg: metrics.NewRegistry(0)}
+	probe := &metrics.Probe{}
+	if o.Collect != nil {
+		probe.Reg = metrics.NewRegistry(0)
+	}
+	if profiled {
+		probe.Prof = profile.NewRegistry(0)
+	}
 	res, err = experiment.RunObservedCtx(ctx, j.EffectiveSpec(), j.Load, probe)
 	if err == nil {
-		collect(j, probe.Reg)
+		if o.Collect != nil {
+			o.Collect(j, probe.Reg)
+		}
+		if o.CollectProfile != nil {
+			o.CollectProfile(j, probe.Prof)
+		}
 	}
 	return res, panicked, stack, err
 }

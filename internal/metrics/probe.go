@@ -1,32 +1,46 @@
 package metrics
 
 import (
+	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 	"frfc/internal/trace"
 )
 
-// Probe is the instrumentation point handed to a fabric. Either part may be
+// Probe is the instrumentation point handed to a fabric. Any part may be
 // absent: Reg collects counters and gauges, Tracer records flit-level
-// events. All methods are no-ops on a nil *Probe — fabrics hold a concrete
-// *Probe (not an interface), so the disabled path is one nil test with no
-// dynamic dispatch and no allocation.
+// events, Prof accounts the simulator's own activity (ticks, idle fractions,
+// phase attribution). All methods are no-ops on a nil *Probe — fabrics hold
+// a concrete *Probe (not an interface), so the disabled path is one nil test
+// with no dynamic dispatch and no allocation.
 type Probe struct {
 	Reg    *Registry
 	Tracer *trace.Tracer
+	Prof   *profile.Registry
 }
 
 // Enabled reports whether the probe collects anything at all.
 func (p *Probe) Enabled() bool {
-	return p != nil && (p.Reg != nil || p.Tracer != nil)
+	return p != nil && (p.Reg != nil || p.Tracer != nil || p.Prof != nil)
 }
 
-// Init sizes the registry for a k×k mesh; safe to call on any probe.
+// Init sizes the registries for a k×k mesh; safe to call on any probe.
 func (p *Probe) Init(radix int) {
-	if p == nil || p.Reg == nil {
+	if p == nil {
 		return
 	}
 	p.Reg.Init(radix)
+	p.Prof.Init(radix)
+}
+
+// Profile returns the self-profiling registry, nil when profiling is off.
+// Fabrics cache the result at attach time so the per-tick cost of disabled
+// profiling is a nil test on a concrete *profile.Registry.
+func (p *Probe) Profile() *profile.Registry {
+	if p == nil {
+		return nil
+	}
+	return p.Prof
 }
 
 // SampleDue reports whether occupancy gauges should be sampled this cycle.

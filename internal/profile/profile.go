@@ -1,0 +1,506 @@
+// Package profile is the simulator's self-profiling registry: where
+// internal/metrics counts what the simulated fabric did, this package counts
+// what the simulator itself did to compute it. Per node and per component it
+// separates ticks that performed work (moved a flit, absorbed a credit,
+// arbitrated a candidate) from ticks that woke for nothing, attributes the FR
+// router's activity to its pipeline phases (reservation scheduling,
+// arbitration, switch traversal, credit handling), and samples allocation and
+// GC deltas on the metrics epoch. The resulting idle fractions are the
+// measured case for the event-driven kernel refactor.
+//
+// The contract matches internal/metrics: every method is safe — and free of
+// allocation — on a nil *Registry, so a disabled profiler costs the hot path
+// one pointer test per tick. Profiling is observation-only; nothing here may
+// feed back into simulation behaviour.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"frfc/internal/sim"
+)
+
+// Component identifies which simulator object a tick belongs to.
+type Component int
+
+const (
+	// CompRouter is a router tick (FR or VC-family).
+	CompRouter Component = iota
+	// CompNI is a network-interface (injection-side) tick.
+	CompNI
+	// CompSink is an ejection-side tick.
+	CompSink
+	// NumComponents sizes per-component arrays.
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{"router", "ni", "sink"}
+
+// String names the component for exports.
+func (c Component) String() string {
+	if c < 0 || c >= NumComponents {
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// Phase identifies one of the FR router's pipeline phases for cycle
+// attribution. A phase "cycle" is one unit of work inside that phase, not a
+// wall-clock measure: credit messages absorbed, control candidates
+// arbitrated, output-scheduler invocations, and data flits through the
+// crossbar respectively.
+type Phase int
+
+const (
+	// PhaseSched is reservation scheduling: output-table scheduling work
+	// triggered by arbitration winners (lead admission, departure search).
+	PhaseSched Phase = iota
+	// PhaseArb is control-flit arbitration: candidates considered in the
+	// arbitration walk plus control receptions queued for it.
+	PhaseArb
+	// PhaseSwitch is switch traversal: data flits leaving through the
+	// crossbar or arriving at an input.
+	PhaseSwitch
+	// PhaseCredit is credit handling: credit messages absorbed from data
+	// and control planes.
+	PhaseCredit
+	// NumPhases sizes per-phase arrays.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{"sched", "arb", "switch", "credit"}
+
+// String names the phase for exports.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// NodeProfile accounts one node's simulator activity, indexed by NodeID in
+// the registry.
+type NodeProfile struct {
+	// Ticks counts how many times each component at this node was ticked;
+	// Active counts the subset of those ticks that performed any work. The
+	// gap is the wake-for-nothing overhead an event-driven kernel would
+	// skip.
+	Ticks  [NumComponents]int64 `json:"ticks"`
+	Active [NumComponents]int64 `json:"active"`
+	// Phases attributes the FR router's work units to pipeline phases
+	// (see Phase). Zero for non-FR substrates.
+	Phases [NumPhases]int64 `json:"phases"`
+}
+
+// active reports whether the node recorded any ticks at all.
+func (n *NodeProfile) active() bool {
+	for c := 0; c < int(NumComponents); c++ {
+		if n.Ticks[c] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MemStats aggregates per-epoch allocation and GC deltas sampled with
+// runtime.ReadMemStats. These numbers describe the host process, not the
+// simulated machine, and are inherently nondeterministic — they live only in
+// the profile registry and never enter experiment results.
+type MemStats struct {
+	// Epochs is how many samples were folded in.
+	Epochs int64 `json:"epochs"`
+	// AllocBytes, Mallocs and Frees are cumulative heap deltas over the
+	// sampled window; NumGC counts completed collections and PauseNs their
+	// total stop-the-world time.
+	AllocBytes int64 `json:"allocBytes"`
+	Mallocs    int64 `json:"mallocs"`
+	Frees      int64 `json:"frees"`
+	NumGC      int64 `json:"numGC"`
+	PauseNs    int64 `json:"pauseNs"`
+	// MaxEpochAllocBytes is the largest single-epoch allocation delta —
+	// the spike the steady-state average hides.
+	MaxEpochAllocBytes int64 `json:"maxEpochAllocBytes"`
+}
+
+// DefaultEpoch is the sampling period, in cycles, used when a registry is
+// created with a non-positive one. It matches metrics.DefaultEpoch so the
+// two registries sample on the same tick.
+const DefaultEpoch = 64
+
+// Registry holds every node's self-profiling counters for one simulated
+// network.
+type Registry struct {
+	// Epoch is the memory-sampling period in cycles.
+	Epoch sim.Cycle `json:"epoch"`
+	// Radix is the mesh radix k (k×k nodes); Cycles is the simulated run
+	// length recorded at export time.
+	Radix  int           `json:"radix"`
+	Cycles sim.Cycle     `json:"cycles"`
+	Nodes  []NodeProfile `json:"nodes"`
+	// Mem is the aggregated allocation/GC sample set.
+	Mem MemStats `json:"mem"`
+	// Cols and Rows, when both positive, describe a rectangular cols×rows
+	// layout (node id = y*cols + x) and take precedence over the square
+	// Radix in grid exports. Zero for square meshes.
+	Cols int `json:"cols,omitempty"`
+	Rows int `json:"rows,omitempty"`
+
+	// lastMem is the previous runtime snapshot; primed once the first
+	// sample has been taken so the initial absolute values don't count as
+	// a delta.
+	lastMem runtime.MemStats
+	primed  bool
+}
+
+// NewRegistry returns an empty registry sampling memory every epoch cycles
+// (non-positive = DefaultEpoch). Node storage is sized on Init.
+func NewRegistry(epoch sim.Cycle) *Registry {
+	if epoch <= 0 {
+		epoch = DefaultEpoch
+	}
+	return &Registry{Epoch: epoch}
+}
+
+// Init sizes the registry for a k×k mesh. It is idempotent and keeps
+// existing counts when already sized.
+func (r *Registry) Init(radix int) {
+	if r == nil || radix <= 0 {
+		return
+	}
+	if len(r.Nodes) < radix*radix {
+		nodes := make([]NodeProfile, radix*radix)
+		copy(nodes, r.Nodes)
+		r.Nodes = nodes
+	}
+	r.Radix = radix
+}
+
+// InitRect sizes the registry for a rectangular cols×rows layout with nodes
+// numbered row-major (id = y*cols + x).
+func (r *Registry) InitRect(cols, rows int) {
+	if r == nil || cols <= 0 || rows <= 0 {
+		return
+	}
+	if len(r.Nodes) < cols*rows {
+		nodes := make([]NodeProfile, cols*rows)
+		copy(nodes, r.Nodes)
+		r.Nodes = nodes
+	}
+	r.Cols, r.Rows = cols, rows
+}
+
+// dims reports the grid layout: the rectangular one when set, else the square
+// radix on both axes.
+func (r *Registry) dims() (cols, rows int) {
+	if r.Cols > 0 && r.Rows > 0 {
+		return r.Cols, r.Rows
+	}
+	return r.Radix, r.Radix
+}
+
+// at returns the node's profile, growing the registry if an ID beyond the
+// initialised size appears (defensive; normal paths Init first).
+func (r *Registry) at(node int) *NodeProfile {
+	if node >= len(r.Nodes) {
+		nodes := make([]NodeProfile, node+1)
+		copy(nodes, r.Nodes)
+		r.Nodes = nodes
+	}
+	return &r.Nodes[node]
+}
+
+// RouterTick records one router tick at node with its per-phase work counts:
+// sched output-scheduler invocations, arb arbitration candidates, sw data
+// flits through the crossbar, cred credit messages absorbed. The tick is
+// active when any phase did work.
+func (r *Registry) RouterTick(node, sched, arb, sw, cred int) {
+	if r == nil {
+		return
+	}
+	n := r.at(node)
+	n.Ticks[CompRouter]++
+	if sched|arb|sw|cred != 0 {
+		n.Active[CompRouter]++
+	}
+	n.Phases[PhaseSched] += int64(sched)
+	n.Phases[PhaseArb] += int64(arb)
+	n.Phases[PhaseSwitch] += int64(sw)
+	n.Phases[PhaseCredit] += int64(cred)
+}
+
+// ComponentTick records one tick of component c at node, active when the
+// component performed any work this cycle. Used for NIs, sinks, and the
+// VC-family routers, which account activity without phase attribution.
+func (r *Registry) ComponentTick(c Component, node int, active bool) {
+	if r == nil {
+		return
+	}
+	n := r.at(node)
+	n.Ticks[c]++
+	if active {
+		n.Active[c]++
+	}
+}
+
+// Due reports whether now falls on the memory-sampling epoch.
+func (r *Registry) Due(now sim.Cycle) bool {
+	return r != nil && r.Epoch > 0 && now%r.Epoch == 0
+}
+
+// SampleMem folds one runtime.ReadMemStats delta into the registry. The
+// first call primes the baseline and records nothing. ReadMemStats stops the
+// world briefly; call it on the sampling epoch, not every cycle.
+func (r *Registry) SampleMem() {
+	if r == nil {
+		return
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if r.primed {
+		alloc := int64(m.TotalAlloc - r.lastMem.TotalAlloc)
+		r.Mem.Epochs++
+		r.Mem.AllocBytes += alloc
+		r.Mem.Mallocs += int64(m.Mallocs - r.lastMem.Mallocs)
+		r.Mem.Frees += int64(m.Frees - r.lastMem.Frees)
+		r.Mem.NumGC += int64(m.NumGC - r.lastMem.NumGC)
+		r.Mem.PauseNs += int64(m.PauseTotalNs - r.lastMem.PauseTotalNs)
+		if alloc > r.Mem.MaxEpochAllocBytes {
+			r.Mem.MaxEpochAllocBytes = alloc
+		}
+	}
+	r.lastMem = m
+	r.primed = true
+}
+
+// Clone returns a deep copy of the registry, safe to hand to another
+// goroutine while the original keeps accumulating. A nil registry clones to
+// nil.
+func (r *Registry) Clone() *Registry {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Nodes = append([]NodeProfile(nil), r.Nodes...)
+	return &c
+}
+
+// Merge folds another registry's counts into this one: tick and phase
+// counters add, memory deltas add (epoch maxima take the larger), layout
+// dimensions take the larger, and Cycles accumulate. Merging nil is a no-op.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	if o.Radix > r.Radix {
+		r.Radix = o.Radix
+	}
+	if o.Cols > r.Cols {
+		r.Cols = o.Cols
+	}
+	if o.Rows > r.Rows {
+		r.Rows = o.Rows
+	}
+	r.Cycles += o.Cycles
+	if len(o.Nodes) > len(r.Nodes) {
+		nodes := make([]NodeProfile, len(o.Nodes))
+		copy(nodes, r.Nodes)
+		r.Nodes = nodes
+	}
+	for i := range o.Nodes {
+		dst, src := &r.Nodes[i], &o.Nodes[i]
+		for c := 0; c < int(NumComponents); c++ {
+			dst.Ticks[c] += src.Ticks[c]
+			dst.Active[c] += src.Active[c]
+		}
+		for p := 0; p < int(NumPhases); p++ {
+			dst.Phases[p] += src.Phases[p]
+		}
+	}
+	r.Mem.Epochs += o.Mem.Epochs
+	r.Mem.AllocBytes += o.Mem.AllocBytes
+	r.Mem.Mallocs += o.Mem.Mallocs
+	r.Mem.Frees += o.Mem.Frees
+	r.Mem.NumGC += o.Mem.NumGC
+	r.Mem.PauseNs += o.Mem.PauseNs
+	if o.Mem.MaxEpochAllocBytes > r.Mem.MaxEpochAllocBytes {
+		r.Mem.MaxEpochAllocBytes = o.Mem.MaxEpochAllocBytes
+	}
+}
+
+// Totals sums ticks and active ticks across every node and component.
+func (r *Registry) Totals() (ticks, active int64) {
+	if r == nil {
+		return 0, 0
+	}
+	for i := range r.Nodes {
+		for c := 0; c < int(NumComponents); c++ {
+			ticks += r.Nodes[i].Ticks[c]
+			active += r.Nodes[i].Active[c]
+		}
+	}
+	return ticks, active
+}
+
+// IdleFraction is the fraction of all component ticks that performed no
+// work, in [0,1]; 0 when nothing was recorded.
+func (r *Registry) IdleFraction() float64 {
+	ticks, active := r.Totals()
+	if ticks == 0 {
+		return 0
+	}
+	return 1 - float64(active)/float64(ticks)
+}
+
+// PhaseTotals sums the FR router's per-phase work units across all nodes.
+func (r *Registry) PhaseTotals() [NumPhases]int64 {
+	var t [NumPhases]int64
+	if r == nil {
+		return t
+	}
+	for i := range r.Nodes {
+		for p := 0; p < int(NumPhases); p++ {
+			t[p] += r.Nodes[i].Phases[p]
+		}
+	}
+	return t
+}
+
+// HotNode describes one router's activity for Hottest.
+type HotNode struct {
+	// Node is the node id; X and Y its mesh coordinates.
+	Node int `json:"node"`
+	X    int `json:"x"`
+	Y    int `json:"y"`
+	// ActiveFraction is active router ticks over total router ticks.
+	ActiveFraction float64 `json:"activeFraction"`
+}
+
+// Hottest returns the n routers with the highest active-tick fraction,
+// busiest first, ties broken by node id for determinism. Nodes that never
+// ticked are skipped.
+func (r *Registry) Hottest(n int) []HotNode {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	cols, _ := r.dims()
+	var hot []HotNode
+	for id := range r.Nodes {
+		ticks := r.Nodes[id].Ticks[CompRouter]
+		if ticks == 0 {
+			continue
+		}
+		x, y := id, 0
+		if cols > 0 {
+			x, y = id%cols, id/cols
+		}
+		hot = append(hot, HotNode{Node: id, X: x, Y: y,
+			ActiveFraction: float64(r.Nodes[id].Active[CompRouter]) / float64(ticks)})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].ActiveFraction != hot[j].ActiveFraction {
+			return hot[i].ActiveFraction > hot[j].ActiveFraction
+		}
+		return hot[i].Node < hot[j].Node
+	})
+	if len(hot) > n {
+		hot = hot[:n]
+	}
+	return hot
+}
+
+// WriteJSON exports the registry as one indented JSON object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteIdleCSV writes a k×k grid of per-router idle-tick fractions (0..1),
+// one row per mesh row, matching the physical layout so the file reads as a
+// heatmap of where the cycle-stepped kernel wastes its wakeups.
+func (r *Registry) WriteIdleCSV(w io.Writer) error {
+	return r.writeGrid(w, "# idle router-tick fraction per node (rows = mesh rows, y increasing downward)",
+		func(n *NodeProfile) float64 {
+			if n.Ticks[CompRouter] == 0 {
+				return 0
+			}
+			return 1 - float64(n.Active[CompRouter])/float64(n.Ticks[CompRouter])
+		})
+}
+
+func (r *Registry) writeGrid(w io.Writer, header string, cell func(*NodeProfile) float64) error {
+	if r == nil {
+		return fmt.Errorf("profile: nil registry")
+	}
+	cols, rows := r.dims()
+	if cols <= 0 || rows <= 0 {
+		return fmt.Errorf("profile: registry not initialised (cols %d, rows %d)", cols, rows)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			if x > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			var v float64
+			if id := y*cols + x; id < len(r.Nodes) {
+				v = cell(&r.Nodes[id])
+			}
+			if _, err := fmt.Fprintf(w, "%.4f", v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a short human-readable digest: overall idle fraction,
+// per-component idle fractions, the FR phase split, and the allocation rate.
+func (r *Registry) Summary() string {
+	if r == nil {
+		return ""
+	}
+	ticks, _ := r.Totals()
+	if ticks == 0 {
+		return "profile: no ticks recorded"
+	}
+	var comp [NumComponents][2]int64
+	for i := range r.Nodes {
+		for c := 0; c < int(NumComponents); c++ {
+			comp[c][0] += r.Nodes[i].Ticks[c]
+			comp[c][1] += r.Nodes[i].Active[c]
+		}
+	}
+	s := fmt.Sprintf("profile: %.1f%% of %d component ticks idle", 100*r.IdleFraction(), ticks)
+	for c := Component(0); c < NumComponents; c++ {
+		if comp[c][0] == 0 {
+			continue
+		}
+		s += fmt.Sprintf("; %s %.1f%%", c, 100*(1-float64(comp[c][1])/float64(comp[c][0])))
+	}
+	ph := r.PhaseTotals()
+	var phSum int64
+	for p := 0; p < int(NumPhases); p++ {
+		phSum += ph[p]
+	}
+	if phSum > 0 {
+		s += fmt.Sprintf("; phases sched %d / arb %d / switch %d / credit %d",
+			ph[PhaseSched], ph[PhaseArb], ph[PhaseSwitch], ph[PhaseCredit])
+	}
+	if r.Mem.Epochs > 0 {
+		s += fmt.Sprintf("; mem %d B/epoch over %d epochs (%d GCs)",
+			r.Mem.AllocBytes/r.Mem.Epochs, r.Mem.Epochs, r.Mem.NumGC)
+	}
+	return s
+}

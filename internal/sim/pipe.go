@@ -215,14 +215,18 @@ func (p *Pipe[T]) Recv(now Cycle) (T, bool) {
 	return item, true
 }
 
-// RecvEach pops every ready item in FIFO order and passes it to fn.
-func (p *Pipe[T]) RecvEach(now Cycle, fn func(T)) {
+// RecvEach pops every ready item in FIFO order, passes each to fn, and
+// returns how many were delivered. The count gives callers a free activity
+// signal for self-profiling; ignoring it is fine.
+func (p *Pipe[T]) RecvEach(now Cycle, fn func(T)) int {
+	delivered := 0
 	for {
 		item, ok := p.Recv(now)
 		if !ok {
-			return
+			return delivered
 		}
 		fn(item)
+		delivered++
 	}
 }
 

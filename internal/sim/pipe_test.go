@@ -297,3 +297,21 @@ func TestEachVisitsWithoutConsuming(t *testing.T) {
 		t.Fatalf("Each saw %v, len=%d", seen, p.Len())
 	}
 }
+
+// TestRecvEachReturnsCount: the delivery count matches what fn saw, and an
+// empty or not-yet-ready pipe reports zero.
+func TestRecvEachReturnsCount(t *testing.T) {
+	p := NewPipe[int](5, 2)
+	if n := p.RecvEach(0, func(int) { t.Fatal("empty pipe delivered") }); n != 0 {
+		t.Fatalf("empty RecvEach = %d", n)
+	}
+	p.Send(0, 1)
+	p.Send(0, 2)
+	if n := p.RecvEach(1, func(int) { t.Fatal("early delivery") }); n != 0 {
+		t.Fatalf("pre-latency RecvEach = %d", n)
+	}
+	var seen []int
+	if n := p.RecvEach(5, func(v int) { seen = append(seen, v) }); n != 2 || len(seen) != 2 {
+		t.Fatalf("RecvEach = %d, saw %v", n, seen)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"frfc/internal/experiment"
 	"frfc/internal/harness"
 	"frfc/internal/metrics"
+	"frfc/internal/profile"
 )
 
 // JobView describes one in-flight job in the /status snapshot.
@@ -57,12 +58,28 @@ type RunView struct {
 	MeanLatency float64 `json:"meanLatency"`
 }
 
+// ProfileView is the self-profiling portion of the /status snapshot: the
+// activity accounting merged (campaign) or last published (single run).
+type ProfileView struct {
+	Ticks         int64   `json:"ticks"`
+	ActiveTicks   int64   `json:"activeTicks"`
+	IdleFraction  float64 `json:"idleFraction"`
+	SchedWork     int64   `json:"schedWork"`
+	ArbWork       int64   `json:"arbWork"`
+	SwitchWork    int64   `json:"switchWork"`
+	CreditWork    int64   `json:"creditWork"`
+	MemAllocBytes int64   `json:"memAllocBytes"`
+	MemEpochs     int64   `json:"memEpochs"`
+	Summary       string  `json:"summary"`
+}
+
 // Snapshot is the /status response body.
 type Snapshot struct {
 	UptimeSeconds float64       `json:"uptimeSeconds"`
 	Campaign      *CampaignView `json:"campaign,omitempty"`
 	Run           *RunView      `json:"run,omitempty"`
 	Running       []JobView     `json:"running,omitempty"`
+	Profile       *ProfileView  `json:"profile,omitempty"`
 }
 
 // Server is the live status HTTP server. The zero value is not usable; call
@@ -78,6 +95,7 @@ type Server struct {
 	running  map[string]time.Time // job key -> start time
 	jobs     map[string]JobView
 	reg      *metrics.Registry // merged (campaign) or latest (single run)
+	prof     *profile.Registry // merged (campaign) or latest (single run)
 }
 
 // Serve starts a status server listening on addr (host:port; host may be
@@ -167,6 +185,22 @@ func (s *Server) OnCollect(_ harness.Job, reg *metrics.Registry) {
 	s.mu.Unlock()
 }
 
+// OnCollectProfile merges one finished job's self-profiling registry into the
+// server's aggregate; plug into Options.CollectProfile. Like OnCollect, the
+// registry is handed over after the run completes, so the merge races with
+// nothing.
+func (s *Server) OnCollectProfile(_ harness.Job, p *profile.Registry) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.prof == nil {
+		s.prof = profile.NewRegistry(p.Epoch)
+	}
+	s.prof.Merge(p)
+	s.mu.Unlock()
+}
+
 // OnLive replaces the single-run view and registry snapshot; plug into
 // experiment's Instruments.Publish. The Live registry is already a clone
 // owned by the receiver.
@@ -183,6 +217,9 @@ func (s *Server) OnLive(lv experiment.Live) {
 	if lv.Reg != nil {
 		s.reg = lv.Reg
 	}
+	if lv.Prof != nil {
+		s.prof = lv.Prof
+	}
 	s.mu.Unlock()
 }
 
@@ -196,6 +233,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	if s.run != nil {
 		r := *s.run
 		snap.Run = &r
+	}
+	if s.prof != nil {
+		ticks, active := s.prof.Totals()
+		ph := s.prof.PhaseTotals()
+		snap.Profile = &ProfileView{
+			Ticks:         ticks,
+			ActiveTicks:   active,
+			IdleFraction:  s.prof.IdleFraction(),
+			SchedWork:     ph[profile.PhaseSched],
+			ArbWork:       ph[profile.PhaseArb],
+			SwitchWork:    ph[profile.PhaseSwitch],
+			CreditWork:    ph[profile.PhaseCredit],
+			MemAllocBytes: s.prof.Mem.AllocBytes,
+			MemEpochs:     s.prof.Mem.Epochs,
+			Summary:       s.prof.Summary(),
+		}
 	}
 	now := time.Now()
 	for k, started := range s.running {
@@ -231,11 +284,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if s.reg == nil {
-		// No registry yet: an empty exposition is still valid scrape output.
-		fmt.Fprintf(w, "# HELP frfc_up Status server is running.\n# TYPE frfc_up gauge\nfrfc_up 1\n")
-		return
-	}
+	// With no registry yet the exposition is just frfc_up — still valid
+	// scrape output.
 	fmt.Fprintf(w, "# HELP frfc_up Status server is running.\n# TYPE frfc_up gauge\nfrfc_up 1\n")
-	s.reg.WritePrometheus(w) //nolint:errcheck // client gone is not our problem
+	if s.reg != nil {
+		s.reg.WritePrometheus(w) //nolint:errcheck // client gone is not our problem
+	}
+	if s.prof != nil {
+		s.prof.WritePrometheus(w) //nolint:errcheck // client gone is not our problem
+	}
 }

@@ -2,15 +2,19 @@ package status
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"frfc/internal/experiment"
 	"frfc/internal/harness"
 	"frfc/internal/metrics"
+	"frfc/internal/profile"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -138,5 +142,194 @@ func TestLiveRunView(t *testing.T) {
 	code, _ := get(t, "http://"+s.Addr()+"/")
 	if code != http.StatusOK { // after following the redirect
 		t.Fatalf("/ = %d", code)
+	}
+}
+
+// expositionLine matches one Prometheus 0.0.4 sample line: a metric name, an
+// optional label set whose values contain no unescaped quote, backslash or
+// newline, and a value. Anything outside it would need escaping we don't do.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? [^ ]+$`)
+
+// TestMetricsContentTypeAndEscaping pins the scrape contract: the exact
+// Prometheus 0.0.4 content type, and every sample line well-formed with
+// label values that never require escaping.
+func TestMetricsContentTypeAndEscaping(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	reg := metrics.NewRegistry(0)
+	reg.Init(3)
+	for i := range reg.Nodes {
+		reg.Nodes[i].Injected = int64(i)
+		reg.Nodes[i].Ejected = int64(i)
+	}
+	reg.Cycles = 256
+	s.OnCollect(harness.Job{}, reg)
+	p := profile.NewRegistry(0)
+	p.Init(3)
+	p.RouterTick(4, 1, 2, 3, 4)
+	p.Cycles = 256
+	s.OnCollectProfile(harness.Job{}, p)
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	if sc := resp.Header.Get("Content-Type"); !strings.Contains(sc, "version=0.0.4") {
+		t.Fatalf("not the 0.0.4 exposition: %q", sc)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("exposition line needs escaping or is malformed: %q", line)
+		}
+	}
+	// The /status endpoint declares JSON.
+	resp, err = http.Get("http://" + s.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/status Content-Type = %q", ct)
+	}
+}
+
+// TestProfileBlock: collected profile registries merge into the /status
+// profile block and the /metrics exposition; a live snapshot replaces them.
+func TestProfileBlock(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	mk := func(sched int) *profile.Registry {
+		p := profile.NewRegistry(0)
+		p.Init(2)
+		p.RouterTick(1, sched, 0, 2, 1)
+		p.ComponentTick(profile.CompRouter, 1, false)
+		p.Cycles = 100
+		return p
+	}
+	s.OnCollectProfile(harness.Job{}, mk(1))
+	s.OnCollectProfile(harness.Job{}, mk(2))
+
+	_, body := get(t, "http://"+s.Addr()+"/status")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Profile == nil {
+		t.Fatalf("no profile block in /status:\n%s", body)
+	}
+	if snap.Profile.Ticks != 4 || snap.Profile.ActiveTicks != 2 {
+		t.Fatalf("profile totals wrong: %+v", snap.Profile)
+	}
+	if snap.Profile.SchedWork != 3 || snap.Profile.SwitchWork != 4 || snap.Profile.CreditWork != 2 {
+		t.Fatalf("merged phase work wrong: %+v", snap.Profile)
+	}
+	if snap.Profile.IdleFraction != 0.5 {
+		t.Fatalf("idle fraction = %v, want 0.5", snap.Profile.IdleFraction)
+	}
+	if !strings.Contains(snap.Profile.Summary, "idle") {
+		t.Fatalf("summary = %q", snap.Profile.Summary)
+	}
+
+	_, body = get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, `frfc_profile_phase_work_total{node="1",x="1",y="0",phase="sched"} 3`) {
+		t.Fatalf("/metrics missing merged profile exposition:\n%s", body)
+	}
+
+	// A live publish replaces the campaign aggregate.
+	lp := profile.NewRegistry(0)
+	lp.Init(2)
+	lp.RouterTick(0, 0, 0, 1, 0)
+	lp.Cycles = 7
+	s.OnLive(experiment.Live{Cycle: 7, Phase: "warmup", Prof: lp})
+	_, body = get(t, "http://"+s.Addr()+"/status")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Profile == nil || snap.Profile.Ticks != 1 {
+		t.Fatalf("live profile did not replace aggregate: %+v", snap.Profile)
+	}
+}
+
+// TestConcurrentFeedsAndScrapes hammers every feed callback from goroutines
+// while scraping both endpoints — the shape must stay stable and the race
+// detector quiet (CI runs this with -race).
+func TestConcurrentFeedsAndScrapes(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	spec := experiment.FR6(experiment.FastControl, 5)
+	var wg sync.WaitGroup
+	const iters = 50
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				j := harness.Job{Spec: spec, Load: float64(g*iters+i+1) / 1000}
+				s.OnJobStarted(j)
+				s.OnProgress(harness.Progress{Total: 200, Done: i})
+				reg := metrics.NewRegistry(0)
+				reg.Init(2)
+				reg.Nodes[0].Injected = 1
+				s.OnCollect(j, reg)
+				p := profile.NewRegistry(0)
+				p.Init(2)
+				p.RouterTick(0, 1, 0, 1, 0)
+				s.OnCollectProfile(j, p)
+				s.OnJobFinished(harness.JobResult{Job: j})
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		code, body := get(t, "http://"+s.Addr()+"/status")
+		if code != http.StatusOK {
+			t.Fatalf("/status = %d", code)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("/status JSON broke under concurrency: %v\n%s", err, body)
+		}
+		if snap.UptimeSeconds < 0 {
+			t.Fatalf("nonsense snapshot: %+v", snap)
+		}
+		code, _ = get(t, fmt.Sprintf("http://%s/metrics", s.Addr()))
+		if code != http.StatusOK {
+			t.Fatalf("/metrics = %d", code)
+		}
+	}
+	wg.Wait()
+
+	// After the dust settles the aggregates reflect every feed.
+	_, body := get(t, "http://"+s.Addr()+"/status")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Profile == nil || snap.Profile.Ticks != 4*iters {
+		t.Fatalf("profile aggregate lost feeds: %+v", snap.Profile)
+	}
+	if len(snap.Running) != 0 {
+		t.Fatalf("finished jobs still running: %+v", snap.Running)
 	}
 }

@@ -110,12 +110,15 @@ func (n *Network) AttachProbe(p *metrics.Probe) {
 	p.Init(n.mesh.Radix())
 	for _, r := range n.routers {
 		r.probe = p
+		r.prof = p.Profile()
 	}
 	for _, x := range n.nis {
 		x.probe = p
+		x.prof = p.Profile()
 	}
 	for _, s := range n.sinks {
 		s.probe = p
+		s.prof = p.Profile()
 	}
 }
 

@@ -3,6 +3,7 @@ package vcrouter
 import (
 	"frfc/internal/metrics"
 	"frfc/internal/noc"
+	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 )
@@ -20,6 +21,7 @@ type ni struct {
 	rng   *sim.RNG
 	hooks *noc.Hooks
 	probe *metrics.Probe
+	prof  *profile.Registry
 
 	queue []*noc.Packet
 	slots []niSlot
@@ -89,7 +91,9 @@ func (n *ni) hasCredit(vc int) bool {
 // Tick absorbs returned credits, starts queued packets on free virtual
 // channels, and injects at most one flit (the injection channel's bandwidth).
 func (n *ni) Tick(now sim.Cycle) {
-	n.creditIn.RecvEach(now, func(c noc.VCCredit) {
+	// Self-profiling work counter: credits absorbed, packets started,
+	// flits injected.
+	work := n.creditIn.RecvEach(now, func(c noc.VCCredit) {
 		if n.cfg.SharedPool {
 			n.pool++
 			n.occ[c.VC]--
@@ -119,6 +123,7 @@ func (n *ni) Tick(now sim.Cycle) {
 		n.owned[s] = true
 		p.InjectedAt = now
 		n.slots[s] = niSlot{active: true, vc: s, flits: noc.DataFlits(p)}
+		work++
 	}
 
 	// Inject one flit among ready slots, chosen at random.
@@ -129,28 +134,29 @@ func (n *ni) Tick(now sim.Cycle) {
 			n.ready = append(n.ready, s)
 		}
 	}
-	if len(n.ready) == 0 {
-		return
+	if len(n.ready) > 0 {
+		s := n.ready[n.rng.Intn(len(n.ready))]
+		sl := &n.slots[s]
+		f := sl.flits[sl.next]
+		f.VC = sl.vc
+		sl.next++
+		if n.cfg.SharedPool {
+			n.pool--
+			n.occ[sl.vc]++
+		} else {
+			n.credits[sl.vc]--
+		}
+		n.probe.Inject(now, int(n.node), uint64(f.Packet.ID), f.Seq)
+		n.data.Send(now, f)
+		n.hooks.Injected(now)
+		if sl.next == len(sl.flits) {
+			n.owned[sl.vc] = false
+			sl.active = false
+			sl.flits = nil
+		}
+		work++
 	}
-	s := n.ready[n.rng.Intn(len(n.ready))]
-	sl := &n.slots[s]
-	f := sl.flits[sl.next]
-	f.VC = sl.vc
-	sl.next++
-	if n.cfg.SharedPool {
-		n.pool--
-		n.occ[sl.vc]++
-	} else {
-		n.credits[sl.vc]--
-	}
-	n.probe.Inject(now, int(n.node), uint64(f.Packet.ID), f.Seq)
-	n.data.Send(now, f)
-	n.hooks.Injected(now)
-	if sl.next == len(sl.flits) {
-		n.owned[sl.vc] = false
-		sl.active = false
-		sl.flits = nil
-	}
+	n.prof.ComponentTick(profile.CompNI, int(n.node), work > 0)
 }
 
 // sink is the ejection side of a network interface: it receives flits from
@@ -163,6 +169,7 @@ type sink struct {
 	got   map[noc.PacketID]int
 	hooks *noc.Hooks
 	probe *metrics.Probe
+	prof  *profile.Registry
 	// delivered counts fully reassembled packets, used by the network's
 	// in-flight accounting.
 	delivered int64
@@ -173,7 +180,7 @@ func newSink(node topology.NodeID, hooks *noc.Hooks) *sink {
 }
 
 func (s *sink) Tick(now sim.Cycle) {
-	s.data.RecvEach(now, func(f noc.DataFlit) {
+	received := s.data.RecvEach(now, func(f noc.DataFlit) {
 		if f.Corrupted {
 			// The baseline has no end-to-end recovery: an escaped
 			// corruption is delivered as if it were good data, and only
@@ -189,4 +196,5 @@ func (s *sink) Tick(now sim.Cycle) {
 			s.hooks.Delivered(f.Packet, now)
 		}
 	})
+	s.prof.ComponentTick(profile.CompSink, int(s.node), received > 0)
 }

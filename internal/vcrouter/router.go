@@ -6,6 +6,7 @@ import (
 
 	"frfc/internal/metrics"
 	"frfc/internal/noc"
+	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 )
@@ -74,6 +75,10 @@ type Router struct {
 	// on a nil probe is a no-op.
 	probe *metrics.Probe
 
+	// prof is the self-profiling registry cached off the probe at attach
+	// time; nil when profiling is disabled.
+	prof *profile.Registry
+
 	// Scratch buffers reused every cycle to keep the hot loop
 	// allocation-free.
 	outOrder []int
@@ -113,20 +118,24 @@ func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG,
 
 // Tick advances the router one cycle: absorb credits and flits, route and
 // allocate virtual channels, then perform switch allocation and traversal.
+// Each stage reports its work count so the self-profiler can tell ticks that
+// moved something from ticks that woke for nothing.
 func (r *Router) Tick(now sim.Cycle) {
-	r.recvCredits(now)
-	r.recvFlits(now)
-	r.allocateVCs(now)
-	r.switchAllocate(now)
+	work := r.recvCredits(now)
+	work += r.recvFlits(now)
+	work += r.allocateVCs(now)
+	work += r.switchAllocate(now)
+	r.prof.ComponentTick(profile.CompRouter, int(r.id), work > 0)
 }
 
-func (r *Router) recvCredits(now sim.Cycle) {
+func (r *Router) recvCredits(now sim.Cycle) int {
+	received := 0
 	for p := range r.out {
 		o := &r.out[p]
 		if !o.exists || o.creditIn == nil {
 			continue
 		}
-		o.creditIn.RecvEach(now, func(c noc.VCCredit) {
+		received += o.creditIn.RecvEach(now, func(c noc.VCCredit) {
 			if r.cfg.SharedPool {
 				o.pool++
 				o.occ[c.VC]--
@@ -141,15 +150,17 @@ func (r *Router) recvCredits(now sim.Cycle) {
 			}
 		})
 	}
+	return received
 }
 
-func (r *Router) recvFlits(now sim.Cycle) {
+func (r *Router) recvFlits(now sim.Cycle) int {
+	received := 0
 	for p := range r.in {
 		in := &r.in[p]
 		if !in.exists || in.data == nil {
 			continue
 		}
-		in.data.RecvEach(now, func(f noc.DataFlit) {
+		received += in.data.RecvEach(now, func(f noc.DataFlit) {
 			if f.Corrupted {
 				r.probe.Corrupt(int(r.id))
 				if r.crcDetect() {
@@ -174,6 +185,7 @@ func (r *Router) recvFlits(now sim.Cycle) {
 			}
 		})
 	}
+	return received
 }
 
 // crcDetect reports whether the modeled c-bit hop CRC catches a corrupted
@@ -190,8 +202,9 @@ func (r *Router) crcDetect() bool {
 
 // allocateVCs routes head flits and assigns them a free virtual channel on
 // the downstream input of the routed output port, with random arbitration
-// among competing heads.
-func (r *Router) allocateVCs(now sim.Cycle) {
+// among competing heads. It reports the number of allocation requests
+// arbitrated.
+func (r *Router) allocateVCs(now sim.Cycle) int {
 	r.vcReqs = r.vcReqs[:0]
 	for p := range r.in {
 		in := &r.in[p]
@@ -243,12 +256,14 @@ func (r *Router) allocateVCs(now sim.Cycle) {
 		vc.outVC = dv
 		vc.allocated = true
 	}
+	return len(r.vcReqs)
 }
 
 // switchAllocate matches ready input VCs to output channels (one grant per
 // input port and one per output port, random arbitration) and performs the
-// traversal for each winner.
-func (r *Router) switchAllocate(now sim.Cycle) {
+// traversal for each winner. It reports the number of traversals performed.
+func (r *Router) switchAllocate(now sim.Cycle) int {
+	traversed := 0
 	for p := range r.saCand {
 		r.saCand[p] = r.saCand[p][:0]
 	}
@@ -291,7 +306,9 @@ func (r *Router) switchAllocate(now sim.Cycle) {
 		win := cands[r.rng.Intn(len(cands))]
 		inputGranted[win.port] = true
 		r.traverse(now, win.port, win.vc)
+		traversed++
 	}
+	return traversed
 }
 
 func (r *Router) hasCredit(o *outputState, vc int) bool {

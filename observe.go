@@ -6,6 +6,7 @@ import (
 
 	"frfc/internal/experiment"
 	"frfc/internal/metrics"
+	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/timeseries"
 	"frfc/internal/trace"
@@ -31,6 +32,15 @@ type ObserverOptions struct {
 	// when exceeded; 0 keeps every epoch of the run.
 	TimeSeries         bool
 	TimeSeriesCapacity int
+	// Profile enables simulator self-profiling: per-component activity
+	// accounting (total vs. active ticks per router, interface and sink),
+	// per-phase work attribution inside the flit-reservation router
+	// (reservation scheduling, arbitration, switch traversal, credit
+	// handling), and per-epoch host allocation/GC deltas sampled every
+	// MetricsEpoch cycles. Observation-only: the Result's shared fields are
+	// bit-identical with profiling on or off, and only the deterministic
+	// Prof* summary fields are populated from it.
+	Profile bool
 }
 
 // Observer collects per-router metrics, flit-level traces and/or a per-epoch
@@ -52,6 +62,9 @@ func NewObserver(o ObserverOptions) *Observer {
 	}
 	if o.Trace {
 		p.Tracer = trace.New(o.TraceCapacity)
+	}
+	if o.Profile {
+		p.Prof = profile.NewRegistry(sim.Cycle(o.MetricsEpoch))
 	}
 	obs := &Observer{probe: p}
 	if o.TimeSeries {
@@ -121,6 +134,64 @@ func (o *Observer) WriteUtilizationCSV(w io.Writer) error {
 func (o *Observer) needMetrics() error {
 	if o == nil || o.probe == nil || o.probe.Reg == nil {
 		return errNoMetrics
+	}
+	return nil
+}
+
+// WriteProfileJSON exports the self-profiling registry as indented JSON:
+// per-node per-component tick accounting, per-phase work attribution, and the
+// per-epoch memory-sampling summary. It errors when the observer was not
+// profiling.
+func (o *Observer) WriteProfileJSON(w io.Writer) error {
+	if err := o.needProfile(); err != nil {
+		return err
+	}
+	return o.probe.Prof.WriteJSON(w)
+}
+
+// WriteIdleCSV exports the k×k idle-fraction heatmap: per node, the fraction
+// of router ticks that did no work (values in 0..1, rows = mesh rows).
+func (o *Observer) WriteIdleCSV(w io.Writer) error {
+	if err := o.needProfile(); err != nil {
+		return err
+	}
+	return o.probe.Prof.WriteIdleCSV(w)
+}
+
+// ProfileSummary renders the collected profile as one human-readable line
+// (overall idle fraction, per-component breakdown, phase attribution, memory
+// per epoch). Empty when the observer was not profiling.
+func (o *Observer) ProfileSummary() string {
+	if o.needProfile() != nil {
+		return ""
+	}
+	return o.probe.Prof.Summary()
+}
+
+// HotRouter is one router's activity ranking from HottestRouters.
+type HotRouter struct {
+	Node, X, Y     int
+	ActiveFraction float64
+}
+
+// HottestRouters returns the n routers with the highest active-tick fraction,
+// most active first — the hot-path attribution view. Nil when the observer
+// was not profiling.
+func (o *Observer) HottestRouters(n int) []HotRouter {
+	if o.needProfile() != nil {
+		return nil
+	}
+	hot := o.probe.Prof.Hottest(n)
+	out := make([]HotRouter, len(hot))
+	for i, h := range hot {
+		out[i] = HotRouter{Node: h.Node, X: h.X, Y: h.Y, ActiveFraction: h.ActiveFraction}
+	}
+	return out
+}
+
+func (o *Observer) needProfile() error {
+	if o == nil || o.probe == nil || o.probe.Prof == nil {
+		return errNoProfile
 	}
 	return nil
 }
@@ -205,4 +276,5 @@ const (
 	errNoMetrics    = observeErr("frfc: observer was not collecting metrics (set ObserverOptions.Metrics)")
 	errNoTrace      = observeErr("frfc: observer was not tracing (set ObserverOptions.Trace)")
 	errNoTimeSeries = observeErr("frfc: observer was not recording a time series (set ObserverOptions.TimeSeries)")
+	errNoProfile    = observeErr("frfc: observer was not profiling (set ObserverOptions.Profile)")
 )

@@ -101,6 +101,13 @@ type ParallelOptions struct {
 	// it finishes. Serving is observation-only — results are bit-identical
 	// with or without it.
 	Status *StatusServer
+	// Profile arms self-profiling on every simulated job: each Result
+	// carries the deterministic Prof* activity summary, and when Status is
+	// also set the per-job profile registries are merged into the server's
+	// /status profile block and /metrics exposition. Observation-only: the
+	// shared Result fields are bit-identical with profiling off, and
+	// profiled campaigns are bit-identical across worker counts.
+	Profile bool
 }
 
 func (o ParallelOptions) internal() (harness.Options, *harness.Store, error) {
@@ -128,7 +135,11 @@ func (o ParallelOptions) internal() (harness.Options, *harness.Store, error) {
 		ho.JobStarted = o.Status.srv.OnJobStarted
 		ho.JobFinished = o.Status.srv.OnJobFinished
 		ho.Collect = o.Status.srv.OnCollect
+		if o.Profile {
+			ho.CollectProfile = o.Status.srv.OnCollectProfile
+		}
 	}
+	ho.Profile = o.Profile
 	if o.ResultPath == "" {
 		return ho, nil, nil
 	}

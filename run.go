@@ -97,6 +97,16 @@ type Result struct {
 	CorruptEscapes      int64
 	PhantomReservations int64
 	ReclaimedSlots      int64
+	// Self-profiling summary, populated only when the run carried a profile
+	// registry (ObserverOptions.Profile, ParallelOptions.Profile): total and
+	// active component ticks, the overall idle fraction, and per-phase work
+	// attribution inside the flit-reservation router. Every value is a
+	// deterministic function of the simulation — host memory samples never
+	// enter a Result — so profiled results stay bit-identical across worker
+	// counts.
+	ProfTicks, ProfActiveTicks                                 int64
+	ProfIdleFraction                                           float64
+	ProfSchedWork, ProfArbWork, ProfSwitchWork, ProfCreditWork int64
 }
 
 func fromInternal(r experiment.Result) Result {
@@ -142,6 +152,14 @@ func fromInternal(r experiment.Result) Result {
 		CorruptEscapes:      r.CorruptEscapes,
 		PhantomReservations: r.PhantomReservations,
 		ReclaimedSlots:      r.ReclaimedSlots,
+
+		ProfTicks:        r.ProfTicks,
+		ProfActiveTicks:  r.ProfActiveTicks,
+		ProfIdleFraction: r.ProfIdleFraction,
+		ProfSchedWork:    r.ProfSchedWork,
+		ProfArbWork:      r.ProfArbWork,
+		ProfSwitchWork:   r.ProfSwitchWork,
+		ProfCreditWork:   r.ProfCreditWork,
 	}
 }
 

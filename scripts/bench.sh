@@ -1,6 +1,7 @@
 #!/bin/sh
-# Run the repository benchmarks and record the result in benchmarks/latest.txt,
-# comparing ns/op against benchmarks/baseline.txt when one exists.
+# Run the repository benchmarks and record the result in benchmarks/latest.txt
+# (plus a machine-readable benchmarks/latest.json: name -> ns/op, B/op,
+# allocs/op), comparing ns/op against benchmarks/baseline.txt when one exists.
 #
 # The comparison is a gate, not a report: if any benchmark regresses by more
 # than BENCH_MAX_REGRESSION_PCT percent (default 20) against the baseline the
@@ -44,7 +45,7 @@ for arg in "$@"; do
         # the regression canary that every change to the overhead code must
         # hold. The sweep benchmark guards the harness's parallel speedup and
         # serial/parallel determinism on a reduced grid.
-        pattern='Table1|Table2|SweepSerialVsParallel'
+        pattern='Table1|Table2|SweepSerialVsParallel|ProfileDisabledOverhead'
         shortflag='-short'
         ;;
     -profile)
@@ -57,7 +58,30 @@ for arg in "$@"; do
     esac
 done
 
-go test -run '^$' -bench "$pattern" -benchtime 1x $shortflag $profileflags . | tee benchmarks/latest.txt
+go test -run '^$' -bench "$pattern" -benchtime 1x -benchmem $shortflag $profileflags . | tee benchmarks/latest.txt
+
+# Machine-readable twin of latest.txt for tooling (cmd/report reads it):
+# one object per benchmark with ns/op and, when -benchmem reported them,
+# B/op and allocs/op.
+awk '
+    BEGIN { print "{" ; n = 0 }
+    $1 ~ /^Benchmark/ && $2 ~ /^[0-9]+$/ {
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 3; i < NF; i += 2) {
+            if ($(i+1) == "ns/op") ns = $i
+            if ($(i+1) == "B/op") bytes = $i
+            if ($(i+1) == "allocs/op") allocs = $i
+        }
+        if (ns == "") next
+        if (n++) printf ",\n"
+        printf "  \"%s\": {\"nsPerOp\": %s", $1, ns
+        if (bytes != "") printf ", \"bytesPerOp\": %s", bytes
+        if (allocs != "") printf ", \"allocsPerOp\": %s", allocs
+        printf "}"
+    }
+    END { if (n) printf "\n"; print "}" }
+' benchmarks/latest.txt > benchmarks/latest.json
+echo "# machine-readable summary: benchmarks/latest.json"
 
 if [ -n "$profileflags" ]; then
     echo
