@@ -1,0 +1,170 @@
+// Command frserve is the campaign service daemon: a long-running HTTP server
+// that accepts sweep submissions, schedules their jobs fairly over one shared
+// worker pool, dedups completed work through a persistent on-disk result
+// database, and reports progress on /status and /metrics.
+//
+// The REST API (see docs/service.md):
+//
+//	POST   /campaigns               submit a sweep (JSON body), returns the campaign
+//	GET    /campaigns               list campaigns
+//	GET    /campaigns/{id}          one campaign with per-job rows
+//	GET    /campaigns/{id}/results  completed results as JSONL store lines (?wait=1 blocks)
+//	DELETE /campaigns/{id}          cancel cooperatively
+//
+// Results are durable: the database under -db survives restarts, and a
+// resubmitted campaign resolves every already-completed job from it without
+// re-executing. SIGINT/SIGTERM shut the daemon down gracefully.
+//
+// Usage:
+//
+//	frserve -addr 127.0.0.1:8080 -db ./frdb -workers 8 -report out/BENCHMARK.md
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"frfc/internal/service"
+	"frfc/internal/status"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// config is the daemon's parsed command line.
+type config struct {
+	addr            string
+	dbDir           string
+	workers         int
+	timeout         time.Duration
+	report          string
+	segmentBytes    int64
+	shutdownTimeout time.Duration
+}
+
+// daemon bundles the running pieces so start/shutdown are testable without a
+// process boundary.
+type daemon struct {
+	cfg config
+	db  *service.DB
+	st  *status.Server
+	svc *service.Service
+	rep *service.Reporter
+
+	stop    sync.Once
+	stopErr error
+}
+
+// start opens the database, spawns the service's worker pool, mounts the
+// REST API next to /status and /metrics on one listener, and (when
+// configured) arms the background reporter.
+func start(cfg config, stderr io.Writer) (*daemon, error) {
+	db, err := service.OpenDB(cfg.dbDir, service.DBOptions{SegmentBytes: cfg.segmentBytes})
+	if err != nil {
+		return nil, err
+	}
+	st, err := status.Serve(cfg.addr)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	d := &daemon{cfg: cfg, db: db, st: st}
+	opts := service.Options{
+		Workers: cfg.workers,
+		Timeout: cfg.timeout,
+		Status:  st,
+	}
+	if cfg.report != "" {
+		d.rep = service.NewReporter(db, cfg.report)
+		opts.OnCampaignDone = d.rep.Kick
+	}
+	d.svc = service.New(db, opts)
+	d.svc.Mount(st)
+	if s := db.Stats(); s.Entries > 0 {
+		fmt.Fprintf(stderr, "frserve: recovered %d results from %d segments under %s", s.Entries, s.Segments, cfg.dbDir)
+		if s.Healed > 0 {
+			fmt.Fprintf(stderr, " (healed %d torn lines)", s.Healed)
+		}
+		fmt.Fprintln(stderr)
+	}
+	return d, nil
+}
+
+// addr reports the bound listen address (resolved when -addr used port 0).
+func (d *daemon) addr() string { return d.st.Addr() }
+
+// shutdown stops the daemon gracefully: the listener closes and in-flight
+// requests finish, campaigns are cancelled cooperatively and the worker pool
+// drains, any pending report render completes, and the database closes. All
+// completed results are already durable on disk — resubmitting a campaign
+// after restart resolves them as dedup hits. Idempotent; later calls return
+// the first call's error.
+func (d *daemon) shutdown(timeout time.Duration) error {
+	d.stop.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		var firstErr error
+		if err := d.st.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("http shutdown: %w", err)
+		}
+		if err := d.svc.Close(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("drain workers: %w", err)
+		}
+		if d.rep != nil {
+			d.rep.Close()
+		}
+		if err := d.db.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("close db: %w", err)
+		}
+		d.stopErr = firstErr
+	})
+	return d.stopErr
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("frserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+	fs.StringVar(&cfg.dbDir, "db", "frdb", "result database directory (created if absent; survives restarts)")
+	fs.IntVar(&cfg.workers, "workers", 0, "shared worker pool size (0 = NumCPU)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "per-job execution timeout (0 = none)")
+	fs.StringVar(&cfg.report, "report", "", "regenerate this BENCHMARK.md-style report from the database on every campaign completion")
+	fs.Int64Var(&cfg.segmentBytes, "segment-bytes", 0, "database segment rotation threshold in bytes (0 = default)")
+	fs.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 30*time.Second, "grace period for draining on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "frserve: "+format+"\n", a...)
+		return 2
+	}
+	if fs.NArg() > 0 {
+		return fail("unexpected arguments: %v", fs.Args())
+	}
+
+	d, err := start(cfg, stderr)
+	if err != nil {
+		return fail("%v", err)
+	}
+	fmt.Fprintf(stderr, "frserve: %d workers, db %s\n", d.svc.Workers(), cfg.dbDir)
+	fmt.Fprintf(stderr, "frserve: API on http://%s/campaigns, status on http://%s/status\n", d.addr(), d.addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	signal.Stop(sig)
+	fmt.Fprintf(stderr, "frserve: %s, shutting down (grace %s)\n", s, cfg.shutdownTimeout)
+	if err := d.shutdown(cfg.shutdownTimeout); err != nil {
+		return fail("shutdown: %v", err)
+	}
+	return 0
+}

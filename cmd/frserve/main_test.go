@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testDaemon starts a daemon on an ephemeral port over a fresh database
+// directory and tears it down with the test.
+func testDaemon(t *testing.T, dbDir, reportPath string) *daemon {
+	t.Helper()
+	d, err := start(config{
+		addr:    "127.0.0.1:0",
+		dbDir:   dbDir,
+		workers: 2,
+		report:  reportPath,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.shutdown(10 * time.Second) }) //nolint:errcheck // double shutdown in happy paths
+	return d
+}
+
+func doJSON(t *testing.T, method, url string, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// campaignJSON is the subset of the campaign view the test asserts on.
+type campaignJSON struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Jobs      int    `json:"jobs"`
+	Done      int    `json:"done"`
+	Simulated int    `json:"simulated"`
+	Cached    int    `json:"cached"`
+	Failed    int    `json:"failed"`
+}
+
+func submit(t *testing.T, base, body string) campaignJSON {
+	t.Helper()
+	code, b := doJSON(t, "POST", base+"/campaigns", body)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /campaigns = %d: %s", code, b)
+	}
+	var c campaignJSON
+	if err := json.Unmarshal(b, &c); err != nil {
+		t.Fatalf("bad campaign JSON: %v\n%s", err, b)
+	}
+	return c
+}
+
+func results(t *testing.T, base, id string) []byte {
+	t.Helper()
+	code, b := doJSON(t, "GET", base+"/campaigns/"+id+"/results?wait=1", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET results = %d: %s", code, b)
+	}
+	return b
+}
+
+// TestDaemonEndToEnd drives the full lifecycle over HTTP: submit a small
+// sweep, wait for completion, fetch the result stream, resubmit and observe
+// 100% dedup, restart the daemon over the same database and observe the
+// results survive, and check /status and the regenerated report along the way.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dbDir := filepath.Join(dir, "db")
+	reportPath := filepath.Join(dir, "BENCHMARK.md")
+	d := testDaemon(t, dbDir, reportPath)
+	base := "http://" + d.addr()
+
+	body := `{"name":"e2e","configs":["FR6","VC8"],"from":0.2,"to":0.4,"step":0.2,"sample":150,"warmup":300}`
+	c := submit(t, base, body)
+	if c.Jobs != 4 || c.ID == "" {
+		t.Fatalf("campaign = %+v, want 4 jobs (2 configs x 2 loads)", c)
+	}
+
+	first := results(t, base, c.ID)
+	lines := bytes.Count(first, []byte("\n"))
+	if lines != 4 {
+		t.Fatalf("results has %d lines, want 4:\n%s", lines, first)
+	}
+
+	// The detail view must show every job simulated, none cached or failed.
+	code, b := doJSON(t, "GET", base+"/campaigns/"+c.ID, "")
+	if code != http.StatusOK {
+		t.Fatalf("GET campaign = %d: %s", code, b)
+	}
+	var detail campaignJSON
+	if err := json.Unmarshal(b, &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.State != "done" || detail.Simulated != 4 || detail.Cached != 0 || detail.Failed != 0 {
+		t.Fatalf("after first run: %+v", detail)
+	}
+
+	// Resubmitting the identical campaign must resolve entirely from the
+	// dedup store — zero new executions — and stream byte-identical results.
+	c2 := submit(t, base, body)
+	second := results(t, base, c2.ID)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("resubmitted results differ:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	_, b = doJSON(t, "GET", base+"/campaigns/"+c2.ID, "")
+	if err := json.Unmarshal(b, &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Simulated != 0 || detail.Cached != 4 {
+		t.Fatalf("resubmission executed jobs: %+v", detail)
+	}
+
+	// /status carries the service section with the dedup ledger.
+	_, b = doJSON(t, "GET", base+"/status", "")
+	var snap struct {
+		Service *struct {
+			Campaigns int   `json:"campaigns"`
+			DedupHits int64 `json:"dedupHits"`
+			DBEntries int   `json:"dbEntries"`
+		} `json:"service"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, b)
+	}
+	if snap.Service == nil || snap.Service.Campaigns != 2 || snap.Service.DedupHits < 4 || snap.Service.DBEntries != 4 {
+		t.Fatalf("service status wrong: %s", b)
+	}
+	_, b = doJSON(t, "GET", base+"/metrics", "")
+	if !strings.Contains(string(b), "frfc_service_dedup_hits_total") ||
+		!strings.Contains(string(b), `frfc_campaign_jobs{campaign="c1"`) {
+		t.Fatalf("/metrics missing service gauges:\n%s", b)
+	}
+
+	// Graceful shutdown, then a fresh daemon over the same database: the
+	// resubmitted campaign must again be served entirely from disk.
+	if err := d.shutdown(10 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The reporter ran at least once before shutdown drained it.
+	rep, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !strings.Contains(string(rep), "# Benchmark Report") || !strings.Contains(string(rep), "4 points") {
+		t.Fatalf("report content wrong:\n%s", rep)
+	}
+
+	d2 := testDaemon(t, dbDir, "")
+	base2 := "http://" + d2.addr()
+	c3 := submit(t, base2, body)
+	third := results(t, base2, c3.ID)
+	if !bytes.Equal(first, third) {
+		t.Fatalf("post-restart results differ from original")
+	}
+	_, b = doJSON(t, "GET", base2+"/campaigns/"+c3.ID, "")
+	if err := json.Unmarshal(b, &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Simulated != 0 || detail.Cached != 4 {
+		t.Fatalf("restart re-executed jobs: %+v", detail)
+	}
+	if err := d2.shutdown(10 * time.Second); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestDaemonValidation checks the API's error envelope.
+func TestDaemonValidation(t *testing.T) {
+	d := testDaemon(t, t.TempDir(), "")
+	base := "http://" + d.addr()
+
+	for _, bad := range []string{
+		`{`,
+		`{"configs":[]}`,
+		`{"configs":["NOPE"],"loads":[0.2]}`,
+		`{"configs":["FR6"],"loads":[0.2],"sample":100}`,
+		`{"configs":["FR6"],"loads":[0.2],"bogus":1}`,
+	} {
+		code, b := doJSON(t, "POST", base+"/campaigns", bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400 (%s)", bad, code, b)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+			t.Errorf("POST %s: error envelope missing: %s", bad, b)
+		}
+	}
+	if code, _ := doJSON(t, "GET", base+"/campaigns/c99", ""); code != http.StatusNotFound {
+		t.Errorf("GET missing campaign = %d, want 404", code)
+	}
+	if code, _ := doJSON(t, "DELETE", base+"/campaigns/c99", ""); code != http.StatusNotFound {
+		t.Errorf("DELETE missing campaign = %d, want 404", code)
+	}
+
+	code, b := doJSON(t, "GET", base+"/campaigns", "")
+	if code != http.StatusOK || strings.TrimSpace(string(b)) != "[]" {
+		// No campaigns submitted; the listing must be an empty array.
+		var list []campaignJSON
+		if err := json.Unmarshal(b, &list); err != nil || len(list) != 0 {
+			t.Errorf("GET /campaigns = %d %s", code, b)
+		}
+	}
+}

@@ -229,12 +229,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var st *frfc.StatusServer
 	if *statusAddr != "" {
 		var err error
-		st, err = frfc.ServeStatus(*statusAddr)
+		var bound string
+		st, bound, err = frfc.ServeStatus(*statusAddr)
 		if err != nil {
 			return fail("%v", err)
 		}
 		defer st.Close()
-		fmt.Fprintf(stderr, "frsim: status on http://%s/status, metrics on http://%s/metrics\n", st.Addr(), st.Addr())
+		fmt.Fprintf(stderr, "frsim: status on http://%s/status, metrics on http://%s/metrics\n", bound, bound)
 	}
 
 	if *cpuprofile != "" {

@@ -8,6 +8,11 @@
 // the command over unchanged inputs reproduces the committed file byte for
 // byte, which is what makes the report reviewable in diffs.
 //
+// Malformed store lines are an error: the command exits non-zero naming the
+// offending file and line number, so a corrupted store cannot silently
+// produce a report missing rows. Pass -lenient to restore the old
+// skip-and-count behavior (useful over stores healed after a crash).
+//
 // Usage:
 //
 //	report -out BENCHMARK.md benchmarks/campaign.jsonl
@@ -16,61 +21,16 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+
+	"frfc/internal/report"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
-}
-
-// storeRow mirrors the fields of a result-store line the report uses. The
-// store's result object is the simulator's Result with Go field names.
-type storeRow struct {
-	Hash   string  `json:"hash"`
-	Spec   string  `json:"spec"`
-	Load   float64 `json:"load"`
-	Seed   uint64  `json:"seed"`
-	Result struct {
-		AvgLatency       float64
-		CI95             float64
-		BatchCI95        float64
-		Batches          int
-		P50, P95, P99    int64
-		AcceptedLoad     float64
-		Saturated        bool
-		SampledDelivered int
-		SampleSize       int
-		Cycles           int64
-
-		DroppedFlits        int64
-		LostPackets         int64
-		RetriedPackets      int64
-		AbandonedPackets    int64
-		UnreachablePackets  int64
-		DeliveredFraction   float64
-		CorruptedFlits      int64
-		CrcDetected         int64
-		CorruptEscapes      int64
-		PhantomReservations int64
-		ReclaimedSlots      int64
-
-		ProfTicks        int64
-		ProfActiveTicks  int64
-		ProfIdleFraction float64
-		ProfSchedWork    int64
-		ProfArbWork      int64
-		ProfSwitchWork   int64
-		ProfCreditWork   int64
-	} `json:"result"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -81,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baselinePath = fs.String("baseline", "", "baseline benchmark log to diff -bench against (e.g. benchmarks/baseline.txt)")
 		benchJSON    = fs.String("bench-json", "", "machine-readable benchmark summary from scripts/bench.sh (benchmarks/latest.json); adds allocation columns")
 		outPath      = fs.String("out", "", "write the report to this file (default: stdout)")
+		lenient      = fs.Bool("lenient", false, "skip undecodable store lines (counting them) instead of failing with the offending line number")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -94,298 +55,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("nothing to report: name at least one JSONL result store or -bench log")
 	}
 
-	var b bytes.Buffer
-	b.WriteString("# Benchmark Report\n\n")
-	b.WriteString("Auto-generated by `cmd/report` from the committed campaign stores and\n")
-	b.WriteString("benchmark logs; do not edit by hand. Regenerate with:\n\n")
-	b.WriteString("    go run ./cmd/report -bench benchmarks/latest.txt -baseline benchmarks/baseline.txt \\\n")
-	b.WriteString("        -bench-json benchmarks/latest.json -out BENCHMARK.md benchmarks/campaign.jsonl\n\n")
-	b.WriteString("Units: latency in cycles; offered and accepted loads as a percentage of\n")
-	b.WriteString("network capacity; the CI column is the 95% batch-means half-width when\n")
-	b.WriteString("the sample batched, else the i.i.d. interval.\n")
-
+	sources := make([]report.Source, 0, len(stores))
 	for _, path := range stores {
-		rows, skipped, err := readStore(path)
+		src, err := report.ReadStoreFile(path, *lenient)
 		if err != nil {
 			return fail("%v", err)
 		}
-		writeStoreSection(&b, path, rows, skipped)
+		sources = append(sources, src)
 	}
 
+	var bench *report.Bench
 	if *benchPath != "" {
-		latest, order, err := parseBench(*benchPath)
+		latest, order, err := report.ParseBenchFile(*benchPath)
 		if err != nil {
 			return fail("%v", err)
 		}
-		var base map[string]float64
+		bench = &report.Bench{
+			Path: *benchPath, BaselinePath: *baselinePath,
+			Latest: latest, Order: order,
+		}
 		if *baselinePath != "" {
-			base, _, err = parseBench(*baselinePath)
+			bench.Base, _, err = report.ParseBenchFile(*baselinePath)
 			if err != nil {
 				return fail("%v", err)
 			}
 		}
-		var allocs map[string]benchJSONEntry
 		if *benchJSON != "" {
-			allocs, err = parseBenchJSON(*benchJSON)
+			bench.Allocs, err = report.ParseBenchJSONFile(*benchJSON)
 			if err != nil {
 				return fail("%v", err)
 			}
 		}
-		writeBenchSection(&b, *benchPath, *baselinePath, latest, order, base, allocs)
 	}
 
+	out := report.Render(sources, bench)
 	if *outPath == "" {
-		_, err := stdout.Write(b.Bytes())
-		if err != nil {
+		if _, err := stdout.Write(out); err != nil {
 			return fail("%v", err)
 		}
 		return 0
 	}
-	if err := os.WriteFile(*outPath, b.Bytes(), 0o644); err != nil {
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
 		return fail("%v", err)
 	}
-	fmt.Fprintf(stderr, "report: wrote %s (%d bytes)\n", *outPath, b.Len())
+	fmt.Fprintf(stderr, "report: wrote %s (%d bytes)\n", *outPath, len(out))
 	return 0
-}
-
-// readStore loads a JSONL result store, keeping the last entry per hash
-// (matching the store's own resume semantics) and counting undecodable lines.
-func readStore(path string) ([]storeRow, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	byHash := map[string]storeRow{}
-	var order []string
-	skipped := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(bytes.TrimSpace(line)) == 0 {
-			continue
-		}
-		var r storeRow
-		if err := json.Unmarshal(line, &r); err != nil || r.Hash == "" {
-			skipped++
-			continue
-		}
-		if _, seen := byHash[r.Hash]; !seen {
-			order = append(order, r.Hash)
-		}
-		byHash[r.Hash] = r
-	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("read %s: %w", path, err)
-	}
-	rows := make([]storeRow, 0, len(order))
-	for _, h := range order {
-		rows = append(rows, byHash[h])
-	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		if rows[i].Spec != rows[j].Spec {
-			return rows[i].Spec < rows[j].Spec
-		}
-		if rows[i].Load != rows[j].Load {
-			return rows[i].Load < rows[j].Load
-		}
-		return rows[i].Seed < rows[j].Seed
-	})
-	return rows, skipped, nil
-}
-
-func writeStoreSection(b *bytes.Buffer, path string, rows []storeRow, skipped int) {
-	fmt.Fprintf(b, "\n## Campaign results — %s\n\n", path)
-	if len(rows) == 0 {
-		b.WriteString("No decodable result rows.\n")
-		return
-	}
-	fmt.Fprintf(b, "%d points", len(rows))
-	if skipped > 0 {
-		fmt.Fprintf(b, " (%d undecodable lines skipped)", skipped)
-	}
-	b.WriteString(".\n\n")
-
-	b.WriteString("| Config | Load %cap | Latency | 95% CI ± | Accepted %cap | P99 | Delivered | Saturated |\n")
-	b.WriteString("|---|---:|---:|---:|---:|---:|---:|:---:|\n")
-	for _, r := range rows {
-		ci := r.Result.CI95
-		if r.Result.Batches > 0 {
-			ci = r.Result.BatchCI95
-		}
-		sat := ""
-		if r.Result.Saturated {
-			sat = "yes"
-		}
-		fmt.Fprintf(b, "| %s | %.1f | %.2f | %.2f | %.1f | %d | %d/%d | %s |\n",
-			r.Spec, r.Load*100, r.Result.AvgLatency, ci,
-			r.Result.AcceptedLoad*100, r.Result.P99,
-			r.Result.SampledDelivered, r.Result.SampleSize, sat)
-	}
-
-	writeFaultSubsection(b, rows)
-	writeProfileSubsection(b, rows)
-}
-
-// writeFaultSubsection adds the fault/chaos delivery table when any row
-// carried fault, retry or corruption activity. A healthy campaign — full
-// delivery, nothing dropped or retried — keeps the report clean.
-func writeFaultSubsection(b *bytes.Buffer, rows []storeRow) {
-	any := false
-	for _, r := range rows {
-		res := r.Result
-		if res.DroppedFlits > 0 || res.UnreachablePackets > 0 || res.RetriedPackets > 0 ||
-			res.AbandonedPackets > 0 || res.CorruptedFlits > 0 ||
-			(res.DeliveredFraction > 0 && res.DeliveredFraction < 1) {
-			any = true
-			break
-		}
-	}
-	if !any {
-		return
-	}
-	b.WriteString("\n### Fault and integrity delivery\n\n")
-	b.WriteString("| Config | Load %cap | Delivered % | Unreachable | Dropped | Retried | Abandoned | Corrupted | CRC caught | Escapes |\n")
-	b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
-	for _, r := range rows {
-		res := r.Result
-		delivered := res.DeliveredFraction * 100
-		fmt.Fprintf(b, "| %s | %.1f | %.1f | %d | %d | %d | %d | %d | %d | %d |\n",
-			r.Spec, r.Load*100, delivered, res.UnreachablePackets, res.DroppedFlits,
-			res.RetriedPackets, res.AbandonedPackets,
-			res.CorruptedFlits, res.CrcDetected, res.CorruptEscapes)
-	}
-}
-
-// writeProfileSubsection summarizes the self-profiling activity accounting of
-// rows that carried it (campaigns run with profiling armed).
-func writeProfileSubsection(b *bytes.Buffer, rows []storeRow) {
-	var ticks, active, sched, arb, sw, cred int64
-	profiled := 0
-	for _, r := range rows {
-		if r.Result.ProfTicks == 0 {
-			continue
-		}
-		profiled++
-		ticks += r.Result.ProfTicks
-		active += r.Result.ProfActiveTicks
-		sched += r.Result.ProfSchedWork
-		arb += r.Result.ProfArbWork
-		sw += r.Result.ProfSwitchWork
-		cred += r.Result.ProfCreditWork
-	}
-	if profiled == 0 {
-		return
-	}
-	b.WriteString("\n### Self-profiling (simulator activity accounting)\n\n")
-	fmt.Fprintf(b, "%d of %d points carried activity accounting.\n\n", profiled, len(rows))
-	idle := 1 - float64(active)/float64(ticks)
-	fmt.Fprintf(b, "- Idle component ticks: %.1f%% (%d active of %d total).\n",
-		idle*100, active, ticks)
-	if work := sched + arb + sw + cred; work > 0 {
-		fmt.Fprintf(b, "- FR-router phase work: sched %.1f%%, arb %.1f%%, switch %.1f%%, credit %.1f%% of %d attributed work items.\n",
-			pct(sched, work), pct(arb, work), pct(sw, work), pct(cred, work), work)
-	}
-}
-
-func pct(part, whole int64) float64 { return float64(part) * 100 / float64(whole) }
-
-// parseBench reads `go test -bench` output, returning ns/op per benchmark
-// and the order the benchmarks appeared in.
-func parseBench(path string) (map[string]float64, []string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	ns := map[string]float64{}
-	var order []string
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		// name iterations value ns/op [more value unit pairs...]
-		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
-				continue
-			}
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			if _, seen := ns[fields[0]]; !seen {
-				order = append(order, fields[0])
-			}
-			ns[fields[0]] = v
-			break
-		}
-	}
-	return ns, order, sc.Err()
-}
-
-// benchJSONEntry is one benchmark's row in scripts/bench.sh's latest.json.
-type benchJSONEntry struct {
-	NsPerOp     float64 `json:"nsPerOp"`
-	AllocsPerOp float64 `json:"allocsPerOp"`
-	BytesPerOp  float64 `json:"bytesPerOp"`
-}
-
-func parseBenchJSON(path string) (map[string]benchJSONEntry, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var m map[string]benchJSONEntry
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
-	}
-	return m, nil
-}
-
-func writeBenchSection(b *bytes.Buffer, benchPath, baselinePath string, latest map[string]float64, order []string, base map[string]float64, allocs map[string]benchJSONEntry) {
-	fmt.Fprintf(b, "\n## Benchmarks — %s", benchPath)
-	if baselinePath != "" {
-		fmt.Fprintf(b, " vs %s", baselinePath)
-	}
-	b.WriteString("\n\n")
-	if len(order) == 0 {
-		b.WriteString("No benchmark lines found.\n")
-		return
-	}
-	hasAllocs := len(allocs) > 0
-	header := "| Benchmark | ns/op |"
-	rule := "|---|---:|"
-	if base != nil {
-		header = "| Benchmark | Baseline ns/op | Latest ns/op | Δ |"
-		rule = "|---|---:|---:|---:|"
-	}
-	if hasAllocs {
-		header += " B/op | Allocs/op |"
-		rule += "---:|---:|"
-	}
-	b.WriteString(header + "\n" + rule + "\n")
-	for _, name := range order {
-		if base != nil {
-			bv, ok := base[name]
-			if ok && bv > 0 {
-				delta := (latest[name] - bv) * 100 / bv
-				fmt.Fprintf(b, "| %s | %.0f | %.0f | %+.1f%% |", name, bv, latest[name], delta)
-			} else {
-				fmt.Fprintf(b, "| %s | — | %.0f | — |", name, latest[name])
-			}
-		} else {
-			fmt.Fprintf(b, "| %s | %.0f |", name, latest[name])
-		}
-		if hasAllocs {
-			if e, ok := allocs[name]; ok {
-				fmt.Fprintf(b, " %.0f | %.0f |", e.BytesPerOp, e.AllocsPerOp)
-			} else {
-				fmt.Fprintf(b, " — | — |")
-			}
-		}
-		b.WriteString("\n")
-	}
 }

@@ -66,7 +66,9 @@ func TestReportDeterministicAndComplete(t *testing.T) {
 	out1 := filepath.Join(dir, "BENCHMARK.md")
 	out2 := filepath.Join(dir, "BENCHMARK2.md")
 
-	args := []string{"-bench", bench, "-baseline", baseline, "-bench-json", benchJSON}
+	// The fixture carries a deliberately undecodable line, so these runs
+	// need -lenient; strict mode is covered by TestReportStrictMalformed.
+	args := []string{"-lenient", "-bench", bench, "-baseline", baseline, "-bench-json", benchJSON}
 	var stdout, stderr bytes.Buffer
 	if code := run(append(args, "-out", out1, store), &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d; stderr:\n%s", code, stderr.String())
@@ -122,7 +124,7 @@ func TestReportStdoutAndErrors(t *testing.T) {
 	store, _, _, _ := writeFixtures(t, dir)
 
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{store}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-lenient", store}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d; stderr:\n%s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "# Benchmark Report") {
@@ -140,5 +142,39 @@ func TestReportStdoutAndErrors(t *testing.T) {
 	stderr.Reset()
 	if code := run([]string{filepath.Join(dir, "missing.jsonl")}, &stdout, &stderr); code != 2 {
 		t.Fatalf("missing-store exit = %d", code)
+	}
+}
+
+// TestReportStrictMalformed checks the default strict mode: a store with an
+// undecodable line fails with a non-zero exit naming the file and the
+// 1-based line number, and no report is written.
+func TestReportStrictMalformed(t *testing.T) {
+	dir := t.TempDir()
+	store, _, _, _ := writeFixtures(t, dir) // bad line is physical line 4
+	out := filepath.Join(dir, "BENCHMARK.md")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", out, store}, &stdout, &stderr); code != 2 {
+		t.Fatalf("strict exit = %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+	want := fmt.Sprintf("%s:4: malformed record", store)
+	if !strings.Contains(stderr.String(), want) {
+		t.Fatalf("stderr = %q, want it to contain %q", stderr.String(), want)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("strict failure still wrote %s", out)
+	}
+
+	// A record that decodes but lacks the hash key is malformed too.
+	noHash := filepath.Join(dir, "nohash.jsonl")
+	if err := os.WriteFile(noHash, []byte(`{"spec":"FR6","load":0.2}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{noHash}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing-hash exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), noHash+":1: malformed record: missing hash") {
+		t.Fatalf("stderr = %q", stderr.String())
 	}
 }

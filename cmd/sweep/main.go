@@ -280,12 +280,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		popts.Progress = func(p frfc.Progress) { fmt.Fprintf(stderr, "sweep: %s\n", p) }
 	}
 	if *statusAddr != "" {
-		st, err := frfc.ServeStatus(*statusAddr)
+		st, bound, err := frfc.ServeStatus(*statusAddr)
 		if err != nil {
 			return fail("status server: %v", err)
 		}
 		defer st.Close()
-		fmt.Fprintf(stderr, "sweep: status on http://%s/status, metrics on http://%s/metrics\n", st.Addr(), st.Addr())
+		fmt.Fprintf(stderr, "sweep: status on http://%s/status, metrics on http://%s/metrics\n", bound, bound)
 		popts.Status = st
 	}
 

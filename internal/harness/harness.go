@@ -104,8 +104,10 @@ type Options struct {
 	// exempt.
 	Timeout time.Duration
 	// Store, when non-nil, is consulted before running a job and appended
-	// to after each success, making the campaign resumable.
-	Store *Store
+	// to after each success, making the campaign resumable. *Store is the
+	// single-file implementation; internal/service layers a segmented
+	// database behind the same interface.
+	Store ResultStore
 	// Progress, when non-nil, is called after every job completion (it
 	// must be fast; it runs under the campaign's bookkeeping lock).
 	Progress func(Progress)

@@ -40,6 +40,16 @@ func RunJobs(ctx context.Context, jobs []Job, o Options) ([]JobResult, error) {
 	return results, ctx.Err()
 }
 
+// ExecOne resolves a single job through exactly the path RunJobs uses —
+// store lookup, isolated timeout-bounded simulation, store write-back — but
+// without a campaign tracker, so an external scheduler (internal/service)
+// can multiplex jobs from many campaigns over its own worker pool while
+// keeping the per-job semantics (dedup, panic capture, cooperative
+// cancellation) identical to a one-shot campaign.
+func ExecOne(ctx context.Context, j Job, o Options) JobResult {
+	return execJob(ctx, j, o, nil)
+}
+
 // execJob resolves one job: store lookup, then an isolated, timeout-bounded
 // simulation, then store write-back. It never panics and always notifies the
 // tracker exactly once.

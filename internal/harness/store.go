@@ -10,6 +10,16 @@ import (
 	"frfc/internal/experiment"
 )
 
+// ResultStore is the cache a campaign consults before running a job and
+// appends to after each success. Get reports whether the hash resolved; Put
+// must be durable before it returns. Implementations must be safe for
+// concurrent use from worker goroutines. *Store is the single-file
+// implementation; internal/service's segmented database is another.
+type ResultStore interface {
+	Get(hash string) (experiment.Result, bool)
+	Put(j Job, hash string, r experiment.Result) error
+}
+
 // storeEntry is one JSONL line of the result store. Spec, Load and Seed are
 // recorded for human inspection and downstream tooling; only Hash keys
 // lookups.
@@ -19,6 +29,21 @@ type storeEntry struct {
 	Load float64           `json:"load"`
 	Seed uint64            `json:"seed,omitempty"`
 	Res  experiment.Result `json:"result"`
+}
+
+// MarshalEntry renders the canonical JSONL store line (no trailing newline)
+// for one completed job. Every store implementation writes lines through it,
+// so a result serialized by the service database is byte-identical to the
+// same result serialized by a one-shot campaign store — the property the
+// byte-identity smoke tests compare across layers.
+func MarshalEntry(j Job, hash string, r experiment.Result) ([]byte, error) {
+	line, err := json.Marshal(storeEntry{
+		Hash: hash, Spec: j.EffectiveSpec().Name, Load: j.Load, Seed: j.Seed, Res: r,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: encode result: %w", err)
+	}
+	return line, nil
 }
 
 // Store is an append-only JSONL result cache keyed by job content hash. It is
@@ -82,11 +107,9 @@ func (s *Store) Get(hash string) (experiment.Result, bool) {
 
 // Put records a completed job, appending one JSONL line and syncing it.
 func (s *Store) Put(j Job, hash string, r experiment.Result) error {
-	line, err := json.Marshal(storeEntry{
-		Hash: hash, Spec: j.EffectiveSpec().Name, Load: j.Load, Seed: j.Seed, Res: r,
-	})
+	line, err := MarshalEntry(j, hash, r)
 	if err != nil {
-		return fmt.Errorf("harness: encode result: %w", err)
+		return err
 	}
 	line = append(line, '\n')
 	s.mu.Lock()

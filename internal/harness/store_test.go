@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"frfc/internal/experiment"
@@ -175,5 +176,90 @@ func TestStoreIgnoresForeignJunk(t *testing.T) {
 	defer st.Close()
 	if st.Len() != 0 || st.Skipped() != 2 {
 		t.Fatalf("len=%d skipped=%d, want 0/2", st.Len(), st.Skipped())
+	}
+}
+
+// TestStoreConcurrentAppendAndRead: two goroutines appending distinct jobs to
+// one store while a third reads back — under -race — must produce no torn
+// records: a reopened store resolves every hash with zero skipped lines, and
+// dedup-by-hash yields exactly one entry per job.
+func TestStoreConcurrentAppendAndRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two disjoint job sets, one per writer; both writers also re-Put their
+	// first job so the dedup-by-hash path runs concurrently with appends.
+	mkJobs := func(seed uint64, n int) []Job {
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{Spec: tinySpec(), Load: 0.2 + float64(i)*0.01, Seed: seed}
+		}
+		return jobs
+	}
+	sets := [][]Job{mkJobs(11, 8), mkJobs(22, 8)}
+	res := experiment.Run(sets[0][0].Spec, sets[0][0].Load) // one shared result is fine: the store keys by hash
+
+	var writers, reader sync.WaitGroup
+	for _, jobs := range sets {
+		writers.Add(1)
+		go func(jobs []Job) {
+			defer writers.Done()
+			for _, j := range jobs {
+				if err := st.Put(j, j.Hash(), res); err != nil {
+					t.Errorf("Put: %v", err)
+				}
+			}
+			if err := st.Put(jobs[0], jobs[0].Hash(), res); err != nil { // duplicate hash
+				t.Errorf("re-Put: %v", err)
+			}
+		}(jobs)
+	}
+	stop := make(chan struct{})
+	reader.Add(1)
+	go func() { // concurrent reader racing the appends
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, jobs := range sets {
+				for _, j := range jobs {
+					if r, ok := st.Get(j.Hash()); ok && !reflect.DeepEqual(r, res) {
+						t.Error("reader observed a torn or foreign result")
+						return
+					}
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	st.Close()
+
+	// Reopen: every line must decode (no torn records) and dedup-by-hash must
+	// resolve exactly one entry per distinct job.
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Skipped() != 0 {
+		t.Fatalf("reopen skipped %d lines: concurrent appends tore records", st2.Skipped())
+	}
+	if want := len(sets[0]) + len(sets[1]); st2.Len() != want {
+		t.Fatalf("reopen holds %d entries, want %d", st2.Len(), want)
+	}
+	for _, jobs := range sets {
+		for _, j := range jobs {
+			if _, ok := st2.Get(j.Hash()); !ok {
+				t.Fatalf("hash %s lost", j.Hash())
+			}
+		}
 	}
 }

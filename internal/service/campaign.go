@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"frfc/internal/harness"
+)
+
+// State is a campaign's lifecycle phase.
+type State string
+
+// Campaign states. A cancelled campaign keeps whatever results completed
+// before the cancel; its remaining jobs are marked cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+)
+
+// Campaign is one submitted sweep: its expanded job list, per-job results in
+// job order, scheduling parameters, and lifecycle state. All mutable fields
+// are guarded by mu; the scheduler additionally owns wrr under its own lock.
+type Campaign struct {
+	id      string
+	req     SweepRequest
+	jobs    []harness.Job
+	created time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	// finished closes exactly once, when the last job records (or the
+	// campaign is cancelled with nothing in flight).
+	finished chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	results  []harness.JobResult // indexed like jobs; zero until recorded
+	done     []bool
+	queue    []int // job indices not yet dispatched, FIFO
+	inflight int
+	recorded int
+	// counters, split the way /status reports them
+	simulated int
+	cached    int
+	failed    int
+	cancelled int
+
+	// weight and maxInflight are fixed at submission.
+	weight      int
+	maxInflight int
+	// wrr is the campaign's smooth weighted-round-robin credit; owned by
+	// the scheduler's lock, not mu.
+	wrr int
+}
+
+// ID returns the campaign's identifier.
+func (c *Campaign) ID() string { return c.id }
+
+// Finished returns a channel closed when the campaign reaches a terminal
+// state (done or cancelled with nothing left in flight).
+func (c *Campaign) Finished() <-chan struct{} { return c.finished }
+
+// State reports the campaign's current lifecycle phase.
+func (c *Campaign) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Results returns a copy of the per-job results, in job order. Jobs not yet
+// finished have a zero JobResult (empty Hash).
+func (c *Campaign) Results() []harness.JobResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]harness.JobResult, len(c.results))
+	copy(out, c.results)
+	return out
+}
+
+// record stores one job's outcome and advances the campaign's lifecycle.
+// Returns true when this record completed the campaign.
+func (c *Campaign) record(idx int, jr harness.JobResult) (completed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done[idx] {
+		return false
+	}
+	c.done[idx] = true
+	c.results[idx] = jr
+	c.recorded++
+	switch {
+	case jr.Cached:
+		c.cached++
+	case jr.Skipped:
+		c.cancelled++
+	case jr.Err != "" && c.state == StateCancelled:
+		// An in-flight job cut short by the campaign's cancel, not a
+		// failure of the job itself.
+		c.cancelled++
+	case jr.Err != "":
+		c.failed++
+	default:
+		c.simulated++
+	}
+	if c.recorded == len(c.jobs) {
+		if c.state != StateCancelled {
+			c.state = StateDone
+		}
+		close(c.finished)
+		return true
+	}
+	return false
+}
+
+// CampaignView is the JSON summary of one campaign, shared by the REST API
+// and the /status snapshot.
+type CampaignView struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	State State  `json:"state"`
+	// Jobs is the campaign size; Done counts recorded outcomes of any kind.
+	Jobs int `json:"jobs"`
+	Done int `json:"done"`
+	// Simulated jobs actually ran; Cached were served from the result
+	// database (the dedup ledger); Failed carry an error; Cancelled were
+	// never run because the campaign was cancelled.
+	Simulated int `json:"simulated"`
+	Cached    int `json:"cached"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled,omitempty"`
+	// QueueDepth and InFlight describe the scheduler's view right now.
+	QueueDepth int `json:"queueDepth"`
+	InFlight   int `json:"inFlight"`
+	// Weight and MaxInFlight echo the scheduling parameters.
+	Weight      int `json:"weight"`
+	MaxInFlight int `json:"maxInFlight,omitempty"`
+	// AgeSeconds is how long ago the campaign was submitted.
+	AgeSeconds float64 `json:"ageSeconds"`
+}
+
+// view snapshots the campaign summary.
+func (c *Campaign) view(now time.Time) CampaignView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CampaignView{
+		ID: c.id, Name: c.req.Name, State: c.state,
+		Jobs: len(c.jobs), Done: c.recorded,
+		Simulated: c.simulated, Cached: c.cached,
+		Failed: c.failed, Cancelled: c.cancelled,
+		QueueDepth: len(c.queue), InFlight: c.inflight,
+		Weight: c.weight, MaxInFlight: c.maxInflight,
+		AgeSeconds: now.Sub(c.created).Seconds(),
+	}
+}
+
+// JobView is one job's row in the campaign detail response.
+type JobView struct {
+	Spec string  `json:"spec"`
+	Load float64 `json:"load"`
+	Seed uint64  `json:"seed,omitempty"`
+	Hash string  `json:"hash"`
+	// State is "queued", "running", "done", "cached", "failed" or
+	// "cancelled".
+	State string `json:"state"`
+	// Latency is the job's measured average latency, present once done.
+	Latency float64 `json:"latency,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// jobViews snapshots the per-job rows, in job order.
+func (c *Campaign) jobViews() []JobView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	queued := make(map[int]bool, len(c.queue))
+	for _, i := range c.queue {
+		queued[i] = true
+	}
+	out := make([]JobView, len(c.jobs))
+	for i, j := range c.jobs {
+		jv := JobView{
+			Spec: j.EffectiveSpec().Name, Load: j.Load, Seed: j.Seed,
+			Hash: j.Hash(),
+		}
+		switch {
+		case !c.done[i] && queued[i]:
+			jv.State = "queued"
+		case !c.done[i]:
+			jv.State = "running"
+		case c.results[i].Cached:
+			jv.State = "cached"
+			jv.Latency = c.results[i].Result.AvgLatency
+		case c.results[i].Skipped:
+			jv.State = "cancelled"
+		case c.results[i].Err != "":
+			jv.State = "failed"
+			jv.Err = c.results[i].Err
+		default:
+			jv.State = "done"
+			jv.Latency = c.results[i].Result.AvgLatency
+		}
+		out[i] = jv
+	}
+	return out
+}

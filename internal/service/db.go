@@ -1,0 +1,302 @@
+// Package service is the long-running campaign daemon layered on the
+// harness: a REST job-submission API, a persistent result database keyed by
+// the harness's sha256 job hashes, and a fair scheduler that multiplexes
+// concurrent campaigns over one shared worker pool.
+//
+// The determinism contract of the harness carries through unchanged: every
+// job owns its own network and RNG, so scheduling order — which campaign a
+// worker serves next — can never affect any job's result, only when it
+// lands. A campaign run through the service is bit-identical to the same
+// campaign run one-shot through harness.RunJobs.
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"frfc/internal/experiment"
+	"frfc/internal/harness"
+)
+
+// DefaultSegmentBytes is the rotation threshold for database segments: once
+// the active segment grows past it, the next Put opens a new one. Small
+// enough that a damaged segment loses little, large enough that a long
+// campaign does not shower the directory with files.
+const DefaultSegmentBytes = 4 << 20
+
+// DBOptions tunes OpenDB. The zero value uses DefaultSegmentBytes.
+type DBOptions struct {
+	// SegmentBytes is the rotation threshold; 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// DBStats is a point-in-time snapshot of the database's accounting.
+type DBStats struct {
+	// Entries is the number of distinct job hashes resolvable.
+	Entries int `json:"entries"`
+	// Segments is how many segment files exist, including the active one.
+	Segments int `json:"segments"`
+	// Hits and Misses count Get outcomes since open — the dedup ledger.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Healed counts undecodable lines skipped while opening: the footprint
+	// of a kill mid-write (at most one per segment) or foreign junk.
+	Healed int `json:"healed"`
+}
+
+// dbEntry is one cached result: the decoded Result served to the harness and
+// the exact line bytes served to results streams and snapshots, so that what
+// the service returns is byte-identical to what a one-shot store would hold.
+type dbEntry struct {
+	spec string
+	load float64
+	seed uint64
+	res  experiment.Result
+	line []byte // canonical JSONL line, no trailing newline
+}
+
+// DB is the service's persistent result database: append-only JSONL segments
+// under one directory plus an in-memory index keyed by the harness job hash.
+// It implements harness.ResultStore, so campaigns executed through it dedup
+// resubmitted jobs to cached results instantly, and it survives restart the
+// same way the one-shot store does — every complete line loads, a truncated
+// tail (the footprint of a kill mid-write) is skipped and simply re-run.
+//
+// Segment lines use the identical schema the harness store writes
+// (harness.MarshalEntry), so segments are readable by cmd/report and by the
+// store's own tooling.
+type DB struct {
+	mu       sync.Mutex
+	dir      string
+	segLimit int64
+
+	f    *os.File // active segment, opened for append
+	seq  int      // active segment sequence number
+	size int64    // bytes written to the active segment
+
+	entries  map[string]dbEntry
+	segments int
+	hits     int64
+	misses   int64
+	healed   int
+	closed   bool
+}
+
+// segmentName renders the file name of segment n; lexicographic order is
+// creation order, which is what OpenDB relies on for last-write-wins replay.
+func segmentName(n int) string { return fmt.Sprintf("seg-%06d.jsonl", n) }
+
+// OpenDB opens (creating if absent) the database directory and replays every
+// segment in creation order, last write per hash winning — the same resume
+// semantics as the one-shot store. Undecodable lines are healed (counted,
+// skipped); the highest-numbered segment is reopened for append.
+func OpenDB(dir string, o DBOptions) (*DB, error) {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: create db dir: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("service: scan db dir: %w", err)
+	}
+	sort.Strings(names)
+	db := &DB{dir: dir, segLimit: o.SegmentBytes, entries: make(map[string]dbEntry)}
+	for _, name := range names {
+		if err := db.replaySegment(name); err != nil {
+			return nil, err
+		}
+	}
+	db.segments = len(names)
+	db.seq = len(names) // next segment to create, unless the last has room
+	if n := len(names); n > 0 {
+		last := names[n-1]
+		if st, err := os.Stat(last); err == nil && st.Size() < o.SegmentBytes {
+			f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("service: reopen segment: %w", err)
+			}
+			db.f = f
+			db.seq = n - 1
+			db.size = st.Size()
+		}
+	}
+	return db, nil
+}
+
+// replaySegment loads one segment's decodable lines into the index. A line
+// that fails to decode — or decodes without a hash — is healed, not fatal:
+// the recovery story is that a kill mid-write costs at most the jobs in
+// flight, never the database.
+func (db *DB) replaySegment(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("service: open segment: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e struct {
+			Hash string            `json:"hash"`
+			Spec string            `json:"spec"`
+			Load float64           `json:"load"`
+			Seed uint64            `json:"seed"`
+			Res  experiment.Result `json:"result"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil || e.Hash == "" {
+			db.healed++
+			continue
+		}
+		db.entries[e.Hash] = dbEntry{
+			spec: e.Spec, load: e.Load, seed: e.Seed, res: e.Res,
+			line: append([]byte(nil), line...),
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("service: read segment %s: %w", path, err)
+	}
+	return nil
+}
+
+// Get returns the cached result for a job hash, counting the dedup ledger.
+func (db *DB) Get(hash string) (experiment.Result, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.entries[hash]
+	if ok {
+		db.hits++
+	} else {
+		db.misses++
+	}
+	return e.res, ok
+}
+
+// GetLine returns the stored canonical JSONL line for a job hash.
+func (db *DB) GetLine(hash string) ([]byte, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.entries[hash]
+	return e.line, ok
+}
+
+// Put records a completed job durably: one canonical JSONL line appended to
+// the active segment and synced before the index is updated, rotating to a
+// fresh segment when the active one is over the limit. Implements
+// harness.ResultStore, so it slots straight into harness.Options.Store.
+func (db *DB) Put(j harness.Job, hash string, r experiment.Result) error {
+	line, err := harness.MarshalEntry(j, hash, r)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("service: put on closed db")
+	}
+	if db.f != nil && db.size >= db.segLimit {
+		db.f.Close()
+		db.f = nil
+		db.seq++
+	}
+	if db.f == nil {
+		path := filepath.Join(db.dir, segmentName(db.seq))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("service: create segment: %w", err)
+		}
+		db.f = f
+		db.size = 0
+		db.segments++
+	}
+	if _, err := db.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("service: append result: %w", err)
+	}
+	if err := db.f.Sync(); err != nil {
+		return fmt.Errorf("service: sync segment: %w", err)
+	}
+	db.size += int64(len(line)) + 1
+	spec := j.EffectiveSpec()
+	db.entries[hash] = dbEntry{spec: spec.Name, load: j.Load, seed: j.Seed, res: r, line: line}
+	return nil
+}
+
+// Dir reports the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Len reports how many distinct job hashes the database resolves.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.entries)
+}
+
+// Stats snapshots the database accounting for /status and /metrics.
+func (db *DB) Stats() DBStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return DBStats{
+		Entries: len(db.entries), Segments: db.segments,
+		Hits: db.hits, Misses: db.misses, Healed: db.healed,
+	}
+}
+
+// Snapshot writes every entry as canonical JSONL in a stable order (spec,
+// load, seed, then hash) — the deterministic input the background reporter
+// renders BENCHMARK.md from, byte-identical across regenerations.
+func (db *DB) Snapshot(w io.Writer) error {
+	db.mu.Lock()
+	keys := make([]string, 0, len(db.entries))
+	for h := range db.entries {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := db.entries[keys[i]], db.entries[keys[j]]
+		if a.spec != b.spec {
+			return a.spec < b.spec
+		}
+		if a.load != b.load {
+			return a.load < b.load
+		}
+		if a.seed != b.seed {
+			return a.seed < b.seed
+		}
+		return keys[i] < keys[j]
+	})
+	lines := make([][]byte, len(keys))
+	for i, h := range keys {
+		lines[i] = db.entries[h].line
+	}
+	db.mu.Unlock()
+	for _, line := range lines {
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes the active segment. Further Puts fail.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closed = true
+	if db.f == nil {
+		return nil
+	}
+	err := db.f.Close()
+	db.f = nil
+	return err
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"frfc/internal/harness"
+	"frfc/internal/status"
+)
+
+// Handler returns the service's REST API:
+//
+//	POST   /campaigns               submit a SweepRequest, returns the campaign summary (201)
+//	GET    /campaigns               list campaign summaries, submission order
+//	GET    /campaigns/{id}          one campaign's summary plus per-job rows
+//	GET    /campaigns/{id}/results  completed results as JSONL store lines, job order
+//	                                (?wait=1 blocks until the campaign finishes)
+//	DELETE /campaigns/{id}          cancel cooperatively, keeping completed results
+//
+// Mount it on a status server with Mount to share one listener with /status
+// and /metrics.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.register(func(pattern string, h http.HandlerFunc) { mux.Handle(pattern, h) })
+	return mux
+}
+
+// Mount registers the REST routes on a status server's mux, so the campaign
+// API, /status and /metrics share one listener.
+func (s *Service) Mount(st *status.Server) {
+	s.register(func(pattern string, h http.HandlerFunc) { st.Handle(pattern, h) })
+}
+
+func (s *Service) register(handle func(pattern string, h http.HandlerFunc)) {
+	handle("POST /campaigns", s.handleSubmit)
+	handle("GET /campaigns", s.handleList)
+	handle("GET /campaigns/{id}", s.handleGet)
+	handle("GET /campaigns/{id}/results", s.handleResults)
+	handle("DELETE /campaigns/{id}", s.handleCancel)
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+func apiError(w http.ResponseWriter, code int, format string, a ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{ //nolint:errcheck // client gone is not our problem
+		"error": fmt.Sprintf(format, a...),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is not our problem
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		apiError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	c, err := s.Submit(req)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c.view(c.created))
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+// campaignDetail is the GET /campaigns/{id} response body.
+type campaignDetail struct {
+	CampaignView
+	JobRows []JobView `json:"jobRows"`
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		apiError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, campaignDetail{
+		CampaignView: c.view(time.Now()),
+		JobRows:      c.jobViews(),
+	})
+}
+
+// handleResults streams the campaign's completed results as canonical JSONL
+// store lines in job order — byte-identical to the store a one-shot
+// single-worker campaign writes, which is what the CI smoke test diffs.
+// With ?wait=1 the response is delayed until the campaign reaches a
+// terminal state (or the client goes away).
+func (s *Service) handleResults(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		apiError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		select {
+		case <-c.Finished():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	for _, jr := range c.Results() {
+		if jr.Hash == "" || jr.Err != "" || jr.Skipped {
+			continue // not finished, failed, or cancelled: nothing stored
+		}
+		line, err := harness.MarshalEntry(jr.Job, jr.Hash, jr.Result)
+		if err != nil {
+			continue
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		apiError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, c.view(time.Now()))
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"frfc/internal/experiment"
+)
+
+// TestReporterRegeneratesAtomically: a kick renders the database snapshot to
+// the report path, Close drains pending kicks, and rerendering an unchanged
+// database is byte-identical.
+func TestReporterRegeneratesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDB(filepath.Join(dir, "db"), DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	jobs := tinyJobs(3, 7)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+	for _, j := range jobs {
+		if err := db.Put(j, j.Hash(), res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	path := filepath.Join(dir, "BENCHMARK.md")
+	rep := NewReporter(db, path)
+	rep.Kick(CampaignView{})
+	// A burst of kicks coalesces rather than queueing.
+	for i := 0; i < 10; i++ {
+		rep.Kick(CampaignView{})
+	}
+	rep.Close()
+	renders, lastErr := rep.Renders()
+	if lastErr != nil {
+		t.Fatalf("render error: %v", lastErr)
+	}
+	if renders < 1 || renders > 11 {
+		t.Fatalf("renders = %d, want coalesced burst (1..11)", renders)
+	}
+
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), "3 points") {
+		t.Fatalf("report missing rows:\n%s", first)
+	}
+	// No temp litter left behind by the atomic write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".report-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+
+	// An unchanged database rerenders byte-identically.
+	rep2 := NewReporter(db, path)
+	rep2.Kick(CampaignView{})
+	rep2.Close()
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("report not deterministic:\n%s\nvs\n%s", first, second)
+	}
+}

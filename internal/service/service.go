@@ -1,0 +1,270 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"frfc/internal/harness"
+	"frfc/internal/status"
+)
+
+// Options tunes a Service. The zero value runs with NumCPU workers, no
+// per-job timeout, no status feed and no completion callback.
+type Options struct {
+	// Workers is the shared pool size; 0 means runtime.NumCPU(). The pool
+	// is shared by every campaign; the scheduler divides it fairly.
+	Workers int
+	// Timeout, when nonzero, bounds each job's execution.
+	Timeout time.Duration
+	// Status, when non-nil, receives per-campaign progress, queue depth
+	// and dedup accounting for /status and /metrics, plus the in-flight
+	// job set and merged per-router counters. Observation-only.
+	Status *status.Server
+	// OnCampaignDone, when non-nil, is called (from a worker goroutine)
+	// each time a campaign reaches a terminal state — the hook the
+	// background reporter regenerates BENCHMARK.md from.
+	OnCampaignDone func(CampaignView)
+}
+
+// Service is the campaign daemon: it accepts sweep submissions, schedules
+// their jobs fairly over one shared worker pool, dedups work through the
+// persistent result database, and reports progress. Safe for concurrent use.
+type Service struct {
+	db      *DB
+	opts    Options
+	sched   *scheduler
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	order     []string
+	nextID    int
+	closing   bool
+}
+
+// New starts a service over the given database and spawns its worker pool.
+func New(db *DB, o Options) *Service {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		db: db, opts: o, sched: newScheduler(),
+		baseCtx: ctx, cancel: cancel,
+		campaigns: make(map[string]*Campaign),
+	}
+	for i := 0; i < o.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers reports the shared pool size.
+func (s *Service) Workers() int { return s.opts.Workers }
+
+// Submit validates a sweep request, expands it into jobs, registers the
+// campaign with the fair scheduler and returns it. Jobs already present in
+// the result database will resolve as dedup hits without executing.
+func (s *Service) Submit(req SweepRequest) (*Campaign, error) {
+	if err := (&req).normalized(); err != nil {
+		return nil, fmt.Errorf("invalid campaign: %w", err)
+	}
+	jobs, err := req.jobs()
+	if err != nil {
+		return nil, fmt.Errorf("invalid campaign: %w", err)
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service is shutting down")
+	}
+	s.nextID++
+	id := fmt.Sprintf("c%d", s.nextID)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	c := &Campaign{
+		id: id, req: req, jobs: jobs, created: time.Now(),
+		ctx: ctx, cancel: cancel,
+		finished:    make(chan struct{}),
+		state:       StateQueued,
+		results:     make([]harness.JobResult, len(jobs)),
+		done:        make([]bool, len(jobs)),
+		queue:       make([]int, len(jobs)),
+		weight:      req.Weight,
+		maxInflight: req.MaxInFlight,
+	}
+	for i := range jobs {
+		c.queue[i] = i
+	}
+	s.campaigns[id] = c
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	s.sched.add(c)
+	s.pushStatus()
+	return c, nil
+}
+
+// Get returns a campaign by ID.
+func (s *Service) Get(id string) (*Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// List snapshots every campaign's summary, in submission order.
+func (s *Service) List() []CampaignView {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	now := time.Now()
+	out := make([]CampaignView, 0, len(ids))
+	for _, id := range ids {
+		if c, ok := s.Get(id); ok {
+			out = append(out, c.view(now))
+		}
+	}
+	return out
+}
+
+// Cancel cancels a campaign cooperatively: queued jobs are retired
+// immediately as cancelled, in-flight jobs see their context end (the
+// simulator polls it every 1024 cycles) and record as cancelled. Results
+// already completed are kept. Cancelling a finished campaign is a no-op.
+func (s *Service) Cancel(id string) (*Campaign, bool) {
+	c, ok := s.Get(id)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	if c.state == StateDone || c.state == StateCancelled {
+		c.mu.Unlock()
+		return c, true
+	}
+	c.state = StateCancelled
+	c.mu.Unlock()
+	c.cancel()
+	idxs := s.sched.drain(c)
+	completed := false
+	for _, idx := range idxs {
+		j := c.jobs[idx]
+		if c.record(idx, harness.JobResult{
+			Job: j, Hash: j.Hash(), Skipped: true, Err: "campaign cancelled",
+		}) {
+			completed = true
+		}
+	}
+	s.pushStatus()
+	if completed {
+		s.campaignDone(c)
+	}
+	return c, true
+}
+
+// worker is one shared-pool goroutine: it repeatedly asks the fair scheduler
+// for the next job from any campaign and resolves it through the harness's
+// single-job path, with the persistent database as the dedup store.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		c, idx, ok := s.sched.next()
+		if !ok {
+			return
+		}
+		j := c.jobs[idx]
+		ho := harness.Options{Store: s.db, Timeout: s.opts.Timeout}
+		if st := s.opts.Status; st != nil {
+			ho.JobStarted = st.OnJobStarted
+			ho.JobFinished = st.OnJobFinished
+			ho.Collect = st.OnCollect
+		}
+		jr := harness.ExecOne(c.ctx, j, ho)
+		completed := c.record(idx, jr)
+		s.sched.release(c)
+		s.pushStatus()
+		if completed {
+			s.campaignDone(c)
+		}
+	}
+}
+
+// campaignDone fires the completion callback.
+func (s *Service) campaignDone(c *Campaign) {
+	if s.opts.OnCampaignDone != nil {
+		s.opts.OnCampaignDone(c.view(time.Now()))
+	}
+}
+
+// pushStatus feeds the status server a fresh service snapshot.
+func (s *Service) pushStatus() {
+	st := s.opts.Status
+	if st == nil {
+		return
+	}
+	view, campaigns := s.snapshot()
+	st.OnService(view, campaigns)
+}
+
+// snapshot assembles the service-wide view and per-campaign rows for
+// /status and /metrics.
+func (s *Service) snapshot() (status.ServiceView, []status.ServiceCampaign) {
+	views := s.List()
+	dbs := s.db.Stats()
+	sv := status.ServiceView{
+		Workers:     s.opts.Workers,
+		Campaigns:   len(views),
+		DedupHits:   dbs.Hits,
+		DedupMisses: dbs.Misses,
+		DBEntries:   dbs.Entries,
+		DBSegments:  dbs.Segments,
+		DBHealed:    dbs.Healed,
+	}
+	rows := make([]status.ServiceCampaign, 0, len(views))
+	for _, v := range views {
+		if v.State == StateQueued || v.State == StateRunning {
+			sv.Active++
+		}
+		sv.QueueDepth += v.QueueDepth
+		sv.InFlight += v.InFlight
+		rows = append(rows, status.ServiceCampaign{
+			ID: v.ID, Name: v.Name, State: string(v.State),
+			Jobs: v.Jobs, Done: v.Done, Simulated: v.Simulated,
+			Cached: v.Cached, Failed: v.Failed,
+			QueueDepth: v.QueueDepth, InFlight: v.InFlight, Weight: v.Weight,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	return sv, rows
+}
+
+// Close shuts the service down: new submissions are rejected, every
+// campaign's context is cancelled (cooperative — in-flight simulations stop
+// at their next poll), and the worker pool drains. Completed results are
+// already durable in the database; a resubmitted campaign after restart
+// resolves them as dedup hits. Close returns ctx.Err() if the pool does not
+// drain before ctx ends.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	s.cancel()
+	s.sched.close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

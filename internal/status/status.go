@@ -12,8 +12,10 @@
 package status
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -73,6 +75,43 @@ type ProfileView struct {
 	Summary       string  `json:"summary"`
 }
 
+// ServiceCampaign is one campaign's row in the /status snapshot when the
+// server fronts the campaign service (frserve).
+type ServiceCampaign struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+	Jobs  int    `json:"jobs"`
+	Done  int    `json:"done"`
+	// Simulated jobs ran; Cached were served from the persistent result
+	// database — the per-campaign dedup ledger.
+	Simulated  int `json:"simulated"`
+	Cached     int `json:"cached"`
+	Failed     int `json:"failed"`
+	QueueDepth int `json:"queueDepth"`
+	InFlight   int `json:"inFlight"`
+	Weight     int `json:"weight"`
+}
+
+// ServiceView is the service-wide portion of the /status snapshot: pool
+// shape, aggregate queue pressure, and the persistent database's dedup
+// accounting.
+type ServiceView struct {
+	Workers    int `json:"workers"`
+	Campaigns  int `json:"campaigns"`
+	Active     int `json:"active"`
+	QueueDepth int `json:"queueDepth"`
+	InFlight   int `json:"inFlight"`
+	// DedupHits and DedupMisses count result-database lookups since the
+	// daemon started; DBEntries/DBSegments/DBHealed describe the database
+	// itself (healed = undecodable lines skipped during recovery).
+	DedupHits   int64 `json:"dedupHits"`
+	DedupMisses int64 `json:"dedupMisses"`
+	DBEntries   int   `json:"dbEntries"`
+	DBSegments  int   `json:"dbSegments"`
+	DBHealed    int   `json:"dbHealed,omitempty"`
+}
+
 // Snapshot is the /status response body.
 type Snapshot struct {
 	UptimeSeconds float64       `json:"uptimeSeconds"`
@@ -80,22 +119,29 @@ type Snapshot struct {
 	Run           *RunView      `json:"run,omitempty"`
 	Running       []JobView     `json:"running,omitempty"`
 	Profile       *ProfileView  `json:"profile,omitempty"`
+	// Service and Campaigns carry the campaign-service view when a
+	// daemon (frserve) feeds the server via OnService.
+	Service   *ServiceView      `json:"service,omitempty"`
+	Campaigns []ServiceCampaign `json:"serviceCampaigns,omitempty"`
 }
 
 // Server is the live status HTTP server. The zero value is not usable; call
 // Serve.
 type Server struct {
 	srv   *http.Server
+	mux   *http.ServeMux
 	ln    net.Listener
 	start time.Time
 
-	mu       sync.Mutex
-	campaign *CampaignView
-	run      *RunView
-	running  map[string]time.Time // job key -> start time
-	jobs     map[string]JobView
-	reg      *metrics.Registry // merged (campaign) or latest (single run)
-	prof     *profile.Registry // merged (campaign) or latest (single run)
+	mu        sync.Mutex
+	campaign  *CampaignView
+	run       *RunView
+	running   map[string]time.Time // job key -> start time
+	jobs      map[string]JobView
+	reg       *metrics.Registry // merged (campaign) or latest (single run)
+	prof      *profile.Registry // merged (campaign) or latest (single run)
+	service   *ServiceView
+	campaigns []ServiceCampaign
 }
 
 // Serve starts a status server listening on addr (host:port; host may be
@@ -122,6 +168,7 @@ func Serve(addr string) (*Server, error) {
 		http.Redirect(w, r, "/status", http.StatusFound)
 	})
 	s.srv = &http.Server{Handler: mux}
+	s.mux = mux
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
 }
@@ -129,8 +176,19 @@ func Serve(addr string) (*Server, error) {
 // Addr reports the address the server is listening on (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server immediately.
+// Handle mounts an additional handler on the server's mux — how frserve
+// exposes its REST campaign API on the same listener as /status and
+// /metrics. Patterns follow net/http ServeMux syntax (methods and wildcards
+// included). Registering a pattern twice panics, as ServeMux does.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// Close stops the server immediately, dropping in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes at once (so the
+// ephemeral port frees immediately and tests stop leaking listeners), then
+// in-flight requests get until ctx's deadline to finish before being cut.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 func jobKey(j harness.Job) string {
 	return fmt.Sprintf("%s|%.12g|%d", j.Spec.Name, j.Load, j.Seed)
@@ -201,6 +259,17 @@ func (s *Server) OnCollectProfile(_ harness.Job, p *profile.Registry) {
 	s.mu.Unlock()
 }
 
+// OnService replaces the campaign-service view; the service pushes a fresh
+// snapshot after every job completion and lifecycle change. The rows are
+// handed over (not shared), so the server needs no further synchronization
+// with the scheduler.
+func (s *Server) OnService(v ServiceView, campaigns []ServiceCampaign) {
+	s.mu.Lock()
+	s.service = &v
+	s.campaigns = campaigns
+	s.mu.Unlock()
+}
+
 // OnLive replaces the single-run view and registry snapshot; plug into
 // experiment's Instruments.Publish. The Live registry is already a clone
 // owned by the receiver.
@@ -250,6 +319,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			Summary:       s.prof.Summary(),
 		}
 	}
+	if s.service != nil {
+		sv := *s.service
+		snap.Service = &sv
+		snap.Campaigns = append([]ServiceCampaign(nil), s.campaigns...)
+	}
 	now := time.Now()
 	for k, started := range s.running {
 		jv := s.jobs[k]
@@ -287,10 +361,72 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// With no registry yet the exposition is just frfc_up — still valid
 	// scrape output.
 	fmt.Fprintf(w, "# HELP frfc_up Status server is running.\n# TYPE frfc_up gauge\nfrfc_up 1\n")
+	if s.service != nil {
+		writeServiceMetrics(w, s.service, s.campaigns)
+	}
 	if s.reg != nil {
 		s.reg.WritePrometheus(w) //nolint:errcheck // client gone is not our problem
 	}
 	if s.prof != nil {
 		s.prof.WritePrometheus(w) //nolint:errcheck // client gone is not our problem
 	}
+}
+
+// writeServiceMetrics renders the campaign-service gauges in Prometheus
+// 0.0.4 text exposition: service-wide pool/queue/dedup accounting plus one
+// labelled series per campaign.
+func writeServiceMetrics(w io.Writer, v *ServiceView, campaigns []ServiceCampaign) {
+	g := func(name, help string, value int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, value)
+	}
+	g("frfc_service_workers", "Shared worker pool size.", int64(v.Workers))
+	g("frfc_service_campaigns", "Campaigns known to the daemon.", int64(v.Campaigns))
+	g("frfc_service_campaigns_active", "Campaigns queued or running.", int64(v.Active))
+	g("frfc_service_queue_depth", "Jobs queued across all campaigns.", int64(v.QueueDepth))
+	g("frfc_service_inflight", "Jobs executing right now.", int64(v.InFlight))
+	g("frfc_service_dedup_hits_total", "Result-database lookups served from cache.", v.DedupHits)
+	g("frfc_service_dedup_misses_total", "Result-database lookups that required simulation.", v.DedupMisses)
+	g("frfc_service_db_entries", "Distinct job hashes in the result database.", int64(v.DBEntries))
+	g("frfc_service_db_segments", "Segment files in the result database.", int64(v.DBSegments))
+	for _, name := range []struct{ metric, help string }{
+		{"frfc_campaign_jobs", "Jobs in the campaign."},
+		{"frfc_campaign_done", "Jobs recorded (any outcome)."},
+		{"frfc_campaign_cached", "Jobs served from the result database."},
+		{"frfc_campaign_queue_depth", "Jobs still queued."},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name.metric, name.help, name.metric)
+		for _, c := range campaigns {
+			var val int
+			switch name.metric {
+			case "frfc_campaign_jobs":
+				val = c.Jobs
+			case "frfc_campaign_done":
+				val = c.Done
+			case "frfc_campaign_cached":
+				val = c.Cached
+			case "frfc_campaign_queue_depth":
+				val = c.QueueDepth
+			}
+			fmt.Fprintf(w, "%s{campaign=\"%s\",name=\"%s\",state=\"%s\"} %d\n",
+				name.metric, escapeLabel(c.ID), escapeLabel(c.Name), escapeLabel(c.State), val)
+		}
+	}
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
 }

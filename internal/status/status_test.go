@@ -1,6 +1,7 @@
 package status
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -331,5 +332,106 @@ func TestConcurrentFeedsAndScrapes(t *testing.T) {
 	}
 	if len(snap.Running) != 0 {
 		t.Fatalf("finished jobs still running: %+v", snap.Running)
+	}
+}
+
+// TestServiceViewAndMetrics: the campaign-service feed appears in /status
+// under "service"/"serviceCampaigns" and in /metrics as the frfc_service_*
+// and frfc_campaign_* gauges, with label values escaped.
+func TestServiceViewAndMetrics(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.OnService(ServiceView{
+		Workers: 4, Campaigns: 2, Active: 1, QueueDepth: 7, InFlight: 2,
+		DedupHits: 5, DedupMisses: 9, DBEntries: 9, DBSegments: 2, DBHealed: 1,
+	}, []ServiceCampaign{
+		{ID: "c1", Name: `probe "q\` + "\n", State: "running", Jobs: 10, Done: 3,
+			Simulated: 2, Cached: 1, QueueDepth: 7, InFlight: 2, Weight: 3},
+		{ID: "c2", Name: "done-one", State: "done", Jobs: 4, Done: 4, Simulated: 4},
+	})
+
+	_, body := get(t, "http://"+s.Addr()+"/status")
+	var snap struct {
+		Service *struct {
+			Workers   int   `json:"workers"`
+			DedupHits int64 `json:"dedupHits"`
+		} `json:"service"`
+		Campaigns []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+			Done  int    `json:"done"`
+		} `json:"serviceCampaigns"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if snap.Service == nil || snap.Service.Workers != 4 || snap.Service.DedupHits != 5 {
+		t.Fatalf("service view wrong: %s", body)
+	}
+	if len(snap.Campaigns) != 2 || snap.Campaigns[0].ID != "c1" || snap.Campaigns[1].State != "done" {
+		t.Fatalf("serviceCampaigns wrong: %s", body)
+	}
+
+	_, mbody := get(t, "http://"+s.Addr()+"/metrics")
+	for _, want := range []string{
+		"frfc_service_workers 4",
+		"frfc_service_queue_depth 7",
+		"frfc_service_dedup_hits_total 5",
+		"frfc_service_dedup_misses_total 9",
+		"frfc_service_db_entries 9",
+		`frfc_campaign_jobs{campaign="c1",name="probe \"q\\\n",state="running"} 10`,
+		`frfc_campaign_done{campaign="c2",name="done-one",state="done"} 4`,
+	} {
+		if !strings.Contains(mbody, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, mbody)
+		}
+	}
+}
+
+// TestHandleMountsExtraRoutes: Handle shares the status listener with
+// caller-provided routes, method patterns included.
+func TestHandleMountsExtraRoutes(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("GET /extra", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "mounted")
+	}))
+	code, body := get(t, "http://"+s.Addr()+"/extra")
+	if code != http.StatusOK || body != "mounted" {
+		t.Fatalf("mounted route = %d %q", code, body)
+	}
+	if code, _ := get(t, "http://"+s.Addr()+"/status"); code != http.StatusOK {
+		t.Fatalf("/status broken by extra route: %d", code)
+	}
+}
+
+// TestGracefulShutdown: Shutdown frees the port and later requests fail, and
+// a second Shutdown is harmless.
+func TestGracefulShutdown(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if code, _ := get(t, "http://"+addr+"/status"); code != http.StatusOK {
+		t.Fatalf("/status before shutdown = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/status"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+	if err := s.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("second Shutdown: %v", err)
 	}
 }

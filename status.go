@@ -1,6 +1,9 @@
 package frfc
 
 import (
+	"context"
+	"time"
+
 	"frfc/internal/status"
 )
 
@@ -18,18 +21,34 @@ type StatusServer struct {
 }
 
 // ServeStatus starts a status server on addr ("host:port"; an empty host
-// binds every interface, port 0 picks a free one — see Addr). The server
-// runs until Close.
-func ServeStatus(addr string) (*StatusServer, error) {
+// binds every interface, port 0 picks a free one). The second return value
+// is the address actually bound — with port 0 that is the resolved port, so
+// callers can reach the server (and release it with Shutdown or Close)
+// without a separate Addr round trip. The server runs until Shutdown or
+// Close.
+func ServeStatus(addr string) (*StatusServer, string, error) {
 	s, err := status.Serve(addr)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return &StatusServer{srv: s}, nil
+	return &StatusServer{srv: s}, s.Addr(), nil
 }
 
 // Addr reports the address the server is listening on.
 func (s *StatusServer) Addr() string { return s.srv.Addr() }
 
-// Close stops the server immediately.
+// Shutdown stops the server gracefully: the listener closes at once (freeing
+// the port), then in-flight requests get up to timeout to finish before
+// being cut. A timeout of 0 waits indefinitely.
+func (s *StatusServer) Shutdown(timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// Close stops the server immediately, dropping in-flight requests.
 func (s *StatusServer) Close() error { return s.srv.Close() }

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func httpGet(t *testing.T, url string) string {
@@ -123,11 +124,14 @@ func TestTimeSeriesErrorsWhenOff(t *testing.T) {
 }
 
 func TestRunLiveMatchesRunAndServes(t *testing.T) {
-	st, err := ServeStatus("127.0.0.1:0")
+	st, addr, err := ServeStatus("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st.Close()
+	if addr != st.Addr() {
+		t.Fatalf("ServeStatus returned %q, Addr says %q", addr, st.Addr())
+	}
 
 	spec := smallSpec(t, FR6(FastControl, 5))
 	base := Run(spec, 0.3)
@@ -165,11 +169,16 @@ func TestCampaignWithStatusBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st, err := ServeStatus("127.0.0.1:0")
+	st, _, err := ServeStatus("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer st.Close()
+	defer func() {
+		// Graceful shutdown must release the port without erroring.
+		if err := st.Shutdown(2 * time.Second); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
 	served, err := RunJobs(context.Background(), jobs, ParallelOptions{Workers: 2, Status: st})
 	if err != nil {
 		t.Fatal(err)
