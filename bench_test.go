@@ -401,6 +401,67 @@ func BenchmarkProfileDisabledOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkWaterfallDisabledOverhead guards the latency-provenance cost
+// contract: the stage-ledger call sites threaded through every substrate's
+// hot path (InjectStart, HeadWire, Blocked, Depart, Eject) are all guarded by
+// a cached nil ledger pointer, so a metrics-off observed run with the
+// waterfall disabled must stay within 2% of a plain Run. Both observed arms
+// attach an observer — the ledger guards fire either way — and differ only in
+// ObserverOptions.Waterfall; timed interleaved on their minimum over several
+// repetitions like BenchmarkProfileDisabledOverhead. The armed ledger is
+// reported as a metric, not asserted: per-packet stamps are cheap, but only
+// the disabled path carries a hard budget. The budget defaults to the 2%
+// contract; heavily shared machines whose timing noise exceeds that can widen
+// it with BENCH_WATERFALL_OVERHEAD_BUDGET_PCT (the same escape hatch
+// scripts/bench.sh offers via BENCH_MAX_REGRESSION_PCT).
+func BenchmarkWaterfallDisabledOverhead(b *testing.B) {
+	spec := benchScale(frfc.FR6(frfc.FastControl, 5))
+	budget := 2.0
+	if v := os.Getenv("BENCH_WATERFALL_OVERHEAD_BUDGET_PCT"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			budget = f
+		}
+	}
+	const reps = 5
+	minPlain := time.Duration(math.MaxInt64)
+	minDisabled := time.Duration(math.MaxInt64)
+	minArmed := time.Duration(math.MaxInt64)
+	round := func() {
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			frfc.Run(spec, 0.50)
+			if d := time.Since(t0); d < minPlain {
+				minPlain = d
+			}
+			t0 = time.Now()
+			frfc.RunObserved(spec, 0.50, frfc.NewObserver(frfc.ObserverOptions{}))
+			if d := time.Since(t0); d < minDisabled {
+				minDisabled = d
+			}
+			t0 = time.Now()
+			frfc.RunObserved(spec, 0.50, frfc.NewObserver(frfc.ObserverOptions{Waterfall: true}))
+			if d := time.Since(t0); d < minArmed {
+				minArmed = d
+			}
+		}
+	}
+	overhead := func() float64 { return (float64(minDisabled)/float64(minPlain) - 1) * 100 }
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	// A single-core machine under load can smear either arm past the budget;
+	// confirm an apparent regression with extra rounds before failing.
+	for extra := 0; overhead() > budget && extra < 2; extra++ {
+		round()
+	}
+	b.ReportMetric(overhead(), "disabled-waterfall-overhead-%")
+	b.ReportMetric((float64(minArmed)/float64(minPlain)-1)*100, "enabled-waterfall-overhead-%")
+	if o := overhead(); o > budget {
+		b.Fatalf("waterfall-off hot path regressed %.1f%% over plain Run (budget %.1f%%): plain %v, disabled %v",
+			o, budget, minPlain, minDisabled)
+	}
+}
+
 // BenchmarkTimeSeriesEnabledOverhead guards the telemetry recorder's cost
 // contract: recording a per-epoch time series at the default epoch must stay
 // within 2% of a metrics-only observed run — the recorder touches the hot path

@@ -13,6 +13,7 @@
 //	frsim -config FR6 -load 0.5 -json -metrics metrics.json
 //	frsim -config FR6 -load 0.5 -timeseries series.csv
 //	frsim -config FR6 -load 0.5 -profile profile.json -idle-csv idle.csv
+//	frsim -config FR6 -load 0.5 -waterfall waterfall.json
 //	frsim -config FR6 -load 0.5 -status-addr :8080
 //	frsim -config FR6 -load 0.9 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -100,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seriesOut    = fs.String("timeseries", "", "write the per-epoch telemetry series to this file, one row per metrics epoch (.json extension = JSON, anything else = CSV; implies metrics)")
 		seriesCap    = fs.Int("timeseries-cap", 0, "retained time-series points, oldest dropped on overflow (0 = keep every epoch)")
 		profileOut   = fs.String("profile", "", "write the simulator self-profile (per-node activity accounting, phase attribution, memory epochs) as JSON to this file")
+		wfOut        = fs.String("waterfall", "", "collect per-packet latency provenance and write the stage waterfall to this file (.csv extension = CSV, anything else = JSON); also prints the per-stage breakdown")
 		idleCSV      = fs.String("idle-csv", "", "write the k x k idle-router-tick-fraction heatmap as CSV to this file (implies -profile collection)")
 		statusAddr   = fs.String("status-addr", "", "serve live run status over HTTP on this host:port (/status JSON snapshot, /metrics Prometheus exposition); the result stays bit-identical")
 		jsonOut      = fs.Bool("json", false, "print one machine-readable JSON summary object instead of text")
@@ -214,8 +216,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wantTrace := *traceOut != ""
 	wantSeries := *seriesOut != ""
 	wantProfile := *profileOut != "" || *idleCSV != ""
+	wantWaterfall := *wfOut != ""
 	var obs *frfc.Observer
-	if wantMetrics || wantTrace || wantSeries || wantProfile || *statusAddr != "" {
+	if wantMetrics || wantTrace || wantSeries || wantProfile || wantWaterfall || *statusAddr != "" {
 		obs = frfc.NewObserver(frfc.ObserverOptions{
 			Metrics:            wantMetrics || *statusAddr != "",
 			MetricsEpoch:       *metricsEpoch,
@@ -224,6 +227,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			TimeSeries:         wantSeries,
 			TimeSeriesCapacity: *seriesCap,
 			Profile:            wantProfile,
+			Waterfall:          wantWaterfall,
 		})
 	}
 	var st *frfc.StatusServer
@@ -336,6 +340,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if wantProfile {
 		sum.ProfileSummary = obs.ProfileSummary()
 	}
+	if wantWaterfall {
+		write := obs.WriteWaterfallJSON
+		if strings.HasSuffix(*wfOut, ".csv") {
+			write = obs.WriteWaterfallCSV
+		}
+		if !writeTo(*wfOut, write) {
+			return 2
+		}
+		sum.WaterfallPath = *wfOut
+		sum.WaterfallSummary = obs.WaterfallSummary()
+	}
 	if *traceOut != "" {
 		ok := writeTo(*traceOut, func(w io.Writer) error {
 			return obs.WriteTrace(w, frfc.TraceFilter{
@@ -403,6 +418,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				h.Node, h.X, h.Y, h.ActiveFraction*100)
 		}
 	}
+	if wantWaterfall {
+		fmt.Fprintf(stdout, "waterfall     %s\n", sum.WaterfallSummary)
+		fmt.Fprintf(stdout, "waterfall out %s\n", sum.WaterfallPath)
+	}
 	if sum.MetricsPath != "" {
 		fmt.Fprintf(stdout, "metrics       %s\n", sum.MetricsPath)
 	}
@@ -451,6 +470,8 @@ type summary struct {
 	ProfilePath        string      `json:"profilePath,omitempty"`
 	IdleCSVPath        string      `json:"idleCsvPath,omitempty"`
 	ProfileSummary     string      `json:"profileSummary,omitempty"`
+	WaterfallPath      string      `json:"waterfallPath,omitempty"`
+	WaterfallSummary   string      `json:"waterfallSummary,omitempty"`
 }
 
 // scenarioOf merges the -scenario grammar with the -fail-link/-fail-router

@@ -127,3 +127,87 @@ func TestProfileArtifacts(t *testing.T) {
 		t.Fatalf("text output missing hot-router lines:\n%s", stdout.String())
 	}
 }
+
+// TestWaterfallArtifacts: -waterfall populates the Waterfall* summary with an
+// exact stage partition, writes the JSON artifact, and the text renderer
+// prints the breakdown line.
+func TestWaterfallArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	wfPath := filepath.Join(dir, "waterfall.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-config", "FR6", "-radix", "4", "-load", "0.3",
+		"-sample", "150", "-warmup", "300", "-check",
+		"-waterfall", wfPath, "-json",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr:\n%s", code, stderr.String())
+	}
+	var sum struct {
+		Result struct {
+			WaterfallPackets int64 `json:"WaterfallPackets"`
+			WaterfallTotal   int64 `json:"WaterfallTotal"`
+			WaterfallQueue   int64 `json:"WaterfallQueue"`
+			WaterfallReserve int64 `json:"WaterfallReserve"`
+			WaterfallArb     int64 `json:"WaterfallArb"`
+			WaterfallStall   int64 `json:"WaterfallStall"`
+			WaterfallSched   int64 `json:"WaterfallSched"`
+			WaterfallLink    int64 `json:"WaterfallLink"`
+			WaterfallDrain   int64 `json:"WaterfallDrain"`
+		} `json:"result"`
+		WaterfallPath    string `json:"waterfallPath"`
+		WaterfallSummary string `json:"waterfallSummary"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("summary JSON: %v\n%s", err, stdout.String())
+	}
+	r := sum.Result
+	if r.WaterfallPackets == 0 || r.WaterfallTotal == 0 {
+		t.Fatalf("waterfall summary empty: %+v", r)
+	}
+	if s := r.WaterfallQueue + r.WaterfallReserve + r.WaterfallArb + r.WaterfallStall +
+		r.WaterfallSched + r.WaterfallLink + r.WaterfallDrain; s != r.WaterfallTotal {
+		t.Fatalf("stage sum %d != total %d", s, r.WaterfallTotal)
+	}
+	if sum.WaterfallPath != wfPath || !strings.Contains(sum.WaterfallSummary, "queue") {
+		t.Fatalf("artifact fields wrong: path=%q summary=%q", sum.WaterfallPath, sum.WaterfallSummary)
+	}
+
+	raw, err := os.ReadFile(wfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wf struct {
+		Packets int64             `json:"packets"`
+		Stages  []json.RawMessage `json:"stages"`
+	}
+	if err := json.Unmarshal(raw, &wf); err != nil {
+		t.Fatalf("waterfall JSON: %v", err)
+	}
+	if wf.Packets != r.WaterfallPackets || len(wf.Stages) != 7 {
+		t.Fatalf("waterfall artifact: packets=%d stages=%d", wf.Packets, len(wf.Stages))
+	}
+
+	// CSV artifact via extension, and the text renderer's breakdown line.
+	csvPath := filepath.Join(dir, "waterfall.csv")
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{
+		"-config", "VC8", "-radix", "4", "-load", "0.3",
+		"-sample", "150", "-warmup", "300",
+		"-waterfall", csvPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "waterfall     waterfall:") {
+		t.Fatalf("text output missing waterfall line:\n%s", stdout.String())
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(csv)), "\n"); len(lines) != 8 {
+		t.Fatalf("waterfall CSV shape (%d lines):\n%s", len(lines), csv)
+	}
+}

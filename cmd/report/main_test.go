@@ -29,7 +29,7 @@ func writeFixtures(t *testing.T, dir string) (store, bench, baseline, benchJSON 
 		`not json at all`,
 		// A later line for an existing hash supersedes the earlier one.
 		storeLine("h1", "FR6", 0.2,
-			`{"AvgLatency":22.51,"CI95":0.9,"BatchCI95":0.51,"Batches":12,"P99":42,"AcceptedLoad":0.2,"SampledDelivered":800,"SampleSize":800,"ProfTicks":5000,"ProfActiveTicks":2000,"ProfIdleFraction":0.6,"ProfSchedWork":100,"ProfArbWork":300,"ProfSwitchWork":500,"ProfCreditWork":100}`),
+			`{"AvgLatency":22.51,"CI95":0.9,"BatchCI95":0.51,"Batches":12,"P99":42,"AcceptedLoad":0.2,"SampledDelivered":800,"SampleSize":800,"ProfTicks":5000,"ProfActiveTicks":2000,"ProfIdleFraction":0.6,"ProfSchedWork":100,"ProfArbWork":300,"ProfSwitchWork":500,"ProfCreditWork":100,"WaterfallPackets":800,"WaterfallTotal":18000,"WaterfallQueue":400,"WaterfallReserve":800,"WaterfallArb":1600,"WaterfallStall":1200,"WaterfallSched":2000,"WaterfallLink":10000,"WaterfallDrain":2000}`),
 	}
 	if err := os.WriteFile(store, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 		t.Fatal(err)
@@ -102,6 +102,8 @@ func TestReportDeterministicAndComplete(t *testing.T) {
 		"| yes |", // saturated column on the 60% row
 		"### Fault and integrity delivery",
 		"| FR6 | 60.0 | 87.5 | 0 | 12 | 3 |",
+		"### Where the cycles go (latency waterfall)",
+		"| FR6 | 20.0 | 0.50 | 1.00 | 2.00 | 1.50 | 2.50 | 12.50 | 2.50 | 22.50 |",
 		"### Self-profiling",
 		"2 of 3 points carried activity accounting",
 		"Idle component ticks: 66.7% (3000 active of 9000 total)",

@@ -19,6 +19,7 @@
 //	sweep -configs FR6,VC8 -workers 8 -out results.jsonl -progress
 //	sweep -configs FR6,VC8 -out results.jsonl -resume   # finish a killed run
 //	sweep -configs FR6,VC8 -profile profile.json        # self-profiling campaign summary
+//	sweep -configs FR6,VC8 -waterfall waterfall.json    # per-stage latency provenance
 //
 // With -adaptive it skips the fixed load grid and bisects each
 // configuration's saturation throughput in O(log 1/resolution) runs,
@@ -98,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 0, "worker pool size (0 = NumCPU); results are identical for any value")
 		out        = fs.String("out", "", "append results to this JSONL store as points complete")
 		profileOut = fs.String("profile", "", "arm self-profiling on every point and write the campaign activity summary (per-point and aggregate idle fractions, phase attribution) as JSON to this file; grid sweeps only")
+		wfOut      = fs.String("waterfall", "", "arm latency provenance on every point and write the campaign stage waterfall (per-point and aggregate queue/reserve/arb/stall/sched/link/drain cycle totals) as JSON to this file, with per-config breakdowns on stdout; grid sweeps only")
 		resume     = fs.Bool("resume", false, "reload -out first and skip already-computed points (default: truncate it)")
 		timeout    = fs.Duration("timeout", 0, "per-point wall-clock budget (0 = none); a point over budget fails alone")
 		adaptive   = fs.Bool("adaptive", false, "bisect each config's saturation throughput instead of sweeping the load grid")
@@ -162,6 +164,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *profileOut != "" && (*adaptive || *faults || *reliability || *integrity || *chaos || *scenario != "") {
 		return fail("-profile applies to grid sweeps only (not -adaptive or the fault/integrity/chaos modes)")
+	}
+	if *wfOut != "" && (*adaptive || *faults || *reliability || *integrity || *chaos || *scenario != "") {
+		return fail("-waterfall applies to grid sweeps only (not -adaptive or the fault/integrity/chaos modes)")
 	}
 	if *out != "" && !*resume {
 		// A fresh campaign: an existing store would otherwise silently
@@ -275,6 +280,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeout:    *timeout,
 		ResultPath: *out,
 		Profile:    *profileOut != "",
+		Waterfall:  *wfOut != "",
 	}
 	if *progress {
 		popts.Progress = func(p frfc.Progress) { fmt.Fprintf(stderr, "sweep: %s\n", p) }
@@ -320,6 +326,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail("%v", err)
 		}
 		fmt.Fprintf(stderr, "sweep: campaign profile written to %s\n", *profileOut)
+	}
+
+	if *wfOut != "" {
+		if err := writeCampaignWaterfall(*wfOut, results); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stderr, "sweep: campaign waterfall written to %s\n", *wfOut)
+		if !*csv {
+			printWaterfallBreakdown(stdout, names, series)
+		}
 	}
 
 	if *csv {
@@ -438,6 +454,117 @@ func writeCampaignProfile(path string, results []frfc.JobResult) error {
 		return err
 	}
 	return f.Close()
+}
+
+// waterfallPoint is one point's row in the -waterfall campaign summary.
+type waterfallPoint struct {
+	Spec    string  `json:"spec"`
+	Load    float64 `json:"load"`
+	Packets int64   `json:"packets"`
+	Total   int64   `json:"total"`
+	Queue   int64   `json:"queue"`
+	Reserve int64   `json:"reserve"`
+	Arb     int64   `json:"arb"`
+	Stall   int64   `json:"stall"`
+	Sched   int64   `json:"sched"`
+	Link    int64   `json:"link"`
+	Drain   int64   `json:"drain"`
+}
+
+// campaignWaterfall is the -waterfall output: the aggregate stage totals over
+// every simulated point, plus one row per point in job order. Every value
+// comes from the deterministic Waterfall* result fields, so the file is
+// byte-identical for any worker count.
+type campaignWaterfall struct {
+	Points    int              `json:"points"`
+	Simulated int              `json:"simulated"`
+	Packets   int64            `json:"packets"`
+	Total     int64            `json:"total"`
+	Queue     int64            `json:"queue"`
+	Reserve   int64            `json:"reserve"`
+	Arb       int64            `json:"arb"`
+	Stall     int64            `json:"stall"`
+	Sched     int64            `json:"sched"`
+	Link      int64            `json:"link"`
+	Drain     int64            `json:"drain"`
+	PerPoint  []waterfallPoint `json:"perPoint"`
+}
+
+func writeCampaignWaterfall(path string, results []frfc.JobResult) error {
+	cw := campaignWaterfall{Points: len(results)}
+	for _, jr := range results {
+		if jr.Err != "" {
+			continue
+		}
+		r := jr.Result
+		if r.WaterfallPackets == 0 {
+			// Cached points predate latency provenance (or saturated with
+			// nothing delivered); they carry no decomposition.
+			continue
+		}
+		cw.Simulated++
+		cw.Packets += r.WaterfallPackets
+		cw.Total += r.WaterfallTotal
+		cw.Queue += r.WaterfallQueue
+		cw.Reserve += r.WaterfallReserve
+		cw.Arb += r.WaterfallArb
+		cw.Stall += r.WaterfallStall
+		cw.Sched += r.WaterfallSched
+		cw.Link += r.WaterfallLink
+		cw.Drain += r.WaterfallDrain
+		cw.PerPoint = append(cw.PerPoint, waterfallPoint{
+			Spec: jr.Job.Spec.Name(), Load: jr.Job.Load,
+			Packets: r.WaterfallPackets, Total: r.WaterfallTotal,
+			Queue: r.WaterfallQueue, Reserve: r.WaterfallReserve,
+			Arb: r.WaterfallArb, Stall: r.WaterfallStall,
+			Sched: r.WaterfallSched, Link: r.WaterfallLink,
+			Drain: r.WaterfallDrain,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cw); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printWaterfallBreakdown renders one "where the cycles go" comment line per
+// configuration: mean cycles per stage over every decomposed point of that
+// config's series.
+func printWaterfallBreakdown(stdout io.Writer, names []string, series map[string][]frfc.JobResult) {
+	fmt.Fprintln(stdout, "# latency waterfall: mean cycles per stage (queue + reserve + arb + stall + sched + link + drain)")
+	for _, name := range names {
+		var pkts, q, re, a, st, sc, li, dr int64
+		for _, jr := range series[name] {
+			if jr.Err != "" || jr.Result.WaterfallPackets == 0 {
+				continue
+			}
+			r := jr.Result
+			pkts += r.WaterfallPackets
+			q += r.WaterfallQueue
+			re += r.WaterfallReserve
+			a += r.WaterfallArb
+			st += r.WaterfallStall
+			sc += r.WaterfallSched
+			li += r.WaterfallLink
+			dr += r.WaterfallDrain
+		}
+		if pkts == 0 {
+			fmt.Fprintf(stdout, "# waterfall %-10s no decomposed packets\n", name)
+			continue
+		}
+		n := float64(pkts)
+		fmt.Fprintf(stdout, "# waterfall %-10s %.2f + %.2f + %.2f + %.2f + %.2f + %.2f + %.2f = %.2f cycles over %d packets\n",
+			name, float64(q)/n, float64(re)/n, float64(a)/n, float64(st)/n,
+			float64(sc)/n, float64(li)/n, float64(dr)/n,
+			float64(q+re+a+st+sc+li+dr)/n, pkts)
+	}
 }
 
 // summarize prints the campaign accounting line to stderr — the signal a

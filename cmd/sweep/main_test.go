@@ -407,3 +407,62 @@ func TestIntegrityChaosFlagValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestWaterfallCampaignOutput: -waterfall writes a worker-count-invariant
+// campaign stage summary whose per-point partitions are exact, and prints one
+// breakdown comment line per config without touching the sweep table.
+func TestWaterfallCampaignOutput(t *testing.T) {
+	dir := t.TempDir()
+
+	var waterfalls [][]byte
+	var outs [][]byte
+	for _, workers := range []string{"1", "4"} {
+		path := filepath.Join(dir, "waterfall-"+workers+".json")
+		var stdout, stderr bytes.Buffer
+		if code := run(sweepArgs("-workers", workers, "-waterfall", path), &stdout, &stderr); code != 0 {
+			t.Fatalf("workers=%s exit %d: %s", workers, code, stderr.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waterfalls = append(waterfalls, raw)
+		outs = append(outs, stdout.Bytes())
+	}
+	if !bytes.Equal(waterfalls[0], waterfalls[1]) {
+		t.Errorf("campaign waterfall differs across worker counts:\n--- 1w\n%s--- 4w\n%s", waterfalls[0], waterfalls[1])
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Errorf("stdout differs across worker counts:\n--- 1w\n%s--- 4w\n%s", outs[0], outs[1])
+	}
+	for _, name := range []string{"FR6", "VC8"} {
+		if !strings.Contains(string(outs[0]), "# waterfall "+name) {
+			t.Errorf("stdout missing breakdown line for %s:\n%s", name, outs[0])
+		}
+	}
+
+	var cw campaignWaterfall
+	if err := json.Unmarshal(waterfalls[0], &cw); err != nil {
+		t.Fatalf("campaign waterfall JSON: %v", err)
+	}
+	if cw.Points != 4 || cw.Simulated != 4 || len(cw.PerPoint) != 4 {
+		t.Fatalf("campaign waterfall coverage wrong: %+v", cw)
+	}
+	if sum := cw.Queue + cw.Reserve + cw.Arb + cw.Stall + cw.Sched + cw.Link + cw.Drain; sum != cw.Total || cw.Total == 0 {
+		t.Fatalf("aggregate stage sum %d != total %d", sum, cw.Total)
+	}
+	for _, p := range cw.PerPoint {
+		if sum := p.Queue + p.Reserve + p.Arb + p.Stall + p.Sched + p.Link + p.Drain; sum != p.Total {
+			t.Errorf("point %s@%.1f: stage sum %d != total %d", p.Spec, p.Load, sum, p.Total)
+		}
+	}
+
+	// -waterfall applies to grid sweeps only.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-adaptive", "-waterfall", filepath.Join(dir, "x.json")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-adaptive -waterfall exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "grid sweeps only") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}

@@ -447,9 +447,12 @@ func (s Spec) WithScenario(scenario string) (Spec, error) {
 	return s, nil
 }
 
-// WithCheck returns the spec with the per-cycle invariant checker enabled;
-// a violation panics with a diagnostic. Observation-only — results are
-// unchanged. Flit-reservation specs only; Run panics otherwise.
+// WithCheck returns the spec with correctness checking enabled; a violation
+// panics with a diagnostic. Observation-only — results are unchanged. On any
+// substrate it arms the latency ledger's strict stage-conservation assertion
+// (every decomposed packet's stages must sum exactly to its measured
+// latency); on flit-reservation specs it additionally enables the per-cycle
+// in-fabric invariant checker.
 func (s Spec) WithCheck(on bool) Spec {
 	s.inner.Check = on
 	return s

@@ -1,9 +1,11 @@
 package circuit
 
 import (
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
+	"frfc/internal/waterfall"
 )
 
 // ni is the circuit-switched network interface: one packet at a time, it
@@ -13,6 +15,12 @@ import (
 type ni struct {
 	cfg   Config
 	hooks *noc.Hooks
+	// wf is the latency-stage ledger; for circuit switching the whole
+	// probe/ack round trip (circuit setup) lands in the Reserve stage,
+	// between InjectStart at probe launch and HeadWire at the first data
+	// flit. The routers are combinational for data, so headWire→eject
+	// telescopes into Link with no router sites at all.
+	wf *waterfall.Ledger
 
 	queue   []*noc.Packet
 	current *noc.Packet
@@ -56,6 +64,9 @@ func (n *ni) Tick(now sim.Cycle) {
 		n.queue = n.queue[:len(n.queue)-1]
 		n.current = p
 		p.InjectedAt = now
+		if n.wf != nil && p.Sampled {
+			n.wf.InjectStart(uint64(p.ID), 0, p.CreatedAt, now)
+		}
 		n.flits = noc.DataFlits(p)
 		n.next = 0
 		n.acked = false
@@ -63,6 +74,9 @@ func (n *ni) Tick(now sim.Cycle) {
 		n.probeOut.Send(now, probe{p: p})
 	}
 	if n.current != nil && n.acked && n.next < len(n.flits) {
+		if n.wf != nil && n.next == 0 && n.current.Sampled {
+			n.wf.HeadWire(uint64(n.current.ID), 0, now)
+		}
 		n.dataOut.Send(now, n.flits[n.next])
 		n.hooks.Injected(now)
 		n.next++
@@ -86,6 +100,7 @@ type sink struct {
 	data  *sim.Pipe[noc.DataFlit]
 	got   map[noc.PacketID]int
 	hooks *noc.Hooks
+	wf    *waterfall.Ledger
 }
 
 func newSink(hooks *noc.Hooks) *sink {
@@ -95,6 +110,9 @@ func newSink(hooks *noc.Hooks) *sink {
 func (s *sink) Tick(now sim.Cycle) {
 	s.data.RecvEach(now, func(f noc.DataFlit) {
 		s.hooks.Ejected(now)
+		if s.wf != nil && f.Type.IsHead() && f.Packet.Sampled {
+			s.wf.Eject(uint64(f.Packet.ID), 0, now)
+		}
 		s.got[f.Packet.ID]++
 		if s.got[f.Packet.ID] == f.Packet.Len {
 			delete(s.got, f.Packet.ID)
@@ -118,6 +136,21 @@ type Network struct {
 }
 
 var _ noc.Network = (*Network)(nil)
+var _ metrics.Attachable = (*Network)(nil)
+
+// AttachProbe hands the observability probe to the NIs and sinks. Circuit
+// routers hold no per-flit state worth probing — the latency ledger is the
+// only consumer here.
+func (n *Network) AttachProbe(p *metrics.Probe) {
+	p.Init(n.mesh.Radix())
+	wf := p.Waterfall()
+	for _, x := range n.nis {
+		x.wf = wf
+	}
+	for _, s := range n.sinks {
+		s.wf = wf
+	}
+}
 
 // New assembles a circuit-switched network over the given mesh.
 func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network {

@@ -262,10 +262,12 @@ func (n *Network) AttachProbe(p *metrics.Probe) {
 	for _, ni := range n.nis {
 		ni.probe = p
 		ni.prof = p.Profile()
+		ni.wf = p.Waterfall()
 	}
 	for _, s := range n.sinks {
 		s.probe = p
 		s.prof = p.Profile()
+		s.wf = p.Waterfall()
 	}
 }
 

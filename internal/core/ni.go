@@ -8,6 +8,7 @@ import (
 	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
+	"frfc/internal/waterfall"
 )
 
 // NI is a node's network interface on the injection side. Packet injection
@@ -26,6 +27,9 @@ type NI struct {
 	// prof is the self-profiling registry cached off the probe at attach
 	// time; nil when profiling is disabled.
 	prof *profile.Registry
+	// wf is the latency-stage ledger cached off the probe at attach time;
+	// nil when latency provenance is disabled.
+	wf *waterfall.Ledger
 
 	queue []*noc.Packet
 
@@ -276,6 +280,9 @@ func (n *NI) Tick(now sim.Cycle) {
 		n.queue = n.queue[:len(n.queue)-1]
 		n.ctrlOwned[v] = true
 		p.InjectedAt = now
+		if n.wf != nil && p.Sampled {
+			n.wf.InjectStart(uint64(p.ID), uint8(p.Attempts), p.CreatedAt, now)
+		}
 		n.active[v] = niPacket{active: true, pkt: p, data: noc.DataFlits(p), ctrl: noc.ControlFlits(p, n.cfg.LeadsPerCtrl)}
 		work++
 	}
@@ -298,6 +305,9 @@ func (n *NI) Tick(now sim.Cycle) {
 	if f, ok := n.sendAt[now]; ok {
 		delete(n.sendAt, now)
 		n.probe.Inject(now, int(n.node), uint64(f.Packet.ID), f.Seq)
+		if n.wf != nil && f.Seq == 0 && f.Packet.Sampled {
+			n.wf.HeadWire(uint64(f.Packet.ID), uint8(f.Attempt), now)
+		}
 		n.dataOut.Send(now, f)
 		*n.progress++
 		n.hooks.Injected(now)
@@ -408,6 +418,9 @@ type Sink struct {
 	// prof is the self-profiling registry cached off the probe at attach
 	// time; nil when profiling is disabled.
 	prof *profile.Registry
+	// wf is the latency-stage ledger cached off the probe at attach time;
+	// nil when latency provenance is disabled.
+	wf *waterfall.Ledger
 	// e2eCheck arms the end-to-end payload checksum: a reassembled packet
 	// any of whose flits arrived corrupted is rejected as lost (retried
 	// under RetryLimit) instead of delivered.
@@ -481,6 +494,9 @@ func (s *Sink) Tick(now sim.Cycle) {
 		}
 		s.hooks.Ejected(now)
 		s.probe.Eject(now, int(s.node), uint64(f.Packet.ID), f.Seq)
+		if s.wf != nil && f.Seq == 0 && f.Packet.Sampled {
+			s.wf.Eject(uint64(f.Packet.ID), uint8(f.Attempt), now)
+		}
 		st := s.stateFor(f.Packet.ID, f.Attempt)
 		if st.done || f.Attempt < st.attempt {
 			return // straggler of a resolved packet or superseded attempt

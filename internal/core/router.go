@@ -9,6 +9,7 @@ import (
 	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
+	"frfc/internal/waterfall"
 )
 
 // leadState tracks the scheduling progress of one data flit led by a control
@@ -125,6 +126,13 @@ type Router struct {
 	// time so the per-tick accounting costs one nil test when disabled.
 	prof *profile.Registry
 
+	// wf is the latency-stage ledger cached off the probe at attach time;
+	// nil when latency provenance is disabled. The FR router charges a
+	// buffered head flit's whole residence to the Sched stage at departure —
+	// its wait is by construction the pre-reserved slot, and the bypass path
+	// contributes zero.
+	wf *waterfall.Ledger
+
 	// progress points at the network-wide movement counter the no-progress
 	// watchdog monitors; the router bumps it whenever a flit moves.
 	progress *int64
@@ -167,6 +175,7 @@ func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG)
 func (r *Router) attachProbe(p *metrics.Probe) {
 	r.probe = p
 	r.prof = p.Profile()
+	r.wf = p.Waterfall()
 	for i := range r.inputs {
 		if r.inputs[i] != nil {
 			r.inputs[i].probe = p
@@ -264,6 +273,9 @@ func (r *Router) Tick(now sim.Cycle) {
 			continue
 		}
 		sw += in.dataIn.RecvEach(now, func(f noc.DataFlit) {
+			if r.wf != nil && f.Seq == 0 && f.Packet.Sampled {
+				r.wf.Arrive(uint64(f.Packet.ID), uint8(f.Attempt), now)
+			}
 			if f.Corrupted {
 				r.probe.Corrupt(int(r.id))
 				if r.crcDetect() {
@@ -335,6 +347,9 @@ func (r *Router) sendData(now sim.Cycle, f noc.DataFlit, out topology.Port) {
 		return
 	}
 	r.probe.Traverse(now, int(r.id), int(out), uint64(f.Packet.ID), f.Seq)
+	if r.wf != nil && f.Seq == 0 && f.Packet.Sampled {
+		r.wf.Depart(uint64(f.Packet.ID), uint8(f.Attempt), now, true)
+	}
 	r.dataOut[out].Send(now, f)
 }
 

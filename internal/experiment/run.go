@@ -14,6 +14,7 @@ import (
 	"frfc/internal/topology"
 	"frfc/internal/traffic"
 	"frfc/internal/vcrouter"
+	"frfc/internal/waterfall"
 )
 
 // Result reports one simulated (configuration, load) point.
@@ -133,6 +134,20 @@ type Result struct {
 	ProfTicks, ProfActiveTicks                                 int64
 	ProfIdleFraction                                           float64
 	ProfSchedWork, ProfArbWork, ProfSwitchWork, ProfCreditWork int64
+
+	// Latency-waterfall summary, populated only when the run carried a
+	// stage ledger (Instruments.Probe.WF). WaterfallPackets counts sampled
+	// packets whose latency was decomposed; WaterfallTotal is their summed
+	// creation-to-delivery latency in cycles, and the per-stage fields
+	// partition it exactly: Queue + Reserve + Arb + Stall + Sched + Link +
+	// Drain == Total for every packet (enforced under Spec.Check). Like the
+	// profile summary, every value is a deterministic function of the
+	// simulation, so waterfall results stay byte-identical across worker
+	// counts and on/off.
+	WaterfallPackets, WaterfallTotal               int64
+	WaterfallQueue, WaterfallReserve, WaterfallArb int64
+	WaterfallStall, WaterfallSched, WaterfallLink  int64
+	WaterfallDrain                                 int64
 }
 
 // String renders the result as one sweep row. The reported ± half-width is
@@ -203,6 +218,9 @@ type Live struct {
 	// Prof is a deep clone of the self-profiling registry (nil when the run
 	// is not profiled), its Cycles stamped with the snapshot time.
 	Prof *profile.Registry
+	// Waterfall is a snapshot of the latency-stage decomposition over
+	// packets delivered so far (nil when latency provenance is off).
+	Waterfall *waterfall.View
 }
 
 // DefaultPublishEvery is the cycle period between Publish snapshots when
@@ -259,6 +277,14 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 	// sampling happens on its epoch inside step(); everything else
 	// accumulates inside the fabric via the probe.
 	prof := probe.Profile()
+	// The latency-stage ledger, nil when latency provenance is off. The
+	// fabric timestamps lifecycle transitions into it; delivery and drop
+	// hooks below close each packet's account. Spec.Check arms the strict
+	// conservation assertion (stage sums must equal measured latency).
+	wf := probe.Waterfall()
+	if wf != nil {
+		wf.Strict = s.Check
+	}
 
 	lat := stats.NewLatencyStats()
 	retryLat := stats.NewRetryLatency()
@@ -280,6 +306,9 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 				retryLat.Record(now-p.CreatedAt, p.Attempts)
 				queueDelay.Add(float64(p.InjectedAt - p.CreatedAt))
 				sampledDelivered++
+				if wf != nil {
+					wf.Delivered(uint64(p.ID), now)
+				}
 			}
 		},
 		FlitEjected: func(now sim.Cycle) { tput.CountEjected(1) },
@@ -289,12 +318,18 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 		PacketLost: func(p *noc.Packet, now sim.Cycle) {
 			if p.Sampled && !retryOn {
 				sampledDelivered++
+				if wf != nil {
+					wf.Drop(uint64(p.ID))
+				}
 			}
 		},
 		// With retry, abandonment is the resolution of last resort.
 		PacketAbandoned: func(p *noc.Packet, now sim.Cycle) {
 			if p.Sampled {
 				sampledDelivered++
+				if wf != nil {
+					wf.Drop(uint64(p.ID))
+				}
 			}
 		},
 		// A hard fault disconnecting a sampled packet's destination
@@ -303,6 +338,9 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 		PacketUnreachable: func(p *noc.Packet, now sim.Cycle) {
 			if p.Sampled {
 				sampledDelivered++
+				if wf != nil {
+					wf.Drop(uint64(p.ID))
+				}
 			}
 		},
 	}
@@ -360,6 +398,10 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 		if prof != nil {
 			lv.Prof = prof.Clone()
 			lv.Prof.Cycles = now
+		}
+		if wf != nil {
+			v := wf.View()
+			lv.Waterfall = &v
 		}
 		return lv
 	}
@@ -513,6 +555,18 @@ func RunInstrumented(ctx context.Context, s Spec, load float64, ins Instruments)
 		res.ProfArbWork = ph[profile.PhaseArb]
 		res.ProfSwitchWork = ph[profile.PhaseSwitch]
 		res.ProfCreditWork = ph[profile.PhaseCredit]
+	}
+	if wf != nil {
+		res.WaterfallPackets = wf.Packets()
+		res.WaterfallTotal = wf.TotalCycles()
+		st := wf.StageTotals()
+		res.WaterfallQueue = st[waterfall.StageQueue]
+		res.WaterfallReserve = st[waterfall.StageReserve]
+		res.WaterfallArb = st[waterfall.StageArb]
+		res.WaterfallStall = st[waterfall.StageStall]
+		res.WaterfallSched = st[waterfall.StageSched]
+		res.WaterfallLink = st[waterfall.StageLink]
+		res.WaterfallDrain = st[waterfall.StageDrain]
 	}
 	return res, nil
 }

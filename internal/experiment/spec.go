@@ -350,11 +350,14 @@ func ResolveRouting(name string, mesh topology.Mesh) routing.Algorithm {
 func NewNetwork(s Spec, hooks *noc.Hooks) (noc.Network, topology.Mesh) {
 	s = s.withDefaults()
 	mesh := topology.NewMesh(s.MeshRadix)
-	if s.Flow != FlitReservation && (len(s.Faults) > 0 || s.Check || s.ChaosIntensity > 0 || (s.Routing != "" && s.Routing != "xy")) {
+	if s.Flow != FlitReservation && (len(s.Faults) > 0 || s.ChaosIntensity > 0 || (s.Routing != "" && s.Routing != "xy")) {
 		// Silently dropping a scenario would report a healthy run as a
 		// degraded one's result.
-		panic(fmt.Sprintf("experiment: routing/fault/check/chaos options are implemented for %s only, not %s", FlitReservation, s.Flow))
+		panic(fmt.Sprintf("experiment: routing/fault/chaos options are implemented for %s only, not %s", FlitReservation, s.Flow))
 	}
+	// Check is meaningful on every substrate: it arms the latency ledger's
+	// strict conservation assertion for all flows, and additionally the
+	// in-fabric invariant checker on flit-reservation networks below.
 	if s.ChaosIntensity > 0 && len(s.Faults) > 0 {
 		panic("experiment: ChaosIntensity and Faults are mutually exclusive — the chaos plan overwrites the fault scenario")
 	}

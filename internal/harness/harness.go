@@ -26,6 +26,7 @@ import (
 	"frfc/internal/experiment"
 	"frfc/internal/metrics"
 	"frfc/internal/profile"
+	"frfc/internal/waterfall"
 )
 
 // Job is one unit of work: a configuration simulated at one offered load.
@@ -59,7 +60,9 @@ func (j Job) EffectiveSpec() experiment.Spec {
 // corruption ledger.
 // v5: Result gained the self-profiling summary fields (ProfTicks,
 // ProfIdleFraction, per-phase work attribution).
-const hashVersion = "frfc-job-v5"
+// v6: Result gained the latency-waterfall stage summary fields
+// (WaterfallPackets/Total and the seven per-stage cycle totals).
+const hashVersion = "frfc-job-v6"
 
 // Hash is the job's stable content hash: a digest of the normalized spec
 // (every field, including nested router configs and the traffic pattern's
@@ -136,6 +139,17 @@ type Options struct {
 	// registry immediately after its run, from the worker goroutine
 	// (implies Profile). Cached and skipped jobs are not reported.
 	CollectProfile func(Job, *profile.Registry)
+	// Waterfall arms latency provenance on every simulated job: each run
+	// carries a stage ledger decomposing every sampled packet's latency
+	// into queue/reserve/arb/stall/sched/link/drain, summarized in the
+	// Result's Waterfall* fields. Observation-only like Profile: the
+	// shared fields of a waterfall Result are bit-identical to a plain
+	// run, and waterfall campaigns are bit-identical across worker counts.
+	Waterfall bool
+	// CollectWaterfall, when non-nil, receives each simulated job's stage
+	// ledger immediately after its run, from the worker goroutine (implies
+	// Waterfall). Cached and skipped jobs are not reported.
+	CollectWaterfall func(Job, *waterfall.Ledger)
 }
 
 func (o Options) workers() int {

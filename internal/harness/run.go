@@ -9,6 +9,7 @@ import (
 	"frfc/internal/experiment"
 	"frfc/internal/metrics"
 	"frfc/internal/profile"
+	"frfc/internal/waterfall"
 )
 
 // RunJobs executes the jobs on the worker pool and returns one JobResult per
@@ -115,7 +116,8 @@ func runJobIsolated(ctx context.Context, j Job, o Options) (res experiment.Resul
 		}
 	}()
 	profiled := o.Profile || o.CollectProfile != nil
-	if o.Collect == nil && !profiled {
+	waterfalled := o.Waterfall || o.CollectWaterfall != nil
+	if o.Collect == nil && !profiled && !waterfalled {
 		res, err = experiment.RunCtx(ctx, j.EffectiveSpec(), j.Load)
 		return res, panicked, stack, err
 	}
@@ -126,6 +128,9 @@ func runJobIsolated(ctx context.Context, j Job, o Options) (res experiment.Resul
 	if profiled {
 		probe.Prof = profile.NewRegistry(0)
 	}
+	if waterfalled {
+		probe.WF = waterfall.New()
+	}
 	res, err = experiment.RunObservedCtx(ctx, j.EffectiveSpec(), j.Load, probe)
 	if err == nil {
 		if o.Collect != nil {
@@ -133,6 +138,9 @@ func runJobIsolated(ctx context.Context, j Job, o Options) (res experiment.Resul
 		}
 		if o.CollectProfile != nil {
 			o.CollectProfile(j, probe.Prof)
+		}
+		if o.CollectWaterfall != nil {
+			o.CollectWaterfall(j, probe.WF)
 		}
 	}
 	return res, panicked, stack, err

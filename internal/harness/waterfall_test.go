@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"frfc/internal/experiment"
+	"frfc/internal/waterfall"
+)
+
+// TestWaterfallParallelEqualsSerial extends the determinism contract to
+// latency-provenance campaigns: with Options.Waterfall set, every worker
+// count must produce bit-identical Results — including the Waterfall* stage
+// summary — and the shared fields must match a plain run exactly.
+func TestWaterfallParallelEqualsSerial(t *testing.T) {
+	specs := []experiment.Spec{tinySpec(), tinyVC()}
+	loads := []float64{0.2, 0.4}
+	var jobs []Job
+	for _, s := range specs {
+		for _, l := range loads {
+			jobs = append(jobs, Job{Spec: s, Load: l})
+		}
+	}
+
+	serial, err := RunJobs(context.Background(), jobs, Options{Workers: 1, Waterfall: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range serial {
+		if jr.Err != "" {
+			t.Fatalf("serial job %d failed: %s", i, jr.Err)
+		}
+		r := jr.Result
+		if r.WaterfallPackets == 0 || r.WaterfallTotal == 0 {
+			t.Errorf("job %d: waterfall run decomposed nothing: packets=%d total=%d",
+				i, r.WaterfallPackets, r.WaterfallTotal)
+		}
+		sum := r.WaterfallQueue + r.WaterfallReserve + r.WaterfallArb +
+			r.WaterfallStall + r.WaterfallSched + r.WaterfallLink + r.WaterfallDrain
+		if sum != r.WaterfallTotal {
+			t.Errorf("job %d: stage sum %d != total %d", i, sum, r.WaterfallTotal)
+		}
+	}
+
+	parallel, err := RunJobs(context.Background(), jobs, Options{Workers: 4, Waterfall: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if parallel[i].Err != "" {
+			t.Fatalf("parallel job %d failed: %s", i, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(parallel[i].Result, serial[i].Result) {
+			t.Errorf("job %d diverged between 1 and 4 workers:\n1w: %+v\n4w: %+v",
+				i, serial[i].Result, parallel[i].Result)
+		}
+	}
+
+	// Latency provenance is observation-only: strip the Waterfall* fields
+	// and the rest of the Result must be bit-identical to a plain campaign.
+	plain, err := RunJobs(context.Background(), jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		stripped := serial[i].Result
+		stripped.WaterfallPackets, stripped.WaterfallTotal = 0, 0
+		stripped.WaterfallQueue, stripped.WaterfallReserve, stripped.WaterfallArb = 0, 0, 0
+		stripped.WaterfallStall, stripped.WaterfallSched, stripped.WaterfallLink = 0, 0, 0
+		stripped.WaterfallDrain = 0
+		if !reflect.DeepEqual(stripped, plain[i].Result) {
+			t.Errorf("job %d: waterfall result (Waterfall* stripped) diverged from plain:\nwaterfall: %+v\nplain:     %+v",
+				i, stripped, plain[i].Result)
+		}
+	}
+}
+
+// TestCollectWaterfallHandover: CollectWaterfall must receive one ledger per
+// simulated job, each consistent with that job's Result summary.
+func TestCollectWaterfallHandover(t *testing.T) {
+	jobs := []Job{
+		{Spec: tinySpec(), Load: 0.3},
+		{Spec: tinyVC(), Load: 0.3},
+	}
+	var mu sync.Mutex
+	got := map[string]*waterfall.Ledger{}
+	o := Options{
+		Workers: 2,
+		CollectWaterfall: func(j Job, l *waterfall.Ledger) {
+			mu.Lock()
+			got[j.Hash()] = l
+			mu.Unlock()
+		},
+	}
+	results, err := RunJobs(context.Background(), jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("collected %d ledgers, want %d", len(got), len(jobs))
+	}
+	for i, jr := range results {
+		if jr.Err != "" {
+			t.Fatalf("job %d failed: %s", i, jr.Err)
+		}
+		l := got[jr.Hash]
+		if l == nil {
+			t.Fatalf("job %d: no ledger handed over", i)
+		}
+		if l.Packets() != jr.Result.WaterfallPackets || l.TotalCycles() != jr.Result.WaterfallTotal {
+			t.Errorf("job %d: ledger (%d pkts, %d cycles) disagrees with Result (%d, %d)",
+				i, l.Packets(), l.TotalCycles(), jr.Result.WaterfallPackets, jr.Result.WaterfallTotal)
+		}
+	}
+}

@@ -5,23 +5,26 @@ import (
 	"frfc/internal/sim"
 	"frfc/internal/topology"
 	"frfc/internal/trace"
+	"frfc/internal/waterfall"
 )
 
 // Probe is the instrumentation point handed to a fabric. Any part may be
 // absent: Reg collects counters and gauges, Tracer records flit-level
 // events, Prof accounts the simulator's own activity (ticks, idle fractions,
-// phase attribution). All methods are no-ops on a nil *Probe — fabrics hold
-// a concrete *Probe (not an interface), so the disabled path is one nil test
-// with no dynamic dispatch and no allocation.
+// phase attribution), WF attributes per-packet latency to lifecycle stages.
+// All methods are no-ops on a nil *Probe — fabrics hold a concrete *Probe
+// (not an interface), so the disabled path is one nil test with no dynamic
+// dispatch and no allocation.
 type Probe struct {
 	Reg    *Registry
 	Tracer *trace.Tracer
 	Prof   *profile.Registry
+	WF     *waterfall.Ledger
 }
 
 // Enabled reports whether the probe collects anything at all.
 func (p *Probe) Enabled() bool {
-	return p != nil && (p.Reg != nil || p.Tracer != nil || p.Prof != nil)
+	return p != nil && (p.Reg != nil || p.Tracer != nil || p.Prof != nil || p.WF != nil)
 }
 
 // Init sizes the registries for a k×k mesh; safe to call on any probe.
@@ -41,6 +44,16 @@ func (p *Probe) Profile() *profile.Registry {
 		return nil
 	}
 	return p.Prof
+}
+
+// Waterfall returns the latency-stage ledger, nil when latency provenance is
+// off. Fabrics cache the result at attach time so the per-event cost of the
+// disabled waterfall is a nil test on a concrete *waterfall.Ledger.
+func (p *Probe) Waterfall() *waterfall.Ledger {
+	if p == nil {
+		return nil
+	}
+	return p.WF
 }
 
 // SampleDue reports whether occupancy gauges should be sampled this cycle.

@@ -36,6 +36,17 @@ type Params struct {
 	// exceeds CreditBufs cycles, a long packet cannot stream at one flit
 	// per cycle and serialization stretches. Zero means unconstrained.
 	CreditBufs int
+
+	// CtrlDelay is the control-wire latency used by the circuit-switched
+	// predictor (the probe/ack network); zero defaults to 1.
+	CtrlDelay sim.Cycle
+}
+
+func (p Params) ctrlDelay() float64 {
+	if p.CtrlDelay <= 0 {
+		return 1
+	}
+	return float64(p.CtrlDelay)
 }
 
 // creditRTT is the buffer turnaround of Figure 1: departure, link,
@@ -119,6 +130,130 @@ func StoreAndForward(p Params, src, dst topology.NodeID) float64 {
 func FlitReservation(p Params, src, dst topology.NodeID) float64 {
 	h := float64(hops(p, src, dst))
 	return 1 + 2*float64(p.LocalDelay) + h*float64(p.LinkDelay) + float64(p.PacketLen-1) + 1
+}
+
+// CircuitSwitch predicts uncontended circuit-switched latency: a setup probe
+// crosses h+1 control links from the NI plus one router decision each, the
+// ack retraces the h+1 control links with no decisions, and only then do the
+// data flits stream over the reserved, combinational path — so the data part
+// is pure wire plus tail serialization.
+//
+//	(2h+2)·ctrl + (h+1) + 2·local + h·tp + (L−1)
+func CircuitSwitch(p Params, src, dst topology.NodeID) float64 {
+	h := float64(hops(p, src, dst))
+	setup := (2*h+2)*p.ctrlDelay() + (h + 1)
+	return setup + 2*float64(p.LocalDelay) + h*float64(p.LinkDelay) + float64(p.PacketLen-1)
+}
+
+// Breakdown splits a predicted contention-free latency across the waterfall
+// stages of internal/waterfall (same order, same semantics). Each *Breakdown
+// function mirrors its scalar predictor term by term, so the components sum
+// exactly to the prediction — the analytic counterpart of the ledger's
+// conservation guarantee, and what the cross-validation tests compare the
+// measured stage means against.
+type Breakdown struct {
+	Queue, Reserve, Arb, Stall, Sched, Link, Drain float64
+}
+
+// Total sums the stages.
+func (b Breakdown) Total() float64 {
+	return b.Queue + b.Reserve + b.Arb + b.Stall + b.Sched + b.Link + b.Drain
+}
+
+// VirtualChannelBreakdown decomposes VirtualChannel: the h router decisions
+// plus the ejection decision are arbitration, the wires (two local links and
+// h data links) are link time, and tail serialization — possibly stretched by
+// a shallow credit loop — is drain.
+func VirtualChannelBreakdown(p Params, src, dst topology.NodeID) Breakdown {
+	h := float64(hops(p, src, dst))
+	return Breakdown{
+		Arb:   h + 1,
+		Link:  2*float64(p.LocalDelay) + h*float64(p.LinkDelay),
+		Drain: float64(p.PacketLen-1) * p.interFlit(),
+	}
+}
+
+// CutThroughBreakdown decomposes CutThrough: like wormhole for the head,
+// with packet-sized buffers that never throttle the drain.
+func CutThroughBreakdown(p Params, src, dst topology.NodeID) Breakdown {
+	h := float64(hops(p, src, dst))
+	return Breakdown{
+		Arb:   h + 1,
+		Link:  2*float64(p.LocalDelay) + h*float64(p.LinkDelay),
+		Drain: float64(p.PacketLen - 1),
+	}
+}
+
+// StoreAndForwardBreakdown decomposes StoreAndForward: at each of the h+1
+// routers the head stalls L−1 cycles waiting for its own tail (a buffer
+// stall by construction) and pays one decision cycle; wires and drain are as
+// in cut-through.
+func StoreAndForwardBreakdown(p Params, src, dst topology.NodeID) Breakdown {
+	h := float64(hops(p, src, dst))
+	l := float64(p.PacketLen)
+	return Breakdown{
+		Arb:   h + 1,
+		Stall: (h + 1) * (l - 1),
+		Link:  2*float64(p.LocalDelay) + h*float64(p.LinkDelay),
+		Drain: l - 1,
+	}
+}
+
+// FlitReservationBreakdown decomposes FlitReservation: one injection-
+// scheduling cycle is the reservation cost, the destination router's
+// scheduled ejection pass costs one cycle of wholesale residence, bypass
+// hops are pure wire, and the tail streams back to back.
+func FlitReservationBreakdown(p Params, src, dst topology.NodeID) Breakdown {
+	h := float64(hops(p, src, dst))
+	return Breakdown{
+		Reserve: 1,
+		Sched:   1,
+		Link:    2*float64(p.LocalDelay) + h*float64(p.LinkDelay),
+		Drain:   float64(p.PacketLen - 1),
+	}
+}
+
+// CircuitSwitchBreakdown decomposes CircuitSwitch: the whole probe/ack round
+// trip is reservation time, and the reserved path itself is pure wire plus
+// drain.
+func CircuitSwitchBreakdown(p Params, src, dst topology.NodeID) Breakdown {
+	h := float64(hops(p, src, dst))
+	return Breakdown{
+		Reserve: (2*h+2)*p.ctrlDelay() + (h + 1),
+		Link:    2*float64(p.LocalDelay) + h*float64(p.LinkDelay),
+		Drain:   float64(p.PacketLen - 1),
+	}
+}
+
+// MeanBreakdownOverUniform averages a stage decomposition over all ordered
+// pairs of distinct nodes, stage by stage — the analytic counterpart of a
+// uniform-random zero-load waterfall measurement.
+func MeanBreakdownOverUniform(p Params, predict func(Params, topology.NodeID, topology.NodeID) Breakdown) Breakdown {
+	var total Breakdown
+	var pairs int64
+	n := p.Mesh.N()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			b := predict(p, topology.NodeID(s), topology.NodeID(d))
+			total.Queue += b.Queue
+			total.Reserve += b.Reserve
+			total.Arb += b.Arb
+			total.Stall += b.Stall
+			total.Sched += b.Sched
+			total.Link += b.Link
+			total.Drain += b.Drain
+			pairs++
+		}
+	}
+	f := float64(pairs)
+	return Breakdown{
+		Queue: total.Queue / f, Reserve: total.Reserve / f, Arb: total.Arb / f,
+		Stall: total.Stall / f, Sched: total.Sched / f, Link: total.Link / f,
+		Drain: total.Drain / f,
+	}
 }
 
 // MeanOverUniform averages a predictor over all ordered pairs of distinct

@@ -1,9 +1,11 @@
 package packetswitch
 
 import (
+	"frfc/internal/metrics"
 	"frfc/internal/noc"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
+	"frfc/internal/waterfall"
 )
 
 // ni injects packets over the local link, one packet at a time (the FIFO
@@ -12,6 +14,7 @@ import (
 type ni struct {
 	cfg   Config
 	hooks *noc.Hooks
+	wf    *waterfall.Ledger
 
 	queue   []*noc.Packet
 	current []noc.DataFlit
@@ -44,10 +47,16 @@ func (n *ni) Tick(now sim.Cycle) {
 		n.queue = n.queue[:len(n.queue)-1]
 		n.credits--
 		p.InjectedAt = now
+		if n.wf != nil && p.Sampled {
+			n.wf.InjectStart(uint64(p.ID), 0, p.CreatedAt, now)
+		}
 		n.current = noc.DataFlits(p)
 		n.next = 0
 	}
 	if n.current != nil {
+		if f := n.current[n.next]; n.wf != nil && n.next == 0 && f.Packet.Sampled {
+			n.wf.HeadWire(uint64(f.Packet.ID), 0, now)
+		}
 		n.data.Send(now, n.current[n.next])
 		n.hooks.Injected(now)
 		n.next++
@@ -63,6 +72,7 @@ type sink struct {
 	data  *sim.Pipe[noc.DataFlit]
 	got   map[noc.PacketID]int
 	hooks *noc.Hooks
+	wf    *waterfall.Ledger
 }
 
 func newSink(hooks *noc.Hooks) *sink {
@@ -72,6 +82,9 @@ func newSink(hooks *noc.Hooks) *sink {
 func (s *sink) Tick(now sim.Cycle) {
 	s.data.RecvEach(now, func(f noc.DataFlit) {
 		s.hooks.Ejected(now)
+		if s.wf != nil && f.Type.IsHead() && f.Packet.Sampled {
+			s.wf.Eject(uint64(f.Packet.ID), 0, now)
+		}
 		s.got[f.Packet.ID]++
 		if s.got[f.Packet.ID] == f.Packet.Len {
 			delete(s.got, f.Packet.ID)
@@ -95,6 +108,24 @@ type Network struct {
 }
 
 var _ noc.Network = (*Network)(nil)
+var _ metrics.Attachable = (*Network)(nil)
+
+// AttachProbe hands the observability probe to every component. The packet-
+// switched baselines only consume the latency-stage ledger; the flit-level
+// channel/buffer counters stay with the flit-granularity fabrics.
+func (n *Network) AttachProbe(p *metrics.Probe) {
+	p.Init(n.mesh.Radix())
+	wf := p.Waterfall()
+	for _, r := range n.routers {
+		r.wf = wf
+	}
+	for _, x := range n.nis {
+		x.wf = wf
+	}
+	for _, s := range n.sinks {
+		s.wf = wf
+	}
+}
 
 // New assembles a packet-switched network over the given mesh.
 func New(mesh topology.Mesh, cfg Config, seed uint64, hooks *noc.Hooks) *Network {

@@ -19,6 +19,7 @@ import (
 	"frfc/internal/routing"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
+	"frfc/internal/waterfall"
 )
 
 // Mode selects the forwarding rule.
@@ -139,7 +140,20 @@ type Router struct {
 	in  [topology.NumPorts]inputState
 	out [topology.NumPorts]outputState
 
+	// wf is the latency-stage ledger cached off the probe at attach time;
+	// nil when latency provenance is disabled. A buffered sampled head's
+	// wait is charged per cycle: store-and-forward assembly and exhausted
+	// downstream buffers → Stall, the 1-cycle routing decision and lost (or
+	// busy-channel) arbitration → Arb.
+	wf *waterfall.Ledger
+
 	cands []int // scratch: encoded (port, slot) switch candidates
+
+	// freeAtStart snapshots, per output, whether the channel was free when
+	// this cycle's grant loop began, so a head denied by busyWith can be
+	// attributed to a lost arbitration (free at start, claimed by a winner)
+	// rather than to waiting behind an earlier packet.
+	freeAtStart [topology.NumPorts]bool
 }
 
 func newRouter(id topology.NodeID, mesh topology.Mesh, cfg Config, rng *sim.RNG) *Router {
@@ -193,6 +207,9 @@ func (r *Router) recvFlits(now sim.Cycle) {
 			continue
 		}
 		in.data.RecvEach(now, func(f noc.DataFlit) {
+			if r.wf != nil && f.Type.IsHead() && f.Packet.Sampled {
+				r.wf.Arrive(uint64(f.Packet.ID), 0, now)
+			}
 			if f.Type.IsHead() {
 				slot := -1
 				for s := range in.slots {
@@ -253,6 +270,16 @@ func (r *Router) allocate(now sim.Cycle) {
 		for s := range in.slots {
 			sl := &in.slots[s]
 			if sl.granted || !r.eligible(sl, now) {
+				if r.wf != nil && sl.occupied && !sl.granted {
+					// Not yet a switch candidate: store-and-forward
+					// assembly is a buffer stall; the 1-cycle decision
+					// pipeline counts as arbitration latency.
+					if r.cfg.Mode == StoreAndForward && sl.received < sl.total {
+						r.markSlot(sl, waterfall.StageStall, now)
+					} else {
+						r.markSlot(sl, waterfall.StageArb, now)
+					}
+				}
 				continue
 			}
 			if !sl.routed {
@@ -270,15 +297,32 @@ func (r *Router) allocate(now sim.Cycle) {
 		j := r.rng.Intn(i + 1)
 		r.cands[i], r.cands[j] = r.cands[j], r.cands[i]
 	}
+	for p := range r.out {
+		r.freeAtStart[p] = r.out[p].busyWith == -1
+	}
 	for _, c := range r.cands {
 		p := c / r.cfg.PacketBuffers
 		s := c % r.cfg.PacketBuffers
 		sl := &r.in[p].slots[s]
 		o := &r.out[sl.route]
 		if o.busyWith != -1 {
+			if r.wf != nil {
+				if r.freeAtStart[sl.route] {
+					// The channel was free this cycle and another packet
+					// won it: a lost arbitration.
+					r.markSlot(sl, waterfall.StageArb, now)
+				} else {
+					// Queued behind a packet holding the channel
+					// head-to-tail.
+					r.markSlot(sl, waterfall.StageStall, now)
+				}
+			}
 			continue
 		}
 		if !o.infinite && o.credits == 0 {
+			if r.wf != nil {
+				r.markSlot(sl, waterfall.StageStall, now)
+			}
 			continue
 		}
 		o.busyWith = c
@@ -305,6 +349,9 @@ func (r *Router) stream(now sim.Cycle) {
 			continue // cut-through bubble: waiting for the next flit
 		}
 		f := sl.flits[sl.sent]
+		if r.wf != nil && sl.sent == 0 && f.Type.IsHead() && f.Packet.Sampled {
+			r.wf.Depart(uint64(f.Packet.ID), 0, now, false)
+		}
 		o.data.Send(now, f)
 		sl.sent++
 		if sl.sent == sl.total {
@@ -316,6 +363,15 @@ func (r *Router) stream(now sim.Cycle) {
 			}
 			*sl = packetSlot{flits: sl.flits[:0]}
 		}
+	}
+}
+
+// markSlot charges one waiting cycle of the slot's buffered head to stage.
+// Callers have already checked r.wf != nil.
+func (r *Router) markSlot(sl *packetSlot, stage waterfall.Stage, now sim.Cycle) {
+	f := sl.flits[0]
+	if f.Type.IsHead() && f.Packet.Sampled {
+		r.wf.Blocked(uint64(f.Packet.ID), stage, now)
 	}
 }
 

@@ -58,6 +58,16 @@ type Row struct {
 		ProfArbWork      int64
 		ProfSwitchWork   int64
 		ProfCreditWork   int64
+
+		WaterfallPackets int64
+		WaterfallTotal   int64
+		WaterfallQueue   int64
+		WaterfallReserve int64
+		WaterfallArb     int64
+		WaterfallStall   int64
+		WaterfallSched   int64
+		WaterfallLink    int64
+		WaterfallDrain   int64
 	} `json:"result"`
 }
 
@@ -273,6 +283,7 @@ func writeStoreSection(b *bytes.Buffer, src Source) {
 
 	writeFaultSubsection(b, src.Rows)
 	writeProfileSubsection(b, src.Rows)
+	writeWaterfallSubsection(b, src.Rows)
 }
 
 // writeFaultSubsection adds the fault/chaos delivery table when any row
@@ -333,6 +344,40 @@ func writeProfileSubsection(b *bytes.Buffer, rows []Row) {
 	if work := sched + arb + sw + cred; work > 0 {
 		fmt.Fprintf(b, "- FR-router phase work: sched %.1f%%, arb %.1f%%, switch %.1f%%, credit %.1f%% of %d attributed work items.\n",
 			pct(sched, work), pct(arb, work), pct(sw, work), pct(cred, work), work)
+	}
+}
+
+// writeWaterfallSubsection renders the "where the cycles go" table: one row
+// per point that carried latency provenance, mean cycles per stage, exactly
+// partitioning the decomposed mean latency.
+func writeWaterfallSubsection(b *bytes.Buffer, rows []Row) {
+	any := false
+	for _, r := range rows {
+		if r.Result.WaterfallPackets > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	b.WriteString("\n### Where the cycles go (latency waterfall)\n\n")
+	b.WriteString("Mean cycles per packet attributed to each lifecycle stage; the stages sum\n")
+	b.WriteString("exactly to the decomposed mean latency.\n\n")
+	b.WriteString("| Config | Load %cap | Queue | Reserve | Arb | Stall | Sched | Link | Drain | Total |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, r := range rows {
+		res := r.Result
+		if res.WaterfallPackets == 0 {
+			continue
+		}
+		n := float64(res.WaterfallPackets)
+		fmt.Fprintf(b, "| %s | %.1f | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f |\n",
+			r.Spec, r.Load*100,
+			float64(res.WaterfallQueue)/n, float64(res.WaterfallReserve)/n,
+			float64(res.WaterfallArb)/n, float64(res.WaterfallStall)/n,
+			float64(res.WaterfallSched)/n, float64(res.WaterfallLink)/n,
+			float64(res.WaterfallDrain)/n, float64(res.WaterfallTotal)/n)
 	}
 }
 

@@ -179,11 +179,14 @@ func (s *Service) worker() {
 			return
 		}
 		j := c.jobs[idx]
-		ho := harness.Options{Store: s.db, Timeout: s.opts.Timeout}
+		ho := harness.Options{Store: s.db, Timeout: s.opts.Timeout, Waterfall: c.req.Waterfall}
 		if st := s.opts.Status; st != nil {
 			ho.JobStarted = st.OnJobStarted
 			ho.JobFinished = st.OnJobFinished
 			ho.Collect = st.OnCollect
+			if c.req.Waterfall {
+				ho.CollectWaterfall = st.OnCollectWaterfall
+			}
 		}
 		jr := harness.ExecOne(c.ctx, j, ho)
 		completed := c.record(idx, jr)

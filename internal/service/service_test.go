@@ -403,3 +403,69 @@ func TestSubmitValidation(t *testing.T) {
 		t.Fatalf("rejected submissions registered campaigns: %v", s.List())
 	}
 }
+
+// TestWaterfallCampaign: a waterfall:true request decomposes every stored
+// result into the seven lifecycle stages (summing exactly to the total),
+// streams bytes identical to a one-shot harness run with the same option,
+// and dedups against a provenance-off campaign of the same grid — the job
+// hashes are observation-independent.
+func TestWaterfallCampaign(t *testing.T) {
+	spec := experiment.FR6(experiment.FastControl, 5).Scaled(150, 300)
+	jobs := gridJobs([]experiment.Spec{spec}, 0.2, 0.3, 0.1)
+	path := filepath.Join(t.TempDir(), "direct.jsonl")
+	st, err := harness.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := harness.RunJobs(context.Background(), jobs, harness.Options{
+		Workers: 1, Store: st, Waterfall: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, db := newTestService(t, 2)
+	c, err := s.Submit(SweepRequest{
+		Configs: []string{"FR6"}, From: 0.2, To: 0.3, Step: 0.1,
+		Sample: 150, Warmup: 300, Waterfall: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c)
+	for _, jr := range c.Results() {
+		r := jr.Result
+		if r.WaterfallPackets == 0 || r.WaterfallTotal == 0 {
+			t.Fatalf("job %v undecomposed: %+v", jr.Job.Load, r)
+		}
+		sum := r.WaterfallQueue + r.WaterfallReserve + r.WaterfallArb +
+			r.WaterfallStall + r.WaterfallSched + r.WaterfallLink + r.WaterfallDrain
+		if sum != r.WaterfallTotal {
+			t.Fatalf("job %v stage sum %d != total %d", jr.Job.Load, sum, r.WaterfallTotal)
+		}
+	}
+	if got := resultsBytes(t, c); !bytes.Equal(got, want) {
+		t.Fatalf("waterfall campaign not byte-identical to one-shot run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The same grid with provenance off resolves entirely from the DB: the
+	// decomposition rides on stored results, never on the job identity.
+	off, err := s.Submit(SweepRequest{
+		Configs: []string{"FR6"}, From: 0.2, To: 0.3, Step: 0.1,
+		Sample: 150, Warmup: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, off)
+	if v := off.view(time.Now()); v.Simulated != 0 || v.Cached != 2 {
+		t.Fatalf("provenance-off resubmission re-executed jobs: %+v", v)
+	}
+	if st := db.Stats(); st.Hits < 2 {
+		t.Fatalf("dedup ledger hits = %d, want >= 2", st.Hits)
+	}
+}

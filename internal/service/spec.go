@@ -41,6 +41,14 @@ type SweepRequest struct {
 	Routing string `json:"routing,omitempty"`
 	Check   bool   `json:"check,omitempty"`
 
+	// Waterfall arms latency provenance on every simulated job: stored
+	// results carry the Waterfall* stage decomposition (the seven lifecycle
+	// stages summing exactly to the measured latency), exactly as cmd/sweep
+	// -waterfall does. Observation-only: every other result field and the
+	// job hashes are unchanged, so provenance-on and provenance-off
+	// campaigns dedup against each other.
+	Waterfall bool `json:"waterfall,omitempty"`
+
 	// Weight is the campaign's share of the shared worker pool under
 	// weighted round-robin; 0 means 1. MaxInFlight caps how many of the
 	// campaign's jobs may execute at once; 0 means no cap beyond the pool.

@@ -25,6 +25,7 @@ import (
 	"frfc/internal/harness"
 	"frfc/internal/metrics"
 	"frfc/internal/profile"
+	"frfc/internal/waterfall"
 )
 
 // JobView describes one in-flight job in the /status snapshot.
@@ -119,6 +120,10 @@ type Snapshot struct {
 	Run           *RunView      `json:"run,omitempty"`
 	Running       []JobView     `json:"running,omitempty"`
 	Profile       *ProfileView  `json:"profile,omitempty"`
+	// Waterfall is the latency-provenance block: per-stage cycle totals,
+	// means and shares, merged across finished jobs (campaign) or last
+	// published (single run).
+	Waterfall *waterfall.View `json:"waterfall,omitempty"`
 	// Service and Campaigns carry the campaign-service view when a
 	// daemon (frserve) feeds the server via OnService.
 	Service   *ServiceView      `json:"service,omitempty"`
@@ -133,13 +138,19 @@ type Server struct {
 	ln    net.Listener
 	start time.Time
 
-	mu        sync.Mutex
-	campaign  *CampaignView
-	run       *RunView
-	running   map[string]time.Time // job key -> start time
-	jobs      map[string]JobView
-	reg       *metrics.Registry // merged (campaign) or latest (single run)
-	prof      *profile.Registry // merged (campaign) or latest (single run)
+	mu       sync.Mutex
+	campaign *CampaignView
+	run      *RunView
+	running  map[string]time.Time // job key -> start time
+	jobs     map[string]JobView
+	reg      *metrics.Registry // merged (campaign) or latest (single run)
+	prof     *profile.Registry // merged (campaign) or latest (single run)
+	// Waterfall aggregates are summed integers (campaign) or the last
+	// published live view (single run); wfLive wins while set.
+	wfPackets int64
+	wfTotal   int64
+	wfTotals  [waterfall.NumStages]int64
+	wfLive    *waterfall.View
 	service   *ServiceView
 	campaigns []ServiceCampaign
 }
@@ -259,6 +270,23 @@ func (s *Server) OnCollectProfile(_ harness.Job, p *profile.Registry) {
 	s.mu.Unlock()
 }
 
+// OnCollectWaterfall folds one finished job's stage ledger into the server's
+// aggregate waterfall; plug into Options.CollectWaterfall. The ledger is
+// handed over after the run completes, so the integer sums race with nothing.
+func (s *Server) OnCollectWaterfall(_ harness.Job, l *waterfall.Ledger) {
+	if l == nil || l.Packets() == 0 {
+		return
+	}
+	st := l.StageTotals()
+	s.mu.Lock()
+	s.wfPackets += l.Packets()
+	s.wfTotal += l.TotalCycles()
+	for i := range st {
+		s.wfTotals[i] += st[i]
+	}
+	s.mu.Unlock()
+}
+
 // OnService replaces the campaign-service view; the service pushes a fresh
 // snapshot after every job completion and lifecycle change. The rows are
 // handed over (not shared), so the server needs no further synchronization
@@ -289,6 +317,9 @@ func (s *Server) OnLive(lv experiment.Live) {
 	if lv.Prof != nil {
 		s.prof = lv.Prof
 	}
+	if lv.Waterfall != nil {
+		s.wfLive = lv.Waterfall
+	}
 	s.mu.Unlock()
 }
 
@@ -318,6 +349,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			MemEpochs:     s.prof.Mem.Epochs,
 			Summary:       s.prof.Summary(),
 		}
+	}
+	if wv, ok := s.waterfallViewLocked(); ok {
+		snap.Waterfall = &wv
 	}
 	if s.service != nil {
 		sv := *s.service
@@ -370,6 +404,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.prof != nil {
 		s.prof.WritePrometheus(w) //nolint:errcheck // client gone is not our problem
 	}
+	if wv, ok := s.waterfallViewLocked(); ok {
+		wv.WritePrometheus(w) //nolint:errcheck // client gone is not our problem
+	}
+}
+
+// waterfallViewLocked assembles the waterfall snapshot under s.mu: a live
+// published view wins; otherwise the campaign's summed integers are folded
+// into a fresh view. ok is false when no waterfall data has been fed.
+func (s *Server) waterfallViewLocked() (waterfall.View, bool) {
+	if s.wfLive != nil {
+		return *s.wfLive, true
+	}
+	if s.wfPackets == 0 {
+		return waterfall.View{}, false
+	}
+	return waterfall.ViewFromTotals(s.wfPackets, s.wfTotal, s.wfTotals), true
 }
 
 // writeServiceMetrics renders the campaign-service gauges in Prometheus

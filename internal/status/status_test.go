@@ -16,6 +16,7 @@ import (
 	"frfc/internal/harness"
 	"frfc/internal/metrics"
 	"frfc/internal/profile"
+	"frfc/internal/waterfall"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -433,5 +434,63 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if err := s.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
 		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestWaterfallBlock: collected stage ledgers fold into the /status waterfall
+// block and the /metrics exposition; a live published view replaces them.
+func TestWaterfallBlock(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	mk := func(pid uint64) *waterfall.Ledger {
+		l := waterfall.New()
+		l.InjectStart(pid, 0, 0, 2)
+		l.HeadWire(pid, 0, 4)
+		l.Eject(pid, 0, 10)
+		l.Delivered(pid, 12)
+		return l
+	}
+	s.OnCollectWaterfall(harness.Job{}, mk(1))
+	s.OnCollectWaterfall(harness.Job{}, mk(2))
+
+	_, body := get(t, "http://"+s.Addr()+"/status")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Waterfall == nil {
+		t.Fatalf("no waterfall block in /status:\n%s", body)
+	}
+	if snap.Waterfall.Packets != 2 || snap.Waterfall.TotalCycles != 24 {
+		t.Fatalf("waterfall totals wrong: %+v", snap.Waterfall)
+	}
+	if snap.Waterfall.MeanLatency != 12 || len(snap.Waterfall.Stages) != int(waterfall.NumStages) {
+		t.Fatalf("waterfall view wrong: %+v", snap.Waterfall)
+	}
+
+	_, body = get(t, "http://"+s.Addr()+"/metrics")
+	for _, want := range []string{
+		"frfc_waterfall_packets 2",
+		`frfc_latency_stage_cycles_total{stage="queue"} 4`,
+		"frfc_latency_stage_mean",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// A live publish replaces the campaign aggregate.
+	lv := waterfall.ViewFromTotals(1, 9, [waterfall.NumStages]int64{waterfall.StageLink: 9})
+	s.OnLive(experiment.Live{Cycle: 7, Phase: "measure", Waterfall: &lv})
+	_, body = get(t, "http://"+s.Addr()+"/status")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Waterfall == nil || snap.Waterfall.Packets != 1 || snap.Waterfall.MeanLatency != 9 {
+		t.Fatalf("live waterfall did not replace aggregate: %+v", snap.Waterfall)
 	}
 }

@@ -24,7 +24,11 @@ type Kind uint8
 // Event kinds. The set mirrors a flit's life: injection at the source NI,
 // per-hop routing and reservation, parking (data overtook its control flit),
 // link traversal, ejection at the destination, end-to-end retry, and the
-// watchdog's wedge verdict.
+// watchdog's wedge verdict. KindStage is emitted by the latency waterfall at
+// delivery: one event per stage, Seq holding the stage index and Arg the
+// cycles attributed to it, with Cycle set to the packet's creation cycle so
+// WriteChrome can render the stages as a stacked span over the packet's
+// lifetime.
 const (
 	KindInject Kind = iota
 	KindRoute
@@ -34,6 +38,7 @@ const (
 	KindEject
 	KindRetry
 	KindWedge
+	KindStage
 	numKinds
 )
 
@@ -56,6 +61,8 @@ func (k Kind) String() string {
 		return "retry"
 	case KindWedge:
 		return "wedge"
+	case KindStage:
+		return "stage"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -191,6 +198,20 @@ func (f Filter) keep(ev Event) bool {
 // spans are emitted, distinct from any realistic router ID.
 const packetsPid = 1 << 20
 
+// stageSpanNames labels KindStage events by Seq in trace exports. The order
+// mirrors the waterfall's stage order (internal/waterfall), which asserts the
+// two stay in sync.
+var stageSpanNames = []string{"queue", "reserve", "arb", "stall", "sched", "link", "drain"}
+
+// StageSpanName returns the label WriteChrome uses for a KindStage event
+// with the given Seq.
+func StageSpanName(seq int32) string {
+	if seq >= 0 && int(seq) < len(stageSpanNames) {
+		return stageSpanNames[seq]
+	}
+	return fmt.Sprintf("stage%d", seq)
+}
+
 // WriteChrome exports the filtered events as Chrome trace-event JSON. One
 // simulated cycle maps to one microsecond of trace time. Every event becomes
 // a thread-scoped instant on pid=router, tid=port; additionally each packet
@@ -215,11 +236,28 @@ func (t *Tracer) WriteChrome(w io.Writer, radix int, f Filter) error {
 	}
 
 	type span struct{ from, to sim.Cycle }
+	type stageSet struct {
+		created sim.Cycle
+		cycles  []int64
+	}
 	nodes := map[int32]bool{}
 	spans := map[uint64]*span{}
+	stages := map[uint64]*stageSet{}
 	events := t.Events()
 	for _, ev := range events {
 		if !f.keep(ev) {
+			continue
+		}
+		if ev.Kind == KindStage {
+			ss := stages[ev.Packet]
+			if ss == nil {
+				ss = &stageSet{created: ev.Cycle}
+				stages[ev.Packet] = ss
+			}
+			for int(ev.Seq) >= len(ss.cycles) {
+				ss.cycles = append(ss.cycles, 0)
+			}
+			ss.cycles[ev.Seq] = ev.Arg
 			continue
 		}
 		nodes[ev.Node] = true
@@ -251,12 +289,12 @@ func (t *Tracer) WriteChrome(w io.Writer, radix int, f Filter) error {
 		}
 		emit(`{"ph":"M","name":"process_name","pid":%d,"args":{"name":"%s"}}`, id, name)
 	}
-	if len(spans) > 0 {
+	if len(spans) > 0 || len(stages) > 0 {
 		emit(`{"ph":"M","name":"process_name","pid":%d,"args":{"name":"packets"}}`, packetsPid)
 	}
 
 	for _, ev := range events {
-		if !f.keep(ev) {
+		if !f.keep(ev) || ev.Kind == KindStage {
 			continue
 		}
 		port := ev.Port
@@ -277,6 +315,26 @@ func (t *Tracer) WriteChrome(w io.Writer, radix int, f Filter) error {
 		dur := int64(s.to-s.from) + 1
 		emit(`{"ph":"X","name":"pkt %d","cat":"packet","ts":%d,"dur":%d,"pid":%d,"tid":%d}`,
 			id, int64(s.from), dur, packetsPid, id)
+	}
+
+	// Waterfall stage sub-spans: each packet's stages laid end to end from
+	// its creation cycle, on the packet's own track, so Perfetto shows where
+	// the cycles went inside the lifetime bar.
+	staged := make([]uint64, 0, len(stages))
+	for id := range stages {
+		staged = append(staged, id)
+	}
+	sort.Slice(staged, func(i, j int) bool { return staged[i] < staged[j] })
+	for _, id := range staged {
+		ss := stages[id]
+		ts := int64(ss.created)
+		for seq, dur := range ss.cycles {
+			if dur > 0 {
+				emit(`{"ph":"X","name":"%s","cat":"stage","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"pkt":%d}}`,
+					StageSpanName(int32(seq)), ts, dur, packetsPid, id)
+			}
+			ts += dur
+		}
 	}
 
 	if _, err := bw.WriteString("]}\n"); err != nil {

@@ -111,14 +111,17 @@ func (n *Network) AttachProbe(p *metrics.Probe) {
 	for _, r := range n.routers {
 		r.probe = p
 		r.prof = p.Profile()
+		r.wf = p.Waterfall()
 	}
 	for _, x := range n.nis {
 		x.probe = p
 		x.prof = p.Profile()
+		x.wf = p.Waterfall()
 	}
 	for _, s := range n.sinks {
 		s.probe = p
 		s.prof = p.Profile()
+		s.wf = p.Waterfall()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
+	"frfc/internal/waterfall"
 )
 
 // ni is a node's network interface on the injection side. It keeps the
@@ -22,6 +23,7 @@ type ni struct {
 	hooks *noc.Hooks
 	probe *metrics.Probe
 	prof  *profile.Registry
+	wf    *waterfall.Ledger
 
 	queue []*noc.Packet
 	slots []niSlot
@@ -122,6 +124,9 @@ func (n *ni) Tick(now sim.Cycle) {
 		n.queue = n.queue[:len(n.queue)-1]
 		n.owned[s] = true
 		p.InjectedAt = now
+		if n.wf != nil && p.Sampled {
+			n.wf.InjectStart(uint64(p.ID), 0, p.CreatedAt, now)
+		}
 		n.slots[s] = niSlot{active: true, vc: s, flits: noc.DataFlits(p)}
 		work++
 	}
@@ -147,6 +152,9 @@ func (n *ni) Tick(now sim.Cycle) {
 			n.credits[sl.vc]--
 		}
 		n.probe.Inject(now, int(n.node), uint64(f.Packet.ID), f.Seq)
+		if n.wf != nil && f.Seq == 0 && f.Packet.Sampled {
+			n.wf.HeadWire(uint64(f.Packet.ID), 0, now)
+		}
 		n.data.Send(now, f)
 		n.hooks.Injected(now)
 		if sl.next == len(sl.flits) {
@@ -170,6 +178,7 @@ type sink struct {
 	hooks *noc.Hooks
 	probe *metrics.Probe
 	prof  *profile.Registry
+	wf    *waterfall.Ledger
 	// delivered counts fully reassembled packets, used by the network's
 	// in-flight accounting.
 	delivered int64
@@ -189,6 +198,9 @@ func (s *sink) Tick(now sim.Cycle) {
 		}
 		s.hooks.Ejected(now)
 		s.probe.Eject(now, int(s.node), uint64(f.Packet.ID), f.Seq)
+		if s.wf != nil && f.Seq == 0 && f.Packet.Sampled {
+			s.wf.Eject(uint64(f.Packet.ID), 0, now)
+		}
 		s.got[f.Packet.ID]++
 		if s.got[f.Packet.ID] == f.Packet.Len {
 			delete(s.got, f.Packet.ID)

@@ -9,6 +9,7 @@ import (
 	"frfc/internal/profile"
 	"frfc/internal/sim"
 	"frfc/internal/topology"
+	"frfc/internal/waterfall"
 )
 
 // queuedFlit is a buffered flit together with its arrival cycle; a flit may
@@ -78,6 +79,14 @@ type Router struct {
 	// prof is the self-profiling registry cached off the probe at attach
 	// time; nil when profiling is disabled.
 	prof *profile.Registry
+
+	// wf is the latency-stage ledger cached off the probe at attach time;
+	// nil when latency provenance is disabled. While a sampled head flit
+	// waits at the front of its channel, each cycle is charged to exactly
+	// one stage: no free output VC or no credit → Stall, pipeline latency
+	// or a lost switch arbitration → Arb. Cycles spent queued behind a
+	// predecessor packet carry no mark and fall to Stall at departure.
+	wf *waterfall.Ledger
 
 	// Scratch buffers reused every cycle to keep the hot loop
 	// allocation-free.
@@ -161,6 +170,9 @@ func (r *Router) recvFlits(now sim.Cycle) int {
 			continue
 		}
 		received += in.data.RecvEach(now, func(f noc.DataFlit) {
+			if r.wf != nil && f.Type.IsHead() && f.Packet.Sampled {
+				r.wf.Arrive(uint64(f.Packet.ID), 0, now)
+			}
 			if f.Corrupted {
 				r.probe.Corrupt(int(r.id))
 				if r.crcDetect() {
@@ -249,6 +261,9 @@ func (r *Router) allocateVCs(now sim.Cycle) int {
 			}
 		}
 		if len(r.freeVCs) == 0 {
+			if r.wf != nil {
+				r.blockedHead(req.port, req.vc, waterfall.StageStall, now)
+			}
 			continue
 		}
 		dv := r.freeVCs[r.rng.Intn(len(r.freeVCs))]
@@ -278,9 +293,15 @@ func (r *Router) switchAllocate(now sim.Cycle) int {
 				continue
 			}
 			if vc.q[0].arrivedAt >= now {
+				if r.wf != nil {
+					r.blockedHead(topology.Port(p), v, waterfall.StageArb, now)
+				}
 				continue // one-cycle routing/scheduling latency
 			}
 			if !r.hasCredit(&r.out[vc.route], vc.outVC) {
+				if r.wf != nil {
+					r.blockedHead(topology.Port(p), v, waterfall.StageStall, now)
+				}
 				continue
 			}
 			r.saCand[vc.route] = append(r.saCand[vc.route], portVC{topology.Port(p), v})
@@ -297,6 +318,8 @@ func (r *Router) switchAllocate(now sim.Cycle) int {
 			if !inputGranted[c.port] {
 				cands[n] = c
 				n++
+			} else if r.wf != nil {
+				r.blockedHead(c.port, c.vc, waterfall.StageArb, now)
 			}
 		}
 		cands = cands[:n]
@@ -305,6 +328,13 @@ func (r *Router) switchAllocate(now sim.Cycle) int {
 		}
 		win := cands[r.rng.Intn(len(cands))]
 		inputGranted[win.port] = true
+		if r.wf != nil {
+			for _, c := range cands {
+				if c != win {
+					r.blockedHead(c.port, c.vc, waterfall.StageArb, now)
+				}
+			}
+		}
 		r.traverse(now, win.port, win.vc)
 		traversed++
 	}
@@ -349,6 +379,9 @@ func (r *Router) traverse(now sim.Cycle, p topology.Port, v int) {
 	f := qf.flit
 	f.VC = vc.outVC
 	r.probe.Traverse(now, int(r.id), int(vc.route), uint64(f.Packet.ID), f.Seq)
+	if r.wf != nil && f.Type.IsHead() && f.Packet.Sampled {
+		r.wf.Depart(uint64(f.Packet.ID), 0, now, false)
+	}
 	o.data.Send(now, f)
 	if !o.infinite {
 		if r.cfg.SharedPool {
@@ -368,6 +401,20 @@ func (r *Router) traverse(now sim.Cycle, p topology.Port, v int) {
 		o.owned[vc.outVC] = false
 		vc.allocated = false
 		vc.routed = false
+	}
+}
+
+// blockedHead charges one cycle of the head flit waiting at the front of
+// input (p, v) to the given waterfall stage. Non-head fronts and unsampled
+// packets are skipped; the ledger deduplicates to one mark per cycle.
+func (r *Router) blockedHead(p topology.Port, v int, stage waterfall.Stage, now sim.Cycle) {
+	vc := &r.in[p].vcs[v]
+	if len(vc.q) == 0 {
+		return
+	}
+	f := vc.q[0].flit
+	if f.Type.IsHead() && f.Packet.Sampled {
+		r.wf.Blocked(uint64(f.Packet.ID), stage, now)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"frfc/internal/sim"
 	"frfc/internal/timeseries"
 	"frfc/internal/trace"
+	"frfc/internal/waterfall"
 )
 
 // ObserverOptions selects what an Observer collects.
@@ -41,6 +42,14 @@ type ObserverOptions struct {
 	// bit-identical with profiling on or off, and only the deterministic
 	// Prof* summary fields are populated from it.
 	Profile bool
+	// Waterfall enables latency provenance: a per-packet stage ledger
+	// decomposes every sampled packet's latency into source queueing,
+	// reservation/setup, arbitration, stalls, scheduled residence, wire
+	// time and drain, with the components summing exactly to the measured
+	// latency. Observation-only: the Result's shared fields are
+	// bit-identical with the ledger on or off, and only the deterministic
+	// Waterfall* summary fields are populated from it.
+	Waterfall bool
 }
 
 // Observer collects per-router metrics, flit-level traces and/or a per-epoch
@@ -65,6 +74,9 @@ func NewObserver(o ObserverOptions) *Observer {
 	}
 	if o.Profile {
 		p.Prof = profile.NewRegistry(sim.Cycle(o.MetricsEpoch))
+	}
+	if o.Waterfall {
+		p.WF = waterfall.New()
 	}
 	obs := &Observer{probe: p}
 	if o.TimeSeries {
@@ -196,6 +208,43 @@ func (o *Observer) needProfile() error {
 	return nil
 }
 
+// WriteWaterfallJSON exports the latency waterfall as indented JSON: per
+// stage, the summed cycles, the per-packet mean and share, the batch-means
+// 95% confidence interval and exact quantiles. It errors when the observer
+// was not collecting a waterfall.
+func (o *Observer) WriteWaterfallJSON(w io.Writer) error {
+	if err := o.needWaterfall(); err != nil {
+		return err
+	}
+	return o.probe.WF.WriteJSON(w)
+}
+
+// WriteWaterfallCSV exports the latency waterfall as CSV, one row per stage
+// (stage, packets, cycles, mean, share, ci95, p50, p95, p99, min, max).
+func (o *Observer) WriteWaterfallCSV(w io.Writer) error {
+	if err := o.needWaterfall(); err != nil {
+		return err
+	}
+	return o.probe.WF.WriteCSV(w)
+}
+
+// WaterfallSummary renders the collected waterfall as one human-readable
+// line: per-stage mean cycles with shares, summing to the mean measured
+// latency. Empty when the observer was not collecting a waterfall.
+func (o *Observer) WaterfallSummary() string {
+	if o.needWaterfall() != nil {
+		return ""
+	}
+	return o.probe.WF.Summary()
+}
+
+func (o *Observer) needWaterfall() error {
+	if o == nil || o.probe == nil || o.probe.WF == nil {
+		return errNoWaterfall
+	}
+	return nil
+}
+
 // WriteTimeSeriesCSV exports the per-epoch telemetry series as CSV, one row
 // per epoch window. The ejected column is the accepted-flit count per window;
 // over an unbounded recorder its sum equals the run's total ejected flits. It
@@ -277,4 +326,5 @@ const (
 	errNoTrace      = observeErr("frfc: observer was not tracing (set ObserverOptions.Trace)")
 	errNoTimeSeries = observeErr("frfc: observer was not recording a time series (set ObserverOptions.TimeSeries)")
 	errNoProfile    = observeErr("frfc: observer was not profiling (set ObserverOptions.Profile)")
+	errNoWaterfall  = observeErr("frfc: observer was not collecting a waterfall (set ObserverOptions.Waterfall)")
 )

@@ -108,6 +108,15 @@ type ParallelOptions struct {
 	// shared Result fields are bit-identical with profiling off, and
 	// profiled campaigns are bit-identical across worker counts.
 	Profile bool
+	// Waterfall arms latency provenance on every simulated job: each Result
+	// carries the deterministic Waterfall* stage summary (queue, reserve,
+	// arb, stall, sched, link, drain — summing exactly to the decomposed
+	// latency), and when Status is also set the per-job ledgers are merged
+	// into the server's /status waterfall block and /metrics exposition.
+	// Observation-only: the shared Result fields are bit-identical with the
+	// ledger off, and waterfall campaigns are bit-identical across worker
+	// counts.
+	Waterfall bool
 }
 
 func (o ParallelOptions) internal() (harness.Options, *harness.Store, error) {
@@ -138,8 +147,12 @@ func (o ParallelOptions) internal() (harness.Options, *harness.Store, error) {
 		if o.Profile {
 			ho.CollectProfile = o.Status.srv.OnCollectProfile
 		}
+		if o.Waterfall {
+			ho.CollectWaterfall = o.Status.srv.OnCollectWaterfall
+		}
 	}
 	ho.Profile = o.Profile
+	ho.Waterfall = o.Waterfall
 	if o.ResultPath == "" {
 		return ho, nil, nil
 	}

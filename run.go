@@ -107,6 +107,17 @@ type Result struct {
 	ProfTicks, ProfActiveTicks                                 int64
 	ProfIdleFraction                                           float64
 	ProfSchedWork, ProfArbWork, ProfSwitchWork, ProfCreditWork int64
+	// Latency-provenance summary, populated only when the run carried a
+	// stage ledger (ObserverOptions.Waterfall, ParallelOptions.Waterfall):
+	// WaterfallPackets sampled packets decomposed, their summed latency
+	// WaterfallTotal, and the seven per-stage cycle totals. The partition
+	// is exact — the stage fields sum to WaterfallTotal — and every value
+	// is deterministic, so waterfall results stay bit-identical across
+	// worker counts.
+	WaterfallPackets, WaterfallTotal               int64
+	WaterfallQueue, WaterfallReserve, WaterfallArb int64
+	WaterfallStall, WaterfallSched, WaterfallLink  int64
+	WaterfallDrain                                 int64
 }
 
 func fromInternal(r experiment.Result) Result {
@@ -160,6 +171,16 @@ func fromInternal(r experiment.Result) Result {
 		ProfArbWork:      r.ProfArbWork,
 		ProfSwitchWork:   r.ProfSwitchWork,
 		ProfCreditWork:   r.ProfCreditWork,
+
+		WaterfallPackets: r.WaterfallPackets,
+		WaterfallTotal:   r.WaterfallTotal,
+		WaterfallQueue:   r.WaterfallQueue,
+		WaterfallReserve: r.WaterfallReserve,
+		WaterfallArb:     r.WaterfallArb,
+		WaterfallStall:   r.WaterfallStall,
+		WaterfallSched:   r.WaterfallSched,
+		WaterfallLink:    r.WaterfallLink,
+		WaterfallDrain:   r.WaterfallDrain,
 	}
 }
 

@@ -45,7 +45,7 @@ for arg in "$@"; do
         # the regression canary that every change to the overhead code must
         # hold. The sweep benchmark guards the harness's parallel speedup and
         # serial/parallel determinism on a reduced grid.
-        pattern='Table1|Table2|SweepSerialVsParallel|ProfileDisabledOverhead'
+        pattern='Table1|Table2|SweepSerialVsParallel|ProfileDisabledOverhead|WaterfallDisabledOverhead'
         shortflag='-short'
         ;;
     -profile)
