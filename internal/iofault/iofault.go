@@ -1,0 +1,610 @@
+// Package iofault is a deterministic filesystem fault injector: an FS shim
+// that the service's persistent result database runs on top of, able to fail
+// chosen operations with EIO or ENOSPC, truncate writes, and simulate — or
+// genuinely execute — a process death at a chosen sync boundary.
+//
+// Determinism is the whole point. Faults are addressed by (operation kind,
+// operation index): "the 3rd write", "the 5th sync". Two runs of the same
+// workload over the same plan fail at exactly the same place, which is what
+// lets the crash-recovery tests assert exact survivor counts instead of
+// "some data probably survived" — the same discipline the simulator's PR 5/6
+// fault scenarios apply to links and routers, turned on the storage layer.
+//
+// # The durability model
+//
+// Files opened for writing buffer everything in memory until Sync (or a
+// clean Close) flushes it to the real file. A crash fault therefore loses
+// exactly the unsynced suffix, the way SIGKILL before fsync loses page-cache
+// state on a machine crash — even though the test process and host keep
+// running. What a reopened database observes after an injected crash is
+// precisely what it would observe after a real one:
+//
+//   - data synced before the crash: durable
+//   - data written but not synced: gone
+//   - the operation stream after the crash: every call fails ErrCrashed
+//
+// Kill faults (KindKill) do not simulate: they deliver SIGKILL to the
+// process itself, so no deferred cleanup, no atexit, no flush runs — the
+// real thing, scheduled at a deterministic operation index. The frserve
+// kill-9 recovery soak is built on them.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op enumerates the filesystem operations the injector counts. A Fault's
+// Index addresses the Nth operation of its Op since the injector was armed.
+type Op uint8
+
+// Counted operations. Reads are never faulted: the recovery story under test
+// is about what survives writes, not about read availability.
+const (
+	OpWrite Op = iota
+	OpSync
+	OpClose
+	OpOpen
+	OpRename
+	OpRemove
+	numOps
+)
+
+var opNames = [numOps]string{"write", "sync", "close", "open", "rename", "remove"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// When situates a crash or kill fault relative to its anchor operation:
+// Before fires with the operation never performed, After fires with the
+// operation (including its flush, for syncs) complete.
+type When uint8
+
+// Crash placements.
+const (
+	Before When = iota
+	After
+)
+
+func (w When) String() string {
+	if w == Before {
+		return "before"
+	}
+	return "after"
+}
+
+// Kind is what happens when a fault fires.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindErr fails the operation with Fault.Err (EIO, ENOSPC, ...). The
+	// operation takes no effect: an errored write buffers nothing.
+	KindErr Kind = iota
+	// KindShort persists only Fault.Bytes bytes of a write, then fails it
+	// with io.ErrShortWrite — the torn-line footprint of a full disk or an
+	// interrupted write(2).
+	KindShort
+	// KindCrash simulates process death at the operation: unsynced buffers
+	// are dropped, and every later operation through the injector fails
+	// with ErrCrashed.
+	KindCrash
+	// KindKill is KindCrash for real: SIGKILL to the current process, so
+	// nothing after the boundary runs at all. For subprocess harnesses.
+	KindKill
+)
+
+// ErrCrashed is returned by every operation after a KindCrash fault fired:
+// the process is notionally dead, nothing succeeds anymore.
+var ErrCrashed = errors.New("iofault: process crashed")
+
+// Fault is one scheduled failure: at the Index'th operation of kind Op,
+// inject Kind.
+type Fault struct {
+	Op    Op
+	Index int64
+	Kind  Kind
+	When  When  // KindCrash/KindKill: fire before or after the operation
+	Err   error // KindErr: the error to return; nil means EIO
+	Bytes int   // KindShort: bytes persisted before the failure
+}
+
+// String renders the fault in ParsePlan's grammar, so a programmatically
+// built fault can round-trip through a -iofault command-line flag.
+func (f Fault) String() string {
+	switch f.Kind {
+	case KindShort:
+		return fmt.Sprintf("short %s @%d %d", f.Op, f.Index, f.Bytes)
+	case KindCrash:
+		return fmt.Sprintf("crash %s-%s @%d", f.When, f.Op, f.Index)
+	case KindKill:
+		return fmt.Sprintf("kill %s-%s @%d", f.When, f.Op, f.Index)
+	default:
+		verb := "eio"
+		if errors.Is(f.Err, syscall.ENOSPC) {
+			verb = "enospc"
+		}
+		return fmt.Sprintf("%s %s @%d", verb, f.Op, f.Index)
+	}
+}
+
+// ParsePlan parses the fault-plan grammar, mirroring the simulator's
+// scenario strings ("down 5-6 @1200"): semicolon-separated faults of
+//
+//	eio <op> @<index>          fail the op with EIO
+//	enospc <op> @<index>       fail the op with ENOSPC
+//	short write @<index> <n>   persist n bytes, fail with short write
+//	crash <when>-<op> @<index> simulated process death at the boundary
+//	kill <when>-<op> @<index>  real SIGKILL at the boundary
+//
+// where <op> is write|sync|close|open|rename|remove and <when> is
+// before|after. Example: "eio write @3; crash after-sync @5".
+func ParsePlan(s string) ([]Fault, error) {
+	var plan []Fault
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, err
+		}
+		plan = append(plan, f)
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("iofault: empty plan %q", s)
+	}
+	return plan, nil
+}
+
+func parseFault(s string) (Fault, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		return Fault{}, fmt.Errorf("iofault: bad fault %q (want \"<verb> <op> @<index>\")", s)
+	}
+	verb, opWord, at := fields[0], fields[1], fields[2]
+	if !strings.HasPrefix(at, "@") {
+		return Fault{}, fmt.Errorf("iofault: bad index %q in %q (want @N)", at, s)
+	}
+	idx, err := strconv.ParseInt(at[1:], 10, 64)
+	if err != nil || idx < 0 {
+		return Fault{}, fmt.Errorf("iofault: bad index %q in %q", at, s)
+	}
+	f := Fault{Index: idx}
+	switch verb {
+	case "eio", "enospc":
+		f.Kind = KindErr
+		f.Err = syscall.EIO
+		if verb == "enospc" {
+			f.Err = syscall.ENOSPC
+		}
+		if f.Op, err = parseOp(opWord); err != nil {
+			return Fault{}, fmt.Errorf("%w in %q", err, s)
+		}
+	case "short":
+		f.Kind = KindShort
+		if f.Op, err = parseOp(opWord); err != nil {
+			return Fault{}, fmt.Errorf("%w in %q", err, s)
+		}
+		if f.Op != OpWrite {
+			return Fault{}, fmt.Errorf("iofault: short faults only apply to writes (%q)", s)
+		}
+		if len(fields) != 4 {
+			return Fault{}, fmt.Errorf("iofault: short fault %q missing byte count", s)
+		}
+		if f.Bytes, err = strconv.Atoi(fields[3]); err != nil || f.Bytes < 0 {
+			return Fault{}, fmt.Errorf("iofault: bad short byte count %q in %q", fields[3], s)
+		}
+	case "crash", "kill":
+		f.Kind = KindCrash
+		if verb == "kill" {
+			f.Kind = KindKill
+		}
+		when, op, ok := strings.Cut(opWord, "-")
+		if !ok {
+			return Fault{}, fmt.Errorf("iofault: %s fault wants <before|after>-<op>, got %q", verb, opWord)
+		}
+		switch when {
+		case "before":
+			f.When = Before
+		case "after":
+			f.When = After
+		default:
+			return Fault{}, fmt.Errorf("iofault: bad placement %q in %q", when, s)
+		}
+		if f.Op, err = parseOp(op); err != nil {
+			return Fault{}, fmt.Errorf("%w in %q", err, s)
+		}
+	default:
+		return Fault{}, fmt.Errorf("iofault: unknown verb %q in %q", verb, s)
+	}
+	if len(fields) != 3 && f.Kind != KindShort {
+		return Fault{}, fmt.Errorf("iofault: trailing tokens in %q", s)
+	}
+	return f, nil
+}
+
+func parseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if s == n {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("iofault: unknown op %q", s)
+}
+
+// SeededSync derives a deterministic crash (or kill) fault at a sync index
+// in [0, maxSync) from a seed — the per-cycle schedule of the kill-9
+// recovery soak, where each cycle murders the daemon at a different, but
+// reproducible, durability boundary.
+func SeededSync(seed uint64, maxSync int64, kill bool) Fault {
+	if maxSync <= 0 {
+		maxSync = 1
+	}
+	x := splitmix64(seed)
+	f := Fault{Op: OpSync, Kind: KindCrash, Index: int64(x % uint64(maxSync))}
+	if kill {
+		f.Kind = KindKill
+	}
+	if splitmix64(x)&1 == 1 {
+		f.When = After
+	}
+	return f
+}
+
+// splitmix64 is the standard 64-bit mixer: stable across Go versions, unlike
+// math/rand's default source, so soak schedules never drift.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// File is the slice of *os.File the result database needs. Reads and writes
+// never mix on one handle: segments are either being replayed or appended.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// FS is the filesystem surface the result database runs on. OS is the real
+// thing; *Injector wraps any FS with a fault plan.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Glob(pattern string) ([]string, error)
+	Stat(name string) (os.FileInfo, error)
+	// Open opens a file read-only (segment replay).
+	Open(name string) (File, error)
+	// OpenFile opens a file for writing (segment append); counted as OpOpen.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+type osFS struct{}
+
+// OS is the real filesystem: every call forwards to package os.
+var OS FS = osFS{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Glob(pattern string) ([]string, error)        { return filepath.Glob(pattern) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Injector is an FS that counts operations and injects the plan's faults at
+// their indices. Safe for concurrent use; the shared counters make operation
+// indices globally ordered across files, which is what gives "the 5th sync"
+// a single meaning even when several files are open.
+type Injector struct {
+	base FS
+
+	mu      sync.Mutex
+	faults  map[faultKey]Fault
+	counts  [numOps]int64
+	crashed bool
+
+	// killSelf delivers the KindKill SIGKILL; swapped out only by tests
+	// that must observe the boundary without dying.
+	killSelf func()
+}
+
+type faultKey struct {
+	op    Op
+	index int64
+}
+
+// New arms an injector over the real filesystem with the given plan. Two
+// faults at the same (op, index) are rejected as a plan bug.
+func New(plan ...Fault) (*Injector, error) {
+	return NewOver(OS, plan...)
+}
+
+// NewOver arms an injector over an arbitrary base FS.
+func NewOver(base FS, plan ...Fault) (*Injector, error) {
+	in := &Injector{
+		base:     base,
+		faults:   make(map[faultKey]Fault, len(plan)),
+		killSelf: func() { _ = syscall.Kill(os.Getpid(), syscall.SIGKILL) },
+	}
+	for _, f := range plan {
+		if f.Op >= numOps {
+			return nil, fmt.Errorf("iofault: bad op in fault %+v", f)
+		}
+		if f.Kind == KindErr && f.Err == nil {
+			f.Err = syscall.EIO
+		}
+		k := faultKey{f.Op, f.Index}
+		if _, dup := in.faults[k]; dup {
+			return nil, fmt.Errorf("iofault: duplicate fault at %s @%d", f.Op, f.Index)
+		}
+		in.faults[k] = f
+	}
+	return in, nil
+}
+
+// Crashed reports whether a crash fault has fired: the injector is dead and
+// every operation fails with ErrCrashed until a fresh injector is armed.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Count reports how many operations of kind op have been attempted.
+func (in *Injector) Count(op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// step consumes one operation slot of kind op: it returns the fault armed at
+// this index (ok) or an ErrCrashed error when the injector is already dead.
+func (in *Injector) step(op Op) (Fault, bool, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return Fault{}, false, ErrCrashed
+	}
+	idx := in.counts[op]
+	in.counts[op]++
+	f, ok := in.faults[faultKey{op, idx}]
+	return f, ok, nil
+}
+
+// crash executes a KindCrash/KindKill fault. KindKill never returns.
+func (in *Injector) crash(kind Kind) error {
+	if kind == KindKill {
+		in.killSelf()
+		// Only reachable when killSelf is stubbed in tests.
+	}
+	in.mu.Lock()
+	in.crashed = true
+	in.mu.Unlock()
+	return ErrCrashed
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if in.Crashed() {
+		return ErrCrashed
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+func (in *Injector) Glob(pattern string) ([]string, error) {
+	if in.Crashed() {
+		return nil, ErrCrashed
+	}
+	return in.base.Glob(pattern)
+}
+
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	if in.Crashed() {
+		return nil, ErrCrashed
+	}
+	return in.base.Stat(name)
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if in.Crashed() {
+		return nil, ErrCrashed
+	}
+	return in.base.Open(name)
+}
+
+// OpenFile opens a writable handle whose writes buffer in memory until Sync
+// (or a clean Close) flushes them — see the package durability model.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, ok, err := in.step(OpOpen)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		switch f.Kind {
+		case KindErr:
+			return nil, fmt.Errorf("iofault: open %s: %w", name, f.Err)
+		case KindCrash, KindKill:
+			if f.When == Before {
+				return nil, in.crash(f.Kind)
+			}
+		}
+	}
+	uf, oerr := in.base.OpenFile(name, flag, perm)
+	if oerr != nil {
+		return nil, oerr
+	}
+	if ok && (f.Kind == KindCrash || f.Kind == KindKill) && f.When == After {
+		uf.Close() //nolint:errcheck // the process is dying
+		return nil, in.crash(f.Kind)
+	}
+	return &faultFile{in: in, f: uf}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	return in.pathOp(OpRename, "rename "+oldpath, func() error { return in.base.Rename(oldpath, newpath) })
+}
+
+func (in *Injector) Remove(name string) error {
+	return in.pathOp(OpRemove, "remove "+name, func() error { return in.base.Remove(name) })
+}
+
+// pathOp runs a single-shot path operation (rename, remove) under the fault
+// plan.
+func (in *Injector) pathOp(op Op, what string, body func() error) error {
+	f, ok, err := in.step(op)
+	if err != nil {
+		return err
+	}
+	if ok {
+		switch f.Kind {
+		case KindErr:
+			return fmt.Errorf("iofault: %s: %w", what, f.Err)
+		case KindCrash, KindKill:
+			if f.When == Before {
+				return in.crash(f.Kind)
+			}
+			if err := body(); err != nil {
+				return err
+			}
+			return in.crash(f.Kind)
+		}
+	}
+	return body()
+}
+
+// faultFile is a writable handle whose writes buffer until Sync. Reads are
+// not supported (the database never reads through an append handle).
+type faultFile struct {
+	in *Injector
+	f  File
+
+	mu      sync.Mutex
+	pending []byte
+}
+
+func (ff *faultFile) Name() string { return ff.f.Name() }
+
+func (ff *faultFile) Read([]byte) (int, error) {
+	return 0, fmt.Errorf("iofault: read on write handle %s", ff.f.Name())
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	flt, ok, err := ff.in.step(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ok {
+		switch flt.Kind {
+		case KindErr:
+			return 0, fmt.Errorf("iofault: write %s: %w", ff.f.Name(), flt.Err)
+		case KindShort:
+			n := flt.Bytes
+			if n > len(p) {
+				n = len(p)
+			}
+			ff.pending = append(ff.pending, p[:n]...)
+			return n, fmt.Errorf("iofault: write %s: %w", ff.f.Name(), io.ErrShortWrite)
+		case KindCrash, KindKill:
+			if flt.When == After {
+				// The write lands in the buffer, but the buffer dies
+				// with the process: same durable state as Before.
+				ff.pending = append(ff.pending, p...)
+			}
+			return 0, ff.in.crash(flt.Kind)
+		}
+	}
+	ff.pending = append(ff.pending, p...)
+	return len(p), nil
+}
+
+func (ff *faultFile) Sync() error {
+	flt, ok, err := ff.in.step(OpSync)
+	if err != nil {
+		return err
+	}
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ok {
+		switch flt.Kind {
+		case KindErr:
+			// A failed fsync leaves the write-back cache in an unknown
+			// state; model the worst case and drop it (fsyncgate).
+			ff.pending = nil
+			return fmt.Errorf("iofault: sync %s: %w", ff.f.Name(), flt.Err)
+		case KindCrash, KindKill:
+			if flt.When == After {
+				if err := ff.flushLocked(); err != nil {
+					return err
+				}
+			}
+			return ff.in.crash(flt.Kind)
+		}
+	}
+	return ff.flushLocked()
+}
+
+func (ff *faultFile) Close() error {
+	flt, ok, err := ff.in.step(OpClose)
+	if err != nil {
+		return err
+	}
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ok {
+		switch flt.Kind {
+		case KindErr:
+			// A failed close loses whatever had not been synced.
+			ff.pending = nil
+			ff.f.Close() //nolint:errcheck // reporting the injected error
+			return fmt.Errorf("iofault: close %s: %w", ff.f.Name(), flt.Err)
+		case KindCrash, KindKill:
+			if flt.When == After {
+				if err := ff.flushLocked(); err != nil {
+					return err
+				}
+				ff.f.Close() //nolint:errcheck // the process is dying
+			}
+			return ff.in.crash(flt.Kind)
+		}
+	}
+	// A clean close flushes: data handed to the OS before an orderly exit
+	// survives process death, unlike the unsynced buffer of a crash.
+	if err := ff.flushLocked(); err != nil {
+		ff.f.Close() //nolint:errcheck // reporting the flush error
+		return err
+	}
+	return ff.f.Close()
+}
+
+// flushLocked empties the pending buffer into the real file and fsyncs it.
+func (ff *faultFile) flushLocked() error {
+	if len(ff.pending) > 0 {
+		if _, err := ff.f.Write(ff.pending); err != nil {
+			return err
+		}
+		ff.pending = nil
+	}
+	return ff.f.Sync()
+}

@@ -1,0 +1,408 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	plans := []string{
+		"eio write @3",
+		"enospc sync @0",
+		"short write @1 7",
+		"crash before-sync @5",
+		"crash after-close @2",
+		"kill after-sync @9",
+		"kill before-open @0",
+		"eio rename @1",
+		"enospc remove @4",
+	}
+	for _, s := range plans {
+		plan, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", s, err)
+		}
+		if len(plan) != 1 {
+			t.Fatalf("ParsePlan(%q): %d faults, want 1", s, len(plan))
+		}
+		if got := plan[0].String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParsePlanMulti(t *testing.T) {
+	plan, err := ParsePlan("eio sync @2; short write @1 7 ;; kill after-sync @5")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("got %d faults, want 3", len(plan))
+	}
+	if plan[0].Op != OpSync || plan[0].Index != 2 || !errors.Is(plan[0].Err, syscall.EIO) {
+		t.Errorf("fault 0 = %+v", plan[0])
+	}
+	if plan[1].Kind != KindShort || plan[1].Bytes != 7 {
+		t.Errorf("fault 1 = %+v", plan[1])
+	}
+	if plan[2].Kind != KindKill || plan[2].When != After || plan[2].Op != OpSync {
+		t.Errorf("fault 2 = %+v", plan[2])
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"   ;  ",
+		"eio write",
+		"eio write 3",
+		"eio frobnicate @1",
+		"eio write @-1",
+		"eio write @x",
+		"short sync @1 5",
+		"short write @1",
+		"short write @1 -2",
+		"crash sync @1",
+		"crash during-sync @1",
+		"kill after-zap @1",
+		"explode write @1",
+		"eio write @1 extra",
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestDuplicateFaultRejected(t *testing.T) {
+	_, err := New(Fault{Op: OpWrite, Index: 2}, Fault{Op: OpWrite, Index: 2, Kind: KindShort})
+	if err == nil {
+		t.Fatal("duplicate fault accepted")
+	}
+}
+
+// openFile arms an injector with the plan and opens one append file in a
+// temp dir, returning both plus the real path for post-mortem reads.
+func openFile(t *testing.T, plan ...Fault) (*Injector, File, string) {
+	t.Helper()
+	in, err := New(plan...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	in.killSelf = func() { t.Fatal("unexpected real SIGKILL") }
+	path := filepath.Join(t.TempDir(), "f.jsonl")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return in, f, path
+}
+
+func readAll(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	return string(b)
+}
+
+func TestWriteErrAtIndex(t *testing.T) {
+	_, f, path := openFile(t, Fault{Op: OpWrite, Index: 1, Kind: KindErr, Err: syscall.ENOSPC})
+	if _, err := f.Write([]byte("one\n")); err != nil {
+		t.Fatalf("write 0: %v", err)
+	}
+	if _, err := f.Write([]byte("two\n")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 1: got %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("three\n")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The errored write took no effect; its neighbours did.
+	if got := readAll(t, path); got != "one\nthree\n" {
+		t.Fatalf("disk = %q, want %q", got, "one\nthree\n")
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	_, f, path := openFile(t, Fault{Op: OpWrite, Index: 0, Kind: KindShort, Bytes: 3})
+	n, err := f.Write([]byte("abcdef\n"))
+	if n != 3 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := readAll(t, path); got != "abc" {
+		t.Fatalf("disk = %q, want %q", got, "abc")
+	}
+}
+
+func TestBufferUntilSync(t *testing.T) {
+	_, f, path := openFile(t)
+	if _, err := f.Write([]byte("hello\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Unsynced data must not be on disk yet: that is the crash model.
+	if got := readAll(t, path); got != "" {
+		t.Fatalf("pre-sync disk = %q, want empty", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got := readAll(t, path); got != "hello\n" {
+		t.Fatalf("post-sync disk = %q", got)
+	}
+}
+
+func TestCrashBeforeSyncLosesPending(t *testing.T) {
+	in, f, path := openFile(t, Fault{Op: OpSync, Index: 1, Kind: KindCrash, When: Before})
+	for _, s := range []string{"a\n", "b\n"} {
+		if _, err := f.Write([]byte(s)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := f.Sync(); err != nil { // sync 0: flushes a+b
+		t.Fatalf("sync 0: %v", err)
+	}
+	if _, err := f.Write([]byte("c\n")); err != nil {
+		t.Fatalf("write c: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) { // sync 1: crash before
+		t.Fatalf("sync 1: got %v, want ErrCrashed", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not marked crashed")
+	}
+	// Everything after the crash fails.
+	if _, err := f.Write([]byte("d\n")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash close: %v", err)
+	}
+	if _, err := in.OpenFile(path, os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: %v", err)
+	}
+	if _, err := in.Glob("*"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash glob: %v", err)
+	}
+	// c was never synced: only the first flush survives.
+	if got := readAll(t, path); got != "a\nb\n" {
+		t.Fatalf("disk = %q, want %q", got, "a\nb\n")
+	}
+}
+
+func TestCrashAfterSyncKeepsFlushed(t *testing.T) {
+	_, f, path := openFile(t, Fault{Op: OpSync, Index: 0, Kind: KindCrash, When: After})
+	if _, err := f.Write([]byte("a\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync: got %v, want ErrCrashed", err)
+	}
+	if got := readAll(t, path); got != "a\n" {
+		t.Fatalf("disk = %q, want %q (after-sync crash must flush first)", got, "a\n")
+	}
+}
+
+func TestSyncErrDropsPending(t *testing.T) {
+	_, f, path := openFile(t, Fault{Op: OpSync, Index: 0, Kind: KindErr})
+	if _, err := f.Write([]byte("doomed\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync: got %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("kept\n")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// fsyncgate semantics: the failed sync's data is gone for good.
+	if got := readAll(t, path); got != "kept\n" {
+		t.Fatalf("disk = %q, want %q", got, "kept\n")
+	}
+}
+
+func TestCloseErrLosesPending(t *testing.T) {
+	_, f, path := openFile(t, Fault{Op: OpClose, Index: 0, Kind: KindErr})
+	if _, err := f.Write([]byte("x\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("close: got %v, want EIO", err)
+	}
+	if got := readAll(t, path); got != "" {
+		t.Fatalf("disk = %q, want empty", got)
+	}
+}
+
+func TestCleanCloseFlushes(t *testing.T) {
+	_, f, path := openFile(t)
+	if _, err := f.Write([]byte("x\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := readAll(t, path); got != "x\n" {
+		t.Fatalf("disk = %q, want %q", got, "x\n")
+	}
+}
+
+func TestOpenErrAndRenameRemoveFaults(t *testing.T) {
+	dir := t.TempDir()
+	in, err := New(
+		Fault{Op: OpOpen, Index: 0, Kind: KindErr},
+		Fault{Op: OpRename, Index: 0, Kind: KindErr, Err: syscall.ENOSPC},
+		Fault{Op: OpRemove, Index: 0, Kind: KindErr},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := in.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("open 0: %v", err)
+	}
+	f, err := in.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("rename 0: %v", err)
+	}
+	if err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("rename 1: %v", err)
+	}
+	if err := in.Remove(filepath.Join(dir, "b")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("remove 0: %v", err)
+	}
+	if err := in.Remove(filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("remove 1: %v", err)
+	}
+}
+
+func TestCrashOnRenameAfter(t *testing.T) {
+	dir := t.TempDir()
+	in, err := New(Fault{Op: OpRename, Index: 0, Kind: KindCrash, When: After})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("seed file: %v", err)
+	}
+	if err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename: got %v, want ErrCrashed", err)
+	}
+	// After-rename crash: the rename itself happened.
+	if _, err := os.Stat(filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("renamed file missing: %v", err)
+	}
+}
+
+func TestKillInvokesKillSelf(t *testing.T) {
+	in, err := New(Fault{Op: OpSync, Index: 0, Kind: KindKill, When: Before})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	killed := false
+	in.killSelf = func() { killed = true }
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync: got %v, want ErrCrashed (stubbed kill)", err)
+	}
+	if !killed {
+		t.Fatal("killSelf not invoked")
+	}
+	if got := readAll(t, path); got != "" {
+		t.Fatalf("disk = %q, want empty (before-sync kill)", got)
+	}
+}
+
+func TestCountsSharedAcrossFiles(t *testing.T) {
+	in, err := New(Fault{Op: OpWrite, Index: 2, Kind: KindErr})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	dir := t.TempDir()
+	f1, err := in.OpenFile(filepath.Join(dir, "1"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	f2, err := in.OpenFile(filepath.Join(dir, "2"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	if _, err := f1.Write([]byte("a")); err != nil { // write 0
+		t.Fatalf("w0: %v", err)
+	}
+	if _, err := f2.Write([]byte("b")); err != nil { // write 1
+		t.Fatalf("w1: %v", err)
+	}
+	// write 2 is the faulted one, regardless of which file takes it.
+	if _, err := f1.Write([]byte("c")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("w2: got %v, want EIO", err)
+	}
+	if got := in.Count(OpWrite); got != 3 {
+		t.Fatalf("Count(OpWrite) = %d, want 3", got)
+	}
+	if err := f1.Close(); err != nil {
+		t.Fatalf("close 1: %v", err)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatalf("close 2: %v", err)
+	}
+}
+
+func TestSeededSyncDeterministic(t *testing.T) {
+	a := SeededSync(42, 10, true)
+	b := SeededSync(42, 10, true)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Op != OpSync || a.Kind != KindKill {
+		t.Fatalf("unexpected fault shape: %+v", a)
+	}
+	if a.Index < 0 || a.Index >= 10 {
+		t.Fatalf("index %d out of [0,10)", a.Index)
+	}
+	// Different seeds should spread over indices and placements.
+	seenIdx := map[int64]bool{}
+	seenWhen := map[When]bool{}
+	for s := uint64(0); s < 64; s++ {
+		f := SeededSync(s, 10, false)
+		if f.Kind != KindCrash {
+			t.Fatalf("kill=false produced %v", f.Kind)
+		}
+		seenIdx[f.Index] = true
+		seenWhen[f.When] = true
+	}
+	if len(seenIdx) < 5 || len(seenWhen) != 2 {
+		t.Fatalf("poor spread: %d indices, %d placements", len(seenIdx), len(seenWhen))
+	}
+	// Round-trip the rendered form through the parser (soak uses this to
+	// build the -iofault flag).
+	f := SeededSync(7, 20, true)
+	plan, err := ParsePlan(f.String())
+	if err != nil || len(plan) != 1 || plan[0] != f {
+		t.Fatalf("seeded fault %q did not round-trip: %v %+v", f.String(), err, plan)
+	}
+}

@@ -47,6 +47,13 @@ type Campaign struct {
 	cached    int
 	failed    int
 	cancelled int
+	// marshalErrors counts results the stream endpoint could not encode —
+	// surfaced in the view instead of silently truncating the stream.
+	marshalErrors int
+	// lastProgress is when an outcome last recorded (submission time until
+	// then); stuck is the watchdog's verdict, cleared by any progress.
+	lastProgress time.Time
+	stuck        bool
 
 	// weight and maxInflight are fixed at submission.
 	weight      int
@@ -91,6 +98,8 @@ func (c *Campaign) record(idx int, jr harness.JobResult) (completed bool) {
 	c.done[idx] = true
 	c.results[idx] = jr
 	c.recorded++
+	c.lastProgress = time.Now()
+	c.stuck = false
 	switch {
 	case jr.Cached:
 		c.cached++
@@ -139,6 +148,13 @@ type CampaignView struct {
 	MaxInFlight int `json:"maxInFlight,omitempty"`
 	// AgeSeconds is how long ago the campaign was submitted.
 	AgeSeconds float64 `json:"ageSeconds"`
+	// Stuck is the no-progress watchdog's verdict: work outstanding but
+	// nothing recorded for longer than the service's StuckAfter.
+	Stuck bool `json:"stuck,omitempty"`
+	// MarshalErrors counts completed results the results stream failed to
+	// encode (and therefore omitted) — zero unless something is deeply
+	// wrong with a stored result.
+	MarshalErrors int `json:"marshalErrors,omitempty"`
 }
 
 // view snapshots the campaign summary.
@@ -153,7 +169,22 @@ func (c *Campaign) view(now time.Time) CampaignView {
 		QueueDepth: len(c.queue), InFlight: c.inflight,
 		Weight: c.weight, MaxInFlight: c.maxInflight,
 		AgeSeconds: now.Sub(c.created).Seconds(),
+		Stuck:      c.stuck, MarshalErrors: c.marshalErrors,
 	}
+}
+
+// noteMarshalErrors raises the campaign's marshal-error count (the results
+// stream recounts on every request; the maximum observed stands). Returns
+// true the first time the count becomes nonzero, so the caller logs once
+// per campaign, not once per poll.
+func (c *Campaign) noteMarshalErrors(n int) (first bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > c.marshalErrors {
+		first = c.marshalErrors == 0
+		c.marshalErrors = n
+	}
+	return first
 }
 
 // JobView is one job's row in the campaign detail response.

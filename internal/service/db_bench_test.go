@@ -1,0 +1,41 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"frfc/internal/experiment"
+	"frfc/internal/harness"
+)
+
+// BenchmarkDBPutFsyncPolicy measures the cost of one durable Put under each
+// fsync policy — the numbers behind the durability-tradeoff table in
+// docs/service.md. Run with:
+//
+//	go test ./internal/service/ -bench BenchmarkDBPutFsyncPolicy -benchtime 2s
+func BenchmarkDBPutFsyncPolicy(b *testing.B) {
+	res := experiment.Run(tinySpec(), 0.2)
+	for _, p := range []struct {
+		name string
+		pol  FsyncPolicy
+	}{
+		{"always", FsyncPolicy{Mode: FsyncAlways}},
+		{"batch16", FsyncPolicy{Mode: FsyncBatch, BatchPuts: 16}},
+		{"off", FsyncPolicy{Mode: FsyncOff}},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			db, err := OpenDB(b.TempDir(), DBOptions{Fsync: p.pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := harness.Job{Spec: tinySpec(), Load: 0.2, Seed: uint64(i)}
+				if err := db.Put(j, fmt.Sprintf("bench-%d", i), res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,508 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"frfc/internal/experiment"
+	"frfc/internal/harness"
+	"frfc/internal/iofault"
+)
+
+// faultDB opens a database over an injector armed with the given plan. The
+// injector's real-SIGKILL path is stubbed so KindKill behaves as KindCrash.
+func faultDB(t *testing.T, dir string, o DBOptions, plan ...iofault.Fault) (*DB, *iofault.Injector) {
+	t.Helper()
+	in, err := iofault.New(plan...)
+	if err != nil {
+		t.Fatalf("iofault.New: %v", err)
+	}
+	o.FS = in
+	db, err := OpenDB(dir, o)
+	if err != nil {
+		t.Fatalf("OpenDB: %v", err)
+	}
+	return db, in
+}
+
+// reopenClean reopens the directory over the real filesystem and returns the
+// database plus its stats — the post-mortem view after a crash.
+func reopenClean(t *testing.T, dir string) (*DB, DBStats) {
+	t.Helper()
+	db, err := OpenDB(dir, DBOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, db.Stats()
+}
+
+// TestDBPutSurvivesWriteEIO: an EIO on one Put's data write fails that Put
+// only — the database keeps serving, rotates off the poisoned segment, and a
+// clean reopen sees exactly the successful Puts, nothing healed or
+// quarantined.
+func TestDBPutSurvivesWriteEIO(t *testing.T) {
+	dir := t.TempDir()
+	// Put p writes at indices 2p (line) and 2p+1 (checksum): write @2 is
+	// the second Put's data line.
+	db, _ := faultDB(t, dir, DBOptions{}, iofault.Fault{Op: iofault.OpWrite, Index: 2, Kind: iofault.KindErr})
+	jobs := tinyJobs(3, 40)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+
+	if err := db.Put(jobs[0], jobs[0].Hash(), res); err != nil {
+		t.Fatalf("put 0: %v", err)
+	}
+	if err := db.Put(jobs[1], jobs[1].Hash(), res); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("put 1: got %v, want EIO", err)
+	}
+	if err := db.Put(jobs[2], jobs[2].Hash(), res); err != nil {
+		t.Fatalf("put 2 after poisoned rotation: %v", err)
+	}
+	s := db.Stats()
+	if s.PutErrors != 1 || s.Entries != 2 || s.Segments != 2 {
+		t.Fatalf("stats after EIO: %+v, want 1 putError, 2 entries, 2 segments", s)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, st := reopenClean(t, dir)
+	if st.Entries != 2 || st.Healed != 0 || st.Quarantined != 0 {
+		t.Fatalf("reopen stats: %+v, want 2 entries clean", st)
+	}
+}
+
+// TestDBPutSurvivesSyncENOSPC: a failed fsync is treated as data loss for
+// the unsynced batch (fsyncgate semantics) — that Put fails, the segment is
+// abandoned, and later Puts land in a fresh one.
+func TestDBPutSurvivesSyncENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	// Put p syncs at indices 2p (data) and 2p+1 (checksum) under
+	// FsyncAlways: sync @2 is the second Put's data fsync.
+	db, _ := faultDB(t, dir, DBOptions{},
+		iofault.Fault{Op: iofault.OpSync, Index: 2, Kind: iofault.KindErr, Err: syscall.ENOSPC})
+	jobs := tinyJobs(3, 41)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+
+	if err := db.Put(jobs[0], jobs[0].Hash(), res); err != nil {
+		t.Fatalf("put 0: %v", err)
+	}
+	if err := db.Put(jobs[1], jobs[1].Hash(), res); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("put 1: got %v, want ENOSPC", err)
+	}
+	if err := db.Put(jobs[2], jobs[2].Hash(), res); err != nil {
+		t.Fatalf("put 2: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	db2, st := reopenClean(t, dir)
+	if st.Entries != 2 || st.Quarantined != 0 {
+		t.Fatalf("reopen stats: %+v, want 2 entries, 0 quarantined", st)
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := db2.Get(jobs[i].Hash()); !ok {
+			t.Fatalf("job %d lost", i)
+		}
+	}
+	if _, ok := db2.Get(jobs[1].Hash()); ok {
+		t.Fatal("failed put resolved after reopen")
+	}
+}
+
+// TestDBShortWriteHealsAsTail: a short write leaves a partial line; the
+// poisoned segment is abandoned, and on reopen the partial bytes are healed
+// as a torn tail — uncovered by any checksum, so never quarantined.
+func TestDBShortWriteHealsAsTail(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := faultDB(t, dir, DBOptions{},
+		iofault.Fault{Op: iofault.OpWrite, Index: 2, Kind: iofault.KindShort, Bytes: 9})
+	jobs := tinyJobs(3, 42)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+	if err := db.Put(jobs[0], jobs[0].Hash(), res); err != nil {
+		t.Fatalf("put 0: %v", err)
+	}
+	if err := db.Put(jobs[1], jobs[1].Hash(), res); err == nil {
+		t.Fatal("short write Put succeeded")
+	}
+	if err := db.Put(jobs[2], jobs[2].Hash(), res); err != nil {
+		t.Fatalf("put 2: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, st := reopenClean(t, dir)
+	if st.Entries != 2 || st.Healed != 1 || st.Quarantined != 0 {
+		t.Fatalf("reopen stats: %+v, want 2 entries / 1 healed / 0 quarantined", st)
+	}
+}
+
+// TestDBQuarantinesFlippedByte: mid-segment bit rot — a byte flipped in a
+// line whose checksum was recorded — is quarantined on reopen: counted,
+// preserved in the .quarantine sidecar, never served, never fatal. And the
+// verdict is stable: a second reopen reaches the same count without
+// duplicating the quarantine file.
+func TestDBQuarantinesFlippedByte(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDB(dir, DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := tinyJobs(3, 43)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+	for _, j := range jobs {
+		if err := db.Put(j, j.Hash(), res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	// Flip one byte in the middle line of the only segment.
+	seg := filepath.Join(dir, segmentName(0))
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("expected 3 lines, got %d", len(lines)-1)
+	}
+	mid := len(lines[0]) + len(lines[1])/2
+	corrupted := append([]byte(nil), raw...)
+	corrupted[mid] ^= 0x40
+	if err := os.WriteFile(seg, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, st := reopenClean(t, dir)
+	if st.Entries != 2 || st.Quarantined != 1 || st.Healed != 0 {
+		t.Fatalf("reopen stats: %+v, want 2 entries / 1 quarantined / 0 healed", st)
+	}
+	if _, ok := db2.Get(jobs[1].Hash()); ok {
+		t.Fatal("corrupt line served from the index")
+	}
+	q, err := os.ReadFile(filepath.Join(dir, quarantineName(0)))
+	if err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSuffix(q, []byte("\n")), bytes.TrimSuffix(lines[1], []byte("\n"))[:len(lines[1])-1]) &&
+		!bytes.Contains(q, []byte(jobs[1].Hash())) {
+		t.Fatalf("quarantine file does not hold the corrupt line: %q", q)
+	}
+
+	// Third open: same verdict, no quarantine duplication.
+	db2.Close()
+	_, st3 := reopenClean(t, dir)
+	if st3.Quarantined != 1 {
+		t.Fatalf("second reopen quarantined %d, want 1", st3.Quarantined)
+	}
+	q2, err := os.ReadFile(filepath.Join(dir, quarantineName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(q, q2) {
+		t.Fatal("quarantine file grew across reopens")
+	}
+}
+
+// TestDBCrashSweepFsyncAlways sweeps a simulated crash across every sync
+// boundary of a 4-Put workload, before and after each, and asserts the
+// survivor count exactly: under FsyncAlways, Put p's line is durable once
+// its data fsync (sync index 2p) has completed, whether or not the checksum
+// fsync (2p+1) made it. Nothing is ever quarantined by a crash, and
+// re-putting the lost jobs after reopen restores the full set — the
+// at-least-once recovery contract the service's resubmission path relies on.
+func TestDBCrashSweepFsyncAlways(t *testing.T) {
+	jobs := tinyJobs(4, 44)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+	for k := int64(0); k < int64(2*len(jobs)); k++ {
+		for _, when := range []iofault.When{iofault.Before, iofault.After} {
+			name := fmt.Sprintf("crash-%s-sync-%d", when, k)
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				db, in := faultDB(t, dir, DBOptions{},
+					iofault.Fault{Op: iofault.OpSync, Index: k, Kind: iofault.KindCrash, When: when})
+				var firstErr error
+				for _, j := range jobs {
+					if err := db.Put(j, j.Hash(), res); err != nil {
+						firstErr = err
+						break
+					}
+				}
+				if !errors.Is(firstErr, iofault.ErrCrashed) {
+					t.Fatalf("workload did not crash: %v", firstErr)
+				}
+				if !in.Crashed() {
+					t.Fatal("injector not crashed")
+				}
+
+				// Durable syncs: k of them (Before) or k+1 (After); Put p
+				// survives iff sync 2p is among them.
+				durableSyncs := k
+				if when == iofault.After {
+					durableSyncs = k + 1
+				}
+				want := int((durableSyncs + 1) / 2)
+
+				db2, st := reopenClean(t, dir)
+				if st.Entries != want {
+					t.Fatalf("survivors = %d, want %d (stats %+v)", st.Entries, want, st)
+				}
+				if st.Quarantined != 0 {
+					t.Fatalf("crash quarantined %d lines; crashes must only tear tails", st.Quarantined)
+				}
+				for p := 0; p < want; p++ {
+					if _, ok := db2.Get(jobs[p].Hash()); !ok {
+						t.Fatalf("synced put %d lost", p)
+					}
+				}
+				// Resubmission: re-put everything; only the lost suffix is new.
+				for _, j := range jobs {
+					if err := db2.Put(j, j.Hash(), res); err != nil {
+						t.Fatalf("re-put: %v", err)
+					}
+				}
+				if db2.Len() != len(jobs) {
+					t.Fatalf("after re-put len = %d, want %d", db2.Len(), len(jobs))
+				}
+			})
+		}
+	}
+}
+
+// TestDBFsyncBatchBoundedLoss: with BatchPuts=3, a crash at the close-time
+// sync loses exactly the unsynced tail — at most BatchPuts-1 results —
+// while the synced batch survives.
+func TestDBFsyncBatchBoundedLoss(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := faultDB(t, dir,
+		DBOptions{Fsync: FsyncPolicy{Mode: FsyncBatch, BatchPuts: 3, BatchInterval: time.Hour}},
+		// Syncs 0,1 fire at the third Put (batch full); the next sync pair
+		// is Close's — crash there, stranding Puts 3 and 4.
+		iofault.Fault{Op: iofault.OpSync, Index: 2, Kind: iofault.KindCrash, When: iofault.Before})
+	jobs := tinyJobs(5, 45)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+	for i, j := range jobs {
+		if err := db.Put(j, j.Hash(), res); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := db.Close(); !errors.Is(err, iofault.ErrCrashed) {
+		t.Fatalf("close: got %v, want crash", err)
+	}
+	_, st := reopenClean(t, dir)
+	if st.Entries != 3 {
+		t.Fatalf("survivors = %d, want the synced batch of 3 (stats %+v)", st.Entries, st)
+	}
+}
+
+// TestDBFsyncOff: without fsync a crash loses everything since the last
+// rotation — and a clean Close still flushes, so orderly shutdown is safe.
+func TestDBFsyncOff(t *testing.T) {
+	jobs := tinyJobs(3, 46)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+
+	crash := t.TempDir()
+	db, _ := faultDB(t, crash, DBOptions{Fsync: FsyncPolicy{Mode: FsyncOff}},
+		iofault.Fault{Op: iofault.OpSync, Index: 0, Kind: iofault.KindCrash, When: iofault.Before})
+	for _, j := range jobs {
+		if err := db.Put(j, j.Hash(), res); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := db.Close(); !errors.Is(err, iofault.ErrCrashed) {
+		t.Fatalf("close: got %v, want crash", err)
+	}
+	if _, st := reopenClean(t, crash); st.Entries != 0 {
+		t.Fatalf("fsync=off crash kept %d entries, want 0", st.Entries)
+	}
+
+	clean := t.TempDir()
+	db2, _ := faultDB(t, clean, DBOptions{Fsync: FsyncPolicy{Mode: FsyncOff}})
+	for _, j := range jobs {
+		if err := db2.Put(j, j.Hash(), res); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, st := reopenClean(t, clean); st.Entries != len(jobs) {
+		t.Fatalf("clean close kept %d entries, want %d", st.Entries, len(jobs))
+	}
+}
+
+// TestDBRotationCloseErrorSurfaced: satellite fix — a failed close during
+// segment rotation is a Put error, not a silent shrug, because it can drop
+// buffered state right as the segment is abandoned.
+func TestDBRotationCloseErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny limit: the second Put rotates. Close @0 is the data segment's
+	// close inside that rotation.
+	db, _ := faultDB(t, dir, DBOptions{SegmentBytes: 16},
+		iofault.Fault{Op: iofault.OpClose, Index: 0, Kind: iofault.KindErr})
+	jobs := tinyJobs(3, 47)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+	if err := db.Put(jobs[0], jobs[0].Hash(), res); err != nil {
+		t.Fatalf("put 0: %v", err)
+	}
+	err := db.Put(jobs[1], jobs[1].Hash(), res)
+	if !errors.Is(err, syscall.EIO) || !strings.Contains(err.Error(), "rotate") {
+		t.Fatalf("rotation close error not surfaced: %v", err)
+	}
+	if s := db.Stats(); s.PutErrors != 1 {
+		t.Fatalf("putErrors = %d, want 1", s.PutErrors)
+	}
+	// The database keeps serving: the next Put opens the post-rotation
+	// segment.
+	if err := db.Put(jobs[2], jobs[2].Hash(), res); err != nil {
+		t.Fatalf("put 2: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, st := reopenClean(t, dir)
+	if st.Entries != 2 {
+		t.Fatalf("reopen entries = %d, want 2", st.Entries)
+	}
+}
+
+// TestDBCompact: compaction merges every segment (and the duplicate lines a
+// re-recorded hash leaves behind) into one highest-numbered segment with a
+// full sidecar, byte-identical under Snapshot, and a reopen of the compacted
+// directory resolves everything with nothing healed or quarantined.
+func TestDBCompact(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDB(dir, DBOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := tinyJobs(6, 48)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+	for _, j := range jobs {
+		if err := db.Put(j, j.Hash(), res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-record one hash: a superseded duplicate for compaction to shed.
+	if err := db.Put(jobs[0], jobs[0].Hash(), res); err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := db.Snapshot(&before); err != nil {
+		t.Fatal(err)
+	}
+	preSegs := db.Stats().Segments
+	if preSegs < 3 {
+		t.Fatalf("want rotation before compacting, got %d segments", preSegs)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if s := db.Stats(); s.Segments != 1 || s.Entries != len(jobs) {
+		t.Fatalf("post-compact stats %+v, want 1 segment / %d entries", s, len(jobs))
+	}
+	var after bytes.Buffer
+	if err := db.Snapshot(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("snapshot changed across compaction")
+	}
+	// Compaction is live: the database still accepts Puts afterwards.
+	extra := harness.Job{Spec: tinySpec(), Load: 0.5, Seed: 48}
+	if err := db.Put(extra, extra.Hash(), res); err != nil {
+		t.Fatalf("post-compact put: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(segs) != 2 { // the compacted segment + the post-compact one
+		t.Fatalf("segments on disk = %v, want compacted + post-compact", segs)
+	}
+	db2, st := reopenClean(t, dir)
+	if st.Entries != len(jobs)+1 || st.Healed != 0 || st.Quarantined != 0 {
+		t.Fatalf("reopen stats %+v, want %d clean entries", st, len(jobs)+1)
+	}
+	for _, j := range jobs {
+		if _, ok := db2.Get(j.Hash()); !ok {
+			t.Fatalf("hash %s lost across compaction", j.Hash())
+		}
+	}
+}
+
+// TestDBCompactCrashSafe: a crash at either rename boundary of compaction
+// leaves a directory that reopens with the complete index — before the data
+// rename the old segments are authoritative; between the renames the merged
+// segment wins by sequence number and replays by decode.
+func TestDBCompactCrashSafe(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		when iofault.When
+	}{
+		{"before-data-rename", iofault.Before},
+		{"between-renames", iofault.After},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			seedDB, err := OpenDB(dir, DBOptions{SegmentBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs := tinyJobs(6, 49)
+			res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+			for _, j := range jobs {
+				if err := seedDB.Put(j, j.Hash(), res); err != nil {
+					t.Fatal(err)
+				}
+			}
+			seedDB.Close()
+
+			db, _ := faultDB(t, dir, DBOptions{SegmentBytes: 512},
+				iofault.Fault{Op: iofault.OpRename, Index: 0, Kind: iofault.KindCrash, When: tc.when})
+			if err := db.Compact(); !errors.Is(err, iofault.ErrCrashed) {
+				t.Fatalf("compact: got %v, want crash", err)
+			}
+
+			db2, st := reopenClean(t, dir)
+			if st.Entries != len(jobs) || st.Quarantined != 0 {
+				t.Fatalf("reopen stats %+v, want %d entries", st, len(jobs))
+			}
+			for _, j := range jobs {
+				if _, ok := db2.Get(j.Hash()); !ok {
+					t.Fatalf("hash %s lost to a compaction crash", j.Hash())
+				}
+			}
+		})
+	}
+}
+
+// TestDBDoubleClose: the second Close is a no-op, not a second error — and
+// Compact after Close refuses rather than resurrecting files.
+func TestDBDoubleClose(t *testing.T) {
+	db, err := OpenDB(t.TempDir(), DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := tinyJobs(1, 50)[0]
+	if err := db.Put(j, j.Hash(), experiment.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := db.Compact(); err == nil {
+		t.Fatal("compact after close succeeded")
+	}
+}

@@ -96,13 +96,23 @@ func TestDBHealsTornTail(t *testing.T) {
 	}
 	db.Close()
 
-	// Tear the tail: drop the last 20 bytes of the only segment.
+	// Tear the tail: drop the last 20 bytes of the only segment, and the
+	// matching checksum line — a kill mid-write loses both together. (A
+	// torn data line under an intact checksum is corruption, not a tear,
+	// and is quarantined instead; see db_crash_test.go.)
 	seg := filepath.Join(dir, segmentName(0))
 	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(seg, raw[:len(raw)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sums, err := os.ReadFile(filepath.Join(dir, sumName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, sumName(0)), sums[:len(sums)-9], 0o644); err != nil {
 		t.Fatal(err)
 	}
 

@@ -2,7 +2,10 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"net"
 	"net/http"
 	"time"
 
@@ -39,6 +42,8 @@ func (s *Service) register(handle func(pattern string, h http.HandlerFunc)) {
 	handle("GET /campaigns/{id}", s.handleGet)
 	handle("GET /campaigns/{id}/results", s.handleResults)
 	handle("DELETE /campaigns/{id}", s.handleCancel)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /readyz", s.handleReadyz)
 }
 
 // apiError is the JSON error envelope every non-2xx response carries.
@@ -58,20 +63,72 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone is not our problem
 }
 
+// clientKey identifies the submitting client for rate limiting: the peer
+// address without the ephemeral port, so one host shares one bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := r.Body
+	if max := s.opts.Limits.MaxBodyBytes; max > 0 {
+		body = http.MaxBytesReader(w, r.Body, max)
+	}
 	var req SweepRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.noteRejected(rejectBody)
+			apiError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.noteRejected(rejectValidation)
 		apiError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	c, err := s.Submit(req)
+	c, err := s.SubmitFrom(req, clientKey(r))
 	if err != nil {
-		apiError(w, http.StatusBadRequest, "%v", err)
+		switch {
+		case errors.Is(err, ErrCapacity):
+			// The envelope is full or the client is over rate: explicitly
+			// retryable, with a hint. One second is the token-bucket
+			// horizon for rate rejections and a sane floor for the rest.
+			w.Header().Set("Retry-After", "1")
+			apiError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrClosed):
+			apiError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			apiError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, c.view(c.created))
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. Always 200.
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 while accepting submissions, 503 once the
+// daemon starts draining — the signal that tells a load balancer to route
+// elsewhere while in-flight campaigns finish.
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -115,19 +172,31 @@ func (s *Service) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
+	marshalFailed := 0
 	for _, jr := range c.Results() {
 		if jr.Hash == "" || jr.Err != "" || jr.Skipped {
 			continue // not finished, failed, or cancelled: nothing stored
 		}
-		line, err := harness.MarshalEntry(jr.Job, jr.Hash, jr.Result)
+		line, err := marshalEntry(jr.Job, jr.Hash, jr.Result)
 		if err != nil {
+			// The stream omits the line but the truncation is not silent:
+			// counted into the campaign view, logged once per campaign.
+			marshalFailed++
 			continue
 		}
 		if _, err := w.Write(append(line, '\n')); err != nil {
 			return
 		}
 	}
+	if marshalFailed > 0 && c.noteMarshalErrors(marshalFailed) {
+		log.Printf("service: campaign %s: %d result(s) failed to marshal; results stream is incomplete",
+			c.ID(), marshalFailed)
+	}
 }
+
+// marshalEntry is harness.MarshalEntry, indirect so tests can force encode
+// failures on the results stream.
+var marshalEntry = harness.MarshalEntry
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.Cancel(r.PathValue("id"))

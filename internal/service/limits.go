@@ -1,0 +1,102 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrCapacity marks a submission rejected by admission control — the service
+// is full or the client is over its rate, and retrying later is the right
+// move. The HTTP layer renders it as 429 with Retry-After.
+var ErrCapacity = errors.New("capacity exceeded")
+
+// ErrClosed marks a submission rejected because the service is draining or
+// shut down; the HTTP layer renders it as 503.
+var ErrClosed = errors.New("service is shutting down")
+
+// Limits is the service's admission-control envelope: what it promises to
+// accept, everything beyond which is rejected fast and explicitly — the
+// reservation discipline the simulator applies to link bandwidth, applied to
+// the worker pool. The zero value means unlimited (the PR-8 behavior),
+// so embedded and test uses keep working untuned.
+type Limits struct {
+	// MaxCampaigns caps concurrently active (queued or running) campaigns.
+	MaxCampaigns int
+	// MaxQueuedJobs caps the sum of undispatched jobs across all active
+	// campaigns.
+	MaxQueuedJobs int
+	// MaxJobsPerCampaign caps one submission's expanded grid. Enforced
+	// against an arithmetic pre-estimate before the grid is allocated, so
+	// a hostile from/to/step cannot balloon memory on its way to a 429.
+	MaxJobsPerCampaign int
+	// MaxBodyBytes caps the submit request body (http.MaxBytesReader).
+	MaxBodyBytes int64
+	// RatePerSec and Burst shape the per-client token bucket on submits:
+	// sustained RatePerSec with bursts of Burst. RatePerSec 0 disables
+	// rate limiting; Burst 0 means a burst of 1.
+	RatePerSec float64
+	Burst      int
+}
+
+// rejection reasons, the keys of the rejected-counter map in /status.
+const (
+	rejectRate       = "rate"       // token bucket empty for this client
+	rejectCampaigns  = "campaigns"  // MaxCampaigns reached
+	rejectJobs       = "jobs"       // MaxQueuedJobs or MaxJobsPerCampaign
+	rejectBody       = "body"       // request body over MaxBodyBytes
+	rejectValidation = "validation" // malformed request
+	rejectClosed     = "closed"     // draining or shut down
+)
+
+// rateLimiter is a per-key token bucket: each key sustains rate tokens/sec
+// with bursts of burst. Buckets are created on first sight and evicted
+// wholesale when the table grows past its cap, which refunds at most one
+// burst per client — fine for admission control, fatal for billing, and this
+// is admission control.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateTableCap bounds the bucket table; an attacker cycling source addresses
+// buys resets, not memory.
+const rateTableCap = 4096
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token from key's bucket if available. now is a
+// parameter so tests drive time explicitly.
+func (rl *rateLimiter) allow(key string, now time.Time) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.buckets[key]
+	if !ok {
+		if len(rl.buckets) >= rateTableCap {
+			rl.buckets = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	}
+	b.tokens = math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

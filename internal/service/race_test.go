@@ -1,0 +1,167 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"frfc/internal/experiment"
+)
+
+// TestConcurrentSubmitCancelClose (satellite): submissions, cancellations and
+// shutdown all racing is the daemon's normal death — SIGTERM arrives while
+// clients are mid-flight. Run under -race; the assertions are "no panic, no
+// deadlock, every admitted campaign reaches a terminal state, every rejection
+// is typed".
+func TestConcurrentSubmitCancelClose(t *testing.T) {
+	db, err := OpenDB(filepath.Join(t.TempDir(), "db"), DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := New(db, Options{Workers: 2, Limits: Limits{MaxCampaigns: 4, MaxQueuedJobs: 64}})
+
+	var mu sync.Mutex
+	var admitted []*Campaign
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				c, err := s.Submit(SweepRequest{
+					Name:    fmt.Sprintf("race-%d-%d", g, i),
+					Configs: []string{"FR6"},
+					Loads:   []float64{0.2 + float64(g)*0.01, 0.25 + float64(g)*0.01},
+					Sample:  150, Warmup: 300, Seed: uint64(g*100 + i + 1),
+				})
+				switch {
+				case err == nil:
+					mu.Lock()
+					admitted = append(admitted, c)
+					mu.Unlock()
+				case errors.Is(err, ErrCapacity), errors.Is(err, ErrClosed):
+					// typed rejection: the expected outcome under pressure
+				default:
+					t.Errorf("untyped submit error: %v", err)
+				}
+			}
+		}(g)
+	}
+	// Cancellers race the submitters over whatever is admitted so far.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				mu.Lock()
+				var id string
+				if len(admitted) > 0 {
+					id = admitted[i%len(admitted)].ID()
+				}
+				mu.Unlock()
+				if id != "" {
+					s.Cancel(id)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	// Close races the tail of the submissions.
+	closeErr := make(chan error, 2)
+	wg.Add(2)
+	for g := 0; g < 2; g++ { // double-Close, concurrently
+		go func() {
+			defer wg.Done()
+			time.Sleep(20 * time.Millisecond)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			closeErr <- s.Close(ctx)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-closeErr; err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+	// After Close returns both times, every admitted campaign must be
+	// terminal — nothing left running against a drained pool.
+	for _, c := range admitted {
+		select {
+		case <-c.Finished():
+		default:
+			t.Errorf("campaign %s not terminal after Close: %+v", c.ID(), c.view(time.Now()))
+		}
+	}
+	if _, err := s.Submit(SweepRequest{Configs: []string{"FR6"}, Loads: []float64{0.2}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestServiceDoubleClose: sequential re-Close is a cheap no-op, not a panic
+// on a closed channel or a hung wait.
+func TestServiceDoubleClose(t *testing.T) {
+	s, _ := newTestService(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestDBConcurrentPutCloseCompact: Put, Stats, Close and a second Close
+// racing on one DB. The loser of the close race gets a "put on closed db"
+// error, never a torn write or a data race.
+func TestDBConcurrentPutCloseCompact(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDB(dir, DBOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := tinyJobs(16, 42)
+	res := experiment.Run(jobs[0].Spec, jobs[0].Load)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * 4; i < g*4+4; i++ {
+				db.Put(jobs[i], jobs[i].Hash(), res) //nolint:errcheck // racing close; error is the point
+				db.Stats()
+			}
+		}(g)
+	}
+	wg.Add(2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(1+g) * time.Millisecond)
+			db.Close() //nolint:errcheck // double-close race is the test
+		}()
+	}
+	wg.Wait()
+
+	// Whatever landed before the close must replay cleanly.
+	db2, err := OpenDB(dir, DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st := db2.Stats()
+	if st.Quarantined != 0 {
+		t.Fatalf("quarantined %d lines after racing close, want 0", st.Quarantined)
+	}
+	if st.Entries < 0 || st.Entries > 16 {
+		t.Fatalf("entries = %d out of range", st.Entries)
+	}
+}

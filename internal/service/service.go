@@ -28,6 +28,17 @@ type Options struct {
 	// each time a campaign reaches a terminal state — the hook the
 	// background reporter regenerates BENCHMARK.md from.
 	OnCampaignDone func(CampaignView)
+	// Limits is the admission-control envelope; the zero value admits
+	// everything (the pre-hardening behavior).
+	Limits Limits
+	// StuckAfter arms the service-level no-progress watchdog: an active
+	// campaign with work outstanding but no job outcome recorded for this
+	// long is flagged stuck in /status and the stuck-campaigns gauge — the
+	// service analog of the simulator's PR-1 watchdog. 0 disables.
+	StuckAfter time.Duration
+	// WatchdogTick overrides the watchdog scan cadence; 0 derives it from
+	// StuckAfter (a quarter, clamped to [100ms, 30s]).
+	WatchdogTick time.Duration
 }
 
 // Service is the campaign daemon: it accepts sweep submissions, schedules
@@ -37,15 +48,23 @@ type Service struct {
 	db      *DB
 	opts    Options
 	sched   *scheduler
+	rate    *rateLimiter // nil when rate limiting is off
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+
+	// admit serializes admission decisions: the capacity check and the
+	// registration it authorizes happen under one lock, so two submissions
+	// cannot both squeeze through the same last slot. Reads (Get, List)
+	// and workers never touch it.
+	admit sync.Mutex
 
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
 	order     []string
 	nextID    int
 	closing   bool
+	rejected  map[string]int64 // submissions rejected, by reason
 }
 
 // New starts a service over the given database and spawns its worker pool.
@@ -58,10 +77,18 @@ func New(db *DB, o Options) *Service {
 		db: db, opts: o, sched: newScheduler(),
 		baseCtx: ctx, cancel: cancel,
 		campaigns: make(map[string]*Campaign),
+		rejected:  make(map[string]int64),
+	}
+	if o.Limits.RatePerSec > 0 {
+		s.rate = newRateLimiter(o.Limits.RatePerSec, o.Limits.Burst)
 	}
 	for i := 0; i < o.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if o.StuckAfter > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
 	}
 	return s
 }
@@ -72,32 +99,94 @@ func (s *Service) Workers() int { return s.opts.Workers }
 // Submit validates a sweep request, expands it into jobs, registers the
 // campaign with the fair scheduler and returns it. Jobs already present in
 // the result database will resolve as dedup hits without executing.
+// Equivalent to SubmitFrom with no client identity (rate limits don't
+// apply); errors wrap ErrCapacity or ErrClosed when the rejection is about
+// the service rather than the request.
 func (s *Service) Submit(req SweepRequest) (*Campaign, error) {
+	return s.SubmitFrom(req, "")
+}
+
+// SubmitFrom is Submit with a client identity for per-client rate limiting
+// (the HTTP layer passes the peer address). Admission runs cheapest check
+// first — token bucket, then an arithmetic job-count estimate against the
+// caps, all before the grid is allocated — so rejection costs nothing no
+// matter how large the request claims to be.
+func (s *Service) SubmitFrom(req SweepRequest, client string) (*Campaign, error) {
+	if s.rate != nil && client != "" && !s.rate.allow(client, time.Now()) {
+		s.noteRejected(rejectRate)
+		return nil, fmt.Errorf("client %s over submission rate: %w", client, ErrCapacity)
+	}
+	s.admit.Lock()
+	defer s.admit.Unlock()
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		s.noteRejected(rejectClosed)
+		return nil, ErrClosed
+	}
+	est, err := req.estimateJobs()
+	if err != nil {
+		s.noteRejected(rejectValidation)
+		return nil, fmt.Errorf("invalid campaign: %w", err)
+	}
+	lim := s.opts.Limits
+	if lim.MaxJobsPerCampaign > 0 && est > lim.MaxJobsPerCampaign {
+		s.noteRejected(rejectJobs)
+		return nil, fmt.Errorf("campaign expands to ~%d jobs, per-campaign cap is %d: %w",
+			est, lim.MaxJobsPerCampaign, ErrCapacity)
+	}
+	if lim.MaxCampaigns > 0 || lim.MaxQueuedJobs > 0 {
+		active, queued := s.loadLocked()
+		if lim.MaxCampaigns > 0 && active >= lim.MaxCampaigns {
+			s.noteRejected(rejectCampaigns)
+			return nil, fmt.Errorf("%d campaigns active, cap is %d: %w",
+				active, lim.MaxCampaigns, ErrCapacity)
+		}
+		if lim.MaxQueuedJobs > 0 && queued+est > lim.MaxQueuedJobs {
+			s.noteRejected(rejectJobs)
+			return nil, fmt.Errorf("%d jobs queued and this campaign adds ~%d, cap is %d: %w",
+				queued, est, lim.MaxQueuedJobs, ErrCapacity)
+		}
+	}
 	if err := (&req).normalized(); err != nil {
+		s.noteRejected(rejectValidation)
 		return nil, fmt.Errorf("invalid campaign: %w", err)
 	}
 	jobs, err := req.jobs()
 	if err != nil {
+		s.noteRejected(rejectValidation)
 		return nil, fmt.Errorf("invalid campaign: %w", err)
 	}
+	// The estimate authorized the admission; hold the expansion to it in
+	// case the two ever disagree at a float boundary.
+	if lim.MaxJobsPerCampaign > 0 && len(jobs) > lim.MaxJobsPerCampaign {
+		s.noteRejected(rejectJobs)
+		return nil, fmt.Errorf("campaign expands to %d jobs, per-campaign cap is %d: %w",
+			len(jobs), lim.MaxJobsPerCampaign, ErrCapacity)
+	}
+
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("service is shutting down")
+		s.noteRejected(rejectClosed)
+		return nil, ErrClosed
 	}
 	s.nextID++
 	id := fmt.Sprintf("c%d", s.nextID)
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	now := time.Now()
 	c := &Campaign{
-		id: id, req: req, jobs: jobs, created: time.Now(),
+		id: id, req: req, jobs: jobs, created: now,
 		ctx: ctx, cancel: cancel,
-		finished:    make(chan struct{}),
-		state:       StateQueued,
-		results:     make([]harness.JobResult, len(jobs)),
-		done:        make([]bool, len(jobs)),
-		queue:       make([]int, len(jobs)),
-		weight:      req.Weight,
-		maxInflight: req.MaxInFlight,
+		finished:     make(chan struct{}),
+		state:        StateQueued,
+		results:      make([]harness.JobResult, len(jobs)),
+		done:         make([]bool, len(jobs)),
+		queue:        make([]int, len(jobs)),
+		weight:       req.Weight,
+		maxInflight:  req.MaxInFlight,
+		lastProgress: now,
 	}
 	for i := range jobs {
 		c.queue[i] = i
@@ -109,6 +198,104 @@ func (s *Service) Submit(req SweepRequest) (*Campaign, error) {
 	s.sched.add(c)
 	s.pushStatus()
 	return c, nil
+}
+
+// noteRejected counts one rejected submission by reason.
+func (s *Service) noteRejected(reason string) {
+	s.mu.Lock()
+	s.rejected[reason]++
+	s.mu.Unlock()
+}
+
+// loadLocked measures current admission load: active campaigns and their
+// undispatched jobs. Caller holds s.admit, so no admission races this; the
+// workers only ever shrink it.
+func (s *Service) loadLocked() (active, queued int) {
+	s.mu.Lock()
+	cs := make([]*Campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cs {
+		c.mu.Lock()
+		if c.state == StateQueued || c.state == StateRunning {
+			active++
+			queued += len(c.queue)
+		}
+		c.mu.Unlock()
+	}
+	return active, queued
+}
+
+// watchdog periodically flags campaigns that hold work but make no progress
+// — a wedged worker, a job stuck past any reasonable runtime — so operators
+// see "stuck" in /status and the frfc_service_stuck_campaigns gauge instead
+// of a silently frozen queue. Recording any outcome clears the flag.
+func (s *Service) watchdog() {
+	defer s.wg.Done()
+	tick := s.opts.WatchdogTick
+	if tick <= 0 {
+		tick = s.opts.StuckAfter / 4
+	}
+	if tick < 100*time.Millisecond {
+		tick = 100 * time.Millisecond
+	}
+	if tick > 30*time.Second {
+		tick = 30 * time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-t.C:
+			if s.sweepStuck(now) {
+				s.pushStatus()
+			}
+		}
+	}
+}
+
+// sweepStuck marks newly stuck campaigns, reporting whether anything changed.
+func (s *Service) sweepStuck(now time.Time) (changed bool) {
+	s.mu.Lock()
+	cs := make([]*Campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cs {
+		c.mu.Lock()
+		active := c.state == StateQueued || c.state == StateRunning
+		working := c.inflight > 0 || len(c.queue) > 0
+		if active && working && !c.stuck && now.Sub(c.lastProgress) > s.opts.StuckAfter {
+			c.stuck = true
+			changed = true
+		}
+		c.mu.Unlock()
+	}
+	return changed
+}
+
+// StartDrain flips the service to not-ready: /readyz starts failing and new
+// submissions are rejected with ErrClosed, while the workers keep draining
+// already-admitted campaigns. frserve calls this at the top of shutdown so
+// load balancers stop routing before the listener disappears.
+func (s *Service) StartDrain() {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	s.pushStatus()
+}
+
+// Ready reports whether the service is accepting submissions — the /readyz
+// answer. False once draining begins.
+func (s *Service) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closing
 }
 
 // Get returns a campaign by ID.
@@ -220,19 +407,36 @@ func (s *Service) pushStatus() {
 func (s *Service) snapshot() (status.ServiceView, []status.ServiceCampaign) {
 	views := s.List()
 	dbs := s.db.Stats()
+	s.mu.Lock()
+	rejectedBy := make(map[string]int64, len(s.rejected))
+	var rejected int64
+	for reason, n := range s.rejected {
+		rejectedBy[reason] = n
+		rejected += n
+	}
+	ready := !s.closing
+	s.mu.Unlock()
 	sv := status.ServiceView{
-		Workers:     s.opts.Workers,
-		Campaigns:   len(views),
-		DedupHits:   dbs.Hits,
-		DedupMisses: dbs.Misses,
-		DBEntries:   dbs.Entries,
-		DBSegments:  dbs.Segments,
-		DBHealed:    dbs.Healed,
+		Workers:       s.opts.Workers,
+		Campaigns:     len(views),
+		DedupHits:     dbs.Hits,
+		DedupMisses:   dbs.Misses,
+		DBEntries:     dbs.Entries,
+		DBSegments:    dbs.Segments,
+		DBHealed:      dbs.Healed,
+		DBQuarantined: dbs.Quarantined,
+		StoreErrors:   dbs.PutErrors,
+		Rejected:      rejected,
+		RejectedBy:    rejectedBy,
+		Ready:         ready,
 	}
 	rows := make([]status.ServiceCampaign, 0, len(views))
 	for _, v := range views {
 		if v.State == StateQueued || v.State == StateRunning {
 			sv.Active++
+		}
+		if v.Stuck {
+			sv.StuckCampaigns++
 		}
 		sv.QueueDepth += v.QueueDepth
 		sv.InFlight += v.InFlight

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"frfc/internal/experiment"
@@ -114,6 +115,42 @@ func (r *SweepRequest) normalized() error {
 		r.Name = strings.Join(r.Configs, ",")
 	}
 	return nil
+}
+
+// estimateJobs computes the job count the request would expand to, by
+// arithmetic alone — no grid allocation — validating just the fields the
+// estimate rests on. Admission control checks MaxJobsPerCampaign against
+// this before normalized() materializes anything, so rejecting an absurd
+// from/to/step costs a handful of float ops, not the memory the grid
+// claims.
+func (r SweepRequest) estimateJobs() (int, error) {
+	if len(r.Configs) == 0 {
+		return 0, fmt.Errorf("configs must name at least one configuration")
+	}
+	loads := len(r.Loads)
+	if loads == 0 {
+		if r.Step <= 0 {
+			return 0, fmt.Errorf("step must be > 0 (got %g)", r.Step)
+		}
+		if r.From <= 0 {
+			return 0, fmt.Errorf("from must be > 0 (got %g)", r.From)
+		}
+		if r.From > r.To {
+			return 0, fmt.Errorf("from (%g) must not exceed to (%g)", r.From, r.To)
+		}
+		// Trip count of normalized()'s accumulation loop: l = From + k*Step
+		// while l <= To + 1e-9.
+		n := math.Floor((r.To+1e-9-r.From)/r.Step) + 1
+		if n > math.MaxInt32 {
+			return math.MaxInt32, nil
+		}
+		loads = int(n)
+	}
+	total := loads * len(r.Configs)
+	if total < 0 || (loads > 0 && total/loads != len(r.Configs)) {
+		return math.MaxInt32, nil // overflow: report "huge", let the cap reject it
+	}
+	return total, nil
 }
 
 // jobs expands the normalized request into harness jobs, specs outermost —

@@ -111,6 +111,20 @@ type ServiceView struct {
 	DBEntries   int   `json:"dbEntries"`
 	DBSegments  int   `json:"dbSegments"`
 	DBHealed    int   `json:"dbHealed,omitempty"`
+	// DBQuarantined counts corrupt lines isolated during recovery (failed
+	// their recorded checksum); StoreErrors counts database writes that
+	// failed since the daemon started.
+	DBQuarantined int   `json:"dbQuarantined,omitempty"`
+	StoreErrors   int64 `json:"storeErrors,omitempty"`
+	// Rejected is total submissions refused by admission control;
+	// RejectedBy breaks it down by reason (rate, campaigns, jobs, body,
+	// validation, closed).
+	Rejected   int64            `json:"rejected,omitempty"`
+	RejectedBy map[string]int64 `json:"rejectedBy,omitempty"`
+	// StuckCampaigns is the no-progress watchdog's current count.
+	StuckCampaigns int `json:"stuckCampaigns,omitempty"`
+	// Ready is false once the daemon starts draining (mirrors /readyz).
+	Ready bool `json:"ready"`
 }
 
 // Snapshot is the /status response body.
@@ -155,9 +169,41 @@ type Server struct {
 	campaigns []ServiceCampaign
 }
 
+// ServerOptions tunes the HTTP server's protective timeouts. Zero fields
+// take the documented defaults — chosen so slowloris-style clients cannot
+// pin connections forever, while the deliberately long-lived requests the
+// API serves (?wait=1 long-polls, result streams) are never cut mid-flight.
+type ServerOptions struct {
+	// ReadHeaderTimeout bounds how long a client may dribble headers;
+	// 0 means 10s. This is the slowloris defense.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the entire request; 0 disables it (the
+	// submit body is already capped by the service's MaxBodyBytes, and
+	// every other endpoint is bodyless).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the response; 0 disables it — it must
+	// not default on, because ?wait=1 long-polls legitimately hold the
+	// response open for the lifetime of a campaign.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds keep-alive idleness between requests; 0 means 2m.
+	IdleTimeout time.Duration
+}
+
 // Serve starts a status server listening on addr (host:port; host may be
-// empty, port 0 picks a free one). It serves until Close.
+// empty, port 0 picks a free one) with default timeouts. It serves until
+// Close.
 func Serve(addr string) (*Server, error) {
+	return ServeOpts(addr, ServerOptions{})
+}
+
+// ServeOpts is Serve with explicit timeout options.
+func ServeOpts(addr string, o ServerOptions) (*Server, error) {
+	if o.ReadHeaderTimeout == 0 {
+		o.ReadHeaderTimeout = 10 * time.Second
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("status: listen %s: %w", addr, err)
@@ -178,7 +224,13 @@ func Serve(addr string) (*Server, error) {
 		}
 		http.Redirect(w, r, "/status", http.StatusFound)
 	})
-	s.srv = &http.Server{Handler: mux}
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: o.ReadHeaderTimeout,
+		ReadTimeout:       o.ReadTimeout,
+		WriteTimeout:      o.WriteTimeout,
+		IdleTimeout:       o.IdleTimeout,
+	}
 	s.mux = mux
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
@@ -438,6 +490,15 @@ func writeServiceMetrics(w io.Writer, v *ServiceView, campaigns []ServiceCampaig
 	g("frfc_service_dedup_misses_total", "Result-database lookups that required simulation.", v.DedupMisses)
 	g("frfc_service_db_entries", "Distinct job hashes in the result database.", int64(v.DBEntries))
 	g("frfc_service_db_segments", "Segment files in the result database.", int64(v.DBSegments))
+	g("frfc_service_rejected_total", "Submissions refused by admission control.", v.Rejected)
+	g("frfc_service_quarantined_total", "Corrupt result lines isolated during recovery.", int64(v.DBQuarantined))
+	g("frfc_service_store_errors_total", "Result-database writes that failed.", v.StoreErrors)
+	g("frfc_service_stuck_campaigns", "Campaigns with work but no recent progress.", int64(v.StuckCampaigns))
+	ready := int64(0)
+	if v.Ready {
+		ready = 1
+	}
+	g("frfc_service_ready", "1 while accepting submissions, 0 once draining.", ready)
 	for _, name := range []struct{ metric, help string }{
 		{"frfc_campaign_jobs", "Jobs in the campaign."},
 		{"frfc_campaign_done", "Jobs recorded (any outcome)."},

@@ -349,6 +349,9 @@ func TestServiceViewAndMetrics(t *testing.T) {
 	s.OnService(ServiceView{
 		Workers: 4, Campaigns: 2, Active: 1, QueueDepth: 7, InFlight: 2,
 		DedupHits: 5, DedupMisses: 9, DBEntries: 9, DBSegments: 2, DBHealed: 1,
+		DBQuarantined: 3, StoreErrors: 2, Rejected: 11,
+		RejectedBy:     map[string]int64{"rate": 6, "jobs": 5},
+		StuckCampaigns: 1, Ready: false,
 	}, []ServiceCampaign{
 		{ID: "c1", Name: `probe "q\` + "\n", State: "running", Jobs: 10, Done: 3,
 			Simulated: 2, Cached: 1, QueueDepth: 7, InFlight: 2, Weight: 3},
@@ -358,8 +361,11 @@ func TestServiceViewAndMetrics(t *testing.T) {
 	_, body := get(t, "http://"+s.Addr()+"/status")
 	var snap struct {
 		Service *struct {
-			Workers   int   `json:"workers"`
-			DedupHits int64 `json:"dedupHits"`
+			Workers    int              `json:"workers"`
+			DedupHits  int64            `json:"dedupHits"`
+			Rejected   int64            `json:"rejected"`
+			RejectedBy map[string]int64 `json:"rejectedBy"`
+			Ready      bool             `json:"ready"`
 		} `json:"service"`
 		Campaigns []struct {
 			ID    string `json:"id"`
@@ -373,6 +379,9 @@ func TestServiceViewAndMetrics(t *testing.T) {
 	if snap.Service == nil || snap.Service.Workers != 4 || snap.Service.DedupHits != 5 {
 		t.Fatalf("service view wrong: %s", body)
 	}
+	if snap.Service.Rejected != 11 || snap.Service.RejectedBy["rate"] != 6 || snap.Service.Ready {
+		t.Fatalf("hardening fields wrong: %s", body)
+	}
 	if len(snap.Campaigns) != 2 || snap.Campaigns[0].ID != "c1" || snap.Campaigns[1].State != "done" {
 		t.Fatalf("serviceCampaigns wrong: %s", body)
 	}
@@ -384,12 +393,53 @@ func TestServiceViewAndMetrics(t *testing.T) {
 		"frfc_service_dedup_hits_total 5",
 		"frfc_service_dedup_misses_total 9",
 		"frfc_service_db_entries 9",
+		"frfc_service_rejected_total 11",
+		"frfc_service_quarantined_total 3",
+		"frfc_service_store_errors_total 2",
+		"frfc_service_stuck_campaigns 1",
+		"frfc_service_ready 0",
 		`frfc_campaign_jobs{campaign="c1",name="probe \"q\\\n",state="running"} 10`,
 		`frfc_campaign_done{campaign="c2",name="done-one",state="done"} 4`,
 	} {
 		if !strings.Contains(mbody, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, mbody)
 		}
+	}
+}
+
+// TestServeOptsTimeouts: the HTTP server carries real protective timeouts —
+// slowloris defense on headers, bounded idle — while write timeouts stay off
+// by default so ?wait=1 long-polls are never cut mid-flight.
+func TestServeOptsTimeouts(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.srv.ReadHeaderTimeout; got != 10*time.Second {
+		t.Errorf("default ReadHeaderTimeout = %v, want 10s", got)
+	}
+	if got := s.srv.IdleTimeout; got != 2*time.Minute {
+		t.Errorf("default IdleTimeout = %v, want 2m", got)
+	}
+	if s.srv.WriteTimeout != 0 || s.srv.ReadTimeout != 0 {
+		t.Errorf("write/read timeouts default on (%v/%v), would kill long-polls",
+			s.srv.WriteTimeout, s.srv.ReadTimeout)
+	}
+
+	s2, err := ServeOpts("127.0.0.1:0", ServerOptions{
+		ReadHeaderTimeout: time.Second,
+		ReadTimeout:       5 * time.Second,
+		WriteTimeout:      6 * time.Second,
+		IdleTimeout:       7 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.srv.ReadHeaderTimeout != time.Second || s2.srv.ReadTimeout != 5*time.Second ||
+		s2.srv.WriteTimeout != 6*time.Second || s2.srv.IdleTimeout != 7*time.Second {
+		t.Errorf("explicit options not honored: %+v", s2.srv)
 	}
 }
 
